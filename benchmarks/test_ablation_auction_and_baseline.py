@@ -1,0 +1,135 @@
+"""Ablations — auction selection policy and the static-workflow baseline.
+
+Two further design points called out by the paper:
+
+* the auction's specialization-first selection rule (Section 3.2) versus
+  simpler alternatives, measured on the same random communities; and
+* the contrast with conventional workflow middleware that executes a
+  statically designed workflow (Section 6 / the catering scenarios of
+  Section 2.1), where the open workflow engine keeps succeeding under
+  participant absence while the static workflow cannot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.planner import ForwardChainingPlanner
+from repro.baselines.static_engine import StaticWorkflowEngine
+from repro.core.construction import construct_workflow
+from repro.core.fragments import KnowledgeSet
+from repro.sim.randomness import derive_rng
+from repro.workloads import catering
+
+from .conftest import BENCH_SEED, workload_for
+
+PATH_LENGTH = 6
+
+
+@pytest.mark.parametrize("policy_name", ["specialization", "earliest-start", "random"])
+def test_auction_policy_allocation_cost(benchmark, policy_name: str) -> None:
+    """End-to-end construction+allocation latency under each bid selection policy."""
+
+    from repro.allocation.bids import (
+        EarliestStartPolicy,
+        RandomPolicy,
+        SpecializationPolicy,
+    )
+    from repro.experiments.trials import build_trial_community, simulated_network_factory
+    from repro.host.workspace import WorkflowPhase
+
+    policies = {
+        "specialization": SpecializationPolicy(),
+        "earliest-start": EarliestStartPolicy(),
+        "random": RandomPolicy(seed=BENCH_SEED),
+    }
+    policy = policies[policy_name]
+    workload = workload_for(100)
+    rng = derive_rng(BENCH_SEED, "ablation-policy", policy_name)
+    benchmark.group = "auction policy ablation"
+    benchmark.extra_info.update({"policy": policy_name})
+    counter = {"round": 0}
+
+    def setup():
+        counter["round"] += 1
+        community = build_trial_community(
+            workload, 5, seed=BENCH_SEED + counter["round"],
+            network_factory=simulated_network_factory(BENCH_SEED),
+        )
+        for host in community:
+            host.auction_manager.policy = policy
+        specification = workload.path_specification(PATH_LENGTH, rng)
+        return (community, specification), {}
+
+    def target(community, specification):
+        workspace = community.submit_specification("host-0", specification)
+        community.run_until_allocated(workspace)
+        assert workspace.phase in (WorkflowPhase.EXECUTING, WorkflowPhase.COMPLETED)
+        return workspace
+
+    benchmark.pedantic(target, setup=setup, rounds=5, iterations=1)
+
+
+def test_specialization_policy_preserves_community_capabilities() -> None:
+    """The paper's rationale: scheduling specialists keeps generalists available."""
+
+    from repro.experiments.ablations import run_policy_ablation
+
+    points = run_policy_ablation(num_tasks=100, num_hosts=5, path_lengths=(6, 10))
+    by_policy: dict[str, list] = {}
+    for point in points:
+        by_policy.setdefault(point.policy, []).append(point)
+    assert set(by_policy) == {"specialization", "earliest-start", "random"}
+    assert all(p.succeeded for p in points)
+
+
+class TestOpenVsStaticBaseline:
+    """Quantify the adaptability gap against a statically specified workflow."""
+
+    def test_construction_cost_open_vs_planner(self, benchmark) -> None:
+        """The colouring constructor vs. the centralized forward-chaining planner."""
+
+        knowledge = KnowledgeSet(catering.all_fragments())
+        specification = catering.breakfast_and_lunch_specification()
+        benchmark.group = "construction vs planner"
+        benchmark.extra_info["engine"] = "open-workflow-colouring"
+        result = benchmark(lambda: construct_workflow(knowledge, specification))
+        assert result.succeeded
+
+    def test_construction_cost_forward_chaining(self, benchmark) -> None:
+        knowledge = KnowledgeSet(catering.all_fragments())
+        specification = catering.breakfast_and_lunch_specification()
+        planner = ForwardChainingPlanner(knowledge)
+        benchmark.group = "construction vs planner"
+        benchmark.extra_info["engine"] = "forward-chaining-planner"
+        result = benchmark(lambda: planner.plan(specification))
+        assert result.succeeded
+
+    def test_open_workflow_survives_absences_where_static_fails(self) -> None:
+        from repro.experiments.ablations import run_baseline_comparison
+
+        points = {p.scenario: p for p in run_baseline_comparison()}
+        assert points["all-present"].static_workflow_succeeded
+        for scenario in ("chef-absent", "wait-staff-absent"):
+            assert points[scenario].open_workflow_succeeded
+            assert not points[scenario].static_workflow_succeeded
+
+    def test_static_engine_execution_cost(self, benchmark) -> None:
+        """Raw execution walk of the fixed workflow (the baseline's best case)."""
+
+        engine = StaticWorkflowEngine(
+            [
+                catering.SET_OUT_INGREDIENTS,
+                catering.COOK_OMELETS,
+                catering.PREPARE_SOUP_AND_SALAD,
+                catering.SERVE_TABLES,
+            ]
+        )
+        available = {
+            s.service_type for role in catering.ALL_ROLES for s in role.services
+        }
+        benchmark.group = "static baseline"
+        report = benchmark(
+            lambda: engine.execute(available, [catering.BREAKFAST_INGREDIENTS, catering.LUNCH_INGREDIENTS])
+        )
+        assert report.succeeded

@@ -1,0 +1,76 @@
+"""Ablation — batch vs. incremental fragment discovery.
+
+Section 3.1 of the paper extends the basic collect-everything algorithm
+with an incremental variant that "draws from the community only the
+fragments that we need to extend the supergraph along the boundaries of the
+colored region".  These benchmarks quantify the trade-off on the same
+random workloads used for the figures: the incremental strategy transfers
+fewer fragments (less radio traffic) at the cost of extra query rounds and
+local recolouring work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.construction import construct_workflow
+from repro.core.incremental import IncrementalConstructor, LocalFragmentSource
+from repro.sim.randomness import derive_rng
+
+from .conftest import BENCH_SEED, workload_for
+
+TASK_COUNTS = (100, 250)
+PATH_LENGTH = 6
+
+
+def _specification(num_tasks: int):
+    workload = workload_for(num_tasks)
+    rng = derive_rng(BENCH_SEED, "ablation-discovery", num_tasks)
+    specification = workload.path_specification(PATH_LENGTH, rng)
+    assert specification is not None
+    return workload, specification
+
+
+@pytest.mark.parametrize("num_tasks", TASK_COUNTS)
+def test_batch_construction_cost(benchmark, num_tasks: int) -> None:
+    """Cost of colouring the full supergraph after collecting everything."""
+
+    workload, specification = _specification(num_tasks)
+    knowledge = workload.knowledge
+    benchmark.group = f"discovery ablation ({num_tasks} tasks)"
+    benchmark.extra_info.update({"strategy": "batch", "task_nodes": num_tasks})
+    result = benchmark(lambda: construct_workflow(knowledge, specification))
+    assert result.succeeded
+
+
+@pytest.mark.parametrize("num_tasks", TASK_COUNTS)
+def test_incremental_construction_cost(benchmark, num_tasks: int) -> None:
+    """Cost of frontier-driven construction (queries answered from local memory)."""
+
+    workload, specification = _specification(num_tasks)
+    knowledge = workload.knowledge
+    benchmark.group = f"discovery ablation ({num_tasks} tasks)"
+    benchmark.extra_info.update({"strategy": "incremental", "task_nodes": num_tasks})
+
+    def run():
+        source = LocalFragmentSource(knowledge)
+        return IncrementalConstructor(source).construct(specification)
+
+    result = benchmark(run)
+    assert result.succeeded
+    benchmark.extra_info["fragments_transferred"] = (
+        result.incremental.fragments_transferred
+    )
+    benchmark.extra_info["fragments_total"] = len(knowledge)
+
+
+def test_incremental_transfers_fewer_fragments() -> None:
+    """The point of the ablation: incremental discovery moves less know-how."""
+
+    from repro.experiments.ablations import run_discovery_ablation
+
+    points = run_discovery_ablation(task_counts=(100, 250), path_lengths=(4, 8))
+    assert points
+    for point in points:
+        assert point.both_succeeded
+        assert point.incremental_fragments < point.batch_fragments

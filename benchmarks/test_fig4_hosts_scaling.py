@@ -1,0 +1,65 @@
+"""Figure 4 — simulation of 100 task nodes partitioned across 2-15 hosts.
+
+The paper's Figure 4 plots the average time from specification submission
+to full task allocation against the solution path length, with one series
+per community size (2, 3, 4, 5, 10, and 15 hosts) over a 100-task-node
+supergraph and the in-process simulated network.  The headline observation
+is that "the average time grows roughly linearly with the number of hosts"
+because the initiating host communicates pairwise with every community
+member during both construction and allocation.
+
+Each benchmark below reproduces one (host count, path length) point; the
+full sweep with all path lengths is produced by
+``python examples/run_experiments.py fig4``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .conftest import make_allocation_setup, run_pedantic
+
+TASK_NODES = 100
+HOST_COUNTS = (2, 3, 5, 10, 15)
+PATH_LENGTHS = (4, 8, 12)
+
+
+@pytest.mark.parametrize("num_hosts", HOST_COUNTS)
+@pytest.mark.parametrize("path_length", PATH_LENGTHS)
+def test_fig4_allocation_latency(benchmark, num_hosts: int, path_length: int) -> None:
+    """Time to construct and allocate one workflow of the given path length."""
+
+    benchmark.group = f"fig4 path={path_length}"
+    benchmark.extra_info.update(
+        {"figure": 4, "task_nodes": TASK_NODES, "hosts": num_hosts, "path_length": path_length}
+    )
+    setup, target = make_allocation_setup(TASK_NODES, num_hosts, path_length)
+    run_pedantic(benchmark, setup, target)
+
+
+def test_fig4_time_grows_roughly_linearly_with_hosts() -> None:
+    """Qualitative check of the paper's headline claim for Figure 4.
+
+    The per-trial time at a fixed path length should correlate strongly and
+    positively with the number of hosts (the paper reports roughly linear
+    growth).  This check runs outside pytest-benchmark so it can compare
+    configurations against each other.
+    """
+
+    from repro.analysis.stats import pearson_correlation
+    from repro.experiments.figures import run_figure4
+
+    figure = run_figure4(
+        num_tasks=TASK_NODES,
+        host_counts=(2, 5, 10, 15),
+        path_lengths=(8,),
+        runs=3,
+    )
+    points = []
+    for label, series in figure.series.items():
+        hosts = int(label.split()[0])
+        mean = series.mean(8)
+        if mean is not None:
+            points.append((float(hosts), mean))
+    assert len(points) >= 3
+    assert pearson_correlation(points) > 0.8

@@ -1,0 +1,54 @@
+"""Figure 5 — simulation of 25-500 task nodes partitioned across 2 hosts.
+
+The paper's Figure 5 fixes the community at two hosts and varies the size
+of the supergraph from 25 to 500 task nodes.  The observations to
+reproduce: the per-path-length cost increases with supergraph size (the
+workflow manager encounters more nodes while exploring the densely
+connected supergraph), and the maximum achievable path length grows with
+the graph (no timings exist above path length ~10 for the 25-task graph).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .conftest import make_allocation_setup, run_pedantic, workload_for
+
+NUM_HOSTS = 2
+TASK_COUNTS = (25, 50, 100, 250, 500)
+PATH_LENGTHS = (4, 8)
+
+
+@pytest.mark.parametrize("num_tasks", TASK_COUNTS)
+@pytest.mark.parametrize("path_length", PATH_LENGTHS)
+def test_fig5_allocation_latency(benchmark, num_tasks: int, path_length: int) -> None:
+    """Time to construct and allocate across two hosts for a given graph size."""
+
+    benchmark.group = f"fig5 path={path_length}"
+    benchmark.extra_info.update(
+        {"figure": 5, "task_nodes": num_tasks, "hosts": NUM_HOSTS, "path_length": path_length}
+    )
+    setup, target = make_allocation_setup(num_tasks, NUM_HOSTS, path_length)
+    run_pedantic(benchmark, setup, target)
+
+
+def test_fig5_max_path_length_grows_with_graph_size() -> None:
+    """The cut-offs annotated in Figures 5/6: small graphs support only short paths."""
+
+    lengths = {count: workload_for(count).max_path_length() for count in (25, 100, 500)}
+    assert lengths[25] <= lengths[100] <= lengths[500]
+    # The 25-task graph cannot pose problems anywhere near as long as the big
+    # graphs can (the paper's "max path length for small graph" annotation).
+    assert lengths[25] < lengths[500]
+
+
+def test_fig5_cost_grows_with_supergraph_size() -> None:
+    """Qualitative shape check: bigger supergraphs take longer per problem."""
+
+    from repro.experiments.figures import run_figure5
+
+    figure = run_figure5(task_counts=(25, 250), path_lengths=(6,), runs=3)
+    small = figure.series["25 task"].mean(6)
+    large = figure.series["250 task"].mean(6)
+    assert small is not None and large is not None
+    assert large > small

@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the construction algorithm in isolation.
+
+These decompose the end-to-end latency of Figures 4-6 into its parts:
+building the supergraph from fragments, the exploration + pruning colouring
+pass, and the narrative (catering / emergency) knowledge bases.  They are
+the numbers to watch when optimising the core algorithm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.construction import WorkflowConstructor
+from repro.core.supergraph import Supergraph
+from repro.sim.randomness import derive_rng
+from repro.workloads import catering, emergency
+
+from .conftest import BENCH_SEED, workload_for
+
+TASK_COUNTS = (100, 500)
+
+
+@pytest.mark.parametrize("num_tasks", TASK_COUNTS)
+def test_supergraph_merge_cost(benchmark, num_tasks: int) -> None:
+    """Cost of merging every fragment of the community into the supergraph."""
+
+    workload = workload_for(num_tasks)
+    fragments = workload.fragments
+    benchmark.group = "micro: supergraph merge"
+    benchmark.extra_info["task_nodes"] = num_tasks
+    graph = benchmark(lambda: Supergraph(fragments))
+    assert len(graph.task_names) == num_tasks
+
+
+@pytest.mark.parametrize("num_tasks", TASK_COUNTS)
+@pytest.mark.parametrize("path_length", (4, 8))
+def test_coloring_pass_cost(benchmark, num_tasks: int, path_length: int) -> None:
+    """Cost of the exploration + pruning colouring pass on a pre-built supergraph."""
+
+    workload = workload_for(num_tasks)
+    if path_length > workload.max_path_length():
+        pytest.skip("path longer than the supergraph supports")
+    graph = Supergraph(workload.knowledge)
+    rng = derive_rng(BENCH_SEED, "micro-color", num_tasks, path_length)
+    specification = workload.path_specification(path_length, rng)
+    constructor = WorkflowConstructor()
+    benchmark.group = f"micro: colouring path={path_length}"
+    benchmark.extra_info.update({"task_nodes": num_tasks, "path_length": path_length})
+    result = benchmark(lambda: constructor.construct(graph, specification))
+    assert result.succeeded
+
+
+def test_catering_construction_cost(benchmark) -> None:
+    """Colouring cost on the paper's Figure 1 knowledge base."""
+
+    graph = Supergraph(catering.all_fragments())
+    constructor = WorkflowConstructor()
+    specification = catering.breakfast_and_lunch_specification()
+    benchmark.group = "micro: narrative scenarios"
+    result = benchmark(lambda: constructor.construct(graph, specification))
+    assert result.succeeded
+
+
+def test_emergency_construction_cost(benchmark) -> None:
+    """Colouring cost on the construction-site emergency knowledge base."""
+
+    graph = Supergraph(emergency.all_fragments())
+    constructor = WorkflowConstructor()
+    specification = emergency.spill_response_specification()
+    benchmark.group = "micro: narrative scenarios"
+    result = benchmark(lambda: constructor.construct(graph, specification))
+    assert result.succeeded
+
+
+@pytest.mark.parametrize("num_tasks", (100,))
+def test_workload_generation_cost(benchmark, num_tasks: int) -> None:
+    """Cost of generating a strongly connected random supergraph (setup, not timed in figures)."""
+
+    from repro.workloads.supergraph_gen import RandomSupergraphWorkload
+
+    benchmark.group = "micro: workload generation"
+    workload = benchmark(lambda: RandomSupergraphWorkload(seed=BENCH_SEED + 1).generate(num_tasks))
+    assert workload.num_tasks == num_tasks

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""The corporate catering scenario of the paper (Figure 1 / Section 2.1).
+
+An executive assistant asks the catering manager for breakfast and lunch for
+an upcoming meeting.  The manager's device collects know-how from the other
+staff devices (master chef, kitchen staff, wait staff), constructs a
+workflow that satisfies the request, auctions the tasks, and everyone goes
+about their scheduled activities.
+
+The example then replays the paper's three context-sensitivity what-ifs:
+
+* lunch is not requested           -> no lunch activities in the workflow;
+* the master chef is out of office -> the omelet know-how is missing and a
+  different breakfast alternative is chosen;
+* the wait staff are absent        -> nobody can serve tables, so buffet
+  service is selected.
+
+Run with::
+
+    python examples/catering.py
+"""
+
+from __future__ import annotations
+
+from repro.host import Community, Workspace
+from repro.workloads import catering
+
+
+def solve(community: Community, triggers, goals, description: str) -> Workspace:
+    print(f"--- {description}")
+    print(f"    present: {', '.join(community.host_ids)}")
+    workspace = community.submit_problem("manager", triggers, goals)
+    community.run_until_allocated(workspace)
+    if not workspace.is_allocated:
+        print(f"    FAILED: {workspace.failure_reason}")
+        print()
+        return workspace
+    print("    constructed workflow tasks and their allocation:")
+    for task_name in workspace.workflow.task_order():
+        host = workspace.allocation_outcome.allocation.get(task_name, "?")
+        print(f"        {task_name:<28} -> {host}")
+    community.run_until_completed(workspace)
+    sim_seconds, _ = workspace.time_to_completion()
+    print(f"    executed to completion in {sim_seconds / 3600:.1f} simulated hours")
+    print()
+    return workspace
+
+
+def main() -> None:
+    meals = [catering.BREAKFAST_SERVED, catering.LUNCH_SERVED]
+    on_hand = [catering.BREAKFAST_INGREDIENTS, catering.LUNCH_INGREDIENTS]
+
+    solve(
+        catering.build_catering_community(),
+        on_hand,
+        meals,
+        "Everyone present: breakfast and lunch for the executive meeting",
+    )
+
+    solve(
+        catering.build_catering_community(),
+        [catering.BREAKFAST_INGREDIENTS],
+        [catering.BREAKFAST_SERVED],
+        "What if lunch is not requested?",
+    )
+
+    without_chef = tuple(r for r in catering.ALL_ROLES if r.name != "master-chef")
+    solve(
+        catering.build_catering_community(roles=without_chef),
+        [catering.BREAKFAST_INGREDIENTS],
+        [catering.BREAKFAST_SERVED],
+        "What if the master chef is out of the office?",
+    )
+
+    without_wait_staff = tuple(r for r in catering.ALL_ROLES if r.name != "wait-staff")
+    solve(
+        catering.build_catering_community(roles=without_wait_staff),
+        on_hand,
+        meals,
+        "What if the wait staff are absent?  (lunch must fall back to buffet service)",
+    )
+
+    solve(
+        catering.build_catering_community(),
+        [catering.DOUGHNUTS_ORDERED],
+        [catering.BREAKFAST_SERVED],
+        "What if only ordered doughnuts are on hand?",
+    )
+
+
+if __name__ == "__main__":
+    main()

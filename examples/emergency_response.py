@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The construction-site emergency from the paper's introduction.
+
+A worker discovers a mercury spill.  The prescribed response requires
+know-how and capabilities scattered across the site staff: the worker
+reports and cordons, the supervisor plans, the chief engineer authorises
+and directs dismantling the support structure blocking access, the safety
+officer contains and decontaminates, and the equipment operator moves the
+containment gear.  Instead of "a series of frantic phone calls", the open
+workflow system assembles and executes the response automatically from the
+knowledge present on site.
+
+The example also shows the degraded cases: a smaller goal (containment
+only) and the chief engineer being unreachable.
+
+Run with::
+
+    python examples/emergency_response.py
+"""
+
+from __future__ import annotations
+
+from repro.host import Community, WorkflowPhase
+from repro.workloads import emergency
+
+
+def respond(community: Community, goals, description: str, initiator: str = "supervisor"):
+    print(f"--- {description}")
+    print(f"    on site: {', '.join(community.host_ids)}")
+    workspace = community.submit_problem(initiator, [emergency.SPILL_DISCOVERED], goals)
+    community.run_until_allocated(workspace)
+    if workspace.phase is WorkflowPhase.FAILED:
+        print(f"    RESPONSE IMPOSSIBLE: {workspace.failure_reason}")
+        print()
+        return
+    print("    response plan (task -> responsible participant):")
+    for task_name in workspace.workflow.task_order():
+        host = workspace.allocation_outcome.allocation.get(task_name, "?")
+        print(f"        {task_name:<32} -> {host}")
+    community.run_until_completed(workspace)
+    sim_seconds, _ = workspace.time_to_completion()
+    hours = sim_seconds / 3600
+    print(f"    executed to completion in {hours:.1f} simulated hours")
+    print()
+
+
+def main() -> None:
+    respond(
+        emergency.build_site_community(),
+        [emergency.ALL_CLEAR],
+        "Full response: from spill discovery to the all-clear",
+    )
+
+    respond(
+        emergency.build_site_community(),
+        [emergency.SPILL_CONTAINED],
+        "Reduced goal: just get the spill contained",
+        initiator="worker",
+    )
+
+    without_engineer = tuple(
+        role for role in emergency.ALL_ROLES if role.name != "chief-engineer"
+    )
+    respond(
+        emergency.build_site_community(roles=without_engineer),
+        [emergency.ALL_CLEAR],
+        "What if the chief engineer cannot be reached?",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Quickstart: dynamic construction, allocation, and execution of an open workflow.
+
+This example walks through the whole open workflow pipeline on a tiny
+two-person community:
+
+1. describe the know-how (workflow fragments) and capabilities (services)
+   carried by each participant's device;
+2. stand up a simulated community;
+3. submit a problem specification ("given flour, I want bread") at one of
+   the participants;
+4. let the middleware construct a workflow from the community's combined
+   knowledge, auction its tasks to capable participants, and execute it in
+   a decentralized fashion;
+5. print what happened.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Community, Task, WorkflowFragment
+from repro.execution import CallableService
+
+
+def build_community() -> Community:
+    """Two participants: a miller who can make dough and a baker who can bake."""
+
+    community = Community()
+
+    def make_dough(task, inputs):
+        print(f"    [miller] making dough from {sorted(inputs)}")
+        return {"dough": "a ball of dough"}
+
+    def bake_bread(task, inputs):
+        print(f"    [baker]  baking bread from {inputs['dough']!r}")
+        return {"bread": "a warm loaf"}
+
+    community.add_host(
+        "miller",
+        fragments=[
+            WorkflowFragment(
+                [Task("make dough", ["flour", "water"], ["dough"], duration=30 * 60)],
+                description="How to turn flour and water into dough.",
+            )
+        ],
+        services=[CallableService("make dough", callable=make_dough, duration=30 * 60)],
+    )
+    community.add_host(
+        "baker",
+        fragments=[
+            WorkflowFragment(
+                [Task("bake bread", ["dough"], ["bread"], duration=45 * 60)],
+                description="How to bake dough into bread.",
+            )
+        ],
+        services=[CallableService("bake bread", callable=bake_bread, duration=45 * 60)],
+    )
+    return community
+
+
+def main() -> None:
+    community = build_community()
+
+    print("Community:", ", ".join(community.host_ids))
+    print("Combined knowledge:", community.total_fragments(), "fragments")
+    print()
+    print("The miller submits a problem: triggers={flour, water}, goal={bread}")
+
+    workspace = community.submit_problem(
+        "miller", triggers=["flour", "water"], goals=["bread"], name="bake-some-bread"
+    )
+    community.run_until_allocated(workspace)
+
+    workflow = workspace.workflow
+    print()
+    print("Constructed workflow (from fragments contributed by both devices):")
+    for task_name in workflow.task_order():
+        task = workflow.task(task_name)
+        print(f"    {sorted(task.inputs)} -> {task_name} -> {sorted(task.outputs)}")
+
+    print()
+    print("Task allocation decided by the auction:")
+    for task_name, host in sorted(workspace.allocation_outcome.allocation.items()):
+        print(f"    {task_name!r} -> {host}")
+
+    print()
+    print("Decentralized execution:")
+    community.run_until_completed(workspace)
+
+    sim_seconds, wall_seconds = workspace.time_to_completion()
+    print()
+    print(f"Workflow phase: {workspace.phase.value}")
+    print(f"Completed tasks: {sorted(workspace.completed_tasks)}")
+    print(f"Simulated time to completion: {sim_seconds / 60:.0f} minutes")
+    print(f"Real processing time: {wall_seconds * 1000:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Allocation substrate: the task auction of the paper's Section 3.2."""
+
+from .auction import AllocationOutcome, AuctionManager, TaskAuction
+from .bids import (
+    DEFAULT_POLICY,
+    Bid,
+    BidSelectionPolicy,
+    EarliestStartPolicy,
+    LeastTravelPolicy,
+    RandomPolicy,
+    SpecializationPolicy,
+    rank_bids,
+    select_best,
+)
+from .participation import AuctionParticipationManager, ParticipationStatistics
+
+__all__ = [
+    "AllocationOutcome",
+    "AuctionManager",
+    "AuctionParticipationManager",
+    "Bid",
+    "BidSelectionPolicy",
+    "DEFAULT_POLICY",
+    "EarliestStartPolicy",
+    "LeastTravelPolicy",
+    "ParticipationStatistics",
+    "RandomPolicy",
+    "SpecializationPolicy",
+    "TaskAuction",
+    "rank_bids",
+    "select_best",
+]

@@ -1,0 +1,375 @@
+"""The Auction Manager: allocating the tasks of a constructed workflow.
+
+The allocation approach follows the paper's Section 3.2 (itself modelled on
+CiAN):  the participant that constructed the workflow acts as *auction
+manager*.  It computes per-task metadata, solicits bids for every task from
+all participants in the community, tracks the incoming firm bids, keeps a
+continually re-evaluated *tentative* allocation, and makes the final
+decision when either every participant has answered or the response
+deadline of the currently best bidder arrives — "the auction manager waits
+as long as possible to assign a task to a participant in order to obtain
+the best possible bid, but once some participant has been found who can do
+a task, the task is guaranteed to be allocated".
+
+Once every task has a winner, the manager computes the data-routing
+information each participant needs for decentralized execution (where every
+input comes from, where every output must go) and sends the awards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from ..core.specification import Specification
+from ..core.tasks import Task
+from ..core.workflow import Workflow
+from ..net.messages import (
+    AwardMessage,
+    AwardRejected,
+    BidDeclined,
+    BidMessage,
+    CallForBids,
+    Message,
+)
+from ..sim.events import EventHandle, EventScheduler
+from .bids import DEFAULT_POLICY, Bid, BidSelectionPolicy, rank_bids
+
+SendFunction = Callable[[Message], None]
+
+
+@dataclass
+class TaskAuction:
+    """State of the auction for a single task."""
+
+    task: Task
+    earliest_start: float
+    expected_responders: frozenset[str]
+    bids: list[Bid] = field(default_factory=list)
+    declines: set[str] = field(default_factory=set)
+    tentative: Bid | None = None
+    winner: Bid | None = None
+    finalized: bool = False
+    deadline_event: EventHandle | None = None
+
+    @property
+    def responders(self) -> set[str]:
+        return {bid.bidder for bid in self.bids} | self.declines
+
+    def all_responded(self) -> bool:
+        return self.expected_responders <= self.responders
+
+
+@dataclass
+class AllocationOutcome:
+    """Result of allocating one workflow.
+
+    ``allocation`` maps every allocated task to the winning host;
+    ``unallocated`` maps tasks that could not be allocated to the reason.
+    The outcome is considered successful only when every task found a host.
+    """
+
+    workflow_id: str
+    allocation: dict[str, str] = field(default_factory=dict)
+    winning_bids: dict[str, Bid] = field(default_factory=dict)
+    unallocated: dict[str, str] = field(default_factory=dict)
+    bids_received: int = 0
+    declines_received: int = 0
+    reallocations: int = 0
+    completed_at: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        # An empty workflow (the goals were already satisfied) allocates
+        # trivially; failure means at least one task found no host.
+        return not self.unallocated
+
+    def host_for(self, task_name: str) -> str | None:
+        return self.allocation.get(task_name)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "workflow_id": self.workflow_id,
+            "allocation": dict(self.allocation),
+            "unallocated": dict(self.unallocated),
+            "bids_received": self.bids_received,
+            "declines_received": self.declines_received,
+            "reallocations": self.reallocations,
+            "completed_at": self.completed_at,
+        }
+
+
+class AuctionManager:
+    """Runs task auctions for the workflows constructed on one host.
+
+    Parameters
+    ----------
+    host_id:
+        The initiating host (auctioneer).
+    scheduler:
+        Shared event scheduler, used for deadline timers and time stamps.
+    send:
+        Callback handing outgoing messages to the communications layer.
+    policy:
+        Bid selection policy; defaults to the paper's specialization-first
+        rule.
+    """
+
+    def __init__(
+        self,
+        host_id: str,
+        scheduler: EventScheduler,
+        send: SendFunction,
+        policy: BidSelectionPolicy = DEFAULT_POLICY,
+    ) -> None:
+        self.host_id = host_id
+        self.scheduler = scheduler
+        self._send = send
+        self.policy = policy
+        self._auctions: dict[str, dict[str, TaskAuction]] = {}
+        self._outcomes: dict[str, AllocationOutcome] = {}
+        self._callbacks: dict[str, Callable[[AllocationOutcome], None]] = {}
+        self._workflows: dict[str, Workflow] = {}
+        self._specifications: dict[str, Specification] = {}
+
+    # -- starting an auction -------------------------------------------------
+    def start_auction(
+        self,
+        workflow_id: str,
+        workflow: Workflow,
+        specification: Specification,
+        participants: Iterable[str],
+        on_complete: Callable[[AllocationOutcome], None],
+    ) -> None:
+        """Begin soliciting bids for every task of ``workflow``."""
+
+        participant_set = frozenset(participants)
+        if not participant_set:
+            raise ValueError("an auction needs at least one participant")
+        self._workflows[workflow_id] = workflow
+        self._specifications[workflow_id] = specification
+        self._callbacks[workflow_id] = on_complete
+        self._outcomes[workflow_id] = AllocationOutcome(workflow_id=workflow_id)
+
+        earliest_starts = self.compute_task_metadata(workflow, specification)
+        auctions: dict[str, TaskAuction] = {}
+        for task_name in workflow.task_order():
+            task = workflow.task(task_name)
+            auctions[task_name] = TaskAuction(
+                task=task,
+                earliest_start=earliest_starts[task_name],
+                expected_responders=participant_set,
+            )
+        self._auctions[workflow_id] = auctions
+
+        if not auctions:
+            # An empty workflow (goals already satisfied) allocates trivially.
+            self._complete(workflow_id)
+            return
+
+        for task_name, auction in auctions.items():
+            for participant in sorted(participant_set):
+                self._send(
+                    CallForBids(
+                        sender=self.host_id,
+                        recipient=participant,
+                        workflow_id=workflow_id,
+                        task=auction.task,
+                        earliest_start=auction.earliest_start,
+                    )
+                )
+
+    def compute_task_metadata(
+        self, workflow: Workflow, specification: Specification
+    ) -> dict[str, float]:
+        """Earliest feasible start per task (critical-path over declared durations).
+
+        A task can start once every producer of its inputs could have
+        finished; trigger labels are available at time zero.  This is the
+        "metadata for each task used in allocating and executing the
+        workflow" the auction manager computes before soliciting bids.
+        """
+
+        now = self.scheduler.clock.now()
+        completion: dict[str, float] = {}
+        earliest: dict[str, float] = {}
+        for task_name in workflow.task_order():
+            task = workflow.task(task_name)
+            start = now
+            for label in task.inputs:
+                producer = workflow.producing_task(label)
+                if producer is not None:
+                    start = max(start, completion.get(producer, now))
+            earliest[task_name] = start
+            completion[task_name] = start + task.duration
+        return earliest
+
+    # -- incoming auction traffic ----------------------------------------------------
+    def handle_bid(self, message: BidMessage) -> None:
+        """Record a firm bid and re-evaluate the tentative allocation."""
+
+        auction = self._find_auction(message.workflow_id, message.task_name)
+        if auction is None or auction.finalized:
+            return
+        outcome = self._outcomes[message.workflow_id]
+        outcome.bids_received += 1
+        bid = Bid.from_message(message)
+        auction.bids.append(bid)
+        self._reevaluate_tentative(message.workflow_id, auction)
+        if auction.all_responded():
+            self._finalize(message.workflow_id, auction)
+
+    def handle_decline(self, message: BidDeclined) -> None:
+        """Record an explicit decline; may complete the auction for the task."""
+
+        auction = self._find_auction(message.workflow_id, message.task_name)
+        if auction is None or auction.finalized:
+            return
+        outcome = self._outcomes[message.workflow_id]
+        outcome.declines_received += 1
+        auction.declines.add(message.sender)
+        if auction.all_responded():
+            self._finalize(message.workflow_id, auction)
+
+    def handle_award_rejected(self, message: AwardRejected) -> None:
+        """Re-allocate a task whose winner could no longer honour its bid."""
+
+        workflow_id = message.workflow_id
+        auction = self._find_auction(workflow_id, message.task_name)
+        if auction is None:
+            return
+        outcome = self._outcomes[workflow_id]
+        remaining = [b for b in auction.bids if b.bidder != message.sender]
+        auction.bids = remaining
+        outcome.reallocations += 1
+        if remaining:
+            auction.winner = rank_bids(remaining, self.policy)[0]
+            outcome.allocation[message.task_name] = auction.winner.bidder
+            outcome.winning_bids[message.task_name] = auction.winner
+            self._send_award(workflow_id, auction)
+        else:
+            outcome.allocation.pop(message.task_name, None)
+            outcome.winning_bids.pop(message.task_name, None)
+            outcome.unallocated[message.task_name] = (
+                f"winner {message.sender!r} rejected the award and no other bids remain"
+            )
+
+    # -- tentative allocation and deadlines --------------------------------------------
+    def _reevaluate_tentative(self, workflow_id: str, auction: TaskAuction) -> None:
+        best = rank_bids(auction.bids, self.policy)[0]
+        if auction.tentative is not None and auction.tentative == best:
+            return
+        auction.tentative = best
+        if auction.deadline_event is not None:
+            auction.deadline_event.cancel()
+            auction.deadline_event = None
+        if best.response_deadline != float("inf"):
+            delay = max(0.0, best.response_deadline - self.scheduler.clock.now())
+            auction.deadline_event = self.scheduler.schedule_in(
+                delay,
+                lambda: self._finalize(workflow_id, auction),
+                description=f"bid-deadline {auction.task.name}",
+            )
+
+    def _finalize(self, workflow_id: str, auction: TaskAuction) -> None:
+        if auction.finalized:
+            return
+        auction.finalized = True
+        if auction.deadline_event is not None:
+            auction.deadline_event.cancel()
+            auction.deadline_event = None
+        outcome = self._outcomes[workflow_id]
+        if auction.bids:
+            auction.winner = rank_bids(auction.bids, self.policy)[0]
+            outcome.allocation[auction.task.name] = auction.winner.bidder
+            outcome.winning_bids[auction.task.name] = auction.winner
+        else:
+            outcome.unallocated[auction.task.name] = "no participant submitted a bid"
+        auctions = self._auctions[workflow_id]
+        if all(a.finalized for a in auctions.values()):
+            self._complete(workflow_id)
+
+    # -- completion -----------------------------------------------------------------------
+    def _complete(self, workflow_id: str) -> None:
+        outcome = self._outcomes[workflow_id]
+        outcome.completed_at = self.scheduler.clock.now()
+        workflow = self._workflows[workflow_id]
+        auctions = self._auctions[workflow_id]
+        if outcome.succeeded or outcome.allocation:
+            for auction in auctions.values():
+                if auction.winner is not None:
+                    self._send_award(workflow_id, auction)
+        callback = self._callbacks.get(workflow_id)
+        if callback is not None:
+            callback(outcome)
+
+    def _send_award(self, workflow_id: str, auction: TaskAuction) -> None:
+        workflow = self._workflows[workflow_id]
+        specification = self._specifications[workflow_id]
+        outcome = self._outcomes[workflow_id]
+        task = auction.task
+        winner = auction.winner
+        if winner is None:
+            return
+        input_sources, trigger_labels = self._input_routing(
+            workflow, specification, outcome, task
+        )
+        output_destinations = self._output_routing(workflow, outcome, task)
+        self._send(
+            AwardMessage(
+                sender=self.host_id,
+                recipient=winner.bidder,
+                workflow_id=workflow_id,
+                task=task,
+                scheduled_start=max(winner.proposed_start, auction.earliest_start),
+                input_sources=input_sources,
+                output_destinations=output_destinations,
+                trigger_labels=trigger_labels,
+            )
+        )
+
+    def _input_routing(
+        self,
+        workflow: Workflow,
+        specification: Specification,
+        outcome: AllocationOutcome,
+        task: Task,
+    ) -> tuple[dict[str, str], frozenset[str]]:
+        sources: dict[str, str] = {}
+        triggers: set[str] = set()
+        for label in task.inputs:
+            producer = workflow.producing_task(label)
+            if producer is None or label in specification.triggers:
+                # Source labels are triggering conditions: available from the
+                # outset, no network transfer required.
+                triggers.add(label)
+            else:
+                sources[label] = outcome.allocation.get(producer, self.host_id)
+        return sources, frozenset(triggers)
+
+    def _output_routing(
+        self, workflow: Workflow, outcome: AllocationOutcome, task: Task
+    ) -> dict[str, tuple[str, ...]]:
+        destinations: dict[str, tuple[str, ...]] = {}
+        for label in task.outputs:
+            consumer_hosts = []
+            for consumer in sorted(workflow.consumers_of(label)):
+                host = outcome.allocation.get(consumer)
+                if host is not None:
+                    consumer_hosts.append(host)
+            destinations[label] = tuple(dict.fromkeys(consumer_hosts))
+        return destinations
+
+    # -- queries -------------------------------------------------------------------------
+    def outcome_for(self, workflow_id: str) -> AllocationOutcome | None:
+        return self._outcomes.get(workflow_id)
+
+    def is_complete(self, workflow_id: str) -> bool:
+        auctions = self._auctions.get(workflow_id)
+        return auctions is not None and all(a.finalized for a in auctions.values())
+
+    def _find_auction(self, workflow_id: str, task_name: str) -> TaskAuction | None:
+        return self._auctions.get(workflow_id, {}).get(task_name)
+
+    def __repr__(self) -> str:
+        return f"AuctionManager(host={self.host_id!r}, workflows={len(self._auctions)})"

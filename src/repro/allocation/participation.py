@@ -1,0 +1,204 @@
+"""The Auction Participation Manager: bidding on behalf of one host.
+
+This component "encapsulates the complex interactions and state tracking
+needed for the host to bid in task auctions during the allocation phase"
+(paper, Section 4.2).  For every incoming call for bids it checks, in the
+order given by the paper's service-availability conditions, whether
+
+1. the host is *capable* of performing the service (Service Manager),
+2. the host has *time* available and
+3. can *travel* to the required location in time (Schedule Manager),
+4. can gather inputs / distribute outputs in a timely manner (always true
+   while the community is connected; the communications layer raises when
+   it is not), and
+5. the host is *willing* according to its preferences.
+
+If all conditions hold it submits a firm bid; otherwise it answers with an
+explicit decline so the auction manager does not have to wait for a
+timeout.  When an award arrives, the manager converts it into a commitment,
+stores it with the Schedule Manager, and hands it to the Execution Manager
+to monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.errors import ScheduleConflictError
+from ..execution.engine import ExecutionManager
+from ..execution.services import ServiceManager
+from ..net.messages import (
+    AwardMessage,
+    AwardRejected,
+    BidDeclined,
+    BidMessage,
+    CallForBids,
+)
+from ..scheduling.commitments import Commitment
+from ..scheduling.schedule import ScheduleManager
+from ..sim.clock import Clock
+
+
+@dataclass
+class ParticipationStatistics:
+    """Counters for one host's auction participation."""
+
+    calls_received: int = 0
+    bids_submitted: int = 0
+    declines_sent: int = 0
+    awards_accepted: int = 0
+    awards_rejected: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "calls_received": self.calls_received,
+            "bids_submitted": self.bids_submitted,
+            "declines_sent": self.declines_sent,
+            "awards_accepted": self.awards_accepted,
+            "awards_rejected": self.awards_rejected,
+        }
+
+
+class AuctionParticipationManager:
+    """Evaluates calls for bids and accepts awards for one host."""
+
+    def __init__(
+        self,
+        host_id: str,
+        clock: Clock,
+        services: ServiceManager,
+        schedule: ScheduleManager,
+        execution: ExecutionManager,
+    ) -> None:
+        self.host_id = host_id
+        self.clock = clock
+        self.services = services
+        self.schedule = schedule
+        self.execution = execution
+        self.statistics = ParticipationStatistics()
+
+    # -- bidding ----------------------------------------------------------------
+    def handle_call_for_bids(self, call: CallForBids) -> BidMessage | BidDeclined:
+        """Evaluate a call for bids and produce the host's answer."""
+
+        self.statistics.calls_received += 1
+        task = call.task
+        if task is None:
+            return self._decline(call, "call carried no task definition")
+
+        # Condition 1: capability.
+        if not self.services.provides(task.service_type):
+            return self._decline(
+                call, f"no service of type {task.service_type!r}"
+            )
+
+        # Conditions 2, 3, and 5: time, travel, willingness.  Use the service's
+        # duration estimate when the task itself does not declare one.
+        duration = max(task.duration, self.services.expected_duration(task))
+        effective_task = (
+            task if duration == task.duration else replace(task, duration=duration)
+        )
+        slot, reason = self.schedule.can_commit_to(
+            effective_task,
+            earliest_start=call.earliest_start,
+            deadline=call.deadline,
+        )
+        if slot is None:
+            return self._decline(call, reason)
+
+        self.statistics.bids_submitted += 1
+        validity = self.schedule.preferences.bid_validity
+        deadline = (
+            float("inf") if validity == float("inf") else self.clock.now() + validity
+        )
+        return BidMessage(
+            sender=self.host_id,
+            recipient=call.sender,
+            workflow_id=call.workflow_id,
+            task_name=task.name,
+            specialization=self.services.service_count,
+            proposed_start=slot.start,
+            travel_time=slot.travel_time,
+            response_deadline=deadline,
+        )
+
+    def _decline(self, call: CallForBids, reason: str) -> BidDeclined:
+        self.statistics.declines_sent += 1
+        return BidDeclined(
+            sender=self.host_id,
+            recipient=call.sender,
+            workflow_id=call.workflow_id,
+            task_name=call.task.name if call.task is not None else "",
+            reason=reason,
+        )
+
+    # -- award handling -------------------------------------------------------------
+    def handle_award(self, award: AwardMessage) -> AwardRejected | Commitment:
+        """Turn an award into a commitment (or reject it when no longer feasible)."""
+
+        task = award.task
+        if task is None:
+            self.statistics.awards_rejected += 1
+            return AwardRejected(
+                sender=self.host_id,
+                recipient=award.sender,
+                workflow_id=award.workflow_id,
+                task_name="",
+                reason="award carried no task definition",
+            )
+
+        duration = max(task.duration, self.services.expected_duration(task))
+        start = max(award.scheduled_start, self.clock.now())
+        travel = self.schedule.travel_time_to(task.location, at_time=start)
+        commitment = Commitment(
+            task=task,
+            workflow_id=award.workflow_id,
+            start=start,
+            travel_time=min(travel, start),
+            input_sources=dict(award.input_sources),
+            output_destinations={
+                label: tuple(hosts) for label, hosts in award.output_destinations.items()
+            },
+            trigger_labels=frozenset(award.trigger_labels),
+            initiator=award.sender,
+        )
+        try:
+            self.schedule.add_commitment(commitment)
+        except ScheduleConflictError:
+            # The bid was firm but another award landed in the same slot first
+            # (the host may have bid on several tasks).  Try to honour the
+            # award in the next free slot; reject only if none exists.
+            slot = self.schedule.find_slot(task, earliest_start=start)
+            if slot is None:
+                self.statistics.awards_rejected += 1
+                return AwardRejected(
+                    sender=self.host_id,
+                    recipient=award.sender,
+                    workflow_id=award.workflow_id,
+                    task_name=task.name,
+                    reason="no remaining feasible slot",
+                )
+            commitment = Commitment(
+                task=task,
+                workflow_id=award.workflow_id,
+                start=slot.start,
+                travel_time=min(slot.travel_time, slot.start),
+                input_sources=dict(award.input_sources),
+                output_destinations={
+                    label: tuple(hosts)
+                    for label, hosts in award.output_destinations.items()
+                },
+                trigger_labels=frozenset(award.trigger_labels),
+                initiator=award.sender,
+            )
+            self.schedule.add_commitment(commitment)
+
+        self.statistics.awards_accepted += 1
+        self.execution.watch(commitment)
+        return commitment
+
+    def __repr__(self) -> str:
+        return (
+            f"AuctionParticipationManager(host={self.host_id!r}, "
+            f"bids={self.statistics.bids_submitted})"
+        )

@@ -1,0 +1,15 @@
+"""Analysis helpers: statistics and figure/table rendering for experiments."""
+
+from .reporting import FigureResult, FigureSeries, comparison_table
+from .stats import SampleSummary, linear_trend, mean, pearson_correlation, summarise
+
+__all__ = [
+    "FigureResult",
+    "FigureSeries",
+    "SampleSummary",
+    "comparison_table",
+    "linear_trend",
+    "mean",
+    "pearson_correlation",
+    "summarise",
+]

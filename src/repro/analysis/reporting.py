@@ -1,0 +1,134 @@
+"""Formatting experiment results as the paper's figures report them.
+
+Each of Figures 4-6 plots "average time to full allocation" (y axis, in
+seconds) against "path length" (x axis) with one series per configuration
+(number of hosts or supergraph size).  :class:`FigureSeries` and
+:class:`FigureResult` hold exactly that structure and can render themselves
+as aligned text tables or CSV so the reproduction's output can be compared
+side by side with the published curves.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from .stats import SampleSummary, summarise
+
+
+@dataclass
+class FigureSeries:
+    """One curve of a figure: a label plus samples per x value."""
+
+    label: str
+    samples: dict[int, list[float]] = field(default_factory=dict)
+
+    def add_sample(self, x: int, value: float) -> None:
+        self.samples.setdefault(x, []).append(value)
+
+    def summary(self, x: int) -> SampleSummary | None:
+        values = self.samples.get(x)
+        return summarise(values) if values else None
+
+    def mean(self, x: int) -> float | None:
+        values = self.samples.get(x)
+        return sum(values) / len(values) if values else None
+
+    def xs(self) -> list[int]:
+        return sorted(self.samples)
+
+    def as_points(self) -> list[tuple[int, float]]:
+        return [(x, self.mean(x)) for x in self.xs() if self.mean(x) is not None]
+
+
+@dataclass
+class FigureResult:
+    """A full figure: title, axis names, and one series per configuration."""
+
+    title: str
+    x_label: str = "Path length"
+    y_label: str = "Seconds"
+    series: dict[str, FigureSeries] = field(default_factory=dict)
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def series_for(self, label: str) -> FigureSeries:
+        if label not in self.series:
+            self.series[label] = FigureSeries(label)
+        return self.series[label]
+
+    def add_sample(self, label: str, x: int, value: float) -> None:
+        self.series_for(label).add_sample(x, value)
+
+    def all_xs(self) -> list[int]:
+        xs: set[int] = set()
+        for series in self.series.values():
+            xs.update(series.xs())
+        return sorted(xs)
+
+    # -- rendering -----------------------------------------------------------
+    def to_table(self, precision: int = 4) -> str:
+        """Render the figure as an aligned text table (rows = x values)."""
+
+        labels = list(self.series)
+        buffer = io.StringIO()
+        buffer.write(f"{self.title}\n")
+        if self.metadata:
+            meta = ", ".join(f"{k}={v}" for k, v in sorted(self.metadata.items()))
+            buffer.write(f"({meta})\n")
+        header = [self.x_label] + labels
+        rows: list[list[str]] = [header]
+        for x in self.all_xs():
+            row = [str(x)]
+            for label in labels:
+                value = self.series[label].mean(x)
+                row.append("-" if value is None else f"{value:.{precision}f}")
+            rows.append(row)
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        for row in rows:
+            line = "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            buffer.write(line + "\n")
+        return buffer.getvalue()
+
+    def to_csv(self, precision: int = 6) -> str:
+        """Render the figure as CSV (x value, then one column per series)."""
+
+        labels = list(self.series)
+        lines = [",".join([self.x_label.replace(",", " ")] + labels)]
+        for x in self.all_xs():
+            cells = [str(x)]
+            for label in labels:
+                value = self.series[label].mean(x)
+                cells.append("" if value is None else f"{value:.{precision}f}")
+            lines.append(",".join(cells))
+        return "\n".join(lines) + "\n"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "title": self.title,
+            "metadata": dict(self.metadata),
+            "series": {
+                label: {str(x): series.mean(x) for x in series.xs()}
+                for label, series in self.series.items()
+            },
+        }
+
+
+def comparison_table(
+    title: str,
+    rows: Iterable[tuple[str, Mapping[str, object]]],
+    columns: list[str],
+) -> str:
+    """Render a simple comparison table (used by the ablation reports)."""
+
+    header = ["configuration"] + columns
+    table_rows: list[list[str]] = [header]
+    for name, values in rows:
+        table_rows.append(
+            [name] + [str(values.get(column, "-")) for column in columns]
+        )
+    widths = [max(len(row[i]) for row in table_rows) for i in range(len(header))]
+    lines = [title]
+    for row in table_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines) + "\n"

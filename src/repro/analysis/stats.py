@@ -1,0 +1,114 @@
+"""Small statistics helpers used by the experiment harness.
+
+The paper reports the average of one thousand runs per data point.  The
+harness keeps every sample and reports mean, standard deviation, and simple
+confidence intervals so a reproduction run can tell whether an observed
+difference between two configurations is noise or signal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Summary statistics of a set of timing samples (seconds)."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Approximate CI of the mean (normal approximation)."""
+
+        if self.count <= 1:
+            return (self.mean, self.mean)
+        half_width = z * self.std / math.sqrt(self.count)
+        return (self.mean - half_width, self.mean + half_width)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+        }
+
+
+def summarise(samples: Sequence[float]) -> SampleSummary:
+    """Compute summary statistics of ``samples`` (raises on empty input)."""
+
+    if not samples:
+        raise ValueError("cannot summarise an empty sample set")
+    ordered = sorted(samples)
+    count = len(ordered)
+    mean = sum(ordered) / count
+    variance = (
+        sum((x - mean) ** 2 for x in ordered) / (count - 1) if count > 1 else 0.0
+    )
+    mid = count // 2
+    if count % 2:
+        median = ordered[mid]
+    else:
+        median = (ordered[mid - 1] + ordered[mid]) / 2.0
+    return SampleSummary(
+        count=count,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        median=median,
+    )
+
+
+def mean(samples: Iterable[float]) -> float:
+    values = list(samples)
+    if not values:
+        raise ValueError("cannot average an empty sample set")
+    return sum(values) / len(values)
+
+
+def linear_trend(points: Sequence[tuple[float, float]]) -> tuple[float, float]:
+    """Least-squares slope and intercept of ``(x, y)`` points.
+
+    Used by tests to check qualitative claims such as "the average time
+    grows roughly linearly with the number of hosts".
+    """
+
+    if len(points) < 2:
+        raise ValueError("need at least two points for a trend")
+    n = len(points)
+    sum_x = sum(x for x, _ in points)
+    sum_y = sum(y for _, y in points)
+    sum_xx = sum(x * x for x, _ in points)
+    sum_xy = sum(x * y for x, y in points)
+    denominator = n * sum_xx - sum_x * sum_x
+    if denominator == 0:
+        raise ValueError("degenerate x values; cannot fit a trend")
+    slope = (n * sum_xy - sum_x * sum_y) / denominator
+    intercept = (sum_y - slope * sum_x) / n
+    return slope, intercept
+
+
+def pearson_correlation(points: Sequence[tuple[float, float]]) -> float:
+    """Pearson correlation coefficient of ``(x, y)`` points."""
+
+    if len(points) < 2:
+        raise ValueError("need at least two points for a correlation")
+    n = len(points)
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    var_x = sum((x - mean_x) ** 2 for x, _ in points)
+    var_y = sum((y - mean_y) ** 2 for _, y in points)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)

@@ -1,0 +1,11 @@
+"""Baseline comparators: static workflow engine and a centralized planner."""
+
+from .planner import ForwardChainingPlanner, PlannerResult
+from .static_engine import StaticExecutionReport, StaticWorkflowEngine
+
+__all__ = [
+    "ForwardChainingPlanner",
+    "PlannerResult",
+    "StaticExecutionReport",
+    "StaticWorkflowEngine",
+]

@@ -1,0 +1,209 @@
+"""Richer, constrained problem specifications.
+
+The paper's future-work discussion proposes "weakening our initial
+assumption that a specification only involves the inset and outset" so that
+specifications can also constrain other aspects of the workflow graph, such
+as path length and task preferences.  This module provides that extension
+on top of the unchanged core algorithm:
+
+* :class:`WorkflowConstraints` — declarative limits on the constructed
+  graph: tasks that must not appear, tasks that must appear, a cap on the
+  number of tasks, a cap on the critical-path duration, and locations that
+  must be avoided.
+* :class:`ConstrainedSpecification` — a trigger/goal specification bundled
+  with constraints; it still evaluates as a predicate over (inset, outset)
+  so it plugs into everything that accepts a plain specification.
+* :func:`construct_constrained_workflow` — runs Algorithm 1 with the
+  forbidden tasks/locations excluded up front (via the constructor's task
+  filter) and checks the remaining constraints on the result, reporting
+  which constraint failed when no acceptable workflow exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .construction import ConstructionResult, WorkflowConstructor
+from .fragments import KnowledgeSet, WorkflowFragment
+from .specification import Specification
+from .supergraph import Supergraph
+from .tasks import Task
+from .workflow import Workflow
+
+
+@dataclass(frozen=True)
+class WorkflowConstraints:
+    """Declarative constraints on the shape of an acceptable workflow."""
+
+    forbidden_tasks: frozenset[str] = frozenset()
+    """Tasks that must not appear in the constructed workflow."""
+
+    required_tasks: frozenset[str] = frozenset()
+    """Tasks that must appear (e.g. "the safety officer must sign off")."""
+
+    forbidden_locations: frozenset[str] = frozenset()
+    """Locations no selected task may require."""
+
+    max_tasks: int | None = None
+    """Upper bound on the number of tasks (a path-length style constraint)."""
+
+    max_total_duration: float | None = None
+    """Upper bound on the critical-path duration of the workflow."""
+
+    def __init__(
+        self,
+        forbidden_tasks: Iterable[str] = (),
+        required_tasks: Iterable[str] = (),
+        forbidden_locations: Iterable[str] = (),
+        max_tasks: int | None = None,
+        max_total_duration: float | None = None,
+    ) -> None:
+        if max_tasks is not None and max_tasks < 1:
+            raise ValueError("max_tasks must be at least 1 when given")
+        if max_total_duration is not None and max_total_duration < 0:
+            raise ValueError("max_total_duration must be non-negative")
+        object.__setattr__(self, "forbidden_tasks", frozenset(forbidden_tasks))
+        object.__setattr__(self, "required_tasks", frozenset(required_tasks))
+        object.__setattr__(self, "forbidden_locations", frozenset(forbidden_locations))
+        object.__setattr__(self, "max_tasks", max_tasks)
+        object.__setattr__(self, "max_total_duration", max_total_duration)
+
+    # -- evaluation --------------------------------------------------------
+    def allows_task(self, task: Task) -> bool:
+        """Pre-construction filter: may this task be considered at all?"""
+
+        if task.name in self.forbidden_tasks:
+            return False
+        if task.location is not None and task.location in self.forbidden_locations:
+            return False
+        return True
+
+    def violations(self, workflow: Workflow) -> list[str]:
+        """Post-construction check; returns human readable violations."""
+
+        problems: list[str] = []
+        present = workflow.task_names
+        forbidden_present = present & self.forbidden_tasks
+        if forbidden_present:
+            problems.append(f"forbidden tasks selected: {sorted(forbidden_present)}")
+        missing = self.required_tasks - present
+        if missing:
+            problems.append(f"required tasks missing: {sorted(missing)}")
+        if self.max_tasks is not None and len(present) > self.max_tasks:
+            problems.append(
+                f"workflow has {len(present)} tasks, more than the allowed {self.max_tasks}"
+            )
+        for task in workflow.tasks.values():
+            if task.location is not None and task.location in self.forbidden_locations:
+                problems.append(
+                    f"task {task.name!r} requires forbidden location {task.location!r}"
+                )
+        if self.max_total_duration is not None:
+            duration = critical_path_duration(workflow)
+            if duration > self.max_total_duration:
+                problems.append(
+                    f"critical path takes {duration:.0f}s, more than the allowed "
+                    f"{self.max_total_duration:.0f}s"
+                )
+        return problems
+
+    def is_satisfied_by(self, workflow: Workflow) -> bool:
+        return not self.violations(workflow)
+
+
+def critical_path_duration(workflow: Workflow) -> float:
+    """Length (in seconds) of the longest duration-weighted path of the workflow."""
+
+    completion: dict[str, float] = {}
+    for task_name in workflow.task_order():
+        task = workflow.task(task_name)
+        start = 0.0
+        for label in task.inputs:
+            producer = workflow.producing_task(label)
+            if producer is not None:
+                start = max(start, completion.get(producer, 0.0))
+        completion[task_name] = start + task.duration
+    return max(completion.values(), default=0.0)
+
+
+@dataclass(frozen=True)
+class ConstrainedSpecification:
+    """A trigger/goal specification extended with workflow-shape constraints."""
+
+    base: Specification
+    constraints: WorkflowConstraints = field(default_factory=WorkflowConstraints)
+
+    def __call__(self, inset: Iterable[str], outset: Iterable[str]) -> bool:
+        return self.base(inset, outset)
+
+    @property
+    def triggers(self) -> frozenset[str]:
+        return self.base.triggers
+
+    @property
+    def goals(self) -> frozenset[str]:
+        return self.base.goals
+
+    @property
+    def name(self) -> str:
+        return self.base.name
+
+    def accepts(self, workflow: Workflow) -> bool:
+        """Full acceptance check: satisfaction plus every constraint."""
+
+        return workflow.satisfies(self.base) and self.constraints.is_satisfied_by(workflow)
+
+
+@dataclass
+class ConstrainedConstructionResult:
+    """Outcome of a constrained construction run."""
+
+    construction: ConstructionResult
+    constraints: WorkflowConstraints
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def workflow(self) -> Workflow | None:
+        return self.construction.workflow
+
+    @property
+    def succeeded(self) -> bool:
+        return self.construction.succeeded and not self.violations
+
+    @property
+    def reason(self) -> str:
+        if self.construction.succeeded:
+            return "; ".join(self.violations)
+        return self.construction.reason
+
+
+def construct_constrained_workflow(
+    knowledge: KnowledgeSet | Iterable[WorkflowFragment],
+    specification: ConstrainedSpecification | Specification,
+    constraints: WorkflowConstraints | None = None,
+) -> ConstrainedConstructionResult:
+    """Run Algorithm 1 under constraints.
+
+    Forbidden tasks and locations are excluded during the colouring itself
+    (so an allowed alternative is preferred automatically); the remaining
+    constraints — required tasks, size, duration — are verified on the
+    result.
+    """
+
+    if isinstance(specification, ConstrainedSpecification):
+        base = specification.base
+        constraints = constraints or specification.constraints
+    else:
+        base = specification
+        constraints = constraints or WorkflowConstraints()
+
+    if not isinstance(knowledge, KnowledgeSet):
+        knowledge = KnowledgeSet(knowledge)
+    supergraph = Supergraph(knowledge)
+    constructor = WorkflowConstructor()
+    result = constructor.construct(supergraph, base, task_filter=constraints.allows_task)
+    violations: list[str] = []
+    if result.succeeded:
+        violations = constraints.violations(result.workflow)
+    return ConstrainedConstructionResult(result, constraints, violations)

@@ -1,0 +1,86 @@
+"""Exception hierarchy for the open workflow library.
+
+All exceptions raised by :mod:`repro` derive from :class:`OpenWorkflowError`
+so callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class OpenWorkflowError(Exception):
+    """Base class for all errors raised by the open workflow library."""
+
+
+class InvalidWorkflowError(OpenWorkflowError):
+    """A graph violates one of the structural rules of a valid workflow.
+
+    The paper (Section 2.2) requires that (1) all sources and sinks are
+    labels, (2) a label has at most one incoming edge, and (3) there are no
+    duplicate nodes.  The graph must also be a bipartite DAG.
+    """
+
+
+class InvalidFragmentError(InvalidWorkflowError):
+    """A workflow fragment is structurally invalid."""
+
+
+class CompositionError(OpenWorkflowError):
+    """Two workflows cannot be composed into a valid workflow."""
+
+
+class PruningError(OpenWorkflowError):
+    """A pruning request violates the pruning constraints of Section 2.2."""
+
+
+class ConstructionError(OpenWorkflowError):
+    """The construction algorithm could not run on the given inputs."""
+
+
+class UnsatisfiableSpecificationError(ConstructionError):
+    """No feasible workflow exists for the specification and knowledge set.
+
+    Raised by the construction front-ends that promise a workflow; the lower
+    level :func:`repro.core.construction.construct_workflow` reports failure
+    through :class:`ConstructionResult` instead of raising.
+    """
+
+
+class SpecificationError(OpenWorkflowError):
+    """A problem specification is malformed (e.g. empty goal set)."""
+
+
+class AllocationError(OpenWorkflowError):
+    """Task allocation failed."""
+
+
+class NoBidsError(AllocationError):
+    """No participant submitted a bid for a task, so it cannot be allocated."""
+
+
+class SchedulingError(OpenWorkflowError):
+    """A commitment cannot be added to a schedule."""
+
+
+class ScheduleConflictError(SchedulingError):
+    """A commitment overlaps an existing commitment (including travel time)."""
+
+
+class ExecutionError(OpenWorkflowError):
+    """A service invocation or the execution phase failed."""
+
+
+class ServiceNotFoundError(ExecutionError):
+    """A host was asked to execute a service it does not provide."""
+
+
+class CommunicationError(OpenWorkflowError):
+    """A message could not be delivered by the communications layer."""
+
+
+class HostUnreachableError(CommunicationError):
+    """The destination host is not reachable from the sender."""
+
+
+class ConfigurationError(OpenWorkflowError):
+    """A device configuration file (XML) is malformed."""

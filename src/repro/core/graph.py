@@ -1,0 +1,331 @@
+"""Shared bipartite graph machinery for workflows and supergraphs.
+
+Both :class:`~repro.core.workflow.Workflow` and
+:class:`~repro.core.supergraph.Supergraph` are bipartite directed graphs
+whose nodes are *labels* and *tasks*.  The edge structure is fully determined
+by the tasks: for every task ``t`` there is an edge ``label -> t`` for each
+input label and an edge ``t -> label`` for each output label.  This module
+provides the common node addressing scheme and the :class:`BipartiteGraph`
+base class with adjacency queries, source/sink computation, and cycle
+detection that the two concrete classes share.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from .errors import InvalidWorkflowError
+from .tasks import Task
+
+
+class NodeKind(str, enum.Enum):
+    """Discriminator between the two node families of the bipartite graph.
+
+    The enum derives from ``str`` so that :class:`NodeRef` instances are
+    totally ordered (labels before tasks), which keeps every tie-break in
+    the construction algorithm deterministic.
+    """
+
+    LABEL = "label"
+    TASK = "task"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class NodeRef:
+    """A typed reference to a graph node.
+
+    Labels and tasks live in separate namespaces, so a bare name is
+    ambiguous; a ``NodeRef`` pairs the name with its :class:`NodeKind`.
+    """
+
+    kind: NodeKind
+    name: str
+
+    @staticmethod
+    def label(name: str) -> "NodeRef":
+        """Reference the label node called ``name``."""
+
+        return NodeRef(NodeKind.LABEL, name)
+
+    @staticmethod
+    def task(name: str) -> "NodeRef":
+        """Reference the task node called ``name``."""
+
+        return NodeRef(NodeKind.TASK, name)
+
+    @property
+    def is_label(self) -> bool:
+        return self.kind is NodeKind.LABEL
+
+    @property
+    def is_task(self) -> bool:
+        return self.kind is NodeKind.TASK
+
+    def __repr__(self) -> str:
+        return f"{self.kind.value}:{self.name}"
+
+
+@dataclass(frozen=True, order=True)
+class Edge:
+    """A directed edge between two nodes of the bipartite graph."""
+
+    src: NodeRef
+    dst: NodeRef
+
+    def __repr__(self) -> str:
+        return f"{self.src!r}->{self.dst!r}"
+
+
+class BipartiteGraph:
+    """A bipartite label/task graph derived from a collection of tasks.
+
+    The graph is immutable once constructed.  Subclasses decide which
+    structural constraints to enforce: a :class:`Supergraph` allows cycles
+    and multiple producers per label, while a :class:`Workflow` does not.
+
+    Parameters
+    ----------
+    tasks:
+        The task nodes.  Two tasks with the same name must be identical
+        (same inputs, outputs and mode), otherwise the graph is rejected —
+        the paper requires that nodes with the same semantic identifier are
+        equivalent.
+    extra_labels:
+        Label names to include even if no task references them.  This lets
+        a workflow carry "free floating" condition labels (rarely needed,
+        but useful when modelling trigger conditions explicitly).
+    """
+
+    def __init__(
+        self,
+        tasks: Iterable[Task] = (),
+        extra_labels: Iterable[str] = (),
+    ) -> None:
+        by_name: dict[str, Task] = {}
+        for task in tasks:
+            existing = by_name.get(task.name)
+            if existing is not None and existing != task:
+                raise InvalidWorkflowError(
+                    f"conflicting definitions for task {task.name!r}: nodes with "
+                    "the same semantic identifier must be equivalent"
+                )
+            by_name[task.name] = task
+        self._tasks: dict[str, Task] = by_name
+
+        labels: set[str] = set(extra_labels)
+        for task in by_name.values():
+            labels |= task.inputs
+            labels |= task.outputs
+        self._labels: frozenset[str] = frozenset(labels)
+
+        # Adjacency indexes.
+        producers: dict[str, set[str]] = {name: set() for name in labels}
+        consumers: dict[str, set[str]] = {name: set() for name in labels}
+        for task in by_name.values():
+            for out in task.outputs:
+                producers[out].add(task.name)
+            for inp in task.inputs:
+                consumers[inp].add(task.name)
+        self._producers = {k: frozenset(v) for k, v in producers.items()}
+        self._consumers = {k: frozenset(v) for k, v in consumers.items()}
+
+    # -- basic accessors -------------------------------------------------
+    @property
+    def tasks(self) -> Mapping[str, Task]:
+        """Mapping of task name to :class:`Task`."""
+
+        return dict(self._tasks)
+
+    @property
+    def task_names(self) -> frozenset[str]:
+        return frozenset(self._tasks)
+
+    @property
+    def labels(self) -> frozenset[str]:
+        """The set of label names present in the graph."""
+
+        return self._labels
+
+    def task(self, name: str) -> Task:
+        """Return the task called ``name`` (raises ``KeyError`` if absent)."""
+
+        return self._tasks[name]
+
+    def has_task(self, name: str) -> bool:
+        return name in self._tasks
+
+    def has_label(self, name: str) -> bool:
+        return name in self._labels
+
+    def __contains__(self, node: NodeRef) -> bool:
+        if node.is_task:
+            return node.name in self._tasks
+        return node.name in self._labels
+
+    def __len__(self) -> int:
+        return len(self._tasks) + len(self._labels)
+
+    @property
+    def node_count(self) -> int:
+        return len(self)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._tasks and not self._labels
+
+    # -- nodes and edges ---------------------------------------------------
+    def nodes(self) -> Iterator[NodeRef]:
+        """Iterate over all nodes (labels first, then tasks, sorted)."""
+
+        for name in sorted(self._labels):
+            yield NodeRef.label(name)
+        for name in sorted(self._tasks):
+            yield NodeRef.task(name)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges of the graph in a deterministic order."""
+
+        for name in sorted(self._tasks):
+            task = self._tasks[name]
+            for inp in sorted(task.inputs):
+                yield Edge(NodeRef.label(inp), NodeRef.task(name))
+            for out in sorted(task.outputs):
+                yield Edge(NodeRef.task(name), NodeRef.label(out))
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(t.inputs) + len(t.outputs) for t in self._tasks.values())
+
+    # -- adjacency ---------------------------------------------------------
+    def producers_of(self, label: str) -> frozenset[str]:
+        """Names of the tasks that output ``label``."""
+
+        return self._producers.get(label, frozenset())
+
+    def consumers_of(self, label: str) -> frozenset[str]:
+        """Names of the tasks that take ``label`` as an input."""
+
+        return self._consumers.get(label, frozenset())
+
+    def parents(self, node: NodeRef) -> frozenset[NodeRef]:
+        """The direct predecessors of ``node``."""
+
+        if node.is_task:
+            task = self._tasks[node.name]
+            return frozenset(NodeRef.label(inp) for inp in task.inputs)
+        return frozenset(NodeRef.task(t) for t in self.producers_of(node.name))
+
+    def children(self, node: NodeRef) -> frozenset[NodeRef]:
+        """The direct successors of ``node``."""
+
+        if node.is_task:
+            task = self._tasks[node.name]
+            return frozenset(NodeRef.label(out) for out in task.outputs)
+        return frozenset(NodeRef.task(t) for t in self.consumers_of(node.name))
+
+    # -- sources and sinks --------------------------------------------------
+    def sources(self) -> frozenset[NodeRef]:
+        """Nodes without incoming edges."""
+
+        result: set[NodeRef] = set()
+        for name in self._labels:
+            if not self._producers.get(name):
+                result.add(NodeRef.label(name))
+        for name, task in self._tasks.items():
+            if not task.inputs:
+                result.add(NodeRef.task(name))
+        return frozenset(result)
+
+    def sinks(self) -> frozenset[NodeRef]:
+        """Nodes without outgoing edges."""
+
+        result: set[NodeRef] = set()
+        for name in self._labels:
+            if not self._consumers.get(name):
+                result.add(NodeRef.label(name))
+        for name, task in self._tasks.items():
+            if not task.outputs:
+                result.add(NodeRef.task(name))
+        return frozenset(result)
+
+    @property
+    def source_labels(self) -> frozenset[str]:
+        """Label names that no task produces (the graph's *inset* candidates)."""
+
+        return frozenset(n.name for n in self.sources() if n.is_label)
+
+    @property
+    def sink_labels(self) -> frozenset[str]:
+        """Label names that no task consumes (the graph's *outset* candidates)."""
+
+        return frozenset(n.name for n in self.sinks() if n.is_label)
+
+    # -- structure checks ----------------------------------------------------
+    def is_acyclic(self) -> bool:
+        """True when the graph contains no directed cycle (Kahn's algorithm)."""
+
+        indegree: dict[NodeRef, int] = {}
+        for node in self.nodes():
+            indegree[node] = len(self.parents(node))
+        queue: deque[NodeRef] = deque(n for n, d in indegree.items() if d == 0)
+        visited = 0
+        while queue:
+            node = queue.popleft()
+            visited += 1
+            for child in self.children(node):
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    queue.append(child)
+        return visited == len(indegree)
+
+    def topological_order(self) -> list[NodeRef]:
+        """Return the nodes in a deterministic topological order.
+
+        Raises
+        ------
+        InvalidWorkflowError
+            If the graph contains a cycle.
+        """
+
+        indegree: dict[NodeRef, int] = {}
+        for node in self.nodes():
+            indegree[node] = len(self.parents(node))
+        # A sorted ready-list keeps the order deterministic across runs.
+        ready = sorted(n for n, d in indegree.items() if d == 0)
+        order: list[NodeRef] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            newly_ready = []
+            for child in self.children(node):
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    newly_ready.append(child)
+            if newly_ready:
+                ready = sorted(ready + newly_ready)
+        if len(order) != len(indegree):
+            raise InvalidWorkflowError("graph contains a cycle")
+        return order
+
+    def multi_producer_labels(self) -> frozenset[str]:
+        """Labels with more than one producing task.
+
+        Valid workflows forbid these; supergraphs allow them.
+        """
+
+        return frozenset(
+            name for name, prods in self._producers.items() if len(prods) > 1
+        )
+
+    # -- misc ----------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(tasks={len(self._tasks)}, "
+            f"labels={len(self._labels)}, edges={self.edge_count})"
+        )

@@ -1,0 +1,148 @@
+"""Labels: the data/condition nodes of an open workflow.
+
+In the formal model of the paper (Section 2.2), every input (precondition)
+and output (postcondition) of a task is represented by a *label*, where each
+label has a distinct meaning.  Labels and tasks together form the nodes of a
+bipartite directed acyclic graph.  Nodes carry a *semantic identifier*;
+nodes with the same identifier are considered equivalent, which is what makes
+composition by matching sinks and sources possible.
+
+This module provides the :class:`Label` value type and a few helpers for
+working with collections of labels.  A label is deliberately lightweight —
+it is hashable, immutable and compares by its semantic identifier — so that
+sets of labels can be manipulated cheaply by the construction algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Label:
+    """A semantic label naming a condition, artefact, or piece of data.
+
+    Parameters
+    ----------
+    name:
+        The semantic identifier.  Two labels with equal names denote the
+        same condition and will be merged when fragments are composed.
+    description:
+        Optional human readable description.  Not part of equality.
+    """
+
+    name: str
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise ValueError("a label requires a non-empty semantic identifier")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Label({self.name!r})"
+
+
+def as_label(value: "Label | str") -> Label:
+    """Coerce a string or :class:`Label` into a :class:`Label`.
+
+    The public API accepts plain strings anywhere a label is expected; this
+    helper performs the normalisation in one place.
+    """
+
+    if isinstance(value, Label):
+        return value
+    if isinstance(value, str):
+        return Label(value)
+    raise TypeError(f"expected Label or str, got {type(value).__name__}")
+
+
+def as_label_names(values: Iterable["Label | str"]) -> frozenset[str]:
+    """Normalise an iterable of labels/strings into a frozenset of names."""
+
+    return frozenset(as_label(v).name for v in values)
+
+
+class LabelSet:
+    """An immutable set of labels addressable by semantic identifier.
+
+    ``LabelSet`` behaves like a ``frozenset`` of label names but keeps the
+    full :class:`Label` objects around so descriptions survive round trips
+    through composition and configuration files.
+    """
+
+    __slots__ = ("_by_name",)
+
+    def __init__(self, labels: Iterable["Label | str"] = ()) -> None:
+        by_name: dict[str, Label] = {}
+        for raw in labels:
+            label = as_label(raw)
+            existing = by_name.get(label.name)
+            if existing is None or (not existing.description and label.description):
+                by_name[label.name] = label
+        self._by_name = by_name
+
+    # -- set protocol ---------------------------------------------------
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Label):
+            return item.name in self._by_name
+        return item in self._by_name
+
+    def __iter__(self) -> Iterator[Label]:
+        return iter(sorted(self._by_name.values()))
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LabelSet):
+            return self.names == other.names
+        if isinstance(other, (set, frozenset)):
+            return self.names == {
+                item.name if isinstance(item, Label) else item for item in other
+            }
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.names)
+
+    def __repr__(self) -> str:
+        return f"LabelSet({sorted(self._by_name)})"
+
+    # -- accessors -------------------------------------------------------
+    @property
+    def names(self) -> frozenset[str]:
+        """The semantic identifiers contained in this set."""
+
+        return frozenset(self._by_name)
+
+    def get(self, name: str) -> Label | None:
+        """Return the label with ``name`` or ``None``."""
+
+        return self._by_name.get(name)
+
+    # -- algebra ---------------------------------------------------------
+    def union(self, other: "LabelSet | Iterable[Label | str]") -> "LabelSet":
+        """Return a new set containing labels from both operands."""
+
+        return LabelSet(list(self) + [as_label(x) for x in other])
+
+    def intersection(self, other: "LabelSet | Iterable[Label | str]") -> "LabelSet":
+        """Return a new set containing labels present in both operands."""
+
+        other_names = as_label_names(other)
+        return LabelSet(label for label in self if label.name in other_names)
+
+    def difference(self, other: "LabelSet | Iterable[Label | str]") -> "LabelSet":
+        """Return a new set with labels of ``other`` removed."""
+
+        other_names = as_label_names(other)
+        return LabelSet(label for label in self if label.name not in other_names)
+
+    def issubset(self, other: "LabelSet | Iterable[Label | str]") -> bool:
+        """True when every label in this set also appears in ``other``."""
+
+        return self.names <= as_label_names(other)

@@ -1,0 +1,132 @@
+"""Problem specifications.
+
+A workflow is constructed in response to an expressed need, stated as a
+specification ``S``: a predicate over the inset and outset of a workflow
+(paper, Section 2.2):
+
+    S ∈ P(Labels) × P(Labels) → Boolean
+
+The construction algorithm of Section 3.1 uses the particular form
+
+    W.in ⊆ ι  ∧  W.out = ω
+
+where ι is the set of triggering-condition labels and ω is the goal set.
+:class:`Specification` implements that form; :class:`PredicateSpecification`
+supports arbitrary predicates for callers that want to experiment with the
+richer specifications discussed in the paper's future-work section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from .errors import SpecificationError
+from .labels import as_label_names
+
+
+@dataclass(frozen=True)
+class Specification:
+    """The canonical trigger/goal specification ``W.in ⊆ ι ∧ W.out = ω``.
+
+    Parameters
+    ----------
+    triggers:
+        ι — labels describing the conditions that currently hold (the
+        triggering conditions).  The constructed workflow may only require
+        inputs drawn from this set.
+    goals:
+        ω — labels describing the desired outcome.  The constructed
+        workflow's outset must equal this set exactly.
+    name:
+        Optional human readable name for the problem (used in logs and the
+        workspace bookkeeping of the workflow manager).
+    """
+
+    triggers: frozenset[str]
+    goals: frozenset[str]
+    name: str = field(default="problem", compare=False)
+
+    def __init__(
+        self,
+        triggers: Iterable[str],
+        goals: Iterable[str],
+        name: str = "problem",
+    ) -> None:
+        trigger_names = as_label_names(triggers)
+        goal_names = as_label_names(goals)
+        if not goal_names:
+            raise SpecificationError("a specification requires at least one goal label")
+        object.__setattr__(self, "triggers", trigger_names)
+        object.__setattr__(self, "goals", goal_names)
+        object.__setattr__(self, "name", name)
+
+    def __call__(self, inset: Iterable[str], outset: Iterable[str]) -> bool:
+        """Evaluate the predicate ``S(W.in, W.out)``."""
+
+        inset_names = as_label_names(inset)
+        outset_names = as_label_names(outset)
+        return inset_names <= self.triggers and outset_names == self.goals
+
+    # -- convenience -------------------------------------------------------
+    @property
+    def iota(self) -> frozenset[str]:
+        """Alias for :attr:`triggers`, matching the paper's ι."""
+
+        return self.triggers
+
+    @property
+    def omega(self) -> frozenset[str]:
+        """Alias for :attr:`goals`, matching the paper's ω."""
+
+        return self.goals
+
+    def is_trivially_satisfied(self) -> bool:
+        """True when the goals are already among the triggering conditions.
+
+        In that degenerate case the empty workflow (no tasks) technically
+        cannot satisfy ``W.out = ω`` unless the goal labels are carried as
+        free labels, but no *work* is required; callers may use this to
+        short-circuit construction.
+        """
+
+        return self.goals <= self.triggers
+
+    def __repr__(self) -> str:
+        return (
+            f"Specification(name={self.name!r}, triggers={sorted(self.triggers)}, "
+            f"goals={sorted(self.goals)})"
+        )
+
+
+@dataclass(frozen=True)
+class PredicateSpecification:
+    """A fully general specification backed by an arbitrary predicate.
+
+    The paper's formal model allows any predicate over (inset, outset); the
+    construction algorithm however targets the trigger/goal form.  This class
+    is provided for validation and for future richer planners: it can wrap a
+    Python callable and, optionally, a :class:`Specification` whose triggers
+    and goals guide construction while the predicate provides the final
+    acceptance check.
+    """
+
+    predicate: Callable[[frozenset[str], frozenset[str]], bool]
+    guide: Specification | None = None
+    name: str = "predicate-problem"
+
+    def __call__(self, inset: Iterable[str], outset: Iterable[str]) -> bool:
+        return bool(
+            self.predicate(as_label_names(inset), as_label_names(outset))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"PredicateSpecification(name={self.name!r})"
+
+
+def specification(
+    triggers: Iterable[str], goals: Iterable[str], name: str = "problem"
+) -> Specification:
+    """Shorthand constructor used throughout examples and tests."""
+
+    return Specification(triggers, goals, name=name)

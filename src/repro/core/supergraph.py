@@ -1,0 +1,203 @@
+"""The workflow supergraph: a unified view of all available know-how.
+
+The construction strategy of the paper (Section 3.1) combines all workflow
+fragments of the knowledge set ``K`` into one large graph, the *workflow
+supergraph* ``G``.  The supergraph represents every possible action known to
+the community, but it is not necessarily a valid workflow: it may contain
+cycles, labels produced by multiple tasks, unavailable inputs, or undesired
+outputs.  The coloring algorithm of :mod:`repro.core.construction` then
+identifies one feasible workflow inside the supergraph.
+
+Unlike :class:`~repro.core.workflow.Workflow`, the supergraph is *mutable*:
+fragments can be added one at a time, which is what the incremental
+construction variant relies on (fragments are pulled from remote hosts only
+when the colored frontier reaches labels the local graph cannot yet
+explain).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from .errors import InvalidWorkflowError
+from .fragments import KnowledgeSet, WorkflowFragment
+from .graph import Edge, NodeRef
+from .tasks import Task
+
+
+class Supergraph:
+    """A mutable union of workflow fragments.
+
+    The supergraph keeps track of which fragments contributed each task so
+    that, after construction, the selected sub-workflow can be attributed
+    back to the know-how (and therefore the participants) it came from.
+    """
+
+    def __init__(self, fragments: Iterable[WorkflowFragment] = ()) -> None:
+        self._tasks: dict[str, Task] = {}
+        self._labels: set[str] = set()
+        self._producers: dict[str, set[str]] = {}
+        self._consumers: dict[str, set[str]] = {}
+        self._task_fragments: dict[str, set[str]] = {}
+        self._fragment_ids: set[str] = set()
+        for fragment in fragments:
+            self.add_fragment(fragment)
+
+    # -- mutation ----------------------------------------------------------
+    def add_fragment(self, fragment: WorkflowFragment) -> bool:
+        """Merge a fragment into the supergraph.
+
+        Returns ``True`` when the fragment added at least one new node or
+        edge, ``False`` when it was already fully represented (including
+        when the same fragment id was added before).
+        """
+
+        if fragment.fragment_id in self._fragment_ids:
+            return False
+        self._fragment_ids.add(fragment.fragment_id)
+        changed = False
+        for task in fragment.tasks:
+            changed |= self._add_task(task, fragment.fragment_id)
+        return changed
+
+    def add_knowledge(self, knowledge: KnowledgeSet | Iterable[WorkflowFragment]) -> int:
+        """Merge every fragment of ``knowledge``; returns how many changed the graph."""
+
+        return sum(1 for fragment in knowledge if self.add_fragment(fragment))
+
+    def add_label(self, label: str) -> None:
+        """Ensure a free-standing label node exists (used for trigger labels)."""
+
+        if label not in self._labels:
+            self._labels.add(label)
+            self._producers.setdefault(label, set())
+            self._consumers.setdefault(label, set())
+
+    def _add_task(self, task: Task, fragment_id: str) -> bool:
+        existing = self._tasks.get(task.name)
+        if existing is not None:
+            if existing != task:
+                raise InvalidWorkflowError(
+                    f"conflicting definitions for task {task.name!r} while merging "
+                    f"fragment {fragment_id!r}"
+                )
+            self._task_fragments[task.name].add(fragment_id)
+            return False
+        self._tasks[task.name] = task
+        self._task_fragments[task.name] = {fragment_id}
+        for label in task.inputs | task.outputs:
+            self.add_label(label)
+        for out in task.outputs:
+            self._producers[out].add(task.name)
+        for inp in task.inputs:
+            self._consumers[inp].add(task.name)
+        return True
+
+    # -- accessors ------------------------------------------------------------
+    @property
+    def tasks(self) -> Mapping[str, Task]:
+        return dict(self._tasks)
+
+    @property
+    def task_names(self) -> frozenset[str]:
+        return frozenset(self._tasks)
+
+    @property
+    def labels(self) -> frozenset[str]:
+        return frozenset(self._labels)
+
+    @property
+    def fragment_ids(self) -> frozenset[str]:
+        return frozenset(self._fragment_ids)
+
+    def task(self, name: str) -> Task:
+        return self._tasks[name]
+
+    def has_task(self, name: str) -> bool:
+        return name in self._tasks
+
+    def has_label(self, name: str) -> bool:
+        return name in self._labels
+
+    def has_node(self, node: NodeRef) -> bool:
+        return node.name in self._tasks if node.is_task else node.name in self._labels
+
+    def fragments_for_task(self, task_name: str) -> frozenset[str]:
+        """The ids of the fragments that contributed ``task_name``."""
+
+        return frozenset(self._task_fragments.get(task_name, ()))
+
+    def __len__(self) -> int:
+        return len(self._tasks) + len(self._labels)
+
+    @property
+    def node_count(self) -> int:
+        return len(self)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(t.inputs) + len(t.outputs) for t in self._tasks.values())
+
+    # -- graph navigation --------------------------------------------------------
+    def nodes(self) -> Iterator[NodeRef]:
+        for name in sorted(self._labels):
+            yield NodeRef.label(name)
+        for name in sorted(self._tasks):
+            yield NodeRef.task(name)
+
+    def edges(self) -> Iterator[Edge]:
+        for name in sorted(self._tasks):
+            task = self._tasks[name]
+            for inp in sorted(task.inputs):
+                yield Edge(NodeRef.label(inp), NodeRef.task(name))
+            for out in sorted(task.outputs):
+                yield Edge(NodeRef.task(name), NodeRef.label(out))
+
+    def producers_of(self, label: str) -> frozenset[str]:
+        return frozenset(self._producers.get(label, ()))
+
+    def consumers_of(self, label: str) -> frozenset[str]:
+        return frozenset(self._consumers.get(label, ()))
+
+    def parents(self, node: NodeRef) -> frozenset[NodeRef]:
+        if node.is_task:
+            return frozenset(NodeRef.label(i) for i in self._tasks[node.name].inputs)
+        return frozenset(NodeRef.task(t) for t in self.producers_of(node.name))
+
+    def children(self, node: NodeRef) -> frozenset[NodeRef]:
+        if node.is_task:
+            return frozenset(NodeRef.label(o) for o in self._tasks[node.name].outputs)
+        return frozenset(NodeRef.task(t) for t in self.consumers_of(node.name))
+
+    def is_disjunctive_node(self, node: NodeRef) -> bool:
+        """Label nodes are disjunctive; task nodes follow their declared mode."""
+
+        if node.is_label:
+            return True
+        return self._tasks[node.name].is_disjunctive
+
+    # -- statistics used by the evaluation harness ---------------------------------
+    def statistics(self) -> dict[str, int]:
+        """Simple size statistics (used in experiment reports)."""
+
+        return {
+            "tasks": len(self._tasks),
+            "labels": len(self._labels),
+            "edges": self.edge_count,
+            "fragments": len(self._fragment_ids),
+            "multi_producer_labels": sum(
+                1 for prods in self._producers.values() if len(prods) > 1
+            ),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Supergraph(tasks={len(self._tasks)}, labels={len(self._labels)}, "
+            f"fragments={len(self._fragment_ids)})"
+        )
+
+
+def supergraph_from_knowledge(knowledge: KnowledgeSet) -> Supergraph:
+    """Build a supergraph from an entire knowledge set at once."""
+
+    return Supergraph(knowledge)

@@ -1,0 +1,195 @@
+"""Tasks: the behaviour nodes of an open workflow.
+
+A *task* represents a single abstract behaviour or accomplishment without
+completely specifying how it must be performed (paper, Section 2.2).  A
+*service* is a concrete implementation of a task; services live in
+:mod:`repro.execution.services`.  Tasks are either *conjunctive* (all inputs
+required) or *disjunctive* (any one input suffices) and produce all of their
+outputs.
+
+Tasks also carry the real-world metadata needed by the allocation and
+execution phases of the paper: the kind of service required to perform the
+task, the expected duration, and an optional location where the task must be
+performed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping
+
+from .labels import as_label_names
+
+
+class TaskMode(enum.Enum):
+    """Input-joining semantics of a task."""
+
+    CONJUNCTIVE = "conjunctive"
+    """The task requires *all* of its inputs before it can be performed."""
+
+    DISJUNCTIVE = "disjunctive"
+    """The task requires only *one* of its inputs before it can be performed."""
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Task:
+    """An abstract unit of work connecting input labels to output labels.
+
+    Parameters
+    ----------
+    name:
+        Semantic identifier of the task.  Tasks with the same name are
+        considered the same node when fragments are merged into a
+        supergraph.
+    inputs:
+        Names (or :class:`~repro.core.labels.Label` objects) of the
+        precondition labels.
+    outputs:
+        Names of the postcondition labels.  A task produces all of its
+        outputs.
+    mode:
+        :class:`TaskMode.CONJUNCTIVE` (default) or
+        :class:`TaskMode.DISJUNCTIVE`.
+    service_type:
+        The kind of service needed to execute this task.  During allocation
+        a participant may bid on the task only if it offers a service whose
+        ``service_type`` matches.  Defaults to the task name, which models
+        the common case where a task maps one-to-one onto a service.
+    duration:
+        Expected execution time (in simulated seconds).  Used for
+        scheduling commitments.
+    location:
+        Optional name of the place where the task must be performed;
+        ``None`` means "anywhere".
+    attributes:
+        Free-form metadata (e.g. hints for ranking bids).
+    """
+
+    name: str
+    inputs: frozenset[str] = frozenset()
+    outputs: frozenset[str] = frozenset()
+    mode: TaskMode = TaskMode.CONJUNCTIVE
+    service_type: str | None = None
+    duration: float = 0.0
+    location: str | None = None
+    attributes: Mapping[str, object] = field(default_factory=dict, compare=False)
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Iterable[str] = (),
+        outputs: Iterable[str] = (),
+        mode: TaskMode = TaskMode.CONJUNCTIVE,
+        service_type: str | None = None,
+        duration: float = 0.0,
+        location: str | None = None,
+        attributes: Mapping[str, object] | None = None,
+    ) -> None:
+        if not name or not str(name).strip():
+            raise ValueError("a task requires a non-empty name")
+        if duration < 0:
+            raise ValueError("task duration must be non-negative")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "inputs", as_label_names(inputs))
+        object.__setattr__(self, "outputs", as_label_names(outputs))
+        object.__setattr__(self, "mode", TaskMode(mode))
+        object.__setattr__(self, "service_type", service_type or name)
+        object.__setattr__(self, "duration", float(duration))
+        object.__setattr__(self, "location", location)
+        object.__setattr__(self, "attributes", dict(attributes or {}))
+
+    # -- predicates ------------------------------------------------------
+    @property
+    def is_conjunctive(self) -> bool:
+        """True when all inputs are required."""
+
+        return self.mode is TaskMode.CONJUNCTIVE
+
+    @property
+    def is_disjunctive(self) -> bool:
+        """True when any single input suffices."""
+
+        return self.mode is TaskMode.DISJUNCTIVE
+
+    @property
+    def is_source_task(self) -> bool:
+        """True when the task has no inputs at all.
+
+        Such tasks can always be performed; they typically model actions
+        that create their outputs from scratch ("order doughnuts").
+        """
+
+        return not self.inputs
+
+    # -- derivation ------------------------------------------------------
+    def with_inputs(self, inputs: Iterable[str]) -> "Task":
+        """Return a copy of the task with a different input set."""
+
+        return replace(self, inputs=as_label_names(inputs))
+
+    def with_outputs(self, outputs: Iterable[str]) -> "Task":
+        """Return a copy of the task with a different output set."""
+
+        return replace(self, outputs=as_label_names(outputs))
+
+    def without_input(self, label: str) -> "Task":
+        """Return a copy with ``label`` removed from the inputs.
+
+        Only meaningful for disjunctive tasks during pruning; the caller is
+        responsible for enforcing the pruning constraints.
+        """
+
+        return replace(self, inputs=self.inputs - {label})
+
+    def without_output(self, label: str) -> "Task":
+        """Return a copy with ``label`` removed from the outputs."""
+
+        return replace(self, outputs=self.outputs - {label})
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Task):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.inputs == other.inputs
+            and self.outputs == other.outputs
+            and self.mode == other.mode
+            and self.service_type == other.service_type
+            and self.duration == other.duration
+            and self.location == other.location
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.inputs, self.outputs, self.mode))
+
+    def __repr__(self) -> str:
+        return (
+            f"Task({self.name!r}, inputs={sorted(self.inputs)}, "
+            f"outputs={sorted(self.outputs)}, mode={self.mode.value})"
+        )
+
+
+def conjunctive(
+    name: str,
+    inputs: Iterable[str] = (),
+    outputs: Iterable[str] = (),
+    **kwargs: object,
+) -> Task:
+    """Convenience constructor for a conjunctive task."""
+
+    return Task(name, inputs, outputs, mode=TaskMode.CONJUNCTIVE, **kwargs)  # type: ignore[arg-type]
+
+
+def disjunctive(
+    name: str,
+    inputs: Iterable[str] = (),
+    outputs: Iterable[str] = (),
+    **kwargs: object,
+) -> Task:
+    """Convenience constructor for a disjunctive task."""
+
+    return Task(name, inputs, outputs, mode=TaskMode.DISJUNCTIVE, **kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,327 @@
+"""Valid workflows: composition, pruning, and satisfaction of specifications.
+
+A *workflow* (paper, Section 2.2) is a bipartite directed acyclic graph of
+labels and tasks subject to three additional constraints:
+
+1. all sources and all sinks of the graph are labels;
+2. a label has at most one incoming edge (a single producing task);
+3. there are no duplicate nodes.
+
+Two workflows are *composed* by merging identical sinks of one with the
+corresponding sources of the other and by merging identical sources of both.
+With the task-derived edge representation used here, composition is simply
+the union of the two task sets followed by re-validation.
+
+A workflow can be *pruned* to drop unnecessary data flows subject to the
+constraints listed in the paper: sink outputs can be dropped while a task
+keeps at least one output, source inputs of disjunctive tasks can be dropped
+while the task keeps at least one input, and whole tasks can be dropped
+together with their now-dangling source inputs and sink outputs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from .errors import CompositionError, InvalidWorkflowError, PruningError
+from .graph import BipartiteGraph, NodeRef
+from .tasks import Task
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .specification import Specification
+
+
+class Workflow(BipartiteGraph):
+    """An immutable, validated open workflow.
+
+    Parameters
+    ----------
+    tasks:
+        The tasks making up the workflow.
+    extra_labels:
+        Optional label names to include even when no task references them.
+    validate:
+        When true (the default) the structural rules of the paper are
+        enforced at construction time and a
+        :class:`~repro.core.errors.InvalidWorkflowError` is raised on
+        violation.
+    """
+
+    def __init__(
+        self,
+        tasks: Iterable[Task] = (),
+        extra_labels: Iterable[str] = (),
+        validate: bool = True,
+    ) -> None:
+        super().__init__(tasks, extra_labels)
+        if validate:
+            self.validate()
+
+    # -- validation -------------------------------------------------------
+    def validate(self) -> None:
+        """Check all structural constraints, raising on the first violation."""
+
+        problems = self.validation_errors()
+        if problems:
+            raise InvalidWorkflowError("; ".join(problems))
+
+    def validation_errors(self) -> list[str]:
+        """Return a list of human readable constraint violations (possibly empty)."""
+
+        problems: list[str] = []
+        for name, task in self.tasks.items():
+            if not task.inputs:
+                problems.append(
+                    f"task {name!r} has no inputs so it would be a non-label source"
+                )
+            if not task.outputs:
+                problems.append(
+                    f"task {name!r} has no outputs so it would be a non-label sink"
+                )
+        multi = self.multi_producer_labels()
+        if multi:
+            problems.append(
+                "labels with more than one producing task: "
+                + ", ".join(sorted(multi))
+            )
+        if not self.is_acyclic():
+            problems.append("the workflow graph contains a cycle")
+        overlap = self.task_names & self.labels
+        if overlap:
+            # The bipartite node namespaces are distinct, but sharing a
+            # semantic identifier across a task and a label is almost always
+            # a configuration error; flag it.
+            problems.append(
+                "identifiers used for both a task and a label: "
+                + ", ".join(sorted(overlap))
+            )
+        return problems
+
+    def is_valid(self) -> bool:
+        """True when the workflow satisfies every structural constraint."""
+
+        return not self.validation_errors()
+
+    # -- inset / outset ----------------------------------------------------
+    @property
+    def inset(self) -> frozenset[str]:
+        """``W.in`` — the source labels of the workflow."""
+
+        return self.source_labels
+
+    @property
+    def outset(self) -> frozenset[str]:
+        """``W.out`` — the sink labels of the workflow."""
+
+        return self.sink_labels
+
+    def satisfies(self, specification: "Specification") -> bool:
+        """True when ``specification(W.in, W.out)`` holds."""
+
+        return specification(self.inset, self.outset)
+
+    # -- composition ---------------------------------------------------------
+    def compose(self, other: "Workflow") -> "Workflow":
+        """Compose two workflows by matching sinks and sources.
+
+        Returns the composed workflow, or raises
+        :class:`~repro.core.errors.CompositionError` when the result is not
+        a valid workflow (e.g. the union creates a cycle or a label with two
+        producers).
+        """
+
+        for name in self.task_names & other.task_names:
+            if self.task(name) != other.task(name):
+                raise CompositionError(
+                    f"task {name!r} is defined differently in the two workflows"
+                )
+        merged = list(self.tasks.values())
+        merged.extend(
+            task for name, task in other.tasks.items() if name not in self.task_names
+        )
+        try:
+            return Workflow(merged, extra_labels=self.labels | other.labels)
+        except InvalidWorkflowError as exc:
+            raise CompositionError(f"workflows are not composable: {exc}") from exc
+
+    def is_composable_with(self, other: "Workflow") -> bool:
+        """True when :meth:`compose` would succeed for ``other``."""
+
+        try:
+            self.compose(other)
+        except CompositionError:
+            return False
+        return True
+
+    @staticmethod
+    def compose_all(workflows: Sequence["Workflow"]) -> "Workflow":
+        """Fold :meth:`compose` over a sequence of workflows."""
+
+        if not workflows:
+            return Workflow([])
+        result = workflows[0]
+        for workflow in workflows[1:]:
+            result = result.compose(workflow)
+        return result
+
+    # -- pruning ---------------------------------------------------------------
+    def prune_output(self, task_name: str, label: str) -> "Workflow":
+        """Remove ``label`` from the outputs of ``task_name``.
+
+        Allowed only when the label is a sink of the workflow and the task
+        keeps at least one output (pruning constraint 1).
+        """
+
+        task = self._require_task(task_name)
+        if label not in task.outputs:
+            raise PruningError(f"{label!r} is not an output of task {task_name!r}")
+        if label not in self.sink_labels:
+            raise PruningError(
+                f"label {label!r} is consumed downstream and cannot be pruned"
+            )
+        if len(task.outputs) == 1:
+            raise PruningError(
+                f"cannot prune the last output of task {task_name!r}"
+            )
+        return self._rebuild(replacing={task_name: task.without_output(label)})
+
+    def prune_input(self, task_name: str, label: str) -> "Workflow":
+        """Remove ``label`` from the inputs of a disjunctive ``task_name``.
+
+        Allowed only when the label is a source of the workflow, the task is
+        disjunctive, and the task keeps at least one input (pruning
+        constraint 2).
+        """
+
+        task = self._require_task(task_name)
+        if label not in task.inputs:
+            raise PruningError(f"{label!r} is not an input of task {task_name!r}")
+        if not task.is_disjunctive:
+            raise PruningError(
+                f"task {task_name!r} is conjunctive; its inputs cannot be pruned"
+            )
+        if label not in self.source_labels:
+            raise PruningError(
+                f"label {label!r} is produced by another task and cannot be pruned"
+            )
+        if len(task.inputs) == 1:
+            raise PruningError(f"cannot prune the last input of task {task_name!r}")
+        return self._rebuild(replacing={task_name: task.without_input(label)})
+
+    def prune_task(self, task_name: str) -> "Workflow":
+        """Remove a whole task together with its dangling labels.
+
+        Pruning constraint 3: a task may be pruned so long as any of its
+        inputs that are workflow sources and any of its outputs that are
+        workflow sinks are pruned with it.  If one of the task's outputs is
+        consumed by another task, or one of its inputs is produced by
+        another task, the removal would leave the neighbouring task dangling
+        and the prune is rejected.
+        """
+
+        task = self._require_task(task_name)
+        for out in task.outputs:
+            if self.consumers_of(out):
+                raise PruningError(
+                    f"task {task_name!r} output {out!r} is consumed downstream; "
+                    "prune the consumer first"
+                )
+        remaining = {
+            name: t for name, t in self.tasks.items() if name != task_name
+        }
+        keep_labels: set[str] = set()
+        for t in remaining.values():
+            keep_labels |= t.inputs | t.outputs
+        return Workflow(remaining.values(), extra_labels=keep_labels & self.labels)
+
+    def restricted_to(self, task_names: Iterable[str]) -> "Workflow":
+        """Return the sub-workflow induced by ``task_names``.
+
+        The result contains only the named tasks and the labels they touch;
+        it is validated, so the caller must pass a set of tasks that forms a
+        valid workflow.
+        """
+
+        names = set(task_names)
+        unknown = names - self.task_names
+        if unknown:
+            raise PruningError(f"unknown tasks: {sorted(unknown)}")
+        return Workflow([self.task(name) for name in sorted(names)])
+
+    # -- ordering helpers --------------------------------------------------------
+    def task_order(self) -> list[str]:
+        """Task names in a valid execution (topological) order."""
+
+        return [node.name for node in self.topological_order() if node.is_task]
+
+    def upstream_tasks(self, task_name: str) -> frozenset[str]:
+        """All tasks whose outputs (transitively) feed ``task_name``."""
+
+        self._require_task(task_name)
+        seen: set[str] = set()
+        queue = list(self.parents(NodeRef.task(task_name)))
+        visited_nodes: set[NodeRef] = set(queue)
+        while queue:
+            node = queue.pop()
+            if node.is_task:
+                seen.add(node.name)
+            for parent in self.parents(node):
+                if parent not in visited_nodes:
+                    visited_nodes.add(parent)
+                    queue.append(parent)
+        return frozenset(seen)
+
+    def downstream_tasks(self, task_name: str) -> frozenset[str]:
+        """All tasks that (transitively) depend on the outputs of ``task_name``."""
+
+        self._require_task(task_name)
+        seen: set[str] = set()
+        queue = list(self.children(NodeRef.task(task_name)))
+        visited: set[NodeRef] = set(queue)
+        while queue:
+            node = queue.pop()
+            if node.is_task:
+                seen.add(node.name)
+            for child in self.children(node):
+                if child not in visited:
+                    visited.add(child)
+                    queue.append(child)
+        return frozenset(seen)
+
+    def producing_task(self, label: str) -> str | None:
+        """The unique task producing ``label`` or ``None`` for source labels."""
+
+        producers = self.producers_of(label)
+        if not producers:
+            return None
+        if len(producers) > 1:
+            raise InvalidWorkflowError(
+                f"label {label!r} has multiple producers; workflow is invalid"
+            )
+        return next(iter(producers))
+
+    # -- internals ------------------------------------------------------------
+    def _require_task(self, task_name: str) -> Task:
+        if not self.has_task(task_name):
+            raise PruningError(f"unknown task {task_name!r}")
+        return self.task(task_name)
+
+    def _rebuild(self, replacing: dict[str, Task]) -> "Workflow":
+        tasks = []
+        for name, task in self.tasks.items():
+            tasks.append(replacing.get(name, task))
+        return Workflow(tasks)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Workflow):
+            return NotImplemented
+        return self.tasks == other.tasks and self.labels == other.labels
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.tasks.values()), self.labels))
+
+
+def empty_workflow() -> Workflow:
+    """Return the empty workflow (no tasks, no labels)."""
+
+    return Workflow([])

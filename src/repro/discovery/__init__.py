@@ -1,0 +1,10 @@
+"""Discovery substrate: know-how (fragment) and capability (service) queries."""
+
+from .capability import CapabilityDirectory, make_capability_query
+from .knowhow import FragmentManager
+
+__all__ = [
+    "CapabilityDirectory",
+    "FragmentManager",
+    "make_capability_query",
+]

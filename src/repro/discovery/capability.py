@@ -1,0 +1,83 @@
+"""Capability discovery: which hosts can perform which services.
+
+During construction the Workflow Manager may issue capability queries to
+learn whether *anyone* in the community can perform the services a
+candidate workflow needs; the Service Manager on each host answers them
+(paper, Figure 3: "Service Feasibility Messages").  The
+:class:`CapabilityDirectory` is the initiator-side cache of those answers.
+It is also used by the context-sensitivity examples: when no host offers a
+"serve tables" service, the directory shows the capability as unavailable
+and the constructed workflow falls back to buffet service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..net.messages import CapabilityQuery, CapabilityResponse
+
+
+@dataclass
+class CapabilityDirectory:
+    """Initiator-side knowledge of who offers which service types."""
+
+    providers: dict[str, set[str]] = field(default_factory=dict)
+    """Mapping from service type to the hosts known to offer it."""
+
+    responses_received: int = 0
+
+    # -- updates ---------------------------------------------------------------
+    def record_response(self, response: CapabilityResponse) -> None:
+        """Merge a host's capability answer into the directory."""
+
+        self.responses_received += 1
+        for service_type in response.offered:
+            self.providers.setdefault(service_type, set()).add(response.sender)
+
+    def record_offering(self, host_id: str, service_types: Iterable[str]) -> None:
+        """Record locally known capabilities (e.g. the initiator's own services)."""
+
+        for service_type in service_types:
+            self.providers.setdefault(service_type, set()).add(host_id)
+
+    def forget_host(self, host_id: str) -> None:
+        """Remove a departed host from every capability entry."""
+
+        for hosts in self.providers.values():
+            hosts.discard(host_id)
+
+    # -- queries -----------------------------------------------------------------
+    def hosts_providing(self, service_type: str) -> frozenset[str]:
+        return frozenset(self.providers.get(service_type, ()))
+
+    def is_available(self, service_type: str) -> bool:
+        """True when at least one known host offers ``service_type``."""
+
+        return bool(self.providers.get(service_type))
+
+    def unavailable_services(self, required: Iterable[str]) -> frozenset[str]:
+        """The subset of ``required`` service types nobody in the community offers."""
+
+        return frozenset(s for s in required if not self.is_available(s))
+
+    def coverage(self, required: Iterable[str]) -> Mapping[str, frozenset[str]]:
+        """For each required service type, the hosts able to provide it."""
+
+        return {s: self.hosts_providing(s) for s in required}
+
+    def __repr__(self) -> str:
+        return f"CapabilityDirectory(service_types={len(self.providers)})"
+
+
+def make_capability_query(
+    sender: str, recipient: str, service_types: Iterable[str], workflow_id: str = ""
+) -> CapabilityQuery:
+    """Convenience constructor for the wire query."""
+
+    return CapabilityQuery(
+        sender=sender,
+        recipient=recipient,
+        service_types=frozenset(service_types),
+        workflow_id=workflow_id,
+    )

@@ -1,0 +1,109 @@
+"""The Fragment Manager: a host's database of workflow know-how.
+
+The Fragment Manager "is responsible for maintaining a host's database of
+workflow fragments and responding to knowhow queries during workflow
+construction" (paper, Section 4.2).  Queries come in two flavours matching
+the two construction strategies:
+
+* *collect everything* (``want_all=True``) — used by the batch algorithm of
+  Section 3.1, which gathers the entire community knowledge before
+  colouring;
+* *targeted* — used by the incremental variant, which only asks for
+  fragments producing or consuming the labels at the boundary of the
+  coloured region, excluding fragments the initiator already holds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.fragments import KnowledgeSet, WorkflowFragment
+from ..net.messages import FragmentQuery, FragmentResponse
+
+
+class FragmentManager:
+    """Stores and serves the workflow fragments known to one host."""
+
+    def __init__(
+        self, host_id: str, fragments: Iterable[WorkflowFragment] = ()
+    ) -> None:
+        self.host_id = host_id
+        self._knowledge = KnowledgeSet()
+        self.queries_answered = 0
+        self.fragments_served = 0
+        for fragment in fragments:
+            self.add_fragment(fragment)
+
+    # -- database ------------------------------------------------------------
+    def add_fragment(self, fragment: WorkflowFragment) -> WorkflowFragment:
+        """Store a fragment, attributing it to this host if unattributed."""
+
+        if fragment.contributor is None:
+            fragment = fragment.with_contributor(self.host_id)
+        self._knowledge.add(fragment)
+        return fragment
+
+    def add_fragments(self, fragments: Iterable[WorkflowFragment]) -> None:
+        for fragment in fragments:
+            self.add_fragment(fragment)
+
+    def remove_fragment(self, fragment_id: str) -> bool:
+        """Forget a fragment (e.g. the know-how became obsolete)."""
+
+        if fragment_id not in self._knowledge:
+            return False
+        remaining = [f for f in self._knowledge if f.fragment_id != fragment_id]
+        self._knowledge = KnowledgeSet(remaining)
+        return True
+
+    @property
+    def knowledge(self) -> KnowledgeSet:
+        return self._knowledge
+
+    @property
+    def fragment_count(self) -> int:
+        return len(self._knowledge)
+
+    @property
+    def fragment_ids(self) -> frozenset[str]:
+        return self._knowledge.fragment_ids
+
+    def all_fragments(self) -> list[WorkflowFragment]:
+        return list(self._knowledge)
+
+    # -- query answering ---------------------------------------------------------
+    def matching_fragments(self, query: FragmentQuery) -> list[WorkflowFragment]:
+        """The fragments this host would return for ``query``."""
+
+        if query.want_all:
+            candidates = list(self._knowledge)
+        else:
+            by_id: dict[str, WorkflowFragment] = {}
+            for label in query.consuming:
+                for fragment in self._knowledge.fragments_consuming(label):
+                    by_id[fragment.fragment_id] = fragment
+            for label in query.producing:
+                for fragment in self._knowledge.fragments_producing(label):
+                    by_id[fragment.fragment_id] = fragment
+            candidates = list(by_id.values())
+        return [
+            fragment
+            for fragment in candidates
+            if fragment.fragment_id not in query.exclude_fragment_ids
+        ]
+
+    def handle_query(self, query: FragmentQuery) -> FragmentResponse:
+        """Build the wire response for an incoming know-how query."""
+
+        self.queries_answered += 1
+        fragments = tuple(self.matching_fragments(query))
+        self.fragments_served += len(fragments)
+        return FragmentResponse(
+            sender=self.host_id,
+            recipient=query.sender,
+            fragments=fragments,
+            workflow_id=query.workflow_id,
+        )
+
+    def __repr__(self) -> str:
+        return f"FragmentManager(host={self.host_id!r}, fragments={len(self._knowledge)})"

@@ -1,0 +1,18 @@
+"""Execution substrate: services and the decentralized execution engine."""
+
+from .engine import ExecutionManager, PendingInvocation
+from .services import (
+    CallableService,
+    ManualService,
+    ServiceDescription,
+    ServiceManager,
+)
+
+__all__ = [
+    "CallableService",
+    "ExecutionManager",
+    "ManualService",
+    "PendingInvocation",
+    "ServiceDescription",
+    "ServiceManager",
+]

@@ -1,0 +1,286 @@
+"""The Execution Manager: decentralized, condition-driven service invocation.
+
+After allocation, each participant is on its own: "the execution phase of an
+open workflow proceeds in a fully decentralized, distributed manner" (paper,
+Section 3.2).  To meet a commitment the participant must (1) acquire the
+required inputs from the executors of the preceding tasks, (2) be at the
+required location, and (3) execute the service at the required time; once
+executed, it communicates the outputs to any participants that require them.
+
+:class:`ExecutionManager` implements exactly that loop for one host.  It
+"monitors the input message and time conditions required for each scheduled
+service invocation ... once the necessary conditions are met, it triggers
+service execution, and publishes any output messages" (Section 4.2).
+Location condition (2) is represented by the travel time already blocked out
+in the commitment: the manager will not fire before ``commitment.start``,
+by which time the travel has taken place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..core.errors import ExecutionError
+from ..net.messages import LabelDataMessage, Message, TaskCompleted, TaskFailed
+from ..scheduling.commitments import Commitment, CommitmentOutcome
+from ..sim.events import EventScheduler
+from .services import ServiceManager
+
+SendFunction = Callable[[Message], None]
+
+
+@dataclass
+class PendingInvocation:
+    """Book-keeping for one commitment awaiting its trigger conditions."""
+
+    commitment: Commitment
+    received_inputs: dict[str, object] = field(default_factory=dict)
+    started: bool = False
+    completed: bool = False
+
+    @property
+    def task_name(self) -> str:
+        return self.commitment.task.name
+
+    def inputs_satisfied(self) -> bool:
+        """Are the data prerequisites met?
+
+        Trigger labels are considered available from the outset.  A
+        conjunctive task needs every remaining input; a disjunctive task
+        needs at least one of its inputs (a trigger label counts).
+        """
+
+        task = self.commitment.task
+        available = set(self.received_inputs) | set(self.commitment.trigger_labels)
+        needed = task.inputs
+        if not needed:
+            return True
+        if task.is_conjunctive:
+            return needed <= available
+        return bool(needed & available)
+
+    def missing_inputs(self) -> frozenset[str]:
+        available = set(self.received_inputs) | set(self.commitment.trigger_labels)
+        return frozenset(self.commitment.task.inputs - available)
+
+
+class ExecutionManager:
+    """Runs the commitments of one host.
+
+    Parameters
+    ----------
+    host_id:
+        The owning host.
+    scheduler:
+        The shared event scheduler (provides time and timers).
+    services:
+        The host's service manager, used to actually invoke services.
+    send:
+        Callback used to hand outgoing messages to the communications layer.
+    """
+
+    def __init__(
+        self,
+        host_id: str,
+        scheduler: EventScheduler,
+        services: ServiceManager,
+        send: SendFunction,
+    ) -> None:
+        self.host_id = host_id
+        self.scheduler = scheduler
+        self.services = services
+        self._send = send
+        self._pending: dict[tuple[str, str], PendingInvocation] = {}
+        self.outcomes: list[CommitmentOutcome] = []
+
+    # -- commitment intake ---------------------------------------------------
+    def watch(self, commitment: Commitment) -> PendingInvocation:
+        """Start monitoring the conditions of a newly accepted commitment."""
+
+        key = (commitment.workflow_id, commitment.task.name)
+        if key in self._pending:
+            return self._pending[key]
+        pending = PendingInvocation(commitment)
+        self._pending[key] = pending
+        # Time condition: wake up when the scheduled start arrives.  Input
+        # messages arriving earlier are recorded but do not trigger execution
+        # before the committed time.
+        delay = max(0.0, commitment.start - self.scheduler.clock.now())
+        self.scheduler.schedule_in(
+            delay,
+            lambda: self._maybe_execute(key),
+            description=f"start-window {commitment.task.name}",
+        )
+        return pending
+
+    def pending_invocations(self) -> list[PendingInvocation]:
+        return list(self._pending.values())
+
+    def pending_for_workflow(self, workflow_id: str) -> list[PendingInvocation]:
+        return [
+            inv for (wid, _), inv in self._pending.items() if wid == workflow_id
+        ]
+
+    # -- input arrival ---------------------------------------------------------
+    def deliver_label(self, message: LabelDataMessage) -> None:
+        """Record an input label delivered by another participant."""
+
+        delivered = False
+        for (wid, _), pending in list(self._pending.items()):
+            if wid != message.workflow_id:
+                continue
+            if message.label in pending.commitment.task.inputs:
+                pending.received_inputs[message.label] = message.value
+                delivered = True
+                self._maybe_execute((wid, pending.task_name))
+        if not delivered:
+            # Late or unexpected data; harmless, but worth counting for tests.
+            self.unexpected_labels = getattr(self, "unexpected_labels", 0) + 1
+
+    # -- condition check and execution ----------------------------------------------
+    def _maybe_execute(self, key: tuple[str, str]) -> None:
+        pending = self._pending.get(key)
+        if pending is None or pending.started or pending.completed:
+            return
+        commitment = pending.commitment
+        now = self.scheduler.clock.now()
+        if now < commitment.start:
+            return
+        if not pending.inputs_satisfied():
+            return
+        pending.started = True
+        duration = max(
+            commitment.task.duration, self.services.expected_duration(commitment.task)
+        )
+        self.scheduler.schedule_in(
+            duration,
+            lambda: self._complete(key),
+            description=f"execute {commitment.task.name}",
+        )
+
+    def _complete(self, key: tuple[str, str]) -> None:
+        pending = self._pending.get(key)
+        if pending is None or pending.completed:
+            return
+        commitment = pending.commitment
+        inputs = dict(pending.received_inputs)
+        for trigger in commitment.trigger_labels:
+            inputs.setdefault(trigger, {"trigger": True})
+        try:
+            outputs = self.services.invoke(commitment.task, inputs)
+        except ExecutionError as exc:
+            pending.completed = True
+            self.outcomes.append(
+                CommitmentOutcome(
+                    commitment,
+                    completed_at=self.scheduler.clock.now(),
+                    succeeded=False,
+                    failure_reason=str(exc),
+                )
+            )
+            self._notify_failure(commitment, str(exc))
+            self._pending.pop(key, None)
+            return
+
+        pending.completed = True
+        sent_labels = self._publish_outputs(commitment, outputs)
+        self.outcomes.append(
+            CommitmentOutcome(
+                commitment,
+                completed_at=self.scheduler.clock.now(),
+                succeeded=True,
+                outputs_sent=sent_labels,
+            )
+        )
+        self._notify_initiator(commitment, outputs)
+        self._pending.pop(key, None)
+
+    # -- output publication --------------------------------------------------------
+    def _publish_outputs(
+        self, commitment: Commitment, outputs: Mapping[str, object]
+    ) -> frozenset[str]:
+        sent: set[str] = set()
+        now = self.scheduler.clock.now()
+        for label, destinations in commitment.output_destinations.items():
+            value = outputs.get(label)
+            for destination in destinations:
+                if destination == self.host_id:
+                    # Local delivery still goes through the same code path the
+                    # remote case uses, but without crossing the network.
+                    self.deliver_label(
+                        LabelDataMessage(
+                            sender=self.host_id,
+                            recipient=self.host_id,
+                            workflow_id=commitment.workflow_id,
+                            label=label,
+                            value=value,
+                            produced_by=self.host_id,
+                            produced_at=now,
+                        )
+                    )
+                else:
+                    self._send(
+                        LabelDataMessage(
+                            sender=self.host_id,
+                            recipient=destination,
+                            workflow_id=commitment.workflow_id,
+                            label=label,
+                            value=value,
+                            produced_by=self.host_id,
+                            produced_at=now,
+                        )
+                    )
+                sent.add(label)
+        return frozenset(sent)
+
+    def _notify_failure(self, commitment: Commitment, reason: str) -> None:
+        """Report an execution failure back to the initiator (repair trigger)."""
+
+        if not commitment.initiator:
+            return
+        self._send(
+            TaskFailed(
+                sender=self.host_id,
+                recipient=commitment.initiator,
+                workflow_id=commitment.workflow_id,
+                task_name=commitment.task.name,
+                failed_at=self.scheduler.clock.now(),
+                reason=reason,
+            )
+        )
+
+    def _notify_initiator(
+        self, commitment: Commitment, outputs: Mapping[str, object]
+    ) -> None:
+        if not commitment.initiator:
+            return
+        message = TaskCompleted(
+            sender=self.host_id,
+            recipient=commitment.initiator,
+            workflow_id=commitment.workflow_id,
+            task_name=commitment.task.name,
+            completed_at=self.scheduler.clock.now(),
+            outputs=frozenset(outputs),
+        )
+        if commitment.initiator == self.host_id:
+            # The initiator executing its own task records completion locally;
+            # the host wires this callback up at construction time.
+            self._send(message)
+        else:
+            self._send(message)
+
+    # -- reporting ---------------------------------------------------------------------
+    @property
+    def completed_count(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.succeeded)
+
+    @property
+    def failed_count(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.succeeded)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionManager(host={self.host_id!r}, pending={len(self._pending)}, "
+            f"completed={self.completed_count})"
+        )

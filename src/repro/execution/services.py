@@ -1,0 +1,214 @@
+"""The Service Manager: the capabilities a host exposes.
+
+A *service* is a concrete implementation of a task and may involve a
+computation by the device, an activity performed by the user, or some
+combination of the two (paper, Section 2.2).  The Service Manager maintains
+the list of services exposed by a host, answers capability queries from
+workflow managers, and provides a uniform invocation interface to the
+execution manager — including the "parameter marshaling and any other
+mechanics required to actually invoke a local service" (Section 4.2).
+
+Three kinds of services are modelled:
+
+* :class:`CallableService` — backed by a Python callable (the analogue of a
+  computational web service);
+* :class:`ManualService` — performed by the human user; in the paper the UI
+  presents a form or a button, here completion is simulated after the
+  declared duration (optionally via a supplied ``performer`` callback so
+  tests can inspect or fail manual steps);
+* a bare :class:`ServiceDescription` — capability advertisement only, with a
+  default no-op behaviour, which is what the scalability evaluation uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from ..core.errors import ExecutionError, ServiceNotFoundError
+from ..core.tasks import Task
+
+ServiceCallable = Callable[[Task, Mapping[str, object]], Mapping[str, object]]
+
+
+@dataclass(frozen=True)
+class ServiceDescription:
+    """Advertisement of one capability offered by a host.
+
+    Parameters
+    ----------
+    service_type:
+        The abstract capability name matched against
+        :attr:`repro.core.tasks.Task.service_type` during allocation.
+    name:
+        Human readable name of the concrete implementation.
+    duration:
+        Expected execution time in seconds (used when the task itself does
+        not declare a duration).
+    specialization_weight:
+        How specialised this service is; reserved for richer ranking
+        policies (the default auction policy only counts services).
+    description:
+        Free-form documentation string.
+    """
+
+    service_type: str
+    name: str = ""
+    duration: float = 0.0
+    specialization_weight: float = 1.0
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.service_type:
+            raise ValueError("a service requires a service_type")
+        if self.duration < 0:
+            raise ValueError("service duration must be non-negative")
+        if not self.name:
+            object.__setattr__(self, "name", self.service_type)
+
+    def execute(self, task: Task, inputs: Mapping[str, object]) -> Mapping[str, object]:
+        """Run the service.  The base description simply produces its outputs.
+
+        Each output label is mapped to a small provenance record so
+        downstream consumers (and tests) can see where a value came from.
+        """
+
+        return {
+            label: {"produced_by": self.name, "task": task.name}
+            for label in task.outputs
+        }
+
+    def __repr__(self) -> str:
+        return f"ServiceDescription({self.service_type!r}, name={self.name!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class CallableService(ServiceDescription):
+    """A service backed by a Python callable.
+
+    The callable receives the task and a mapping of input label to value and
+    must return a mapping of output label to value.  Missing output labels
+    are filled with provenance records; extra keys are ignored.
+    """
+
+    callable: ServiceCallable | None = None
+
+    def execute(self, task: Task, inputs: Mapping[str, object]) -> Mapping[str, object]:
+        if self.callable is None:
+            return super().execute(task, inputs)
+        produced = dict(self.callable(task, inputs) or {})
+        outputs: dict[str, object] = {}
+        for label in task.outputs:
+            if label in produced:
+                outputs[label] = produced[label]
+            else:
+                outputs[label] = {"produced_by": self.name, "task": task.name}
+        return outputs
+
+    def __repr__(self) -> str:
+        return f"CallableService({self.service_type!r}, name={self.name!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class ManualService(ServiceDescription):
+    """A service performed by the human user.
+
+    ``performer`` models the user finishing the form/button interaction; it
+    may return a mapping of output values or raise to simulate the user
+    failing or refusing the task.
+    """
+
+    performer: ServiceCallable | None = None
+    requires_confirmation: bool = True
+
+    def execute(self, task: Task, inputs: Mapping[str, object]) -> Mapping[str, object]:
+        if self.performer is not None:
+            produced = dict(self.performer(task, inputs) or {})
+        else:
+            produced = {}
+        outputs: dict[str, object] = {}
+        for label in task.outputs:
+            outputs[label] = produced.get(
+                label, {"produced_by": self.name, "task": task.name, "manual": True}
+            )
+        return outputs
+
+    def __repr__(self) -> str:
+        return f"ManualService({self.service_type!r}, name={self.name!r})"
+
+
+class ServiceManager:
+    """Registry and invocation front-end for one host's services."""
+
+    def __init__(self, host_id: str, services: Iterable[ServiceDescription] = ()) -> None:
+        self.host_id = host_id
+        self._services: dict[str, ServiceDescription] = {}
+        self.invocations = 0
+        for service in services:
+            self.register(service)
+
+    # -- registry -----------------------------------------------------------
+    def register(self, service: ServiceDescription) -> None:
+        """Register (or replace) a service offered by this host."""
+
+        self._services[service.service_type] = service
+
+    def unregister(self, service_type: str) -> bool:
+        return self._services.pop(service_type, None) is not None
+
+    @property
+    def service_types(self) -> frozenset[str]:
+        """All capability names this host advertises."""
+
+        return frozenset(self._services)
+
+    @property
+    def service_count(self) -> int:
+        """How many services the host offers — the auction's specialization metric."""
+
+        return len(self._services)
+
+    def provides(self, service_type: str | None) -> bool:
+        """True when the host can perform tasks requiring ``service_type``."""
+
+        return service_type is not None and service_type in self._services
+
+    def get(self, service_type: str) -> ServiceDescription | None:
+        return self._services.get(service_type)
+
+    def matching(self, service_types: Iterable[str]) -> frozenset[str]:
+        """The subset of ``service_types`` this host offers (capability query answer)."""
+
+        return frozenset(s for s in service_types if s in self._services)
+
+    def expected_duration(self, task: Task) -> float:
+        """Execution time estimate for ``task``: the task's own, else the service's."""
+
+        if task.duration > 0:
+            return task.duration
+        service = self._services.get(task.service_type or "")
+        return service.duration if service is not None else 0.0
+
+    # -- invocation ------------------------------------------------------------
+    def invoke(self, task: Task, inputs: Mapping[str, object]) -> Mapping[str, object]:
+        """Execute the service implementing ``task`` with the gathered inputs."""
+
+        service = self._services.get(task.service_type or "")
+        if service is None:
+            raise ServiceNotFoundError(
+                f"host {self.host_id!r} offers no service of type "
+                f"{task.service_type!r} for task {task.name!r}"
+            )
+        self.invocations += 1
+        try:
+            return service.execute(task, inputs)
+        except ServiceNotFoundError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - service code is user supplied
+            raise ExecutionError(
+                f"service {service.name!r} failed while executing task "
+                f"{task.name!r}: {exc}"
+            ) from exc
+
+    def __repr__(self) -> str:
+        return f"ServiceManager(host={self.host_id!r}, services={sorted(self._services)})"

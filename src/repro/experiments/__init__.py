@@ -1,0 +1,51 @@
+"""Experiment harness: trial runner, figure sweeps, and ablations."""
+
+from .ablations import (
+    BaselineComparisonPoint,
+    DiscoveryAblationPoint,
+    PolicyAblationPoint,
+    run_baseline_comparison,
+    run_discovery_ablation,
+    run_policy_ablation,
+)
+from .figures import (
+    DEFAULT_PATH_LENGTHS,
+    FIGURE4_HOST_COUNTS,
+    FIGURE5_TASK_COUNTS,
+    FIGURE6_TASK_COUNTS,
+    default_runs,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_single_point,
+)
+from .trials import (
+    TrialResult,
+    adhoc_network_factory,
+    build_trial_community,
+    run_allocation_trial,
+    simulated_network_factory,
+)
+
+__all__ = [
+    "BaselineComparisonPoint",
+    "DEFAULT_PATH_LENGTHS",
+    "DiscoveryAblationPoint",
+    "FIGURE4_HOST_COUNTS",
+    "FIGURE5_TASK_COUNTS",
+    "FIGURE6_TASK_COUNTS",
+    "PolicyAblationPoint",
+    "TrialResult",
+    "adhoc_network_factory",
+    "build_trial_community",
+    "default_runs",
+    "run_allocation_trial",
+    "run_baseline_comparison",
+    "run_discovery_ablation",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_policy_ablation",
+    "run_single_point",
+    "simulated_network_factory",
+]

@@ -1,0 +1,147 @@
+"""Single-trial runner used by every evaluation experiment.
+
+A *trial* follows the paper's Section 5 procedure exactly:
+
+1. take a pre-generated supergraph workload of the chosen size;
+2. distribute its fragments randomly and evenly across the chosen number of
+   hosts, and independently distribute the corresponding services;
+3. draw a guaranteed-satisfiable specification whose difficulty is the
+   requested path length;
+4. give the specification to the initiating host and measure the time until
+   every task of the resulting workflow has been allocated to some host.
+
+The measured time combines the wall-clock time spent running the real
+construction and allocation code (the dominant term for the single-process
+simulation of Figures 4 and 5) with the simulated network latency accrued by
+the messages exchanged (the extra term that distinguishes the "empirical"
+802.11g runs of Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.specification import Specification
+from ..host.community import Community
+from ..host.workspace import Workspace, WorkflowPhase
+from ..net.adhoc import AdHocWirelessNetwork
+from ..net.simnet import SimulatedNetwork
+from ..net.transport import CommunicationsLayer
+from ..mobility.geometry import Point
+from ..sim.events import EventScheduler
+from ..sim.randomness import derive_rng
+from ..workloads.supergraph_gen import GeneratedWorkload
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome and timings of one construction+allocation trial."""
+
+    succeeded: bool
+    allocation_seconds: float
+    wall_seconds: float
+    sim_seconds: float
+    workflow_tasks: int
+    messages_sent: int
+    bytes_sent: int
+    fragments_collected: int
+    failure_reason: str = ""
+
+
+def simulated_network_factory(seed: int = 0) -> Callable[[EventScheduler], CommunicationsLayer]:
+    """The paper's single-JVM simulated network: zero latency, fully connected."""
+
+    def factory(scheduler: EventScheduler) -> CommunicationsLayer:
+        return SimulatedNetwork(scheduler, base_latency=0.0, jitter=0.0, seed=seed)
+
+    return factory
+
+
+def adhoc_network_factory(
+    seed: int = 0,
+    radio_range: float = 150.0,
+    jitter: float = 0.0005,
+) -> Callable[[EventScheduler], CommunicationsLayer]:
+    """An 802.11g-like ad hoc wireless network with all hosts in mutual range."""
+
+    def factory(scheduler: EventScheduler) -> CommunicationsLayer:
+        return AdHocWirelessNetwork(
+            scheduler,
+            radio_range=radio_range,
+            jitter=jitter,
+            multi_hop=False,
+            seed=seed,
+        )
+
+    return factory
+
+
+def build_trial_community(
+    workload: GeneratedWorkload,
+    num_hosts: int,
+    seed: int,
+    network_factory: Callable[[EventScheduler], CommunicationsLayer] | None = None,
+) -> Community:
+    """Set up a community for one trial (fragments/services dealt out randomly)."""
+
+    if num_hosts < 1:
+        raise ValueError("a trial needs at least one host")
+    rng = derive_rng(seed, "partition", workload.num_tasks, num_hosts)
+    fragment_groups = workload.partition_fragments(num_hosts, rng)
+    service_groups = workload.partition_services(num_hosts, rng)
+    community = Community(network_factory=network_factory)
+    for index in range(num_hosts):
+        host = community.add_host(
+            f"host-{index}",
+            fragments=fragment_groups[index],
+            services=service_groups[index],
+            mobility=Point(20.0 * index, 0.0),
+        )
+        del host
+    return community
+
+
+def run_allocation_trial(
+    workload: GeneratedWorkload,
+    num_hosts: int,
+    specification: Specification,
+    seed: int,
+    network_factory: Callable[[EventScheduler], CommunicationsLayer] | None = None,
+    initiator_index: int = 0,
+) -> TrialResult:
+    """Run one construction+allocation trial and return its measurements."""
+
+    community = build_trial_community(
+        workload, num_hosts, seed, network_factory=network_factory
+    )
+    initiator = f"host-{initiator_index % num_hosts}"
+    workspace = community.submit_specification(initiator, specification)
+    community.run_until_allocated(workspace, max_sim_seconds=3_600.0)
+    return trial_result_from_workspace(community, workspace)
+
+
+def trial_result_from_workspace(
+    community: Community, workspace: Workspace
+) -> TrialResult:
+    """Extract the measurements of a finished (or failed) trial."""
+
+    timing = workspace.time_to_allocation()
+    succeeded = workspace.is_allocated and workspace.phase in (
+        WorkflowPhase.EXECUTING,
+        WorkflowPhase.COMPLETED,
+    )
+    sim_seconds, wall_seconds = timing if timing is not None else (0.0, 0.0)
+    stats = community.network.statistics
+    workflow = workspace.workflow
+    return TrialResult(
+        succeeded=succeeded,
+        allocation_seconds=wall_seconds + sim_seconds,
+        wall_seconds=wall_seconds,
+        sim_seconds=sim_seconds,
+        workflow_tasks=len(workflow.task_names) if workflow is not None else 0,
+        messages_sent=stats.messages_sent,
+        bytes_sent=stats.bytes_sent,
+        fragments_collected=workspace.fragments_collected,
+        failure_reason=workspace.failure_reason,
+    )

@@ -1,0 +1,18 @@
+"""Host-level middleware: hosts, communities, and the construction subsystem."""
+
+from .community import Community
+from .host import Host
+from .initiator import ProblemForm, WorkflowInitiator
+from .workflow_manager import WorkflowManager
+from .workspace import Workspace, WorkflowPhase, next_workflow_id
+
+__all__ = [
+    "Community",
+    "Host",
+    "ProblemForm",
+    "WorkflowInitiator",
+    "WorkflowManager",
+    "WorkflowPhase",
+    "Workspace",
+    "next_workflow_id",
+]

@@ -1,0 +1,196 @@
+"""Communities: the transient group of hosts cooperating on open workflows.
+
+A community bundles the shared infrastructure (event scheduler, clock,
+communications layer, location directory) with the set of hosts currently
+participating.  It is the programmatic analogue of "the set of participants
+(people and the host devices they carry) who share a sense of purpose"
+(paper, Section 1) and is the object the evaluation harness manipulates:
+experiments create a community, distribute knowledge and services across
+its hosts, submit a problem at an initiator, and pump the event scheduler
+until allocation (and optionally execution) finishes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from ..core.errors import OpenWorkflowError
+from ..core.fragments import WorkflowFragment
+from ..core.specification import Specification
+from ..execution.services import ServiceDescription
+from ..mobility.geometry import Point
+from ..mobility.locations import LocationDirectory, TravelModel
+from ..mobility.models import MobilityModel
+from ..net.adhoc import AdHocWirelessNetwork
+from ..net.simnet import SimulatedNetwork
+from ..net.transport import CommunicationsLayer
+from ..scheduling.preferences import ALWAYS_WILLING, ParticipantPreferences
+from ..sim.clock import SimulatedClock
+from ..sim.events import EventScheduler
+from .host import Host
+from .workspace import Workspace, WorkflowPhase
+
+
+class Community:
+    """A group of hosts sharing a scheduler and a communications layer.
+
+    Parameters
+    ----------
+    network_factory:
+        Builds the communications layer from the scheduler.  Defaults to a
+        zero-latency :class:`~repro.net.simnet.SimulatedNetwork`, matching
+        the paper's single-process simulation.
+    locations:
+        Shared directory of named places (optional).
+    travel_model:
+        Shared travel-time model (optional).
+    """
+
+    def __init__(
+        self,
+        network_factory: Callable[[EventScheduler], CommunicationsLayer] | None = None,
+        locations: LocationDirectory | None = None,
+        travel_model: TravelModel | None = None,
+    ) -> None:
+        self.clock = SimulatedClock()
+        self.scheduler = EventScheduler(self.clock)
+        if network_factory is None:
+            self.network: CommunicationsLayer = SimulatedNetwork(self.scheduler)
+        else:
+            self.network = network_factory(self.scheduler)
+        self.locations = locations if locations is not None else LocationDirectory()
+        self.travel_model = travel_model if travel_model is not None else TravelModel()
+        self._hosts: dict[str, Host] = {}
+
+    # -- membership -------------------------------------------------------------
+    def add_host(
+        self,
+        host_id: str,
+        fragments: Iterable[WorkflowFragment] = (),
+        services: Iterable[ServiceDescription] = (),
+        mobility: MobilityModel | Point | None = None,
+        preferences: ParticipantPreferences = ALWAYS_WILLING,
+        construction_mode: str = "batch",
+        capability_aware: bool = False,
+        enable_recovery: bool = False,
+    ) -> Host:
+        """Create a host, attach it to the network, and join it to the community."""
+
+        if host_id in self._hosts:
+            raise OpenWorkflowError(f"host {host_id!r} already exists in the community")
+        host = Host(
+            host_id,
+            network=self.network,
+            scheduler=self.scheduler,
+            fragments=fragments,
+            services=services,
+            locations=self.locations,
+            travel_model=self.travel_model,
+            mobility=mobility,
+            preferences=preferences,
+            construction_mode=construction_mode,
+            capability_aware=capability_aware,
+            enable_recovery=enable_recovery,
+        )
+        self._hosts[host_id] = host
+        if isinstance(self.network, AdHocWirelessNetwork) and mobility is not None:
+            self.network.place_host(host_id, mobility)
+        return host
+
+    def remove_host(self, host_id: str) -> None:
+        """A participant leaves the community (powers off or walks away)."""
+
+        host = self._hosts.pop(host_id, None)
+        if host is not None:
+            self.network.unregister(host_id)
+
+    def host(self, host_id: str) -> Host:
+        return self._hosts[host_id]
+
+    def __contains__(self, host_id: str) -> bool:
+        return host_id in self._hosts
+
+    def __iter__(self) -> Iterator[Host]:
+        return iter(self._hosts.values())
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    @property
+    def host_ids(self) -> list[str]:
+        return sorted(self._hosts)
+
+    # -- running problems ------------------------------------------------------------
+    def submit_problem(
+        self,
+        initiator: str,
+        triggers: Iterable[str],
+        goals: Iterable[str],
+        name: str | None = None,
+    ) -> Workspace:
+        """Submit a problem at ``initiator`` involving the whole community."""
+
+        host = self._hosts[initiator]
+        return host.submit_problem(triggers, goals, name=name)
+
+    def submit_specification(
+        self, initiator: str, specification: Specification
+    ) -> Workspace:
+        host = self._hosts[initiator]
+        return host.submit_specification(specification)
+
+    def run_until_allocated(
+        self, workspace: Workspace, max_sim_seconds: float = 3_600.0
+    ) -> Workspace:
+        """Pump the event scheduler until the workflow is allocated (or fails)."""
+
+        deadline = self.clock.now() + max_sim_seconds
+        while workspace.phase in (
+            WorkflowPhase.CREATED,
+            WorkflowPhase.DISCOVERY,
+            WorkflowPhase.CONSTRUCTION,
+            WorkflowPhase.ALLOCATION,
+        ):
+            next_time = self.scheduler.peek_time()
+            if next_time is None or next_time > deadline:
+                break
+            self.scheduler.step()
+        return workspace
+
+    def run_until_completed(
+        self, workspace: Workspace, max_sim_seconds: float = 86_400.0
+    ) -> Workspace:
+        """Pump the event scheduler until every task of the workflow executed."""
+
+        deadline = self.clock.now() + max_sim_seconds
+        while workspace.phase not in (WorkflowPhase.COMPLETED, WorkflowPhase.FAILED):
+            next_time = self.scheduler.peek_time()
+            if next_time is None or next_time > deadline:
+                break
+            self.scheduler.step()
+        return workspace
+
+    def run_idle(self, max_sim_seconds: float | None = None) -> float:
+        """Run the scheduler until quiescence (or a simulated-time bound)."""
+
+        until = None if max_sim_seconds is None else self.clock.now() + max_sim_seconds
+        return self.scheduler.run(until=until)
+
+    # -- community-wide views -----------------------------------------------------------
+    def total_fragments(self) -> int:
+        return sum(host.fragment_count for host in self._hosts.values())
+
+    def all_service_types(self) -> frozenset[str]:
+        types: set[str] = set()
+        for host in self._hosts.values():
+            types |= host.service_types
+        return frozenset(types)
+
+    def all_labels(self) -> frozenset[str]:
+        labels: set[str] = set()
+        for host in self._hosts.values():
+            labels |= host.fragment_manager.knowledge.all_labels()
+        return frozenset(labels)
+
+    def __repr__(self) -> str:
+        return f"Community(hosts={self.host_ids})"

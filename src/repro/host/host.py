@@ -1,0 +1,249 @@
+"""A host: one participant's device running the open workflow middleware.
+
+A host composes every component of the architecture diagram (paper,
+Figure 3).  The *execution subsystem* — Fragment Manager, Service Manager,
+Schedule Manager, Auction Participation Manager, Execution Manager — is
+always present, because every host may act as a participant.  The
+*construction subsystem* — Workflow Initiator, Workflow Manager, Auction
+Manager — is also instantiated on every host, because any member of the
+community may identify a need and become the initiator for that problem.
+
+All communication, even host-local deliveries, passes through the abstract
+communications layer, honouring the paper's design principle that "passing
+messages through an intermediary ensures that local and remote components
+are accessed uniformly".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..allocation.auction import AuctionManager
+from ..allocation.bids import DEFAULT_POLICY, BidSelectionPolicy
+from ..allocation.participation import AuctionParticipationManager
+from ..core.fragments import WorkflowFragment
+from ..core.specification import Specification
+from ..discovery.knowhow import FragmentManager
+from ..execution.engine import ExecutionManager
+from ..execution.services import ServiceDescription, ServiceManager
+from ..mobility.geometry import Point
+from ..mobility.locations import LocationDirectory, TravelModel
+from ..mobility.models import MobilityModel
+from ..net.messages import (
+    AwardMessage,
+    AwardRejected,
+    BidDeclined,
+    BidMessage,
+    CallForBids,
+    CapabilityQuery,
+    CapabilityResponse,
+    FragmentQuery,
+    FragmentResponse,
+    LabelDataMessage,
+    Message,
+    TaskCompleted,
+    TaskFailed,
+)
+from ..net.transport import CommunicationsLayer
+from ..scheduling.preferences import ALWAYS_WILLING, ParticipantPreferences
+from ..scheduling.schedule import ScheduleManager
+from ..sim.events import EventScheduler
+from .initiator import WorkflowInitiator
+from .workflow_manager import WorkflowManager
+from .workspace import Workspace
+
+
+class Host:
+    """One device (and its user) participating in the open workflow community.
+
+    Parameters
+    ----------
+    host_id:
+        Unique name of the host within the community.
+    network:
+        The communications layer shared by the community.
+    scheduler:
+        The shared event scheduler.
+    fragments:
+        The know-how initially stored on the device.
+    services:
+        The capabilities the device (or its user) offers.
+    locations / travel_model / mobility / preferences:
+        Scheduling and mobility configuration; sensible defaults are used
+        when omitted.
+    construction_mode:
+        Discovery strategy used when this host initiates workflows
+        (``"batch"`` or ``"incremental"``).
+    bid_policy:
+        Bid selection policy used when this host acts as auction manager.
+    """
+
+    def __init__(
+        self,
+        host_id: str,
+        network: CommunicationsLayer,
+        scheduler: EventScheduler,
+        fragments: Iterable[WorkflowFragment] = (),
+        services: Iterable[ServiceDescription] = (),
+        locations: LocationDirectory | None = None,
+        travel_model: TravelModel | None = None,
+        mobility: MobilityModel | Point | None = None,
+        preferences: ParticipantPreferences = ALWAYS_WILLING,
+        construction_mode: str = "batch",
+        bid_policy: BidSelectionPolicy = DEFAULT_POLICY,
+        capability_aware: bool = False,
+        enable_recovery: bool = False,
+    ) -> None:
+        self.host_id = host_id
+        self.network = network
+        self.scheduler = scheduler
+
+        # Execution subsystem.
+        self.fragment_manager = FragmentManager(host_id, fragments)
+        self.service_manager = ServiceManager(host_id, services)
+        self.schedule_manager = ScheduleManager(
+            host_id,
+            clock=scheduler.clock,
+            locations=locations,
+            travel_model=travel_model,
+            mobility=mobility,
+            preferences=preferences,
+        )
+        self.execution_manager = ExecutionManager(
+            host_id, scheduler, self.service_manager, self._send
+        )
+        self.participation_manager = AuctionParticipationManager(
+            host_id,
+            scheduler.clock,
+            self.service_manager,
+            self.schedule_manager,
+            self.execution_manager,
+        )
+
+        # Construction subsystem.
+        self.auction_manager = AuctionManager(
+            host_id, scheduler, self._send, policy=bid_policy
+        )
+        self.workflow_manager = WorkflowManager(
+            host_id,
+            scheduler,
+            self._send,
+            fragments=self.fragment_manager,
+            auction=self.auction_manager,
+            construction_mode=construction_mode,
+            capability_aware=capability_aware,
+            local_services=self.service_manager,
+            enable_recovery=enable_recovery,
+        )
+        self.initiator = WorkflowInitiator(host_id)
+
+        self.messages_received = 0
+        network.register(host_id, self.on_message)
+
+    # -- user-facing API ---------------------------------------------------------
+    def submit_problem(
+        self,
+        triggers: Iterable[str],
+        goals: Iterable[str],
+        name: str | None = None,
+        participants: Iterable[str] | None = None,
+    ) -> Workspace:
+        """Create a specification and start constructing a workflow for it.
+
+        ``participants`` defaults to every host currently reachable through
+        the communications layer, plus this host itself.
+        """
+
+        specification = self.initiator.create_specification(triggers, goals, name=name)
+        return self.submit_specification(specification, participants=participants)
+
+    def submit_specification(
+        self,
+        specification: Specification,
+        participants: Iterable[str] | None = None,
+    ) -> Workspace:
+        """Start constructing a workflow for an existing specification."""
+
+        if participants is None:
+            participants = self.network.reachable_from(self.host_id)
+        return self.workflow_manager.submit(specification, participants)
+
+    # -- knowledge / capability management -----------------------------------------
+    def add_fragment(self, fragment: WorkflowFragment) -> None:
+        """Add know-how to this device."""
+
+        self.fragment_manager.add_fragment(fragment)
+
+    def add_fragments(self, fragments: Iterable[WorkflowFragment]) -> None:
+        self.fragment_manager.add_fragments(fragments)
+
+    def add_service(self, service: ServiceDescription) -> None:
+        """Advertise an additional capability."""
+
+        self.service_manager.register(service)
+
+    # -- message plumbing -------------------------------------------------------------
+    def _send(self, message: Message) -> None:
+        """Hand a message to the communications layer (best effort)."""
+
+        self.network.try_send(message)
+
+    def on_message(self, message: Message) -> None:
+        """Dispatch an incoming message to the component that owns it."""
+
+        self.messages_received += 1
+        if isinstance(message, FragmentQuery):
+            self._send(self.fragment_manager.handle_query(message))
+        elif isinstance(message, FragmentResponse):
+            self.workflow_manager.handle_fragment_response(message)
+        elif isinstance(message, CapabilityQuery):
+            self._send(
+                CapabilityResponse(
+                    sender=self.host_id,
+                    recipient=message.sender,
+                    offered=self.service_manager.matching(message.service_types),
+                    workflow_id=message.workflow_id,
+                )
+            )
+        elif isinstance(message, CapabilityResponse):
+            self.workflow_manager.handle_capability_response(message)
+        elif isinstance(message, CallForBids):
+            self._send(self.participation_manager.handle_call_for_bids(message))
+        elif isinstance(message, BidMessage):
+            self.auction_manager.handle_bid(message)
+        elif isinstance(message, BidDeclined):
+            self.auction_manager.handle_decline(message)
+        elif isinstance(message, AwardMessage):
+            outcome = self.participation_manager.handle_award(message)
+            if isinstance(outcome, AwardRejected):
+                self._send(outcome)
+        elif isinstance(message, AwardRejected):
+            self.auction_manager.handle_award_rejected(message)
+        elif isinstance(message, LabelDataMessage):
+            self.execution_manager.deliver_label(message)
+        elif isinstance(message, TaskCompleted):
+            self.workflow_manager.handle_task_completed(message)
+        elif isinstance(message, TaskFailed):
+            self.workflow_manager.handle_task_failed(message)
+        # Unknown message kinds are ignored: forward compatibility with
+        # extensions that add new protocol messages.
+
+    # -- introspection ---------------------------------------------------------------------
+    @property
+    def service_types(self) -> frozenset[str]:
+        return self.service_manager.service_types
+
+    @property
+    def fragment_count(self) -> int:
+        return self.fragment_manager.fragment_count
+
+    def commitments(self):
+        """The host's current schedule of commitments."""
+
+        return self.schedule_manager.commitments
+
+    def __repr__(self) -> str:
+        return (
+            f"Host({self.host_id!r}, fragments={self.fragment_count}, "
+            f"services={len(self.service_types)})"
+        )

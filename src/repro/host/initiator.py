@@ -1,0 +1,103 @@
+"""The Workflow Initiator: turning a user's need into a specification.
+
+"The Workflow Initiator is responsible for interacting with the user to
+define the trigger conditions and goal for the new problem" (paper,
+Section 4.2).  The paper's implementation shows an *Add Problem* form
+(Figure 2(b)) with fields for the triggering conditions and the goal; this
+module provides the programmatic equivalent — a small builder that
+validates the user's entries against the community's known vocabulary and
+produces a :class:`~repro.core.specification.Specification` ready to hand
+to the Workflow Manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..core.errors import SpecificationError
+from ..core.specification import Specification
+
+
+@dataclass
+class ProblemForm:
+    """A partially filled "Add Problem" form.
+
+    The form mirrors the fields of the paper's UI: a problem name, the
+    labels describing the conditions that already hold, and the labels
+    describing the desired goal.  ``known_labels`` (when provided) enables
+    early validation so a typo is caught while the user is still at the
+    form rather than after a failed community-wide construction.
+    """
+
+    name: str = "problem"
+    triggers: set[str] = field(default_factory=set)
+    goals: set[str] = field(default_factory=set)
+    known_labels: frozenset[str] | None = None
+
+    def add_trigger(self, label: str) -> "ProblemForm":
+        self._check_known(label)
+        self.triggers.add(label)
+        return self
+
+    def add_goal(self, label: str) -> "ProblemForm":
+        self._check_known(label)
+        self.goals.add(label)
+        return self
+
+    def add_triggers(self, labels: Iterable[str]) -> "ProblemForm":
+        for label in labels:
+            self.add_trigger(label)
+        return self
+
+    def add_goals(self, labels: Iterable[str]) -> "ProblemForm":
+        for label in labels:
+            self.add_goal(label)
+        return self
+
+    def _check_known(self, label: str) -> None:
+        if self.known_labels is not None and label not in self.known_labels:
+            raise SpecificationError(
+                f"label {label!r} is not part of the community vocabulary"
+            )
+
+    def build(self) -> Specification:
+        """Produce the specification (raises when the goal set is empty)."""
+
+        if not self.goals:
+            raise SpecificationError("the problem form has no goal labels")
+        return Specification(self.triggers, self.goals, name=self.name)
+
+
+class WorkflowInitiator:
+    """Programmatic stand-in for the paper's Add Problem UI tab."""
+
+    def __init__(self, host_id: str, known_labels: Iterable[str] | None = None) -> None:
+        self.host_id = host_id
+        self.known_labels = frozenset(known_labels) if known_labels is not None else None
+        self.problems_created = 0
+
+    def new_form(self, name: str | None = None) -> ProblemForm:
+        """Open a fresh problem form."""
+
+        self.problems_created += 1
+        return ProblemForm(
+            name=name or f"{self.host_id}-problem-{self.problems_created}",
+            known_labels=self.known_labels,
+        )
+
+    def create_specification(
+        self,
+        triggers: Iterable[str],
+        goals: Iterable[str],
+        name: str | None = None,
+    ) -> Specification:
+        """One-shot helper used by tests and scripted scenarios."""
+
+        form = self.new_form(name)
+        form.add_triggers(triggers)
+        form.add_goals(goals)
+        return form.build()
+
+    def __repr__(self) -> str:
+        return f"WorkflowInitiator(host={self.host_id!r})"

@@ -1,0 +1,431 @@
+"""The Workflow Manager: the core of the construction subsystem.
+
+The Workflow Manager (paper, Section 4.2) "issues queries to discover
+knowhow and capabilities, integrates the responses into the graph, and
+constructs the open workflow.  It then delegates to the Auction Manager the
+job of allocating each task to a suitable host."  It keeps a separate
+:class:`~repro.host.workspace.Workspace` per open workflow so multiple
+problems can be in flight concurrently.
+
+Two discovery strategies are supported, matching Section 3.1:
+
+* ``batch`` — ask every participant for *all* of its fragments, build the
+  supergraph once every response has arrived, then colour it.  This is the
+  strategy used in the paper's evaluation.
+* ``incremental`` — repeatedly ask participants only for fragments touching
+  the labels at the boundary of the coloured region, re-running the
+  colouring after each round, until a feasible workflow emerges or the
+  community has nothing new to offer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..allocation.auction import AllocationOutcome, AuctionManager
+from ..core.construction import WorkflowConstructor
+from ..core.incremental import compute_frontier_labels
+from ..core.specification import Specification
+from ..discovery.capability import CapabilityDirectory
+from ..discovery.knowhow import FragmentManager
+from ..execution.services import ServiceManager
+from ..net.messages import (
+    CapabilityQuery,
+    CapabilityResponse,
+    FragmentQuery,
+    FragmentResponse,
+    Message,
+    TaskCompleted,
+    TaskFailed,
+)
+from ..sim.events import EventScheduler
+from .workspace import Workspace, WorkflowPhase, next_workflow_id
+
+SendFunction = Callable[[Message], None]
+WorkspaceCallback = Callable[[Workspace], None]
+
+
+class WorkflowManager:
+    """Drives discovery, construction, and allocation for one host's problems.
+
+    Parameters
+    ----------
+    host_id:
+        The initiating host this manager belongs to.
+    scheduler:
+        Shared event scheduler (time source).
+    send:
+        Callback handing outgoing messages to the communications layer.
+    fragments:
+        The host's own fragment manager; local know-how never crosses the
+        network.
+    auction:
+        The host's auction manager, used for the allocation phase.
+    construction_mode:
+        ``"batch"`` (collect everything first) or ``"incremental"``.
+    """
+
+    def __init__(
+        self,
+        host_id: str,
+        scheduler: EventScheduler,
+        send: SendFunction,
+        fragments: FragmentManager,
+        auction: AuctionManager,
+        construction_mode: str = "batch",
+        stop_exploration_early: bool = True,
+        capability_aware: bool = False,
+        local_services: ServiceManager | None = None,
+        enable_recovery: bool = False,
+        max_repair_attempts: int = 3,
+    ) -> None:
+        if construction_mode not in ("batch", "incremental"):
+            raise ValueError("construction_mode must be 'batch' or 'incremental'")
+        self.host_id = host_id
+        self.scheduler = scheduler
+        self._send = send
+        self.fragments = fragments
+        self.auction = auction
+        self.construction_mode = construction_mode
+        self.capability_aware = capability_aware
+        self.local_services = local_services
+        self.enable_recovery = enable_recovery
+        self.max_repair_attempts = max_repair_attempts
+        self.capabilities = CapabilityDirectory()
+        self._constructor = WorkflowConstructor(
+            stop_exploration_early=stop_exploration_early
+        )
+        self._workspaces: dict[str, Workspace] = {}
+        self._on_allocated: dict[str, WorkspaceCallback] = {}
+        self._on_completed: dict[str, WorkspaceCallback] = {}
+
+    # -- public API ------------------------------------------------------------
+    def submit(
+        self,
+        specification: Specification,
+        participants: Iterable[str],
+        on_allocated: WorkspaceCallback | None = None,
+        on_completed: WorkspaceCallback | None = None,
+        excluded_tasks: Iterable[str] = (),
+        repair_of: str | None = None,
+        repair_attempt: int = 0,
+    ) -> Workspace:
+        """Start working on a new problem; returns its workspace immediately.
+
+        ``participants`` are the community members to involve (normally every
+        reachable host plus the initiator itself).  Progress is reported via
+        the optional callbacks and can always be inspected on the returned
+        workspace.  ``excluded_tasks`` forbids specific tasks during
+        construction — used by workflow repair to route around tasks whose
+        execution has already failed.
+        """
+
+        participant_set = frozenset(participants) | {self.host_id}
+        workflow_id = next_workflow_id(self.host_id)
+        workspace = Workspace(
+            workflow_id=workflow_id,
+            specification=specification,
+            participants=participant_set,
+        )
+        workspace.excluded_tasks = set(excluded_tasks)
+        workspace.repair_of = repair_of
+        workspace.repair_attempt = repair_attempt
+        workspace.mark("submitted", self.scheduler.clock.now())
+        self._workspaces[workflow_id] = workspace
+        if on_allocated is not None:
+            self._on_allocated[workflow_id] = on_allocated
+        if on_completed is not None:
+            self._on_completed[workflow_id] = on_completed
+
+        # The initiator's own know-how seeds the supergraph without any
+        # network traffic.
+        for fragment in self.fragments.all_fragments():
+            workspace.supergraph.add_fragment(fragment)
+            workspace.fragments_collected += 1
+
+        self._start_discovery(workspace)
+        return workspace
+
+    def workspace(self, workflow_id: str) -> Workspace | None:
+        return self._workspaces.get(workflow_id)
+
+    def workspaces(self) -> list[Workspace]:
+        return list(self._workspaces.values())
+
+    # -- discovery -----------------------------------------------------------------
+    def _remote_participants(self, workspace: Workspace) -> list[str]:
+        return sorted(workspace.participants - {self.host_id})
+
+    def _start_discovery(self, workspace: Workspace) -> None:
+        workspace.enter_phase(WorkflowPhase.DISCOVERY, self.scheduler.clock.now())
+        remotes = self._remote_participants(workspace)
+        if not remotes:
+            self._after_discovery(workspace)
+            return
+        if self.construction_mode == "batch":
+            self._query_all_fragments(workspace, remotes)
+        else:
+            self._query_frontier(workspace, remotes)
+
+    def _query_all_fragments(self, workspace: Workspace, remotes: list[str]) -> None:
+        workspace.discovery_rounds += 1
+        workspace.did_full_discovery = True
+        workspace.awaiting_fragment_responses = set(remotes)
+        for remote in remotes:
+            self._send(
+                FragmentQuery(
+                    sender=self.host_id,
+                    recipient=remote,
+                    want_all=True,
+                    exclude_fragment_ids=workspace.supergraph.fragment_ids,
+                    workflow_id=workspace.workflow_id,
+                )
+            )
+
+    def _query_frontier(self, workspace: Workspace, remotes: list[str]) -> None:
+        result = self._constructor.construct(
+            workspace.supergraph, workspace.specification
+        )
+        if result.succeeded:
+            self._after_discovery(workspace)
+            return
+        frontier = compute_frontier_labels(
+            workspace.supergraph, workspace.specification, result
+        )
+        new_labels = frontier - workspace.queried_labels
+        if not new_labels:
+            if workspace.did_full_discovery:
+                # The whole community has already been asked for everything;
+                # run construction one last time so the workspace records the
+                # definitive failure reason, then stop.
+                self._after_discovery(workspace)
+                return
+            # Nothing left to ask about: fall back to one batch round so the
+            # failure reason reflects the whole community's knowledge.
+            self._query_all_fragments(workspace, remotes)
+            return
+        workspace.queried_labels |= new_labels
+        workspace.discovery_rounds += 1
+        workspace.awaiting_fragment_responses = set(remotes)
+        for remote in remotes:
+            self._send(
+                FragmentQuery(
+                    sender=self.host_id,
+                    recipient=remote,
+                    consuming=frozenset(new_labels),
+                    producing=frozenset(new_labels),
+                    exclude_fragment_ids=workspace.supergraph.fragment_ids,
+                    workflow_id=workspace.workflow_id,
+                )
+            )
+
+    def handle_fragment_response(self, response: FragmentResponse) -> None:
+        """Integrate a participant's know-how into the right workspace."""
+
+        workspace = self._workspaces.get(response.workflow_id)
+        if workspace is None or workspace.phase is not WorkflowPhase.DISCOVERY:
+            return
+        workspace.fragment_responses_received += 1
+        for fragment in response.fragments:
+            if workspace.supergraph.add_fragment(fragment):
+                workspace.fragments_collected += 1
+        workspace.awaiting_fragment_responses.discard(response.sender)
+        if workspace.awaiting_fragment_responses:
+            return
+        if self.construction_mode == "batch":
+            self._after_discovery(workspace)
+        else:
+            remotes = self._remote_participants(workspace)
+            self._query_frontier(workspace, remotes)
+
+    # -- capability discovery ----------------------------------------------------------
+    def _after_discovery(self, workspace: Workspace) -> None:
+        """Fragment discovery is done; optionally learn capabilities, then construct."""
+
+        if self.local_services is not None:
+            self.capabilities.record_offering(
+                self.host_id, self.local_services.service_types
+            )
+        remotes = self._remote_participants(workspace)
+        if not self.capability_aware or not remotes:
+            self._run_construction(workspace)
+            return
+        service_types = frozenset(
+            task.service_type
+            for task in workspace.supergraph.tasks.values()
+            if task.service_type is not None
+        )
+        workspace.awaiting_capability_responses = set(remotes)
+        for remote in remotes:
+            self._send(
+                CapabilityQuery(
+                    sender=self.host_id,
+                    recipient=remote,
+                    service_types=service_types,
+                    workflow_id=workspace.workflow_id,
+                )
+            )
+
+    def handle_capability_response(self, response: CapabilityResponse) -> None:
+        """Record which services a participant offers and resume construction."""
+
+        self.capabilities.record_response(response)
+        workspace = self._workspaces.get(response.workflow_id)
+        if workspace is None or workspace.phase is not WorkflowPhase.DISCOVERY:
+            return
+        workspace.capability_responses_received += 1
+        workspace.awaiting_capability_responses.discard(response.sender)
+        if not workspace.awaiting_capability_responses:
+            self._run_construction(workspace)
+
+    # -- construction -----------------------------------------------------------------
+    def _capability_filter(self, task) -> bool:
+        """Capability-aware filter: keep tasks whose service someone can provide."""
+
+        if not self.capability_aware:
+            return True
+        service_type = task.service_type
+        if service_type is None:
+            return True
+        if self.capabilities.is_available(service_type):
+            return True
+        return self.local_services is not None and self.local_services.provides(
+            service_type
+        )
+
+    def _workspace_task_filter(self, workspace: Workspace):
+        """Combined construction filter: capability coverage + repair exclusions."""
+
+        if not self.capability_aware and not workspace.excluded_tasks:
+            return None
+        excluded = frozenset(workspace.excluded_tasks)
+
+        def allowed(task) -> bool:
+            if task.name in excluded:
+                return False
+            return self._capability_filter(task)
+
+        return allowed
+
+    def _run_construction(self, workspace: Workspace) -> None:
+        workspace.enter_phase(WorkflowPhase.CONSTRUCTION, self.scheduler.clock.now())
+        result = self._constructor.construct(
+            workspace.supergraph,
+            workspace.specification,
+            task_filter=self._workspace_task_filter(workspace),
+        )
+        workspace.construction_result = result
+        workspace.mark("constructed", self.scheduler.clock.now())
+        if not result.succeeded:
+            workspace.fail(
+                f"construction failed: {result.reason}", self.scheduler.clock.now()
+            )
+            self._notify_allocated(workspace)
+            return
+        workflow = result.workflow
+        assert workflow is not None
+        workspace.expected_tasks = set(workflow.task_names)
+        self._start_allocation(workspace)
+
+    # -- allocation ----------------------------------------------------------------------
+    def _start_allocation(self, workspace: Workspace) -> None:
+        workspace.enter_phase(WorkflowPhase.ALLOCATION, self.scheduler.clock.now())
+        workflow = workspace.workflow
+        assert workflow is not None
+        self.auction.start_auction(
+            workflow_id=workspace.workflow_id,
+            workflow=workflow,
+            specification=workspace.specification,
+            participants=workspace.participants,
+            on_complete=lambda outcome: self._on_allocation_complete(
+                workspace, outcome
+            ),
+        )
+
+    def _on_allocation_complete(
+        self, workspace: Workspace, outcome: AllocationOutcome
+    ) -> None:
+        workspace.allocation_outcome = outcome
+        workspace.mark("allocated", self.scheduler.clock.now())
+        if not outcome.succeeded:
+            reasons = "; ".join(
+                f"{task}: {reason}" for task, reason in sorted(outcome.unallocated.items())
+            )
+            workspace.fail(f"allocation failed: {reasons}", self.scheduler.clock.now())
+            self._notify_allocated(workspace)
+            return
+        workspace.enter_phase(WorkflowPhase.EXECUTING, self.scheduler.clock.now())
+        self._notify_allocated(workspace)
+        if not workspace.expected_tasks:
+            self._mark_completed(workspace)
+
+    def _notify_allocated(self, workspace: Workspace) -> None:
+        callback = self._on_allocated.get(workspace.workflow_id)
+        if callback is not None:
+            callback(workspace)
+
+    # -- execution progress ------------------------------------------------------------------
+    def handle_task_completed(self, message: TaskCompleted) -> None:
+        """Track completion notifications until the whole workflow is done."""
+
+        workspace = self._workspaces.get(message.workflow_id)
+        if workspace is None:
+            return
+        workspace.completed_tasks.add(message.task_name)
+        if (
+            workspace.phase is WorkflowPhase.EXECUTING
+            and workspace.all_tasks_completed
+        ):
+            self._mark_completed(workspace)
+
+    def _mark_completed(self, workspace: Workspace) -> None:
+        workspace.enter_phase(WorkflowPhase.COMPLETED, self.scheduler.clock.now())
+        workspace.mark("completed", self.scheduler.clock.now())
+        callback = self._on_completed.get(workspace.workflow_id)
+        if callback is not None:
+            callback(workspace)
+
+    # -- workflow repair ------------------------------------------------------------
+    def handle_task_failed(self, message: TaskFailed) -> None:
+        """React to an execution failure: optionally construct a repaired workflow.
+
+        The failing workspace is marked failed.  When recovery is enabled
+        the manager submits a *repair*: the same specification, constructed
+        again over the already-collected community knowledge with the failed
+        tasks excluded, then re-auctioned.  Compensation of work already
+        performed by the failed workflow is out of scope (it is listed as
+        future work in the paper as well).
+        """
+
+        workspace = self._workspaces.get(message.workflow_id)
+        if workspace is None:
+            return
+        workspace.failed_tasks.add(message.task_name)
+        if workspace.phase is not WorkflowPhase.FAILED:
+            workspace.fail(
+                f"task {message.task_name!r} failed during execution: {message.reason}",
+                self.scheduler.clock.now(),
+            )
+        if not self.enable_recovery or workspace.repaired_by is not None:
+            return
+        if workspace.repair_attempt >= self.max_repair_attempts:
+            return
+        excluded = (
+            set(workspace.excluded_tasks)
+            | set(workspace.failed_tasks)
+            | {message.task_name}
+        )
+        repaired = self.submit(
+            workspace.specification,
+            workspace.participants,
+            excluded_tasks=excluded,
+            repair_of=workspace.workflow_id,
+            repair_attempt=workspace.repair_attempt + 1,
+        )
+        workspace.repaired_by = repaired.workflow_id
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkflowManager(host={self.host_id!r}, mode={self.construction_mode!r}, "
+            f"workspaces={len(self._workspaces)})"
+        )

@@ -1,0 +1,32 @@
+"""Mobility substrate: positions, locations, travel, and movement models."""
+
+from .geometry import ORIGIN, Point, Rectangle, square_site
+from .locations import (
+    DEFAULT_WALKING_SPEED,
+    Location,
+    LocationDirectory,
+    TravelModel,
+    grid_locations,
+)
+from .models import (
+    MobilityModel,
+    RandomWaypointMobility,
+    StaticMobility,
+    WaypointMobility,
+)
+
+__all__ = [
+    "DEFAULT_WALKING_SPEED",
+    "Location",
+    "LocationDirectory",
+    "MobilityModel",
+    "ORIGIN",
+    "Point",
+    "RandomWaypointMobility",
+    "Rectangle",
+    "StaticMobility",
+    "TravelModel",
+    "WaypointMobility",
+    "grid_locations",
+    "square_site",
+]

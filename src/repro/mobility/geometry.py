@@ -1,0 +1,119 @@
+"""Plane geometry primitives used by the mobility and radio models.
+
+Participants in an open workflow community are physically mobile; both the
+ad hoc wireless connectivity model (hosts in radio range can talk) and the
+schedule feasibility checks (can the participant reach the task's location
+in time?) need positions and distances.  We model the world as a simple 2-D
+plane measured in metres, which is the standard abstraction used by MANET
+simulators for the scale of sites the paper targets (construction sites,
+field hospitals, catering facilities).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A position on the 2-D plane, in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """The point halfway between this point and ``other``."""
+
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A new point offset by ``(dx, dy)``."""
+
+        return Point(self.x + dx, self.y + dy)
+
+    def moved_towards(self, target: "Point", distance: float) -> "Point":
+        """Move ``distance`` metres towards ``target`` (never overshooting)."""
+
+        total = self.distance_to(target)
+        if total == 0.0 or distance >= total:
+            return target
+        fraction = distance / total
+        return Point(
+            self.x + (target.x - self.x) * fraction,
+            self.y + (target.y - self.y) * fraction,
+        )
+
+    def __repr__(self) -> str:
+        return f"Point({self.x:.1f}, {self.y:.1f})"
+
+
+ORIGIN = Point(0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """An axis-aligned rectangular area (the "site" hosts move within)."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise ValueError("rectangle extents must be non-negative")
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, point: Point) -> bool:
+        """True when ``point`` lies inside (or on the border of) the rectangle."""
+
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    def clamp(self, point: Point) -> Point:
+        """The nearest point inside the rectangle."""
+
+        return Point(
+            min(max(point.x, self.min_x), self.max_x),
+            min(max(point.y, self.min_y), self.max_y),
+        )
+
+    def random_point(self, rng) -> Point:
+        """A uniformly distributed point inside the rectangle."""
+
+        return Point(
+            rng.uniform(self.min_x, self.max_x),
+            rng.uniform(self.min_y, self.max_y),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Rectangle({self.min_x}, {self.min_y}, {self.max_x}, {self.max_y})"
+        )
+
+
+def square_site(side_metres: float) -> Rectangle:
+    """A square deployment area with its corner at the origin."""
+
+    if side_metres <= 0:
+        raise ValueError("side length must be positive")
+    return Rectangle(0.0, 0.0, side_metres, side_metres)

@@ -1,0 +1,155 @@
+"""Named locations and the travel-time model.
+
+Tasks in an open workflow may require the performing participant to be at a
+specific place ("the loading dock", "conference room B").  During the
+allocation phase a participant only bids on a task if it can travel to the
+task's location in time (paper, Section 2.2, service availability condition
+3), and during execution the schedule manager blocks out the necessary
+travel time before each commitment (visible in the paper's Figure 2(a)
+screenshot as greyed-out travel periods).
+
+:class:`LocationDirectory` maps symbolic location names to coordinates, and
+:class:`TravelModel` converts distances to travel times using a walking (or
+driving) speed.  Unknown locations are treated conservatively: travel to
+them takes :attr:`TravelModel.unknown_location_penalty` seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from .geometry import Point
+
+
+@dataclass(frozen=True)
+class Location:
+    """A named place on the site."""
+
+    name: str
+    position: Point
+    description: str = field(default="", compare=False)
+
+    def __repr__(self) -> str:
+        return f"Location({self.name!r}, {self.position!r})"
+
+
+class LocationDirectory:
+    """A registry of the named locations known to a deployment.
+
+    The directory is shared community knowledge: all hosts in a scenario use
+    the same directory (just as all workers on a construction site share the
+    same map).  Hosts' *positions*, by contrast, are per-host state owned by
+    their mobility model.
+    """
+
+    def __init__(self, locations: Iterable[Location] = ()) -> None:
+        self._locations: dict[str, Location] = {}
+        for location in locations:
+            self.add(location)
+
+    def add(self, location: Location) -> None:
+        """Register (or replace) a named location."""
+
+        self._locations[location.name] = location
+
+    def add_point(self, name: str, x: float, y: float, description: str = "") -> Location:
+        """Convenience: register a location from raw coordinates."""
+
+        location = Location(name, Point(x, y), description)
+        self.add(location)
+        return location
+
+    def get(self, name: str) -> Location | None:
+        return self._locations.get(name)
+
+    def position_of(self, name: str) -> Point | None:
+        location = self._locations.get(name)
+        return location.position if location else None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._locations
+
+    def __iter__(self) -> Iterator[Location]:
+        return iter(sorted(self._locations.values(), key=lambda loc: loc.name))
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def names(self) -> frozenset[str]:
+        return frozenset(self._locations)
+
+    def __repr__(self) -> str:
+        return f"LocationDirectory({sorted(self._locations)})"
+
+
+DEFAULT_WALKING_SPEED = 1.4
+"""Average human walking speed in metres per second."""
+
+
+@dataclass(frozen=True)
+class TravelModel:
+    """Converts geometry into travel times.
+
+    Parameters
+    ----------
+    speed:
+        Travel speed in metres per second (default: walking pace).
+    fixed_overhead:
+        Constant seconds added to every non-zero trip (packing up, elevator
+        waits, and so on).
+    unknown_location_penalty:
+        Travel time assumed when either endpoint is unknown.  A generous
+        constant keeps the middleware conservative: it will still bid, but
+        it will reserve plenty of travel time.
+    """
+
+    speed: float = DEFAULT_WALKING_SPEED
+    fixed_overhead: float = 0.0
+    unknown_location_penalty: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError("travel speed must be positive")
+        if self.fixed_overhead < 0 or self.unknown_location_penalty < 0:
+            raise ValueError("travel overheads must be non-negative")
+
+    def travel_seconds(self, origin: Point | None, destination: Point | None) -> float:
+        """Seconds needed to move from ``origin`` to ``destination``."""
+
+        if origin is None or destination is None:
+            return self.unknown_location_penalty
+        distance = origin.distance_to(destination)
+        if distance == 0.0:
+            return 0.0
+        return self.fixed_overhead + distance / self.speed
+
+    def travel_between(
+        self,
+        directory: LocationDirectory,
+        origin_name: str | None,
+        destination_name: str | None,
+    ) -> float:
+        """Travel time between two named locations (``None`` means "anywhere")."""
+
+        if destination_name is None:
+            return 0.0
+        origin = directory.position_of(origin_name) if origin_name else None
+        destination = directory.position_of(destination_name)
+        if destination is None:
+            return self.unknown_location_penalty
+        if origin_name is not None and origin is None:
+            return self.unknown_location_penalty
+        return self.travel_seconds(origin, destination) if origin is not None else 0.0
+
+
+def grid_locations(
+    names: Iterable[str], spacing: float = 50.0, columns: int = 4
+) -> LocationDirectory:
+    """Lay out named locations on a grid (handy for synthetic scenarios)."""
+
+    directory = LocationDirectory()
+    for index, name in enumerate(names):
+        row, col = divmod(index, max(1, columns))
+        directory.add(Location(name, Point(col * spacing, row * spacing)))
+    return directory

@@ -1,0 +1,165 @@
+"""Mobility models for hosts in the ad hoc community.
+
+The open workflow paradigm targets *physically mobile* participants; hosts
+move around a site, and connectivity (and therefore which know-how and
+capabilities are available) changes with their positions.  This module
+provides the mobility models used by the scenarios and the ad hoc network
+substrate:
+
+* :class:`StaticMobility` — the host stays put (the paper's experiments use
+  stationary hosts with verified connectivity, so this is the default for
+  reproducing Figures 4-6).
+* :class:`WaypointMobility` — the host visits a fixed list of waypoints at a
+  constant speed (useful for scripted scenarios such as "the chef leaves the
+  office at 10:00").
+* :class:`RandomWaypointMobility` — the classic MANET random waypoint model:
+  pick a uniform destination within the site, travel to it at a random
+  speed, pause, repeat.
+
+All models answer the single question ``position_at(time)`` so they can be
+evaluated lazily by the network and scheduling layers without a background
+ticker.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from .geometry import Point, Rectangle
+
+
+class MobilityModel(Protocol):
+    """Anything that can report a host's position at a simulated time."""
+
+    def position_at(self, time: float) -> Point:
+        """The host's position at simulated time ``time`` (seconds)."""
+        ...
+
+
+@dataclass(frozen=True)
+class StaticMobility:
+    """A host that never moves."""
+
+    position: Point
+
+    def position_at(self, time: float) -> Point:
+        return self.position
+
+
+class WaypointMobility:
+    """Deterministic movement through a scripted list of waypoints.
+
+    The host starts at the first waypoint at time 0 and moves from waypoint
+    to waypoint at ``speed`` metres per second, pausing ``pause`` seconds at
+    each stop.  After the final waypoint it stays there.
+    """
+
+    def __init__(
+        self,
+        waypoints: Sequence[Point],
+        speed: float = 1.4,
+        pause: float = 0.0,
+    ) -> None:
+        if not waypoints:
+            raise ValueError("at least one waypoint is required")
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        if pause < 0:
+            raise ValueError("pause must be non-negative")
+        self._waypoints = list(waypoints)
+        self._speed = speed
+        self._pause = pause
+        # Precompute the (start_time, end_time, origin, destination) legs.
+        self._legs: list[tuple[float, float, Point, Point]] = []
+        cursor = 0.0
+        for origin, destination in zip(self._waypoints, self._waypoints[1:]):
+            cursor += self._pause
+            duration = origin.distance_to(destination) / self._speed
+            self._legs.append((cursor, cursor + duration, origin, destination))
+            cursor += duration
+
+    def position_at(self, time: float) -> Point:
+        if time <= 0 or not self._legs:
+            return self._waypoints[0]
+        for start, end, origin, destination in self._legs:
+            if time < start:
+                return origin
+            if start <= time < end:
+                travelled = (time - start) * self._speed
+                return origin.moved_towards(destination, travelled)
+        return self._waypoints[-1]
+
+    @property
+    def final_position(self) -> Point:
+        return self._waypoints[-1]
+
+    def __repr__(self) -> str:
+        return f"WaypointMobility(waypoints={len(self._waypoints)}, speed={self._speed})"
+
+
+class RandomWaypointMobility:
+    """The random waypoint model over a rectangular site.
+
+    Movement is generated lazily but deterministically from the seed: the
+    position at any time can be queried in any order and always yields the
+    same trajectory.
+    """
+
+    def __init__(
+        self,
+        area: Rectangle,
+        seed: int,
+        min_speed: float = 0.5,
+        max_speed: float = 2.0,
+        pause: float = 5.0,
+        start: Point | None = None,
+    ) -> None:
+        if min_speed <= 0 or max_speed < min_speed:
+            raise ValueError("speeds must satisfy 0 < min_speed <= max_speed")
+        if pause < 0:
+            raise ValueError("pause must be non-negative")
+        self._area = area
+        self._rng = random.Random(seed)
+        self._min_speed = min_speed
+        self._max_speed = max_speed
+        self._pause = pause
+        origin = start if start is not None else area.random_point(self._rng)
+        # Legs are appended on demand as queries reach further into the future.
+        # Each leg: (start_time, end_time, origin, destination, speed) followed
+        # by a pause of self._pause seconds at the destination.
+        self._legs: list[tuple[float, float, Point, Point, float]] = []
+        self._horizon = 0.0
+        self._last_position = origin
+
+    def _extend_to(self, time: float) -> None:
+        while self._horizon <= time:
+            destination = self._area.random_point(self._rng)
+            speed = self._rng.uniform(self._min_speed, self._max_speed)
+            duration = self._last_position.distance_to(destination) / speed
+            start = self._horizon
+            end = start + duration
+            self._legs.append((start, end, self._last_position, destination, speed))
+            self._horizon = end + self._pause
+            self._last_position = destination
+
+    def position_at(self, time: float) -> Point:
+        if time <= 0:
+            self._extend_to(0.0)
+            return self._legs[0][2]
+        self._extend_to(time)
+        for start, end, origin, destination, speed in self._legs:
+            if time < start:
+                return origin
+            if start <= time < end:
+                return origin.moved_towards(destination, (time - start) * speed)
+            if end <= time < end + self._pause:
+                return destination
+        return self._last_position
+
+    def __repr__(self) -> str:
+        return (
+            f"RandomWaypointMobility(area={self._area!r}, "
+            f"speed=[{self._min_speed}, {self._max_speed}], pause={self._pause})"
+        )

@@ -1,0 +1,56 @@
+"""Networking substrate: messages, transports, and the wireless model."""
+
+from .adhoc import (
+    DEFAULT_PER_HOP_OVERHEAD,
+    DEFAULT_RADIO_RANGE,
+    NOMINAL_80211G_BITRATE,
+    AdHocWirelessNetwork,
+)
+from .messages import (
+    AwardMessage,
+    AwardRejected,
+    BidDeclined,
+    BidMessage,
+    CallForBids,
+    CapabilityQuery,
+    CapabilityResponse,
+    FragmentQuery,
+    FragmentResponse,
+    LabelDataMessage,
+    Message,
+    TaskCompleted,
+    estimate_fragment_bytes,
+    estimate_task_bytes,
+)
+from .routing import AodvRouter, Route, RouteNotFound
+from .simnet import LoopbackNetwork, SimulatedNetwork
+from .transport import CommunicationsLayer, MessageHandler, TransportStatistics
+
+__all__ = [
+    "AdHocWirelessNetwork",
+    "AodvRouter",
+    "AwardMessage",
+    "AwardRejected",
+    "BidDeclined",
+    "BidMessage",
+    "CallForBids",
+    "CapabilityQuery",
+    "CapabilityResponse",
+    "CommunicationsLayer",
+    "DEFAULT_PER_HOP_OVERHEAD",
+    "DEFAULT_RADIO_RANGE",
+    "FragmentQuery",
+    "FragmentResponse",
+    "LabelDataMessage",
+    "LoopbackNetwork",
+    "Message",
+    "MessageHandler",
+    "NOMINAL_80211G_BITRATE",
+    "Route",
+    "RouteNotFound",
+    "SimulatedNetwork",
+    "TaskCompleted",
+    "TransportStatistics",
+    "estimate_fragment_bytes",
+    "estimate_task_bytes",
+]

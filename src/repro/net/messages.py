@@ -1,0 +1,294 @@
+"""Message types exchanged by the open workflow middleware.
+
+The architecture (paper, Figure 3) passes every interaction between
+components on different hosts through an abstract communications layer.
+Four families of messages exist, mirroring the arrows in the figure:
+
+* **fragment messages** — know-how discovery during workflow construction;
+* **service feasibility messages** — capability discovery;
+* **auction messages** — the call-for-bids / bid / award exchange of the
+  allocation phase;
+* **inter-service messages** — data produced by one service and consumed by
+  another during decentralized execution.
+
+Every message is a frozen dataclass with an envelope (sender, recipient,
+unique id) and an approximate wire size used by the wireless latency model.
+The payloads carry plain core-model objects (fragments, tasks, labels) so
+the "serialisation" is structural; an estimate of the serialised size is
+computed from the payload so the 802.11g bandwidth model has something
+meaningful to work with.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.fragments import WorkflowFragment
+from ..core.tasks import Task
+
+_message_counter = itertools.count(1)
+
+
+def _next_message_id() -> int:
+    return next(_message_counter)
+
+
+# Rough per-item wire sizes (bytes) used to approximate 802.11g transfer
+# times.  The absolute values matter far less than their relative order:
+# fragment transfers dominate queries, and queries dominate tiny acks.
+_ENVELOPE_BYTES = 64
+_LABEL_BYTES = 24
+_TASK_BYTES = 96
+_BID_BYTES = 80
+
+
+def estimate_task_bytes(task: Task) -> int:
+    """Approximate serialised size of a task definition."""
+
+    return _TASK_BYTES + _LABEL_BYTES * (len(task.inputs) + len(task.outputs))
+
+
+def estimate_fragment_bytes(fragment: WorkflowFragment) -> int:
+    """Approximate serialised size of a workflow fragment."""
+
+    return _ENVELOPE_BYTES + sum(estimate_task_bytes(task) for task in fragment.tasks)
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base envelope for everything that crosses the communications layer."""
+
+    sender: str
+    recipient: str
+    msg_id: int = field(default_factory=_next_message_id, compare=False)
+
+    def size_bytes(self) -> int:
+        """Approximate size on the wire; subclasses add their payload."""
+
+        return _ENVELOPE_BYTES
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"{self.kind}(#{self.msg_id} {self.sender}->{self.recipient})"
+
+
+# ---------------------------------------------------------------------------
+# Fragment (know-how) discovery messages
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class FragmentQuery(Message):
+    """Ask a host for fragments relevant to a set of labels.
+
+    ``consuming`` and ``producing`` list labels the initiator wants
+    fragments for; ``exclude_fragment_ids`` lists fragments it already
+    holds.  ``want_all`` models the batch algorithm's "send me everything
+    you know" query.
+    """
+
+    consuming: frozenset[str] = frozenset()
+    producing: frozenset[str] = frozenset()
+    exclude_fragment_ids: frozenset[str] = frozenset()
+    want_all: bool = False
+    workflow_id: str = ""
+
+    def size_bytes(self) -> int:
+        return (
+            _ENVELOPE_BYTES
+            + _LABEL_BYTES * (len(self.consuming) + len(self.producing))
+            + 8 * len(self.exclude_fragment_ids)
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class FragmentResponse(Message):
+    """A host's answer to a :class:`FragmentQuery`: the matching fragments."""
+
+    fragments: tuple[WorkflowFragment, ...] = ()
+    workflow_id: str = ""
+
+    def size_bytes(self) -> int:
+        return _ENVELOPE_BYTES + sum(
+            estimate_fragment_bytes(f) for f in self.fragments
+        )
+
+
+# ---------------------------------------------------------------------------
+# Capability (service feasibility) messages
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class CapabilityQuery(Message):
+    """Ask a host which of the listed service types it can provide."""
+
+    service_types: frozenset[str] = frozenset()
+    workflow_id: str = ""
+
+    def size_bytes(self) -> int:
+        return _ENVELOPE_BYTES + _LABEL_BYTES * len(self.service_types)
+
+
+@dataclass(frozen=True, repr=False)
+class CapabilityResponse(Message):
+    """The subset of queried service types the responding host offers."""
+
+    offered: frozenset[str] = frozenset()
+    workflow_id: str = ""
+
+    def size_bytes(self) -> int:
+        return _ENVELOPE_BYTES + _LABEL_BYTES * len(self.offered)
+
+
+# ---------------------------------------------------------------------------
+# Auction (allocation) messages
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class CallForBids(Message):
+    """The auction manager solicits bids for one task of a workflow.
+
+    ``task`` carries the full task definition so the participant can check
+    its own capabilities; ``earliest_start`` and ``deadline`` describe the
+    window within which the task must run; ``metadata`` carries any extra
+    scheduling hints computed by the auction manager.
+    """
+
+    workflow_id: str = ""
+    task: Task | None = None
+    earliest_start: float = 0.0
+    deadline: float = float("inf")
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        return _ENVELOPE_BYTES + (
+            estimate_task_bytes(self.task) if self.task is not None else 0
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class BidMessage(Message):
+    """A firm bid on a task.
+
+    ``specialization`` counts how many services the bidder offers overall —
+    the auction manager prefers participants with *fewer* services (paper,
+    Section 3.2).  ``proposed_start`` is when the bidder would run the task,
+    ``response_deadline`` is the latest time by which the bidder needs the
+    auction manager's decision.
+    """
+
+    workflow_id: str = ""
+    task_name: str = ""
+    specialization: int = 0
+    proposed_start: float = 0.0
+    travel_time: float = 0.0
+    response_deadline: float = float("inf")
+
+    def size_bytes(self) -> int:
+        return _ENVELOPE_BYTES + _BID_BYTES
+
+
+@dataclass(frozen=True, repr=False)
+class BidDeclined(Message):
+    """Explicit "I cannot do this task" answer to a call for bids."""
+
+    workflow_id: str = ""
+    task_name: str = ""
+    reason: str = ""
+
+    def size_bytes(self) -> int:
+        return _ENVELOPE_BYTES + 16
+
+
+@dataclass(frozen=True, repr=False)
+class AwardMessage(Message):
+    """The auction manager's final allocation of a task to the winning bidder.
+
+    Besides the task itself, the award tells the participant where to pull
+    each input from and where to push each output to, which is all the
+    information needed for fully decentralized execution.
+    """
+
+    workflow_id: str = ""
+    task: Task | None = None
+    scheduled_start: float = 0.0
+    input_sources: Mapping[str, str] = field(default_factory=dict)
+    output_destinations: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+    trigger_labels: frozenset[str] = frozenset()
+
+    def size_bytes(self) -> int:
+        payload = estimate_task_bytes(self.task) if self.task is not None else 0
+        payload += _LABEL_BYTES * (
+            len(self.input_sources) + len(self.output_destinations)
+        )
+        return _ENVELOPE_BYTES + payload
+
+
+@dataclass(frozen=True, repr=False)
+class AwardRejected(Message):
+    """Sent by a participant whose situation changed before the award arrived."""
+
+    workflow_id: str = ""
+    task_name: str = ""
+    reason: str = ""
+
+    def size_bytes(self) -> int:
+        return _ENVELOPE_BYTES + 16
+
+
+# ---------------------------------------------------------------------------
+# Inter-service (execution phase) messages
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class LabelDataMessage(Message):
+    """An output produced by one service, delivered to a dependent participant."""
+
+    workflow_id: str = ""
+    label: str = ""
+    value: object = None
+    produced_by: str = ""
+    produced_at: float = 0.0
+
+    def size_bytes(self) -> int:
+        return _ENVELOPE_BYTES + _LABEL_BYTES + 64
+
+
+@dataclass(frozen=True, repr=False)
+class TaskCompleted(Message):
+    """Notification (to the initiator) that a committed task finished."""
+
+    workflow_id: str = ""
+    task_name: str = ""
+    completed_at: float = 0.0
+    outputs: frozenset[str] = frozenset()
+
+    def size_bytes(self) -> int:
+        return _ENVELOPE_BYTES + _LABEL_BYTES * len(self.outputs)
+
+
+@dataclass(frozen=True, repr=False)
+class TaskFailed(Message):
+    """Notification (to the initiator) that a committed task could not be executed.
+
+    The initiator's workflow manager uses this to trigger workflow repair:
+    reconstruction of a revised workflow that avoids the failed task,
+    followed by re-allocation (the feedback loop sketched in the paper's
+    future-work discussion).
+    """
+
+    workflow_id: str = ""
+    task_name: str = ""
+    failed_at: float = 0.0
+    reason: str = ""
+
+    def size_bytes(self) -> int:
+        return _ENVELOPE_BYTES + 32

@@ -1,0 +1,159 @@
+"""AODV-style multi-hop routing over the ad hoc connectivity graph.
+
+The paper's construction algorithm "takes its inspiration from spanning tree
+algorithms and routing algorithms such as AODV", and its empirical setup
+assumes all hosts are mutually reachable.  When hosts move far enough apart
+that direct radio contact is lost, messages must be relayed by intermediate
+hosts.  This module implements the *route computation* part of AODV
+(Ad hoc On-demand Distance Vector, Perkins & Belding-Royer 1999) over the
+instantaneous connectivity graph:
+
+* routes are discovered on demand (when a message needs one);
+* discovery conceptually floods a route request (RREQ) and unicasts a route
+  reply (RREP) back along the reverse path — we model the *cost* of that
+  flood as extra latency charged to the first message using the route;
+* discovered routes are cached and invalidated when any link on the path
+  breaks.
+
+The class operates purely on host positions and radio range supplied by the
+ad hoc network; it has no dependency on the middleware above it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+
+@dataclass(frozen=True)
+class Route:
+    """A discovered multi-hop route."""
+
+    source: str
+    destination: str
+    hops: tuple[str, ...]
+    """The full node sequence, source first and destination last."""
+
+    @property
+    def hop_count(self) -> int:
+        """Number of radio transmissions needed to traverse the route."""
+
+        return max(0, len(self.hops) - 1)
+
+    def uses_link(self, host_a: str, host_b: str) -> bool:
+        """True when the route traverses the (undirected) link a-b."""
+
+        for first, second in zip(self.hops, self.hops[1:]):
+            if {first, second} == {host_a, host_b}:
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"Route({' -> '.join(self.hops)})"
+
+
+class RouteNotFound(Exception):
+    """No path currently exists between the two hosts."""
+
+
+class AodvRouter:
+    """On-demand route discovery with caching over a dynamic neighbour graph.
+
+    Parameters
+    ----------
+    neighbours_of:
+        Callback returning the hosts currently within direct radio range of
+        a given host.  The ad hoc network supplies this; the router never
+        looks at positions itself.
+    """
+
+    def __init__(self, neighbours_of: Callable[[str], frozenset[str]]) -> None:
+        self._neighbours_of = neighbours_of
+        self._cache: dict[tuple[str, str], Route] = {}
+        self.discoveries = 0
+        self.cache_hits = 0
+
+    # -- route lookup -------------------------------------------------------
+    def route(self, source: str, destination: str) -> Route:
+        """Return a route from ``source`` to ``destination``.
+
+        Uses the cached route when it is still valid, otherwise performs a
+        breadth-first route discovery (the idealised outcome of an RREQ
+        flood).  Raises :class:`RouteNotFound` when the hosts are currently
+        partitioned.
+        """
+
+        if source == destination:
+            return Route(source, destination, (source,))
+        cached = self._cache.get((source, destination))
+        if cached is not None and self._route_still_valid(cached):
+            self.cache_hits += 1
+            return cached
+        route = self._discover(source, destination)
+        self._cache[(source, destination)] = route
+        # AODV installs the reverse path for free as the RREP travels back.
+        self._cache[(destination, source)] = Route(
+            destination, source, tuple(reversed(route.hops))
+        )
+        return route
+
+    def was_cached(self, source: str, destination: str) -> bool:
+        """True when a still-valid route for the pair is in the cache."""
+
+        cached = self._cache.get((source, destination))
+        return cached is not None and self._route_still_valid(cached)
+
+    def invalidate(self, host_a: str, host_b: str) -> int:
+        """Drop every cached route using the (broken) link a-b; returns the count."""
+
+        broken = [
+            key for key, route in self._cache.items() if route.uses_link(host_a, host_b)
+        ]
+        for key in broken:
+            del self._cache[key]
+        return len(broken)
+
+    def clear(self) -> None:
+        """Drop the entire route cache (e.g. after large-scale movement)."""
+
+        self._cache.clear()
+
+    # -- internals ----------------------------------------------------------------
+    def _route_still_valid(self, route: Route) -> bool:
+        for first, second in zip(route.hops, route.hops[1:]):
+            if second not in self._neighbours_of(first):
+                return False
+        return True
+
+    def _discover(self, source: str, destination: str) -> Route:
+        self.discoveries += 1
+        # Breadth-first search = minimum hop count, which is what AODV's
+        # first-RREQ-wins behaviour converges to on an idle network.
+        parents: dict[str, str] = {}
+        visited = {source}
+        queue: deque[str] = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbour in sorted(self._neighbours_of(current)):
+                if neighbour in visited:
+                    continue
+                visited.add(neighbour)
+                parents[neighbour] = current
+                if neighbour == destination:
+                    return Route(source, destination, self._unwind(parents, source, destination))
+                queue.append(neighbour)
+        raise RouteNotFound(f"no route from {source!r} to {destination!r}")
+
+    @staticmethod
+    def _unwind(parents: Mapping[str, str], source: str, destination: str) -> tuple[str, ...]:
+        path = [destination]
+        while path[-1] != source:
+            path.append(parents[path[-1]])
+        return tuple(reversed(path))
+
+    def __repr__(self) -> str:
+        return (
+            f"AodvRouter(cached={len(self._cache)}, discoveries={self.discoveries}, "
+            f"cache_hits={self.cache_hits})"
+        )

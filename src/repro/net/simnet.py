@@ -1,0 +1,108 @@
+"""The simulated network used for the paper's single-process evaluation.
+
+For Figures 4 and 5 the paper runs all hosts within a single JVM and lets
+them "communicate solely through a simulated network".  The
+:class:`SimulatedNetwork` reproduces that setup: every registered host can
+reach every other host, and each message experiences a configurable latency
+(zero by default, plus optional deterministic jitter).  Partitions can be
+injected for failure tests by cutting links explicitly.
+"""
+
+from __future__ import annotations
+
+from ..sim.events import EventScheduler
+from ..sim.randomness import rng_from_seed
+from .messages import Message
+from .transport import CommunicationsLayer
+
+
+class SimulatedNetwork(CommunicationsLayer):
+    """A fully connected in-process network with configurable latency.
+
+    Parameters
+    ----------
+    scheduler:
+        The shared event scheduler.
+    base_latency:
+        Constant per-message delivery delay in (simulated) seconds.
+    jitter:
+        Maximum additional uniformly distributed delay.  Drawn from a
+        seeded stream so runs stay reproducible.
+    bandwidth_bytes_per_second:
+        Optional bandwidth cap; when set, a message of ``n`` bytes adds
+        ``n / bandwidth`` seconds to its delivery time.  ``None`` (the
+        default) models an infinitely fast local pipe.
+    seed:
+        Seed for the jitter stream.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        base_latency: float = 0.0,
+        jitter: float = 0.0,
+        bandwidth_bytes_per_second: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(scheduler)
+        if base_latency < 0 or jitter < 0:
+            raise ValueError("latency and jitter must be non-negative")
+        if bandwidth_bytes_per_second is not None and bandwidth_bytes_per_second <= 0:
+            raise ValueError("bandwidth must be positive when given")
+        self.base_latency = base_latency
+        self.jitter = jitter
+        self.bandwidth = bandwidth_bytes_per_second
+        self._rng = rng_from_seed(seed)
+        self._severed: set[frozenset[str]] = set()
+
+    # -- link management (failure injection) ---------------------------------
+    def sever_link(self, host_a: str, host_b: str) -> None:
+        """Cut the (bidirectional) link between two hosts."""
+
+        self._severed.add(frozenset((host_a, host_b)))
+
+    def restore_link(self, host_a: str, host_b: str) -> None:
+        """Restore a previously severed link."""
+
+        self._severed.discard(frozenset((host_a, host_b)))
+
+    def sever_host(self, host_id: str) -> None:
+        """Cut all links of ``host_id`` (the host moved out of range / powered off)."""
+
+        for other in self.host_ids:
+            if other != host_id:
+                self.sever_link(host_id, other)
+
+    def restore_host(self, host_id: str) -> None:
+        """Restore all links of ``host_id``."""
+
+        self._severed = {
+            pair for pair in self._severed if host_id not in pair
+        }
+
+    # -- CommunicationsLayer interface -----------------------------------------
+    def is_reachable(self, sender: str, recipient: str) -> bool:
+        if sender == recipient:
+            return True
+        return frozenset((sender, recipient)) not in self._severed
+
+    def latency_for(self, message: Message) -> float:
+        latency = self.base_latency
+        if self.jitter > 0:
+            latency += self._rng.uniform(0.0, self.jitter)
+        if self.bandwidth is not None:
+            latency += message.size_bytes() / self.bandwidth
+        return latency
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedNetwork(hosts={len(self.host_ids)}, "
+            f"base_latency={self.base_latency}, jitter={self.jitter})"
+        )
+
+
+class LoopbackNetwork(SimulatedNetwork):
+    """A zero-latency network for unit tests of single-host behaviour."""
+
+    def __init__(self, scheduler: EventScheduler) -> None:
+        super().__init__(scheduler, base_latency=0.0, jitter=0.0)

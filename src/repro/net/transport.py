@@ -1,0 +1,188 @@
+"""The abstract communications layer.
+
+One of the two architectural design principles of the paper (Section 4.2)
+is to "isolate and hide the highly variable details of the transports,
+protocols, and caching schemes used during communication by providing an
+abstract communications layer", and to pass even local component
+interactions through the same intermediary so local and remote components
+are accessed uniformly.
+
+:class:`CommunicationsLayer` is that abstraction.  Hosts register a message
+handler under their host id; senders call :meth:`send` (unicast) or
+:meth:`broadcast` (every currently reachable host).  Concrete subclasses
+decide what "reachable" means and how long delivery takes:
+
+* :class:`~repro.net.simnet.SimulatedNetwork` — everyone reachable,
+  configurable constant latency (the paper's single-JVM simulation).
+* :class:`~repro.net.adhoc.AdHocWirelessNetwork` — reachability derived
+  from radio range and host positions, latency derived from an 802.11g-like
+  bandwidth model, optionally multi-hop via AODV-style routing.
+
+Delivery is asynchronous: the layer schedules the recipient's handler on the
+shared event scheduler, so all middleware code sees the same event-driven
+world regardless of the transport in use.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..core.errors import CommunicationError, HostUnreachableError
+from ..sim.events import EventScheduler
+from .messages import Message
+
+MessageHandler = Callable[[Message], None]
+
+
+@dataclass
+class TransportStatistics:
+    """Counters describing the traffic carried by a communications layer."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+    def record_sent(self, message: Message) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += message.size_bytes()
+        self.by_kind[message.kind] = self.by_kind.get(message.kind, 0) + 1
+
+    def record_delivered(self) -> None:
+        self.messages_delivered += 1
+
+    def record_dropped(self) -> None:
+        self.messages_dropped += 1
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "bytes_sent": self.bytes_sent,
+            "by_kind": dict(self.by_kind),
+        }
+
+
+class CommunicationsLayer(ABC):
+    """Base class for all transports.
+
+    Subclasses implement :meth:`latency_for` and :meth:`is_reachable`; the
+    base class handles registration, statistics, and scheduling delivery on
+    the event scheduler.
+    """
+
+    def __init__(self, scheduler: EventScheduler) -> None:
+        self.scheduler = scheduler
+        self._handlers: dict[str, MessageHandler] = {}
+        self.statistics = TransportStatistics()
+
+    # -- membership ---------------------------------------------------------
+    def register(self, host_id: str, handler: MessageHandler) -> None:
+        """Attach a host's message handler to the network."""
+
+        if host_id in self._handlers:
+            raise CommunicationError(f"host {host_id!r} is already registered")
+        self._handlers[host_id] = handler
+
+    def unregister(self, host_id: str) -> None:
+        """Detach a host (e.g. it left the community)."""
+
+        self._handlers.pop(host_id, None)
+
+    @property
+    def host_ids(self) -> frozenset[str]:
+        """All hosts currently attached to the network."""
+
+        return frozenset(self._handlers)
+
+    def is_registered(self, host_id: str) -> bool:
+        return host_id in self._handlers
+
+    # -- reachability & latency (transport specific) -----------------------------
+    @abstractmethod
+    def is_reachable(self, sender: str, recipient: str) -> bool:
+        """True when a message from ``sender`` can currently reach ``recipient``."""
+
+    @abstractmethod
+    def latency_for(self, message: Message) -> float:
+        """Seconds the message spends in flight."""
+
+    def reachable_from(self, sender: str) -> frozenset[str]:
+        """All hosts reachable from ``sender`` (excluding itself)."""
+
+        return frozenset(
+            host
+            for host in self._handlers
+            if host != sender and self.is_reachable(sender, host)
+        )
+
+    # -- sending -------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Deliver ``message`` to its recipient asynchronously.
+
+        Raises :class:`~repro.core.errors.HostUnreachableError` when the
+        recipient is unknown or outside communication range; callers that
+        prefer best-effort semantics can use :meth:`try_send`.
+        """
+
+        self.statistics.record_sent(message)
+        if message.recipient not in self._handlers:
+            self.statistics.record_dropped()
+            raise HostUnreachableError(
+                f"host {message.recipient!r} is not attached to the network"
+            )
+        if not self.is_reachable(message.sender, message.recipient):
+            self.statistics.record_dropped()
+            raise HostUnreachableError(
+                f"host {message.recipient!r} is not reachable from {message.sender!r}"
+            )
+        latency = self.latency_for(message)
+        handler = self._handlers[message.recipient]
+
+        def deliver() -> None:
+            # The recipient may have left the network while the message was in
+            # flight; in that case the message is silently dropped, matching
+            # the behaviour of a real wireless medium.
+            if message.recipient in self._handlers:
+                self.statistics.record_delivered()
+                handler(message)
+            else:
+                self.statistics.record_dropped()
+
+        self.scheduler.schedule_in(latency, deliver, description=repr(message))
+
+    def try_send(self, message: Message) -> bool:
+        """Best-effort :meth:`send`; returns ``False`` instead of raising."""
+
+        try:
+            self.send(message)
+        except CommunicationError:
+            return False
+        return True
+
+    def broadcast(
+        self, sender: str, make_message: Callable[[str], Message]
+    ) -> list[str]:
+        """Send a message to every host reachable from ``sender``.
+
+        ``make_message`` is called once per recipient so each copy carries
+        the correct envelope.  Returns the list of recipients addressed.
+        """
+
+        recipients = sorted(self.reachable_from(sender))
+        for recipient in recipients:
+            self.send(make_message(recipient))
+        return recipients
+
+    def send_all(self, messages: Iterable[Message]) -> int:
+        """Send a batch of messages; returns how many were accepted."""
+
+        count = 0
+        for message in messages:
+            if self.try_send(message):
+                count += 1
+        return count

@@ -1,0 +1,26 @@
+"""The open workflow management system facade and its configuration loader."""
+
+from .config import (
+    CommunityConfig,
+    DeviceConfig,
+    load_community_config,
+    parse_community_xml,
+    parse_device,
+    parse_fragment,
+    parse_service,
+    parse_task,
+)
+from .system import OpenWorkflowSystem, SolveReport
+
+__all__ = [
+    "CommunityConfig",
+    "DeviceConfig",
+    "OpenWorkflowSystem",
+    "SolveReport",
+    "load_community_config",
+    "parse_community_xml",
+    "parse_device",
+    "parse_fragment",
+    "parse_service",
+    "parse_task",
+]

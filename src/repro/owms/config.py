@@ -1,0 +1,241 @@
+"""XML configuration files for devices and communities.
+
+"In our implementation, we use XML configuration files to provide the task
+and service definitions for each device" (paper, Section 4.1).  This module
+parses that configuration format.  A community file looks like::
+
+    <community>
+      <location name="kitchen" x="0" y="0"/>
+      <location name="dining room" x="30" y="0"/>
+      <device id="master-chef">
+        <position x="10" y="5"/>
+        <fragments>
+          <fragment id="omelets" description="How to serve omelets">
+            <task name="set out ingredients" service="set out ingredients"
+                  duration="900" location="dining room">
+              <input>breakfast ingredients</input>
+              <output>omelet bar setup</output>
+            </task>
+            <task name="cook omelets" duration="2700" location="dining room">
+              <input>omelet bar setup</input>
+              <output>breakfast served</output>
+            </task>
+          </fragment>
+        </fragments>
+        <services>
+          <service type="cook omelets" duration="2700"/>
+        </services>
+        <preferences max-commitments="3" bid-validity="600">
+          <refuse>serve tables</refuse>
+        </preferences>
+      </device>
+    </community>
+
+Only the Python standard library's :mod:`xml.etree.ElementTree` is used, so
+the configuration layer has no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.errors import ConfigurationError
+from ..core.fragments import WorkflowFragment
+from ..core.errors import InvalidFragmentError
+from ..core.tasks import Task, TaskMode
+from ..execution.services import ServiceDescription
+from ..mobility.geometry import Point
+from ..mobility.locations import Location
+from ..scheduling.preferences import ParticipantPreferences
+
+
+@dataclass
+class DeviceConfig:
+    """Configuration of one device (host) as read from XML."""
+
+    device_id: str
+    fragments: list[WorkflowFragment] = field(default_factory=list)
+    services: list[ServiceDescription] = field(default_factory=list)
+    position: Point | None = None
+    preferences: ParticipantPreferences = ParticipantPreferences()
+
+
+@dataclass
+class CommunityConfig:
+    """Configuration of a whole community: locations plus devices."""
+
+    devices: list[DeviceConfig] = field(default_factory=list)
+    locations: list[Location] = field(default_factory=list)
+
+    def device(self, device_id: str) -> DeviceConfig:
+        for device in self.devices:
+            if device.device_id == device_id:
+                return device
+        raise ConfigurationError(f"no device {device_id!r} in the configuration")
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def _parse_float(element: ET.Element, attribute: str, default: float = 0.0) -> float:
+    raw = element.get(attribute)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"attribute {attribute!r} of <{element.tag}> is not a number: {raw!r}"
+        ) from exc
+
+
+def parse_task(element: ET.Element) -> Task:
+    """Parse a ``<task>`` element."""
+
+    name = element.get("name")
+    if not name:
+        raise ConfigurationError("<task> requires a name attribute")
+    inputs = [child.text.strip() for child in element.findall("input") if child.text]
+    outputs = [child.text.strip() for child in element.findall("output") if child.text]
+    mode_raw = (element.get("mode") or "conjunctive").lower()
+    try:
+        mode = TaskMode(mode_raw)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"task {name!r} has unknown mode {mode_raw!r}"
+        ) from exc
+    return Task(
+        name,
+        inputs=inputs,
+        outputs=outputs,
+        mode=mode,
+        service_type=element.get("service") or name,
+        duration=_parse_float(element, "duration", 0.0),
+        location=element.get("location"),
+    )
+
+
+def parse_fragment(element: ET.Element) -> WorkflowFragment:
+    """Parse a ``<fragment>`` element."""
+
+    tasks = [parse_task(task_elem) for task_elem in element.findall("task")]
+    if not tasks:
+        raise ConfigurationError("<fragment> must contain at least one <task>")
+    try:
+        return WorkflowFragment(
+            tasks,
+            fragment_id=element.get("id"),
+            description=element.get("description", ""),
+        )
+    except InvalidFragmentError as exc:
+        raise ConfigurationError(f"invalid fragment in configuration: {exc}") from exc
+
+
+def parse_service(element: ET.Element) -> ServiceDescription:
+    """Parse a ``<service>`` element."""
+
+    service_type = element.get("type")
+    if not service_type:
+        raise ConfigurationError("<service> requires a type attribute")
+    return ServiceDescription(
+        service_type=service_type,
+        name=element.get("name", service_type),
+        duration=_parse_float(element, "duration", 0.0),
+        description=element.get("description", ""),
+    )
+
+
+def parse_preferences(element: ET.Element | None) -> ParticipantPreferences:
+    """Parse a ``<preferences>`` element (absent element yields the defaults)."""
+
+    if element is None:
+        return ParticipantPreferences()
+    refused = frozenset(
+        child.text.strip() for child in element.findall("refuse") if child.text
+    )
+    max_commitments_raw = element.get("max-commitments")
+    max_commitments = int(max_commitments_raw) if max_commitments_raw else None
+    bid_validity_raw = element.get("bid-validity")
+    bid_validity = float(bid_validity_raw) if bid_validity_raw else float("inf")
+    hours_elem = element.find("working-hours")
+    working_hours = None
+    if hours_elem is not None:
+        working_hours = (
+            _parse_float(hours_elem, "start", 0.0),
+            _parse_float(hours_elem, "end", 0.0),
+        )
+    return ParticipantPreferences(
+        refused_service_types=refused,
+        max_commitments=max_commitments,
+        bid_validity=bid_validity,
+        working_hours=working_hours,
+    )
+
+
+def parse_device(element: ET.Element) -> DeviceConfig:
+    """Parse a ``<device>`` element."""
+
+    device_id = element.get("id")
+    if not device_id:
+        raise ConfigurationError("<device> requires an id attribute")
+    config = DeviceConfig(device_id=device_id)
+
+    fragments_elem = element.find("fragments")
+    if fragments_elem is not None:
+        config.fragments = [
+            parse_fragment(child) for child in fragments_elem.findall("fragment")
+        ]
+    services_elem = element.find("services")
+    if services_elem is not None:
+        config.services = [
+            parse_service(child) for child in services_elem.findall("service")
+        ]
+    position_elem = element.find("position")
+    if position_elem is not None:
+        config.position = Point(
+            _parse_float(position_elem, "x"), _parse_float(position_elem, "y")
+        )
+    config.preferences = parse_preferences(element.find("preferences"))
+    return config
+
+
+def parse_community_xml(text: str) -> CommunityConfig:
+    """Parse a community configuration from an XML string."""
+
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ConfigurationError(f"malformed configuration XML: {exc}") from exc
+    if root.tag != "community":
+        raise ConfigurationError(
+            f"expected a <community> root element, found <{root.tag}>"
+        )
+    config = CommunityConfig()
+    for location_elem in root.findall("location"):
+        name = location_elem.get("name")
+        if not name:
+            raise ConfigurationError("<location> requires a name attribute")
+        config.locations.append(
+            Location(
+                name,
+                Point(
+                    _parse_float(location_elem, "x"), _parse_float(location_elem, "y")
+                ),
+                description=location_elem.get("description", ""),
+            )
+        )
+    for device_elem in root.findall("device"):
+        config.devices.append(parse_device(device_elem))
+    if not config.devices:
+        raise ConfigurationError("a community configuration needs at least one device")
+    return config
+
+
+def load_community_config(path: str | Path) -> CommunityConfig:
+    """Read and parse a community configuration file."""
+
+    return parse_community_xml(Path(path).read_text(encoding="utf-8"))

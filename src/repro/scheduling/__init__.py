@@ -1,0 +1,14 @@
+"""Scheduling substrate: commitments, preferences, and the Schedule Manager."""
+
+from .commitments import Commitment, CommitmentOutcome
+from .preferences import ALWAYS_WILLING, ParticipantPreferences
+from .schedule import ScheduleManager, SlotProposal
+
+__all__ = [
+    "ALWAYS_WILLING",
+    "Commitment",
+    "CommitmentOutcome",
+    "ParticipantPreferences",
+    "ScheduleManager",
+    "SlotProposal",
+]

@@ -1,0 +1,127 @@
+"""Commitments: scheduled service invocations.
+
+Once a participant wins the auction for a task it adds a *commitment* to its
+schedule (paper, Section 3.2).  The commitment contains all the information
+the participant needs to meet its obligation without any further
+coordination: what service to run, when, where, which inputs to wait for and
+from whom, and which participants need the outputs afterwards.  The travel
+time needed to reach the task's location is blocked out in the schedule as
+well, exactly as the paper's calendar UI does.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.tasks import Task
+
+_commitment_counter = itertools.count(1)
+
+
+def _next_commitment_id() -> str:
+    return f"commitment-{next(_commitment_counter)}"
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """A firm promise to execute one task of one workflow.
+
+    Parameters
+    ----------
+    task:
+        The task to execute (carries service type, duration, and location).
+    workflow_id:
+        The open workflow this commitment belongs to.
+    start:
+        Scheduled start of the service execution (simulated seconds).
+    travel_time:
+        Seconds blocked out immediately *before* ``start`` for travelling to
+        the task's location.
+    input_sources:
+        For every input label, the host expected to deliver it.
+    output_destinations:
+        For every output label, the hosts that must receive it.
+    trigger_labels:
+        Input labels that are triggering conditions of the workflow and are
+        therefore considered available from the outset.
+    initiator:
+        The host that constructed the workflow (receives completion
+        notifications).
+    """
+
+    task: Task
+    workflow_id: str
+    start: float
+    travel_time: float = 0.0
+    input_sources: Mapping[str, str] = field(default_factory=dict)
+    output_destinations: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+    trigger_labels: frozenset[str] = frozenset()
+    initiator: str = ""
+    commitment_id: str = field(default_factory=_next_commitment_id, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("commitment start must be non-negative")
+        if self.travel_time < 0:
+            raise ValueError("travel time must be non-negative")
+
+    # -- time window -------------------------------------------------------
+    @property
+    def blocked_from(self) -> float:
+        """Start of the blocked-out period (including travel)."""
+
+        return self.start - self.travel_time
+
+    @property
+    def end(self) -> float:
+        """End of the service execution."""
+
+        return self.start + self.task.duration
+
+    @property
+    def duration(self) -> float:
+        return self.task.duration
+
+    def overlaps(self, other: "Commitment") -> bool:
+        """True when the blocked periods of the two commitments intersect."""
+
+        return self.blocked_from < other.end and other.blocked_from < self.end
+
+    def overlaps_window(self, start: float, end: float) -> bool:
+        """True when the commitment's blocked period intersects ``[start, end)``."""
+
+        return self.blocked_from < end and start < self.end
+
+    # -- inputs ------------------------------------------------------------
+    @property
+    def required_inputs(self) -> frozenset[str]:
+        """Input labels that must arrive over the network before execution."""
+
+        return self.task.inputs - self.trigger_labels
+
+    @property
+    def location(self) -> str | None:
+        return self.task.location
+
+    def __repr__(self) -> str:
+        return (
+            f"Commitment({self.task.name!r}, workflow={self.workflow_id!r}, "
+            f"start={self.start:.1f}, duration={self.duration:.1f})"
+        )
+
+
+@dataclass(frozen=True)
+class CommitmentOutcome:
+    """Record of a completed (or failed) commitment, kept for reporting."""
+
+    commitment: Commitment
+    completed_at: float
+    succeeded: bool
+    outputs_sent: frozenset[str] = frozenset()
+    failure_reason: str = ""
+
+    def __repr__(self) -> str:
+        status = "ok" if self.succeeded else f"failed: {self.failure_reason}"
+        return f"CommitmentOutcome({self.commitment.task.name!r}, {status})"

@@ -1,0 +1,97 @@
+"""Participant preferences and willingness.
+
+Service availability condition (5) of the paper asks "whether the
+participant is willing (according to their preferences) to perform the
+service".  :class:`ParticipantPreferences` captures the knobs a user could
+set on their device: service types they refuse outright, a cap on how many
+commitments they are willing to hold at once, working hours, and how long
+their bids remain valid (which becomes the response deadline communicated
+to the auction manager).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.tasks import Task
+
+
+@dataclass(frozen=True)
+class ParticipantPreferences:
+    """Per-participant policy consulted before bidding on a task.
+
+    Parameters
+    ----------
+    refused_service_types:
+        Service types this participant will never perform, regardless of
+        technical capability.
+    max_commitments:
+        Maximum number of outstanding commitments the participant accepts
+        (``None`` means unlimited).
+    working_hours:
+        Optional ``(start, end)`` window in simulated seconds outside of
+        which the participant will not schedule work (``None`` = any time).
+    bid_validity:
+        How long (seconds) a submitted bid remains valid; the auction
+        manager must answer within this window.  ``float("inf")`` means the
+        bid never expires.
+    eagerness:
+        A value in ``[0, 1]`` used only for tie-breaking experiments: more
+        eager participants propose earlier start times when they have
+        several free slots.  The default of 1.0 always proposes the
+        earliest feasible slot.
+    """
+
+    refused_service_types: frozenset[str] = frozenset()
+    max_commitments: int | None = None
+    working_hours: tuple[float, float] | None = None
+    bid_validity: float = float("inf")
+    eagerness: float = 1.0
+    notes: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_commitments is not None and self.max_commitments < 0:
+            raise ValueError("max_commitments must be non-negative")
+        if self.working_hours is not None:
+            start, end = self.working_hours
+            if end < start:
+                raise ValueError("working hours end before they start")
+        if self.bid_validity <= 0:
+            raise ValueError("bid_validity must be positive")
+        if not 0.0 <= self.eagerness <= 1.0:
+            raise ValueError("eagerness must lie in [0, 1]")
+
+    def is_willing(self, task: Task, current_commitments: int) -> tuple[bool, str]:
+        """Decide whether to consider bidding on ``task`` at all.
+
+        Returns ``(True, "")`` when willing, or ``(False, reason)``.
+        """
+
+        if task.service_type in self.refused_service_types:
+            return False, f"refuses service type {task.service_type!r}"
+        if (
+            self.max_commitments is not None
+            and current_commitments >= self.max_commitments
+        ):
+            return False, "commitment limit reached"
+        return True, ""
+
+    def within_working_hours(self, start: float, duration: float) -> bool:
+        """True when the whole execution window falls inside working hours."""
+
+        if self.working_hours is None:
+            return True
+        lo, hi = self.working_hours
+        return lo <= start and start + duration <= hi
+
+    def clamp_to_working_hours(self, start: float) -> float:
+        """Push ``start`` forward to the beginning of working hours if needed."""
+
+        if self.working_hours is None:
+            return start
+        lo, _hi = self.working_hours
+        return max(start, lo)
+
+
+ALWAYS_WILLING = ParticipantPreferences()
+"""Default preferences: accept everything, bids never expire."""

@@ -1,0 +1,265 @@
+"""The Schedule Manager: availability, feasibility, and commitments.
+
+The Schedule Manager is "the keystone component of the execution subsystem"
+(paper, Section 4.2).  It manages the host's availability by tracking its
+location, schedule, and scheduling preferences, and it maintains the
+database of all commitments — the key data structure for both allocation
+and execution of an open workflow.
+
+Two questions are answered here:
+
+* *Can I commit to this task?*  (used while preparing a bid) — the manager
+  searches for the earliest feasible slot taking into account existing
+  commitments, the travel time to the task's location, and the
+  participant's preferences.
+* *What am I committed to?* — the commitment database consulted by the
+  execution manager and by willingness checks for later bids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.errors import ScheduleConflictError, SchedulingError
+from ..core.tasks import Task
+from ..mobility.geometry import Point
+from ..mobility.locations import LocationDirectory, TravelModel
+from ..mobility.models import MobilityModel, StaticMobility
+from ..sim.clock import Clock, SimulatedClock
+from .commitments import Commitment
+from .preferences import ALWAYS_WILLING, ParticipantPreferences
+
+
+@dataclass(frozen=True)
+class SlotProposal:
+    """A feasible execution slot found by :meth:`ScheduleManager.find_slot`."""
+
+    start: float
+    travel_time: float
+    location: str | None
+
+    @property
+    def blocked_from(self) -> float:
+        return self.start - self.travel_time
+
+
+class ScheduleManager:
+    """Tracks one participant's commitments, location, and availability.
+
+    Parameters
+    ----------
+    host_id:
+        The owning host (used in error messages and reports).
+    clock:
+        Source of "now" for feasibility checks.
+    locations:
+        The shared directory of named places.
+    travel_model:
+        Converts distances to travel seconds.
+    mobility:
+        Where the host currently is (a mobility model or a fixed point).
+    preferences:
+        The participant's willingness policy.
+    """
+
+    def __init__(
+        self,
+        host_id: str,
+        clock: Clock | None = None,
+        locations: LocationDirectory | None = None,
+        travel_model: TravelModel | None = None,
+        mobility: MobilityModel | Point | None = None,
+        preferences: ParticipantPreferences = ALWAYS_WILLING,
+    ) -> None:
+        self.host_id = host_id
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.locations = locations if locations is not None else LocationDirectory()
+        self.travel_model = travel_model if travel_model is not None else TravelModel()
+        if mobility is None:
+            mobility = StaticMobility(Point(0.0, 0.0))
+        elif isinstance(mobility, Point):
+            mobility = StaticMobility(mobility)
+        self.mobility = mobility
+        self.preferences = preferences
+        self._commitments: list[Commitment] = []
+
+    # -- location ------------------------------------------------------------
+    def current_position(self) -> Point:
+        """The host's physical position at the current simulated time."""
+
+        return self.mobility.position_at(self.clock.now())
+
+    def travel_time_to(self, location_name: str | None, at_time: float | None = None) -> float:
+        """Seconds needed to reach ``location_name`` from the host's position.
+
+        The starting point is the location of the last commitment that ends
+        before ``at_time`` (the host will already be there), or the host's
+        current physical position when there is no earlier commitment.
+        """
+
+        if location_name is None:
+            return 0.0
+        destination = self.locations.position_of(location_name)
+        if destination is None:
+            return self.travel_model.unknown_location_penalty
+        reference_time = self.clock.now() if at_time is None else at_time
+        origin = self._position_before(reference_time)
+        return self.travel_model.travel_seconds(origin, destination)
+
+    def _position_before(self, timestamp: float) -> Point:
+        previous = None
+        for commitment in self._commitments:
+            if commitment.end <= timestamp and commitment.location is not None:
+                if previous is None or commitment.end > previous.end:
+                    previous = commitment
+        if previous is not None:
+            position = self.locations.position_of(previous.location or "")
+            if position is not None:
+                return position
+        return self.current_position()
+
+    # -- commitment database -----------------------------------------------------
+    @property
+    def commitments(self) -> list[Commitment]:
+        """All commitments, ordered by start time."""
+
+        return sorted(self._commitments, key=lambda c: (c.start, c.task.name))
+
+    def commitment_count(self) -> int:
+        return len(self._commitments)
+
+    def commitments_for_workflow(self, workflow_id: str) -> list[Commitment]:
+        return [c for c in self.commitments if c.workflow_id == workflow_id]
+
+    def has_commitment_for(self, workflow_id: str, task_name: str) -> bool:
+        return any(
+            c.workflow_id == workflow_id and c.task.name == task_name
+            for c in self._commitments
+        )
+
+    def add_commitment(self, commitment: Commitment) -> None:
+        """Add a commitment, enforcing that blocked periods never overlap."""
+
+        for existing in self._commitments:
+            if existing.overlaps(commitment):
+                raise ScheduleConflictError(
+                    f"commitment for {commitment.task.name!r} "
+                    f"({commitment.blocked_from:.1f}-{commitment.end:.1f}) overlaps "
+                    f"{existing.task.name!r} ({existing.blocked_from:.1f}-{existing.end:.1f})"
+                )
+        self._commitments.append(commitment)
+
+    def remove_commitment(self, commitment_id: str) -> bool:
+        """Drop a commitment (e.g. the workflow was cancelled); returns success."""
+
+        before = len(self._commitments)
+        self._commitments = [
+            c for c in self._commitments if c.commitment_id != commitment_id
+        ]
+        return len(self._commitments) != before
+
+    def is_free(self, start: float, end: float) -> bool:
+        """True when no commitment blocks any part of ``[start, end)``."""
+
+        return not any(c.overlaps_window(start, end) for c in self._commitments)
+
+    def busy_windows(self) -> list[tuple[float, float]]:
+        """The blocked periods, sorted — useful for display and tests."""
+
+        return sorted(
+            (c.blocked_from, c.end) for c in self._commitments
+        )
+
+    # -- slot search ---------------------------------------------------------------
+    def find_slot(
+        self,
+        task: Task,
+        earliest_start: float | None = None,
+        deadline: float = float("inf"),
+    ) -> SlotProposal | None:
+        """Find the earliest feasible execution slot for ``task``.
+
+        The slot must begin at or after ``earliest_start`` (default: now),
+        leave room for travelling to the task's location, not overlap any
+        existing commitment, respect working hours, and finish before
+        ``deadline``.  Returns ``None`` when no such slot exists.
+        """
+
+        now = self.clock.now()
+        candidate = max(now, earliest_start if earliest_start is not None else now)
+        candidate = self.preferences.clamp_to_working_hours(candidate)
+        travel = self.travel_time_to(task.location, at_time=candidate)
+
+        # Candidate start times worth trying: the requested start and the end
+        # of every existing commitment (plus travel).  One of these is always
+        # the earliest feasible slot because feasibility only changes at
+        # commitment boundaries.
+        boundaries = [candidate]
+        boundaries.extend(c.end + travel for c in self._commitments)
+        for start in sorted(set(boundaries)):
+            start = max(start, candidate)
+            start = self.preferences.clamp_to_working_hours(start)
+            blocked_from = start - travel
+            if blocked_from < now:
+                start = now + travel
+                blocked_from = now
+            end = start + task.duration
+            if end > deadline:
+                continue
+            if not self.preferences.within_working_hours(start, task.duration):
+                continue
+            if self.is_free(blocked_from, end):
+                return SlotProposal(start=start, travel_time=travel, location=task.location)
+        return None
+
+    def can_commit_to(
+        self,
+        task: Task,
+        earliest_start: float | None = None,
+        deadline: float = float("inf"),
+    ) -> tuple[SlotProposal | None, str]:
+        """Full availability check used when preparing a bid.
+
+        Combines the willingness preferences (condition 5 of the paper) with
+        the time/travel feasibility search (conditions 2-4).  Returns the
+        proposed slot and an empty string, or ``(None, reason)``.
+        """
+
+        willing, reason = self.preferences.is_willing(task, len(self._commitments))
+        if not willing:
+            return None, reason
+        slot = self.find_slot(task, earliest_start=earliest_start, deadline=deadline)
+        if slot is None:
+            return None, "no feasible slot before the deadline"
+        return slot, ""
+
+    # -- bulk helpers ----------------------------------------------------------------
+    def add_commitments(self, commitments: Iterable[Commitment]) -> None:
+        for commitment in commitments:
+            self.add_commitment(commitment)
+
+    def clear(self) -> None:
+        """Drop every commitment (used between benchmark repetitions)."""
+
+        self._commitments.clear()
+
+    def utilisation(self, horizon: float) -> float:
+        """Fraction of ``[now, now + horizon)`` blocked by commitments."""
+
+        if horizon <= 0:
+            raise SchedulingError("utilisation horizon must be positive")
+        now = self.clock.now()
+        end = now + horizon
+        busy = 0.0
+        for commitment in self._commitments:
+            lo = max(now, commitment.blocked_from)
+            hi = min(end, commitment.end)
+            busy += max(0.0, hi - lo)
+        return min(1.0, busy / horizon)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScheduleManager(host={self.host_id!r}, "
+            f"commitments={len(self._commitments)})"
+        )

@@ -1,0 +1,38 @@
+"""Discrete event simulation substrate.
+
+The paper evaluates the open workflow system by running every host inside a
+single process over a simulated network.  This package provides the shared
+clock, the deterministic event scheduler, and the seeded randomness helpers
+that the network, mobility, and middleware layers build upon.
+"""
+
+from .clock import Clock, SimulatedClock, WallClock
+from .events import EventHandle, EventScheduler
+from .randomness import (
+    DEFAULT_SEED,
+    choice,
+    derive_rng,
+    derive_seed,
+    exponential_jitter,
+    rng_from_seed,
+    sample_without_replacement,
+    shuffled,
+    uniform_jitter,
+)
+
+__all__ = [
+    "Clock",
+    "DEFAULT_SEED",
+    "EventHandle",
+    "EventScheduler",
+    "SimulatedClock",
+    "WallClock",
+    "choice",
+    "derive_rng",
+    "derive_seed",
+    "exponential_jitter",
+    "rng_from_seed",
+    "sample_without_replacement",
+    "shuffled",
+    "uniform_jitter",
+]

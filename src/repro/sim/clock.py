@@ -1,0 +1,78 @@
+"""Clocks for the middleware.
+
+The open workflow middleware needs a notion of time in three places: the
+schedule manager (commitments have start times and durations), the execution
+manager (services fire when their time window opens), and the network
+substrate (messages take time to travel).  To keep the library testable and
+the evaluation reproducible, every component takes a :class:`Clock` rather
+than calling ``time.time()`` directly.
+
+Two implementations are provided:
+
+* :class:`SimulatedClock` — time advances only when the discrete event
+  scheduler (or a test) says so.  This is what the evaluation harness uses.
+* :class:`WallClock` — real time, for running the middleware against actual
+  waiting periods (rarely needed; provided for completeness).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+
+class Clock(Protocol):
+    """Minimal clock interface used throughout the middleware."""
+
+    def now(self) -> float:
+        """Current time in seconds."""
+        ...
+
+
+class SimulatedClock:
+    """A manually advanced clock for discrete event simulation.
+
+    Time never flows on its own; it is advanced explicitly by the event
+    scheduler or by test code.  Attempting to move time backwards raises
+    ``ValueError`` — the schedulers rely on monotonicity.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` seconds and return the new time."""
+
+        if delta < 0:
+            raise ValueError("cannot advance the clock by a negative amount")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to ``timestamp`` (no-op when already past it)."""
+
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move simulated time backwards ({timestamp} < {self._now})"
+            )
+        self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(now={self._now})"
+
+
+class WallClock:
+    """A clock backed by the operating system's monotonic timer."""
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._origin
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"WallClock(now={self.now():.3f})"

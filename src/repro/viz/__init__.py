@@ -1,0 +1,27 @@
+"""Visualisation helpers: DOT export and text timelines."""
+
+from .dot import (
+    allocation_to_dot,
+    coloring_to_dot,
+    supergraph_to_dot,
+    workflow_to_dot,
+    write_dot,
+)
+from .timeline import (
+    community_timeline,
+    execution_report,
+    manager_timeline,
+    schedule_timeline,
+)
+
+__all__ = [
+    "allocation_to_dot",
+    "coloring_to_dot",
+    "community_timeline",
+    "execution_report",
+    "manager_timeline",
+    "schedule_timeline",
+    "supergraph_to_dot",
+    "workflow_to_dot",
+    "write_dot",
+]

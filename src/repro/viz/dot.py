@@ -1,0 +1,169 @@
+"""Graphviz (DOT) export for workflows, supergraphs, and colourings.
+
+The paper explains the construction algorithm in terms of a coloured
+supergraph (green exploration region, blue selected workflow).  These
+helpers render exactly that picture so a run of the algorithm can be
+inspected visually::
+
+    from repro.viz import workflow_to_dot, coloring_to_dot
+
+    print(workflow_to_dot(result.workflow))
+    print(coloring_to_dot(supergraph, result.state))
+
+The output is plain DOT text; render it with ``dot -Tpng`` or paste it into
+any Graphviz viewer.  No third-party dependency is required.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..core.construction import Color, ColoringState
+from ..core.graph import NodeRef
+from ..core.supergraph import Supergraph
+from ..core.workflow import Workflow
+
+_COLOR_FILL = {
+    Color.UNCOLORED: "white",
+    Color.GREEN: "palegreen",
+    Color.PURPLE: "plum",
+    Color.BLUE: "lightblue",
+}
+
+
+def _quote(identifier: str) -> str:
+    escaped = identifier.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _node_id(node: NodeRef) -> str:
+    return _quote(f"{node.kind.value}:{node.name}")
+
+
+def _label_node_line(name: str, fill: str = "white") -> str:
+    return (
+        f"  {_quote('label:' + name)} [label={_quote(name)}, shape=ellipse, "
+        f"style=filled, fillcolor={fill}];"
+    )
+
+
+def _task_node_line(name: str, fill: str = "white", disjunctive: bool = False) -> str:
+    shape = "diamond" if disjunctive else "box"
+    return (
+        f"  {_quote('task:' + name)} [label={_quote(name)}, shape={shape}, "
+        f"style=filled, fillcolor={fill}];"
+    )
+
+
+def workflow_to_dot(workflow: Workflow, name: str = "workflow") -> str:
+    """Render a valid workflow as a DOT digraph (tasks as boxes, labels as ovals)."""
+
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=LR;"]
+    for label in sorted(workflow.labels):
+        lines.append(_label_node_line(label))
+    for task_name in sorted(workflow.task_names):
+        task = workflow.task(task_name)
+        lines.append(_task_node_line(task_name, disjunctive=task.is_disjunctive))
+    for edge in workflow.edges():
+        lines.append(f"  {_node_id(edge.src)} -> {_node_id(edge.dst)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def supergraph_to_dot(supergraph: Supergraph, name: str = "supergraph") -> str:
+    """Render a supergraph (cycles and multi-producer labels included)."""
+
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=LR;"]
+    for label in sorted(supergraph.labels):
+        lines.append(_label_node_line(label))
+    for task_name in sorted(supergraph.task_names):
+        task = supergraph.task(task_name)
+        lines.append(_task_node_line(task_name, disjunctive=task.is_disjunctive))
+    for edge in supergraph.edges():
+        lines.append(f"  {_node_id(edge.src)} -> {_node_id(edge.dst)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def coloring_to_dot(
+    supergraph: Supergraph,
+    state: ColoringState,
+    name: str = "coloring",
+    show_distances: bool = True,
+) -> str:
+    """Render a construction run: node fill colours follow the algorithm's colours.
+
+    Blue edges (the selected workflow) are drawn bold; every other edge of
+    the supergraph is grey.  Distances from the exploration phase are shown
+    in the node labels when ``show_distances`` is true.
+    """
+
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=LR;"]
+    for node in supergraph.nodes():
+        color = state.color_of(node)
+        fill = _COLOR_FILL[color]
+        caption = node.name
+        distance = state.distance_of(node)
+        if show_distances and distance != float("inf"):
+            caption = f"{node.name}\\nd={int(distance)}"
+        if node.is_label:
+            lines.append(
+                f"  {_node_id(node)} [label={_quote(caption)}, shape=ellipse, "
+                f"style=filled, fillcolor={fill}];"
+            )
+        else:
+            task = supergraph.task(node.name)
+            shape = "diamond" if task.is_disjunctive else "box"
+            lines.append(
+                f"  {_node_id(node)} [label={_quote(caption)}, shape={shape}, "
+                f"style=filled, fillcolor={fill}];"
+            )
+    blue_edges = set(state.blue_edges)
+    for edge in supergraph.edges():
+        if (edge.src, edge.dst) in blue_edges:
+            lines.append(
+                f"  {_node_id(edge.src)} -> {_node_id(edge.dst)} "
+                "[color=blue, penwidth=2.5];"
+            )
+        else:
+            lines.append(
+                f"  {_node_id(edge.src)} -> {_node_id(edge.dst)} [color=gray70];"
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def allocation_to_dot(
+    workflow: Workflow,
+    allocation: Mapping[str, str],
+    name: str = "allocation",
+) -> str:
+    """Render a workflow with tasks clustered by the host they were allocated to."""
+
+    by_host: dict[str, list[str]] = {}
+    for task_name in sorted(workflow.task_names):
+        by_host.setdefault(allocation.get(task_name, "(unallocated)"), []).append(task_name)
+
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=LR;", "  compound=true;"]
+    for label in sorted(workflow.labels):
+        lines.append(_label_node_line(label))
+    for index, (host, task_names) in enumerate(sorted(by_host.items())):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f"    label={_quote(host)};")
+        lines.append("    style=rounded;")
+        for task_name in task_names:
+            task = workflow.task(task_name)
+            lines.append("  " + _task_node_line(task_name, fill="lightyellow",
+                                                disjunctive=task.is_disjunctive))
+        lines.append("  }")
+    for edge in workflow.edges():
+        lines.append(f"  {_node_id(edge.src)} -> {_node_id(edge.dst)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_dot(path: str, dot_text: str) -> None:
+    """Write DOT text to a file (tiny helper for examples and notebooks)."""
+
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dot_text)

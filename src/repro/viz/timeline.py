@@ -1,0 +1,96 @@
+"""Text timelines of schedules and workflow executions.
+
+The paper's UI shows each participant a calendar of commitments with the
+travel time blocked out (Figure 2(a)).  :func:`schedule_timeline` renders
+the same information as an aligned text table, and
+:func:`community_timeline` prints one section per host — handy in examples
+and when debugging allocation decisions.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable
+
+from ..scheduling.commitments import Commitment
+from ..scheduling.schedule import ScheduleManager
+
+
+def _format_time(seconds: float) -> str:
+    """Render simulated seconds as h:mm:ss (negative-safe)."""
+
+    total = int(round(seconds))
+    hours, remainder = divmod(abs(total), 3600)
+    minutes, secs = divmod(remainder, 60)
+    sign = "-" if total < 0 else ""
+    return f"{sign}{hours}:{minutes:02d}:{secs:02d}"
+
+
+def schedule_timeline(
+    commitments: Iterable[Commitment], title: str = "Schedule"
+) -> str:
+    """Render a participant's commitments as an aligned text table.
+
+    Each row shows the travel window (if any), the execution window, the
+    task, the workflow it belongs to, and the location.
+    """
+
+    rows: list[list[str]] = [["travel from", "start", "end", "task", "workflow", "location"]]
+    for commitment in sorted(commitments, key=lambda c: (c.start, c.task.name)):
+        rows.append(
+            [
+                _format_time(commitment.blocked_from) if commitment.travel_time else "-",
+                _format_time(commitment.start),
+                _format_time(commitment.end),
+                commitment.task.name,
+                commitment.workflow_id,
+                commitment.location or "anywhere",
+            ]
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    buffer = io.StringIO()
+    buffer.write(title + "\n")
+    if len(rows) == 1:
+        buffer.write("  (no commitments)\n")
+        return buffer.getvalue()
+    for row in rows:
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        buffer.write("  " + line.rstrip() + "\n")
+    return buffer.getvalue()
+
+
+def manager_timeline(manager: ScheduleManager) -> str:
+    """Shorthand: render a schedule manager's commitment database."""
+
+    return schedule_timeline(
+        manager.commitments, title=f"Schedule of {manager.host_id}"
+    )
+
+
+def community_timeline(community) -> str:
+    """Render every host's schedule in a community, one section per host.
+
+    ``community`` is a :class:`repro.host.community.Community`; the import
+    is avoided here to keep this module usable with bare schedule managers.
+    """
+
+    sections = []
+    for host in sorted(community, key=lambda h: h.host_id):
+        sections.append(manager_timeline(host.schedule_manager))
+    return "\n".join(sections)
+
+
+def execution_report(community) -> str:
+    """Summarise what every host actually executed (successes and failures)."""
+
+    buffer = io.StringIO()
+    for host in sorted(community, key=lambda h: h.host_id):
+        outcomes = host.execution_manager.outcomes
+        buffer.write(f"{host.host_id}: {len(outcomes)} executed\n")
+        for outcome in sorted(outcomes, key=lambda o: o.completed_at):
+            status = "ok" if outcome.succeeded else f"FAILED ({outcome.failure_reason})"
+            buffer.write(
+                f"  {_format_time(outcome.completed_at)}  "
+                f"{outcome.commitment.task.name}  [{status}]\n"
+            )
+    return buffer.getvalue()

@@ -1,0 +1,18 @@
+"""Workloads: the paper's evaluation generator plus narrative scenarios."""
+
+from . import catering, emergency
+from .supergraph_gen import (
+    GeneratedWorkload,
+    RandomSupergraphWorkload,
+    label_name,
+    task_name,
+)
+
+__all__ = [
+    "GeneratedWorkload",
+    "RandomSupergraphWorkload",
+    "catering",
+    "emergency",
+    "label_name",
+    "task_name",
+]

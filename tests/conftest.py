@@ -1,0 +1,97 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import KnowledgeSet, Specification, Task, TaskMode, WorkflowFragment
+from repro.execution import ServiceDescription
+from repro.host import Community
+from repro.sim.randomness import derive_rng
+from repro.workloads.supergraph_gen import RandomSupergraphWorkload
+
+
+@pytest.fixture
+def breakfast_fragments() -> list[WorkflowFragment]:
+    """A tiny two-alternative breakfast knowledge base used across tests."""
+
+    return [
+        WorkflowFragment(
+            [Task("set out ingredients", ["breakfast ingredients"], ["omelet bar setup"], duration=5)],
+            fragment_id="test/set-out",
+        ),
+        WorkflowFragment(
+            [Task("cook omelets", ["omelet bar setup"], ["breakfast served"], duration=10)],
+            fragment_id="test/cook",
+        ),
+        WorkflowFragment(
+            [
+                Task("make pancakes", ["breakfast ingredients"], ["buffet items prepared"], duration=7),
+                Task("serve breakfast buffet", ["buffet items prepared"], ["breakfast served"], duration=3),
+            ],
+            fragment_id="test/pancakes",
+        ),
+    ]
+
+
+@pytest.fixture
+def breakfast_knowledge(breakfast_fragments) -> KnowledgeSet:
+    return KnowledgeSet(breakfast_fragments)
+
+
+@pytest.fixture
+def breakfast_spec() -> Specification:
+    return Specification(["breakfast ingredients"], ["breakfast served"], name="breakfast")
+
+
+@pytest.fixture
+def chain_fragments() -> list[WorkflowFragment]:
+    """A linear chain a -> t1 -> b -> t2 -> c -> t3 -> d."""
+
+    return [
+        WorkflowFragment([Task("t1", ["a"], ["b"], duration=1)], fragment_id="chain/t1"),
+        WorkflowFragment([Task("t2", ["b"], ["c"], duration=1)], fragment_id="chain/t2"),
+        WorkflowFragment([Task("t3", ["c"], ["d"], duration=1)], fragment_id="chain/t3"),
+    ]
+
+
+@pytest.fixture
+def small_workload():
+    """A small random supergraph workload shared by evaluation tests."""
+
+    return RandomSupergraphWorkload(seed=7).generate(25)
+
+
+@pytest.fixture
+def workload_rng():
+    return derive_rng(7, "tests")
+
+
+def make_breakfast_community(fragments: list[WorkflowFragment]) -> Community:
+    """Two-host community splitting the breakfast know-how and services."""
+
+    community = Community()
+    community.add_host(
+        "alice",
+        fragments=[fragments[0]],
+        services=[ServiceDescription("set out ingredients", duration=5),
+                  ServiceDescription("make pancakes", duration=7)],
+    )
+    community.add_host(
+        "bob",
+        fragments=fragments[1:],
+        services=[ServiceDescription("cook omelets", duration=10),
+                  ServiceDescription("serve breakfast buffet", duration=3)],
+    )
+    return community
+
+
+@pytest.fixture
+def breakfast_community(breakfast_fragments) -> Community:
+    return make_breakfast_community(breakfast_fragments)
+
+
+def make_task(name: str, inputs=(), outputs=(), mode=TaskMode.CONJUNCTIVE, **kwargs) -> Task:
+    """Terse task constructor for tests."""
+
+    return Task(name, inputs, outputs, mode=mode, **kwargs)

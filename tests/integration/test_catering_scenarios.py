@@ -1,0 +1,143 @@
+"""Integration tests for the paper's Section 2.1 catering scenarios.
+
+These tests follow the narrative of the paper exactly:
+
+* with everyone present, breakfast is served via the omelet bar and lunch
+  via soup-and-salad followed by some lunch service;
+* if lunch is not requested, no lunch activities appear in the workflow;
+* if the master chef is out of the office, the omelet know-how is absent
+  and one of the other breakfast alternatives is chosen;
+* if the wait staff are absent, nobody can serve tables, so buffet service
+  is selected.
+"""
+
+import pytest
+
+from repro.host import WorkflowPhase
+from repro.workloads import catering
+
+
+def run_problem(community, triggers, goals):
+    initiator = "manager"
+    workspace = community.submit_problem(initiator, triggers, goals)
+    community.run_until_allocated(workspace)
+    return workspace
+
+
+class TestFullCommunity:
+    def test_breakfast_and_lunch_served(self):
+        community = catering.build_catering_community()
+        workspace = run_problem(
+            community,
+            [catering.BREAKFAST_INGREDIENTS, catering.LUNCH_INGREDIENTS],
+            [catering.BREAKFAST_SERVED, catering.LUNCH_SERVED],
+        )
+        assert workspace.phase is WorkflowPhase.EXECUTING
+        names = workspace.workflow.task_names
+        assert "prepare soup and salad" in names
+        assert names & {"cook omelets", "make pancakes", "set out doughnuts"}
+        assert names & {"serve buffet", "serve tables"}
+        community.run_until_completed(workspace)
+        assert workspace.phase is WorkflowPhase.COMPLETED
+
+    def test_chef_cooks_the_omelets(self):
+        community = catering.build_catering_community()
+        workspace = run_problem(
+            community,
+            [catering.BREAKFAST_INGREDIENTS],
+            [catering.BREAKFAST_SERVED],
+        )
+        allocation = workspace.allocation_outcome.allocation
+        if "cook omelets" in allocation:
+            assert allocation["cook omelets"] == "master-chef"
+
+    def test_no_lunch_requested_means_no_lunch_tasks(self):
+        community = catering.build_catering_community()
+        workspace = run_problem(
+            community, [catering.BREAKFAST_INGREDIENTS], [catering.BREAKFAST_SERVED]
+        )
+        names = workspace.workflow.task_names
+        assert not names & {"prepare soup and salad", "serve buffet", "serve tables"}
+
+
+class TestContextSensitivity:
+    def test_master_chef_absent_changes_breakfast_plan(self):
+        roles = tuple(r for r in catering.ALL_ROLES if r.name != "master-chef")
+        community = catering.build_catering_community(roles=roles)
+        workspace = run_problem(
+            community, [catering.BREAKFAST_INGREDIENTS], [catering.BREAKFAST_SERVED]
+        )
+        assert workspace.phase is WorkflowPhase.EXECUTING
+        names = workspace.workflow.task_names
+        assert "cook omelets" not in names
+        assert "make pancakes" in names
+
+    def test_wait_staff_absent_forces_buffet_service(self):
+        roles = tuple(r for r in catering.ALL_ROLES if r.name != "wait-staff")
+        community = catering.build_catering_community(roles=roles)
+        workspace = run_problem(
+            community,
+            [catering.BREAKFAST_INGREDIENTS, catering.LUNCH_INGREDIENTS],
+            [catering.BREAKFAST_SERVED, catering.LUNCH_SERVED],
+        )
+        assert workspace.phase is WorkflowPhase.EXECUTING
+        names = workspace.workflow.task_names
+        assert "serve buffet" in names
+        assert "serve tables" not in names
+
+    def test_doughnut_breakfast_when_only_doughnuts_ordered(self):
+        community = catering.build_catering_community()
+        workspace = run_problem(
+            community, [catering.DOUGHNUTS_ORDERED], [catering.BREAKFAST_SERVED]
+        )
+        names = workspace.workflow.task_names
+        assert "pick up doughnuts" in names
+        assert "set out doughnuts" in names
+
+    def test_kitchen_staff_alone_cannot_serve_breakfast_without_knowledge(self):
+        roles = (catering.MANAGER,)
+        community = catering.build_catering_community(roles=roles)
+        workspace = run_problem(
+            community, [catering.BREAKFAST_INGREDIENTS], [catering.BREAKFAST_SERVED]
+        )
+        assert workspace.phase is WorkflowPhase.FAILED
+
+
+class TestExecutionDetails:
+    def test_commitments_land_on_capable_hosts(self):
+        community = catering.build_catering_community()
+        workspace = run_problem(
+            community,
+            [catering.BREAKFAST_INGREDIENTS, catering.LUNCH_INGREDIENTS],
+            [catering.BREAKFAST_SERVED, catering.LUNCH_SERVED],
+        )
+        for task_name, host_id in workspace.allocation_outcome.allocation.items():
+            host = community.host(host_id)
+            task = workspace.workflow.task(task_name)
+            assert host.service_manager.provides(task.service_type)
+
+    def test_schedules_have_no_overlapping_commitments(self):
+        community = catering.build_catering_community()
+        workspace = run_problem(
+            community,
+            [catering.BREAKFAST_INGREDIENTS, catering.LUNCH_INGREDIENTS],
+            [catering.BREAKFAST_SERVED, catering.LUNCH_SERVED],
+        )
+        community.run_until_completed(workspace)
+        for host in community:
+            windows = host.schedule_manager.busy_windows()
+            for (start_a, end_a), (start_b, end_b) in zip(windows, windows[1:]):
+                assert end_a <= start_b
+
+    def test_completion_takes_realistic_simulated_time(self):
+        community = catering.build_catering_community()
+        workspace = run_problem(
+            community,
+            [catering.BREAKFAST_INGREDIENTS],
+            [catering.BREAKFAST_SERVED],
+        )
+        community.run_until_completed(workspace)
+        sim_seconds, _ = workspace.time_to_completion()
+        # Setting up the omelet bar (15 min) plus cooking (45 min) cannot
+        # finish faster than an hour of simulated time.
+        assert sim_seconds >= 60 * 60

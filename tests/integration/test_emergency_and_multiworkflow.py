@@ -1,0 +1,110 @@
+"""Integration tests: emergency-response scenario and concurrent workflows."""
+
+import pytest
+
+from repro.core import Task, WorkflowFragment
+from repro.execution import ServiceDescription
+from repro.host import Community, WorkflowPhase
+from repro.workloads import emergency
+
+
+class TestEmergencyResponse:
+    def test_full_spill_response_executes(self):
+        community = emergency.build_site_community()
+        workspace = community.submit_problem(
+            "supervisor",
+            [emergency.SPILL_DISCOVERED],
+            [emergency.ALL_CLEAR],
+        )
+        community.run_until_completed(workspace)
+        assert workspace.phase is WorkflowPhase.COMPLETED
+        allocation = workspace.allocation_outcome.allocation
+        # The chief engineer is the only one who can authorise/dismantle.
+        assert allocation["authorise dismantling"] == "chief-engineer"
+        assert allocation["dismantle support structure"] == "chief-engineer"
+        # The whole response takes hours of simulated time.
+        sim_seconds, _ = workspace.time_to_completion()
+        assert sim_seconds >= 2 * 3600
+
+    def test_chief_engineer_absent_blocks_full_response(self):
+        roles = tuple(r for r in emergency.ALL_ROLES if r.name != "chief-engineer")
+        community = emergency.build_site_community(roles=roles)
+        workspace = community.submit_problem(
+            "supervisor", [emergency.SPILL_DISCOVERED], [emergency.ALL_CLEAR]
+        )
+        community.run_until_allocated(workspace)
+        assert workspace.phase is WorkflowPhase.FAILED
+
+    def test_containment_without_decontamination(self):
+        community = emergency.build_site_community()
+        workspace = community.submit_problem(
+            "worker", [emergency.SPILL_DISCOVERED], [emergency.SPILL_CONTAINED]
+        )
+        community.run_until_allocated(workspace)
+        assert workspace.phase is WorkflowPhase.EXECUTING
+        assert "decontaminate site" not in workspace.workflow.task_names
+
+
+class TestConcurrentWorkflows:
+    def build_community(self) -> Community:
+        community = Community()
+        community.add_host(
+            "alpha",
+            fragments=[
+                WorkflowFragment([Task("t1", ["a"], ["b"], duration=10)]),
+                WorkflowFragment([Task("u1", ["x"], ["y"], duration=10)]),
+            ],
+            services=[ServiceDescription("t1", duration=10), ServiceDescription("u1", duration=10)],
+        )
+        community.add_host(
+            "beta",
+            fragments=[
+                WorkflowFragment([Task("t2", ["b"], ["c"], duration=10)]),
+                WorkflowFragment([Task("u2", ["y"], ["z"], duration=10)]),
+            ],
+            services=[ServiceDescription("t2", duration=10), ServiceDescription("u2", duration=10)],
+        )
+        return community
+
+    def test_two_workflows_from_the_same_initiator(self):
+        community = self.build_community()
+        first = community.submit_problem("alpha", ["a"], ["c"], name="first")
+        second = community.submit_problem("alpha", ["x"], ["z"], name="second")
+        community.run_until_completed(first)
+        community.run_until_completed(second)
+        assert first.phase is WorkflowPhase.COMPLETED
+        assert second.phase is WorkflowPhase.COMPLETED
+        assert first.workflow_id != second.workflow_id
+        assert first.workflow.task_names == {"t1", "t2"}
+        assert second.workflow.task_names == {"u1", "u2"}
+
+    def test_two_workflows_from_different_initiators(self):
+        community = self.build_community()
+        first = community.submit_problem("alpha", ["a"], ["c"])
+        second = community.submit_problem("beta", ["x"], ["z"])
+        community.run_idle()
+        assert first.phase is WorkflowPhase.COMPLETED
+        assert second.phase is WorkflowPhase.COMPLETED
+
+    def test_workflows_compete_for_the_same_schedule(self):
+        community = self.build_community()
+        first = community.submit_problem("alpha", ["a"], ["c"])
+        second = community.submit_problem("beta", ["a"], ["c"])
+        community.run_idle()
+        assert first.phase is WorkflowPhase.COMPLETED
+        assert second.phase is WorkflowPhase.COMPLETED
+        # Both workflows needed t1 and t2; each host executed the same
+        # service twice without overlapping commitments.
+        alpha_windows = community.host("alpha").schedule_manager.busy_windows()
+        for (start_a, end_a), (start_b, end_b) in zip(alpha_windows, alpha_windows[1:]):
+            assert end_a <= start_b
+
+    def test_workspaces_stay_isolated(self):
+        community = self.build_community()
+        first = community.submit_problem("alpha", ["a"], ["c"])
+        second = community.submit_problem("alpha", ["missing"], ["nowhere"])
+        community.run_idle()
+        assert first.phase is WorkflowPhase.COMPLETED
+        assert second.phase is WorkflowPhase.FAILED
+        manager = community.host("alpha").workflow_manager
+        assert len(manager.workspaces()) == 2

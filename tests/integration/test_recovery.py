@@ -1,0 +1,147 @@
+"""Integration tests for workflow repair after execution failures.
+
+The paper lists execution-time failure handling ("a failure during
+execution should result in a revised or repaired workflow, which requires
+reconstruction, reallocation, and compensating execution") as the natural
+extension of the architecture.  The reproduction implements the
+reconstruction + reallocation part behind the ``enable_recovery`` switch:
+when a committed service fails, the initiator marks the workflow failed,
+constructs a repaired workflow that avoids the failed task, and auctions it
+again.
+"""
+
+import pytest
+
+from repro.core import Task, WorkflowFragment
+from repro.execution import CallableService, ServiceDescription
+from repro.host import Community, WorkflowPhase
+
+
+def build_recovering_community(fail_times: int = 10**9) -> tuple[Community, dict]:
+    """Two breakfast alternatives; the omelet path fails ``fail_times`` times."""
+
+    state = {"failures": 0}
+
+    def broken_cook(task, inputs):
+        if state["failures"] < fail_times:
+            state["failures"] += 1
+            raise RuntimeError("the stove caught fire")
+        return {}
+
+    community = Community()
+    community.add_host(
+        "chef",
+        fragments=[
+            WorkflowFragment(
+                [Task("set out ingredients", ["ingredients"], ["omelet bar"], duration=1)],
+                fragment_id="rec/setup",
+            ),
+            WorkflowFragment(
+                [Task("cook omelets", ["omelet bar"], ["breakfast served"], duration=1)],
+                fragment_id="rec/omelets",
+            ),
+        ],
+        services=[
+            ServiceDescription("set out ingredients", duration=1),
+            CallableService("cook omelets", callable=broken_cook, duration=1),
+        ],
+        enable_recovery=True,
+    )
+    community.add_host(
+        "kitchen-staff",
+        fragments=[
+            WorkflowFragment(
+                [
+                    Task("make pancakes", ["ingredients"], ["pancakes ready"], duration=1),
+                    Task("serve pancakes", ["pancakes ready"], ["breakfast served"], duration=1),
+                ],
+                fragment_id="rec/pancakes",
+            ),
+        ],
+        services=[
+            ServiceDescription("make pancakes", duration=1),
+            ServiceDescription("serve pancakes", duration=1),
+        ],
+        enable_recovery=True,
+    )
+    return community, state
+
+
+class TestWorkflowRepair:
+    def test_failed_task_triggers_a_repaired_workflow(self):
+        community, state = build_recovering_community()
+        original = community.submit_problem("chef", ["ingredients"], ["breakfast served"])
+        community.run_idle()
+
+        # The original attempt chose the omelet path and failed at cooking.
+        assert original.phase is WorkflowPhase.FAILED
+        assert "cook omelets" in original.failed_tasks
+        assert original.repaired_by is not None
+
+        manager = community.host("chef").workflow_manager
+        repaired = manager.workspace(original.repaired_by)
+        assert repaired is not None
+        assert repaired.repair_of == original.workflow_id
+        assert repaired.phase is WorkflowPhase.COMPLETED
+        # The repaired workflow routes around the failed task.
+        assert "cook omelets" not in repaired.workflow.task_names
+        assert {"make pancakes", "serve pancakes"} <= repaired.workflow.task_names
+
+    def test_repair_not_attempted_when_recovery_disabled(self):
+        community = Community()
+
+        def broken(task, inputs):
+            raise RuntimeError("boom")
+
+        community.add_host(
+            "solo",
+            fragments=[WorkflowFragment([Task("only", ["a"], ["b"], duration=1)])],
+            services=[CallableService("only", callable=broken, duration=1)],
+            enable_recovery=False,
+        )
+        workspace = community.submit_problem("solo", ["a"], ["b"])
+        community.run_idle()
+        assert workspace.phase is WorkflowPhase.FAILED
+        assert workspace.repaired_by is None
+        assert len(community.host("solo").workflow_manager.workspaces()) == 1
+
+    def test_repair_gives_up_when_no_alternative_exists(self):
+        community = Community()
+
+        def broken(task, inputs):
+            raise RuntimeError("boom")
+
+        community.add_host(
+            "solo",
+            fragments=[WorkflowFragment([Task("only", ["a"], ["b"], duration=1)])],
+            services=[CallableService("only", callable=broken, duration=1)],
+            enable_recovery=True,
+        )
+        workspace = community.submit_problem("solo", ["a"], ["b"])
+        community.run_idle()
+        assert workspace.phase is WorkflowPhase.FAILED
+        manager = community.host("solo").workflow_manager
+        repaired = manager.workspace(workspace.repaired_by)
+        # A repair was attempted, but the only task that can reach the goal is
+        # excluded, so the repaired construction fails cleanly.
+        assert repaired is not None
+        assert repaired.phase is WorkflowPhase.FAILED
+        assert "only" in repaired.excluded_tasks
+
+    def test_repair_attempts_are_bounded(self):
+        community, state = build_recovering_community()
+        chef = community.host("chef")
+        chef.workflow_manager.max_repair_attempts = 0
+        original = community.submit_problem("chef", ["ingredients"], ["breakfast served"])
+        community.run_idle()
+        assert original.phase is WorkflowPhase.FAILED
+        assert original.repaired_by is None
+
+    def test_repair_chain_records_attempt_numbers(self):
+        community, state = build_recovering_community()
+        original = community.submit_problem("chef", ["ingredients"], ["breakfast served"])
+        community.run_idle()
+        manager = community.host("chef").workflow_manager
+        repaired = manager.workspace(original.repaired_by)
+        assert original.repair_attempt == 0
+        assert repaired.repair_attempt == 1

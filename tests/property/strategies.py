@@ -1,0 +1,63 @@
+"""Hypothesis strategies shared by the property-based tests.
+
+The strategies generate random fragment collections (knowledge sets) and
+specifications over a bounded label vocabulary, covering conjunctive and
+disjunctive tasks, multiple producers per label, and cycles across
+fragments — exactly the messiness the supergraph and the construction
+algorithm must cope with.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.fragments import WorkflowFragment
+from repro.core.specification import Specification
+from repro.core.tasks import Task, TaskMode
+
+LABELS = [f"L{i}" for i in range(12)]
+
+
+@st.composite
+def tasks(draw, name: str) -> Task:
+    """A random task over the bounded label vocabulary."""
+
+    inputs = draw(
+        st.lists(st.sampled_from(LABELS), min_size=1, max_size=3, unique=True)
+    )
+    remaining = [label for label in LABELS if label not in inputs]
+    outputs = draw(
+        st.lists(st.sampled_from(remaining), min_size=1, max_size=3, unique=True)
+    )
+    mode = draw(st.sampled_from([TaskMode.CONJUNCTIVE, TaskMode.DISJUNCTIVE]))
+    duration = draw(st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    return Task(name, inputs, outputs, mode=mode, duration=duration)
+
+
+@st.composite
+def fragments(draw, index: int) -> WorkflowFragment:
+    """A random single-task fragment (single-task fragments are always valid)."""
+
+    task = draw(tasks(name=f"task{index}"))
+    return WorkflowFragment([task], fragment_id=f"prop-frag-{index}")
+
+
+@st.composite
+def knowledge_sets(draw, min_fragments: int = 1, max_fragments: int = 10):
+    """A list of random fragments with distinct task names."""
+
+    count = draw(st.integers(min_value=min_fragments, max_value=max_fragments))
+    return [draw(fragments(index)) for index in range(count)]
+
+
+@st.composite
+def specifications(draw) -> Specification:
+    """A random specification over the shared vocabulary."""
+
+    triggers = draw(
+        st.lists(st.sampled_from(LABELS), min_size=0, max_size=4, unique=True)
+    )
+    goals = draw(
+        st.lists(st.sampled_from(LABELS), min_size=1, max_size=3, unique=True)
+    )
+    return Specification(triggers, goals)

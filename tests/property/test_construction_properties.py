@@ -1,0 +1,95 @@
+"""Property-based tests for the construction algorithm (Algorithm 1).
+
+The key correctness claims of the paper's proof sketch are checked on
+randomly generated knowledge sets and specifications:
+
+* whenever the algorithm reports success, the blue subgraph is a *valid*
+  workflow (bipartite DAG, label sources/sinks, single producer per label);
+* the constructed workflow satisfies the specification: its inset is a
+  subset of the triggers and every goal label is produced or already given;
+* the constructed workflow only uses tasks present in the knowledge set,
+  with inputs/outputs that are subsets of the originals (pruning never adds
+  edges);
+* the algorithm agrees with an independent forward-chaining planner on
+  *feasibility* — neither reports success where the other proves failure.
+"""
+
+from hypothesis import given, settings
+
+from repro.baselines.planner import ForwardChainingPlanner
+from repro.core.construction import construct_workflow
+from repro.core.fragments import KnowledgeSet
+
+from .strategies import knowledge_sets, specifications
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+@SETTINGS
+@given(fragments=knowledge_sets(), spec=specifications())
+def test_constructed_workflow_is_valid(fragments, spec):
+    result = construct_workflow(fragments, spec)
+    if result.succeeded:
+        workflow = result.workflow
+        assert workflow.is_valid()
+        assert workflow.is_acyclic()
+
+
+@SETTINGS
+@given(fragments=knowledge_sets(), spec=specifications())
+def test_constructed_workflow_satisfies_specification(fragments, spec):
+    result = construct_workflow(fragments, spec)
+    if result.succeeded:
+        workflow = result.workflow
+        # Inset only uses triggering conditions.
+        assert workflow.inset <= spec.triggers
+        # Every goal is either produced by the workflow or already a trigger
+        # carried through as a free label.
+        produced = set(workflow.labels)
+        assert spec.goals <= produced | spec.triggers
+
+
+@SETTINGS
+@given(fragments=knowledge_sets(), spec=specifications())
+def test_constructed_workflow_only_uses_known_tasks(fragments, spec):
+    knowledge = KnowledgeSet(fragments)
+    originals = {task.name: task for task in knowledge.all_tasks()}
+    result = construct_workflow(knowledge, spec)
+    if result.succeeded:
+        for name, task in result.workflow.tasks.items():
+            assert name in originals
+            original = originals[name]
+            assert task.inputs <= original.inputs
+            assert task.outputs <= original.outputs
+            assert task.inputs and task.outputs
+
+
+@SETTINGS
+@given(fragments=knowledge_sets(), spec=specifications())
+def test_feasibility_agrees_with_forward_chaining_planner(fragments, spec):
+    knowledge = KnowledgeSet(fragments)
+    colouring_feasible = construct_workflow(knowledge, spec).succeeded
+    planner_feasible = ForwardChainingPlanner(knowledge).is_feasible(spec)
+    assert colouring_feasible == planner_feasible
+
+
+@SETTINGS
+@given(fragments=knowledge_sets(), spec=specifications())
+def test_construction_is_deterministic(fragments, spec):
+    first = construct_workflow(fragments, spec)
+    second = construct_workflow(fragments, spec)
+    assert first.succeeded == second.succeeded
+    if first.succeeded:
+        assert first.workflow.tasks == second.workflow.tasks
+
+
+@SETTINGS
+@given(fragments=knowledge_sets(), spec=specifications())
+def test_selected_fragments_cover_selected_tasks(fragments, spec):
+    knowledge = KnowledgeSet(fragments)
+    result = construct_workflow(knowledge, spec)
+    if result.succeeded:
+        covered = set()
+        for fragment_id in result.selected_fragment_ids:
+            covered |= knowledge.get(fragment_id).task_names
+        assert result.workflow.task_names <= covered

@@ -1,0 +1,41 @@
+"""Property-based tests: incremental construction agrees with batch construction."""
+
+from hypothesis import given, settings
+
+from repro.core.construction import construct_workflow
+from repro.core.fragments import KnowledgeSet
+from repro.core.incremental import construct_incrementally
+
+from .strategies import knowledge_sets, specifications
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@SETTINGS
+@given(fragments=knowledge_sets(), spec=specifications())
+def test_incremental_and_batch_agree_on_feasibility(fragments, spec):
+    knowledge = KnowledgeSet(fragments)
+    batch = construct_workflow(knowledge, spec)
+    incremental = construct_incrementally(knowledge, spec)
+    assert batch.succeeded == incremental.succeeded
+
+
+@SETTINGS
+@given(fragments=knowledge_sets(), spec=specifications())
+def test_incremental_workflow_is_valid_and_satisfying(fragments, spec):
+    knowledge = KnowledgeSet(fragments)
+    result = construct_incrementally(knowledge, spec)
+    if result.succeeded:
+        workflow = result.workflow
+        assert workflow.is_valid()
+        assert workflow.inset <= spec.triggers
+        assert spec.goals <= set(workflow.labels) | spec.triggers
+
+
+@SETTINGS
+@given(fragments=knowledge_sets(), spec=specifications())
+def test_incremental_never_transfers_more_than_everything(fragments, spec):
+    knowledge = KnowledgeSet(fragments)
+    result = construct_incrementally(knowledge, spec)
+    assert result.incremental.fragments_transferred <= len(knowledge)
+    assert len(result.supergraph.fragment_ids) <= len(knowledge)

@@ -1,0 +1,86 @@
+"""Property-based tests for the AODV-style router over random topologies."""
+
+import networkx as nx
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.net.routing import AodvRouter, RouteNotFound
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+HOSTS = [f"h{i}" for i in range(8)]
+
+
+@st.composite
+def topologies(draw):
+    """A random undirected neighbour relation over up to 8 hosts."""
+
+    edges = draw(
+        st.lists(
+            st.tuples(st.sampled_from(HOSTS), st.sampled_from(HOSTS)),
+            min_size=0,
+            max_size=20,
+        )
+    )
+    adjacency: dict[str, set[str]] = {host: set() for host in HOSTS}
+    for a, b in edges:
+        if a != b:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+    return adjacency
+
+
+@SETTINGS
+@given(adjacency=topologies(), data=st.data())
+def test_router_finds_route_exactly_when_graph_is_connected(adjacency, data):
+    source = data.draw(st.sampled_from(HOSTS))
+    destination = data.draw(st.sampled_from(HOSTS))
+    router = AodvRouter(lambda host: frozenset(adjacency[host]))
+    graph = nx.Graph()
+    graph.add_nodes_from(HOSTS)
+    for host, neighbours in adjacency.items():
+        for neighbour in neighbours:
+            graph.add_edge(host, neighbour)
+    try:
+        route = router.route(source, destination)
+        found = True
+    except RouteNotFound:
+        found = False
+    assert found == nx.has_path(graph, source, destination)
+    if found and source != destination:
+        # Every consecutive pair on the route is a radio link.
+        for a, b in zip(route.hops, route.hops[1:]):
+            assert b in adjacency[a]
+        assert route.hops[0] == source and route.hops[-1] == destination
+
+
+@SETTINGS
+@given(adjacency=topologies(), data=st.data())
+def test_route_is_shortest_in_hops(adjacency, data):
+    source = data.draw(st.sampled_from(HOSTS))
+    destination = data.draw(st.sampled_from(HOSTS))
+    graph = nx.Graph()
+    graph.add_nodes_from(HOSTS)
+    for host, neighbours in adjacency.items():
+        for neighbour in neighbours:
+            graph.add_edge(host, neighbour)
+    assume(nx.has_path(graph, source, destination))
+    router = AodvRouter(lambda host: frozenset(adjacency[host]))
+    route = router.route(source, destination)
+    assert route.hop_count == nx.shortest_path_length(graph, source, destination)
+
+
+@SETTINGS
+@given(adjacency=topologies(), data=st.data())
+def test_cached_routes_remain_valid_links(adjacency, data):
+    source = data.draw(st.sampled_from(HOSTS))
+    destination = data.draw(st.sampled_from(HOSTS))
+    assume(source != destination)  # self-routes are answered without the cache
+    router = AodvRouter(lambda host: frozenset(adjacency[host]))
+    try:
+        router.route(source, destination)
+    except RouteNotFound:
+        return
+    # A second lookup must be a cache hit and return an identical route.
+    again = router.route(source, destination)
+    assert router.cache_hits >= 1
+    assert again.hops[0] == source and again.hops[-1] == destination

@@ -1,0 +1,90 @@
+"""Property-based tests for the schedule manager and the auction policies."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.allocation.bids import (
+    Bid,
+    EarliestStartPolicy,
+    SpecializationPolicy,
+    rank_bids,
+    select_best,
+)
+from repro.core.tasks import Task
+from repro.scheduling.commitments import Commitment
+from repro.scheduling.schedule import ScheduleManager
+from repro.sim.clock import SimulatedClock
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+durations = st.floats(min_value=0.5, max_value=50.0, allow_nan=False)
+starts = st.floats(min_value=0.0, max_value=500.0, allow_nan=False)
+
+
+@SETTINGS
+@given(requests=st.lists(st.tuples(starts, durations), min_size=1, max_size=12))
+def test_schedule_never_accepts_overlapping_commitments(requests):
+    """Greedy slot finding never produces overlapping blocked periods."""
+
+    manager = ScheduleManager("host", clock=SimulatedClock())
+    for index, (earliest, duration) in enumerate(requests):
+        task = Task(f"t{index}", ["in"], ["out"], duration=duration)
+        slot = manager.find_slot(task, earliest_start=earliest)
+        assert slot is not None  # no deadline, so a slot always exists
+        manager.add_commitment(
+            Commitment(task=task, workflow_id="w", start=slot.start, travel_time=slot.travel_time)
+        )
+    windows = manager.busy_windows()
+    for (start_a, end_a), (start_b, end_b) in zip(windows, windows[1:]):
+        assert end_a <= start_b
+
+
+@SETTINGS
+@given(requests=st.lists(st.tuples(starts, durations), min_size=1, max_size=12))
+def test_found_slots_respect_requested_earliest_start(requests):
+    manager = ScheduleManager("host", clock=SimulatedClock())
+    for index, (earliest, duration) in enumerate(requests):
+        task = Task(f"t{index}", ["in"], ["out"], duration=duration)
+        slot = manager.find_slot(task, earliest_start=earliest)
+        assert slot.start >= earliest
+        manager.add_commitment(
+            Commitment(task=task, workflow_id="w", start=slot.start, travel_time=slot.travel_time)
+        )
+
+
+bids_strategy = st.lists(
+    st.builds(
+        Bid,
+        bidder=st.sampled_from([f"host-{i}" for i in range(6)]),
+        task_name=st.just("task"),
+        specialization=st.integers(min_value=0, max_value=10),
+        proposed_start=st.floats(min_value=0, max_value=100, allow_nan=False),
+        travel_time=st.floats(min_value=0, max_value=50, allow_nan=False),
+        response_deadline=st.just(float("inf")),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+@SETTINGS
+@given(bids=bids_strategy)
+def test_specialization_policy_winner_has_minimal_service_count(bids):
+    winner = select_best(bids, SpecializationPolicy())
+    assert winner.specialization == min(b.specialization for b in bids)
+
+
+@SETTINGS
+@given(bids=bids_strategy)
+def test_earliest_start_policy_winner_starts_first(bids):
+    winner = select_best(bids, EarliestStartPolicy())
+    assert winner.proposed_start == min(b.proposed_start for b in bids)
+
+
+@SETTINGS
+@given(bids=bids_strategy)
+def test_ranking_is_a_total_deterministic_order(bids):
+    first = rank_bids(bids, SpecializationPolicy())
+    second = rank_bids(list(reversed(bids)), SpecializationPolicy())
+    assert [b.bidder for b in first] == [b.bidder for b in second]
+    assert len(first) == len(bids)

@@ -1,0 +1,95 @@
+"""Property-based tests for workflow composition and pruning invariants."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.errors import CompositionError, PruningError
+from repro.core.fragments import KnowledgeSet
+from repro.core.workflow import Workflow
+
+from .strategies import knowledge_sets
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+def try_compose_all(fragments) -> Workflow | None:
+    """Compose fragments left to right, returning None when not composable."""
+
+    workflow = Workflow([])
+    for fragment in fragments:
+        try:
+            workflow = workflow.compose(fragment.as_workflow())
+        except CompositionError:
+            return None
+    return workflow
+
+
+@SETTINGS
+@given(fragments=knowledge_sets(max_fragments=6))
+def test_composition_result_is_always_valid(fragments):
+    combined = try_compose_all(fragments)
+    if combined is not None:
+        assert combined.is_valid()
+        assert combined.is_acyclic()
+        # Composition never invents tasks.
+        original = {t.name for f in fragments for t in f.tasks}
+        assert combined.task_names <= original
+
+
+@SETTINGS
+@given(fragments=knowledge_sets(max_fragments=6))
+def test_composition_is_order_insensitive_for_feasibility(fragments):
+    forward = try_compose_all(fragments)
+    backward = try_compose_all(list(reversed(fragments)))
+    # Either both orders compose, or neither does (the union is the same graph).
+    assert (forward is None) == (backward is None)
+    if forward is not None and backward is not None:
+        assert forward.tasks == backward.tasks
+
+
+@SETTINGS
+@given(fragments=knowledge_sets(max_fragments=6))
+def test_fragment_labels_survive_composition(fragments):
+    combined = try_compose_all(fragments)
+    if combined is not None:
+        for fragment in fragments:
+            assert fragment.labels <= combined.labels
+
+
+@SETTINGS
+@given(fragments=knowledge_sets(max_fragments=5), data=st.data())
+def test_pruning_sink_outputs_preserves_validity(fragments, data):
+    combined = try_compose_all(fragments)
+    assume(combined is not None and combined.task_names)
+    task_name = data.draw(st.sampled_from(sorted(combined.task_names)))
+    task = combined.task(task_name)
+    prunable = sorted(task.outputs & combined.sink_labels)
+    assume(len(task.outputs) > 1 and prunable)
+    label = data.draw(st.sampled_from(prunable))
+    pruned = combined.prune_output(task_name, label)
+    assert pruned.is_valid()
+    assert label not in pruned.task(task_name).outputs
+    # Pruning a sink output can only shrink the outset.
+    assert pruned.outset <= combined.outset
+
+
+@SETTINGS
+@given(fragments=knowledge_sets(max_fragments=5), data=st.data())
+def test_pruning_whole_tasks_preserves_validity(fragments, data):
+    combined = try_compose_all(fragments)
+    assume(combined is not None and combined.task_names)
+    task_name = data.draw(st.sampled_from(sorted(combined.task_names)))
+    try:
+        pruned = combined.prune_task(task_name)
+    except PruningError:
+        return  # the constraint forbade the prune; nothing to check
+    assert pruned.is_valid()
+    assert task_name not in pruned.task_names
+
+
+@SETTINGS
+@given(fragments=knowledge_sets(max_fragments=6))
+def test_knowledge_partition_preserves_every_fragment(fragments):
+    knowledge = KnowledgeSet(fragments)
+    groups = knowledge.partition(3)
+    regrouped = [fragment.fragment_id for group in groups for fragment in group]
+    assert sorted(regrouped) == sorted(knowledge.fragment_ids)

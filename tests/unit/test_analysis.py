@@ -1,0 +1,97 @@
+"""Unit tests for the analysis helpers (statistics and figure reporting)."""
+
+import pytest
+
+from repro.analysis.reporting import FigureResult, FigureSeries, comparison_table
+from repro.analysis.stats import (
+    linear_trend,
+    mean,
+    pearson_correlation,
+    summarise,
+)
+
+
+class TestStats:
+    def test_summarise(self):
+        summary = summarise([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0 and summary.maximum == 4.0
+        assert summary.median == pytest.approx(2.5)
+        assert summary.std == pytest.approx(1.2909944, rel=1e-5)
+        low, high = summary.confidence_interval()
+        assert low < summary.mean < high
+        assert set(summary.as_dict()) == {"count", "mean", "std", "min", "max", "median"}
+
+    def test_summarise_single_sample(self):
+        summary = summarise([5.0])
+        assert summary.std == 0.0
+        assert summary.confidence_interval() == (5.0, 5.0)
+        assert summary.median == 5.0
+
+    def test_summarise_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarise([])
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_linear_trend(self):
+        slope, intercept = linear_trend([(1, 2.0), (2, 4.0), (3, 6.0)])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            linear_trend([(1, 1.0)])
+        with pytest.raises(ValueError):
+            linear_trend([(1, 1.0), (1, 2.0)])
+
+    def test_pearson_correlation(self):
+        assert pearson_correlation([(1, 1.0), (2, 2.0), (3, 3.0)]) == pytest.approx(1.0)
+        assert pearson_correlation([(1, 3.0), (2, 2.0), (3, 1.0)]) == pytest.approx(-1.0)
+        assert pearson_correlation([(1, 1.0), (2, 1.0)]) == 0.0
+
+
+class TestReporting:
+    def make_figure(self) -> FigureResult:
+        figure = FigureResult(title="Test figure", metadata={"runs": 2})
+        for x, value in [(2, 0.1), (2, 0.3), (4, 0.4)]:
+            figure.add_sample("2 host", x, value)
+        figure.add_sample("5 host", 2, 0.5)
+        return figure
+
+    def test_series_means(self):
+        figure = self.make_figure()
+        series = figure.series["2 host"]
+        assert series.mean(2) == pytest.approx(0.2)
+        assert series.mean(99) is None
+        assert series.xs() == [2, 4]
+        assert series.as_points()[0] == (2, pytest.approx(0.2))
+        assert series.summary(2).count == 2
+
+    def test_table_rendering(self):
+        table = self.make_figure().to_table(precision=2)
+        assert "Test figure" in table
+        assert "2 host" in table and "5 host" in table
+        assert "0.20" in table
+        assert "-" in table  # missing cell for 5 host at x=4
+
+    def test_csv_rendering(self):
+        csv = self.make_figure().to_csv(precision=3)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "Path length,2 host,5 host"
+        assert lines[1].startswith("2,0.200,0.500")
+        assert lines[2].startswith("4,0.400,")
+
+    def test_as_dict(self):
+        data = self.make_figure().as_dict()
+        assert data["title"] == "Test figure"
+        assert data["series"]["2 host"]["2"] == pytest.approx(0.2)
+
+    def test_comparison_table(self):
+        table = comparison_table(
+            "Ablation",
+            [("batch", {"fragments": 50}), ("incremental", {"fragments": 20})],
+            columns=["fragments"],
+        )
+        assert "Ablation" in table
+        assert "incremental" in table
+        assert "20" in table

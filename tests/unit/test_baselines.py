@@ -1,0 +1,102 @@
+"""Unit tests for the static-workflow engine and the forward-chaining planner."""
+
+import pytest
+
+from repro.baselines.planner import ForwardChainingPlanner
+from repro.baselines.static_engine import StaticWorkflowEngine
+from repro.core.errors import ExecutionError
+from repro.core.fragments import KnowledgeSet, WorkflowFragment
+from repro.core.specification import Specification
+from repro.core.tasks import Task, TaskMode
+from repro.workloads import catering
+
+
+class TestStaticWorkflowEngine:
+    def make_engine(self) -> StaticWorkflowEngine:
+        return StaticWorkflowEngine(
+            [
+                catering.SET_OUT_INGREDIENTS,
+                catering.COOK_OMELETS,
+            ]
+        )
+
+    def test_required_services_and_feasibility(self):
+        engine = self.make_engine()
+        assert engine.required_service_types() == {"set out ingredients", "cook omelets"}
+        assert engine.can_execute(["set out ingredients", "cook omelets", "extra"])
+        assert not engine.can_execute(["set out ingredients"])
+        assert engine.missing_capabilities(["set out ingredients"]) == {"cook omelets"}
+
+    def test_execute_in_order(self):
+        engine = self.make_engine()
+        report = engine.execute(
+            ["set out ingredients", "cook omelets"], ["breakfast ingredients"]
+        )
+        assert report.succeeded
+        assert report.executed_tasks == ["set out ingredients", "cook omelets"]
+        assert "breakfast served" in report.produced_labels
+
+    def test_execute_blocks_without_capability(self):
+        engine = self.make_engine()
+        report = engine.execute(["set out ingredients"], ["breakfast ingredients"])
+        assert not report.succeeded
+        assert "cook omelets" in report.blocked_tasks
+        with pytest.raises(ExecutionError):
+            engine.execute_or_raise(["set out ingredients"], ["breakfast ingredients"])
+
+    def test_execute_blocks_without_inputs(self):
+        engine = self.make_engine()
+        report = engine.execute(["set out ingredients", "cook omelets"], [])
+        assert not report.succeeded
+        assert set(report.blocked_tasks) == {"set out ingredients", "cook omelets"}
+
+    def test_disjunctive_task_executes_with_any_input(self):
+        engine = StaticWorkflowEngine(
+            [Task("either", ["a", "b"], ["c"], mode=TaskMode.DISJUNCTIVE)]
+        )
+        assert engine.execute(["either"], ["b"]).succeeded
+
+
+class TestForwardChainingPlanner:
+    def test_plans_simple_chain(self, chain_fragments):
+        planner = ForwardChainingPlanner(KnowledgeSet(chain_fragments))
+        result = planner.plan(Specification(["a"], ["d"]))
+        assert result.succeeded
+        assert result.plan == ["t1", "t2", "t3"]
+
+    def test_reports_unreachable_goals(self, chain_fragments):
+        planner = ForwardChainingPlanner(KnowledgeSet(chain_fragments))
+        result = planner.plan(Specification(["d"], ["a"]))
+        assert not result.succeeded
+        assert "not reachable" in result.reason
+
+    def test_trims_irrelevant_tasks(self):
+        fragments = [
+            WorkflowFragment([Task("useful", ["a"], ["goal"])], fragment_id="u"),
+            WorkflowFragment([Task("noise", ["a"], ["junk"])], fragment_id="n"),
+        ]
+        planner = ForwardChainingPlanner(KnowledgeSet(fragments))
+        result = planner.plan(Specification(["a"], ["goal"]))
+        assert result.plan == ["useful"]
+
+    def test_conjunctive_semantics(self):
+        fragments = [
+            WorkflowFragment([Task("join", ["a", "b"], ["c"])], fragment_id="j"),
+        ]
+        planner = ForwardChainingPlanner(KnowledgeSet(fragments))
+        assert not planner.is_feasible(Specification(["a"], ["c"]))
+        assert planner.is_feasible(Specification(["a", "b"], ["c"]))
+
+    def test_agrees_with_construction_on_catering(self):
+        from repro.core.construction import is_feasible
+
+        knowledge = KnowledgeSet(catering.all_fragments())
+        for spec in (
+            catering.breakfast_and_lunch_specification(),
+            catering.breakfast_only_specification(),
+            catering.doughnut_breakfast_specification(),
+            Specification(["lunch ingredients"], ["breakfast served"]),
+        ):
+            assert ForwardChainingPlanner(knowledge).is_feasible(spec) == is_feasible(
+                knowledge, spec
+            )

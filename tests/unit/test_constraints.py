@@ -1,0 +1,129 @@
+"""Unit tests for constrained specifications (the paper's future-work extension)."""
+
+import pytest
+
+from repro.core.constraints import (
+    ConstrainedSpecification,
+    WorkflowConstraints,
+    construct_constrained_workflow,
+    critical_path_duration,
+)
+from repro.core.specification import Specification
+from repro.core.tasks import Task
+from repro.core.workflow import Workflow
+from repro.workloads import catering
+
+
+class TestWorkflowConstraints:
+    def test_forbidden_and_required_tasks(self):
+        workflow = Workflow([Task("t1", ["a"], ["b"]), Task("t2", ["b"], ["c"])])
+        ok = WorkflowConstraints(required_tasks=["t1"])
+        assert ok.is_satisfied_by(workflow)
+        missing = WorkflowConstraints(required_tasks=["t9"])
+        assert "required tasks missing" in missing.violations(workflow)[0]
+        forbidden = WorkflowConstraints(forbidden_tasks=["t2"])
+        assert not forbidden.is_satisfied_by(workflow)
+
+    def test_max_tasks_and_locations(self):
+        workflow = Workflow(
+            [Task("t1", ["a"], ["b"], location="roof"), Task("t2", ["b"], ["c"])]
+        )
+        assert not WorkflowConstraints(max_tasks=1).is_satisfied_by(workflow)
+        assert WorkflowConstraints(max_tasks=2).is_satisfied_by(workflow)
+        location = WorkflowConstraints(forbidden_locations=["roof"])
+        assert any("roof" in v for v in location.violations(workflow))
+
+    def test_allows_task_prefilter(self):
+        constraints = WorkflowConstraints(
+            forbidden_tasks=["bad"], forbidden_locations=["minefield"]
+        )
+        assert constraints.allows_task(Task("fine", ["a"], ["b"]))
+        assert not constraints.allows_task(Task("bad", ["a"], ["b"]))
+        assert not constraints.allows_task(Task("risky", ["a"], ["b"], location="minefield"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkflowConstraints(max_tasks=0)
+        with pytest.raises(ValueError):
+            WorkflowConstraints(max_total_duration=-1)
+
+    def test_critical_path_duration(self):
+        workflow = Workflow(
+            [
+                Task("t1", ["a"], ["b"], duration=10),
+                Task("t2", ["b"], ["c"], duration=5),
+                Task("side", ["a"], ["d"], duration=2),
+            ]
+        )
+        assert critical_path_duration(workflow) == 15.0
+        assert critical_path_duration(Workflow([])) == 0.0
+
+    def test_max_total_duration(self):
+        workflow = Workflow([Task("t1", ["a"], ["b"], duration=100)])
+        assert not WorkflowConstraints(max_total_duration=50).is_satisfied_by(workflow)
+        assert WorkflowConstraints(max_total_duration=200).is_satisfied_by(workflow)
+
+
+class TestConstrainedSpecification:
+    def test_behaves_like_a_specification(self):
+        spec = ConstrainedSpecification(Specification(["a"], ["c"]))
+        assert spec(["a"], ["c"])
+        assert spec.triggers == {"a"} and spec.goals == {"c"}
+
+    def test_accepts_requires_constraints_too(self):
+        workflow = Workflow([Task("t1", ["a"], ["c"])])
+        spec = ConstrainedSpecification(
+            Specification(["a"], ["c"]),
+            WorkflowConstraints(forbidden_tasks=["t1"]),
+        )
+        assert not spec.accepts(workflow)
+        relaxed = ConstrainedSpecification(Specification(["a"], ["c"]))
+        assert relaxed.accepts(workflow)
+
+
+class TestConstrainedConstruction:
+    def test_forbidden_task_forces_the_alternative(self):
+        result = construct_constrained_workflow(
+            catering.all_fragments(),
+            ConstrainedSpecification(
+                catering.breakfast_only_specification(),
+                WorkflowConstraints(forbidden_tasks=["cook omelets"]),
+            ),
+        )
+        assert result.succeeded
+        assert "cook omelets" not in result.workflow.task_names
+        assert "make pancakes" in result.workflow.task_names
+
+    def test_required_task_violation_reported(self):
+        result = construct_constrained_workflow(
+            catering.all_fragments(),
+            catering.breakfast_only_specification(),
+            WorkflowConstraints(required_tasks=["serve tables"]),
+        )
+        assert not result.succeeded
+        assert "required tasks missing" in result.reason
+
+    def test_unsatisfiable_after_exclusions(self):
+        result = construct_constrained_workflow(
+            catering.all_fragments(),
+            ConstrainedSpecification(
+                Specification([catering.LUNCH_INGREDIENTS], [catering.LUNCH_SERVED]),
+                WorkflowConstraints(forbidden_tasks=["prepare soup and salad"]),
+            ),
+        )
+        assert not result.succeeded
+        assert "not reachable" in result.reason
+
+    def test_duration_budget(self):
+        tight = construct_constrained_workflow(
+            catering.all_fragments(),
+            catering.breakfast_only_specification(),
+            WorkflowConstraints(max_total_duration=10 * 60),
+        )
+        assert not tight.succeeded
+        generous = construct_constrained_workflow(
+            catering.all_fragments(),
+            catering.breakfast_only_specification(),
+            WorkflowConstraints(max_total_duration=4 * 3600),
+        )
+        assert generous.succeeded

@@ -1,0 +1,163 @@
+"""Unit tests for the construction algorithm (Algorithm 1)."""
+
+import pytest
+
+from repro.core.construction import (
+    Color,
+    WorkflowConstructor,
+    construct_workflow,
+    describe_coloring,
+    is_feasible,
+)
+from repro.core.errors import UnsatisfiableSpecificationError
+from repro.core.fragments import KnowledgeSet, WorkflowFragment
+from repro.core.graph import NodeRef
+from repro.core.specification import Specification
+from repro.core.supergraph import Supergraph
+from repro.core.tasks import Task, TaskMode
+
+
+class TestBasicConstruction:
+    def test_simple_chain(self, chain_fragments):
+        result = construct_workflow(chain_fragments, Specification(["a"], ["d"]))
+        workflow = result.require_workflow()
+        assert workflow.task_names == {"t1", "t2", "t3"}
+        assert workflow.inset == {"a"}
+        assert workflow.outset == {"d"}
+
+    def test_partial_chain(self, chain_fragments):
+        result = construct_workflow(chain_fragments, Specification(["b"], ["d"]))
+        workflow = result.require_workflow()
+        assert workflow.task_names == {"t2", "t3"}
+
+    def test_unreachable_goal(self, chain_fragments):
+        result = construct_workflow(chain_fragments, Specification(["d"], ["a"]))
+        assert not result.succeeded
+        assert "not reachable" in result.reason
+        with pytest.raises(UnsatisfiableSpecificationError):
+            result.require_workflow()
+
+    def test_unknown_goal_label(self, chain_fragments):
+        result = construct_workflow(chain_fragments, Specification(["a"], ["unknown"]))
+        assert not result.succeeded
+        assert "unknown" in result.reason
+
+    def test_alternatives_pruned_to_one_producer(self, breakfast_knowledge, breakfast_spec):
+        result = construct_workflow(breakfast_knowledge, breakfast_spec)
+        workflow = result.require_workflow()
+        # Exactly one of the two breakfast alternatives is selected.
+        assert workflow.producers_of("breakfast served")
+        assert len(workflow.producers_of("breakfast served")) == 1
+        assert workflow.satisfies(breakfast_spec)
+
+    def test_multi_goal_specification(self, breakfast_fragments):
+        extra = WorkflowFragment(
+            [Task("prepare soup", ["lunch ingredients"], ["lunch served"])],
+            fragment_id="test/soup",
+        )
+        spec = Specification(
+            ["breakfast ingredients", "lunch ingredients"],
+            ["breakfast served", "lunch served"],
+        )
+        result = construct_workflow(list(breakfast_fragments) + [extra], spec)
+        workflow = result.require_workflow()
+        assert workflow.outset == {"breakfast served", "lunch served"}
+
+    def test_goal_already_in_triggers(self):
+        result = construct_workflow([], Specification(["done"], ["done"]))
+        # No knowledge at all, but the goal label is unknown to the supergraph
+        # until the triggers are added; the workflow is empty and satisfied.
+        assert not result.succeeded or result.workflow is not None
+
+    def test_is_feasible_helper(self, chain_fragments):
+        assert is_feasible(chain_fragments, Specification(["a"], ["d"]))
+        assert not is_feasible(chain_fragments, Specification(["c"], ["a"]))
+
+
+class TestColoringDetails:
+    def test_distances_increase_along_chain(self, chain_fragments):
+        constructor = WorkflowConstructor(stop_exploration_early=False)
+        graph = Supergraph(KnowledgeSet(chain_fragments))
+        result = constructor.construct(graph, Specification(["a"], ["d"]))
+        state = result.state
+        assert state.distance_of(NodeRef.label("a")) == 0
+        assert state.distance_of(NodeRef.task("t1")) == 1
+        assert state.distance_of(NodeRef.label("b")) == 2
+        assert state.distance_of(NodeRef.label("d")) == 6
+
+    def test_blue_region_is_the_result_workflow(self, chain_fragments):
+        result = construct_workflow(chain_fragments, Specification(["a"], ["d"]))
+        blue_tasks = {
+            node.name
+            for node, color in result.state.colors.items()
+            if node.is_task and color is Color.BLUE
+        }
+        assert blue_tasks == result.workflow.task_names
+
+    def test_describe_coloring_counts(self, chain_fragments):
+        result = construct_workflow(chain_fragments, Specification(["a"], ["d"]))
+        summary = describe_coloring(result.state)
+        assert summary["blue"] == 7  # 4 labels + 3 tasks
+        assert summary["blue_edges"] == 6
+
+    def test_conjunctive_task_requires_all_inputs(self):
+        fragments = [
+            WorkflowFragment([Task("join", ["a", "b"], ["c"])], fragment_id="join"),
+        ]
+        assert not is_feasible(fragments, Specification(["a"], ["c"]))
+        assert is_feasible(fragments, Specification(["a", "b"], ["c"]))
+
+    def test_disjunctive_task_requires_any_input(self):
+        fragments = [
+            WorkflowFragment(
+                [Task("either", ["a", "b"], ["c"], mode=TaskMode.DISJUNCTIVE)],
+                fragment_id="either",
+            ),
+        ]
+        result = construct_workflow(fragments, Specification(["a"], ["c"]))
+        workflow = result.require_workflow()
+        # The unused alternative input is pruned away.
+        assert workflow.task("either").inputs == {"a"}
+
+    def test_cycles_in_supergraph_do_not_break_construction(self):
+        fragments = [
+            WorkflowFragment([Task("t1", ["a"], ["b"])], fragment_id="c1"),
+            WorkflowFragment([Task("t2", ["b"], ["a"])], fragment_id="c2"),
+            WorkflowFragment([Task("t3", ["b"], ["goal"])], fragment_id="c3"),
+        ]
+        result = construct_workflow(fragments, Specification(["a"], ["goal"]))
+        workflow = result.require_workflow()
+        assert workflow.is_acyclic()
+        assert "t2" not in workflow.task_names
+
+    def test_task_filter_excludes_unprovidable_tasks(self, breakfast_knowledge, breakfast_spec):
+        constructor = WorkflowConstructor()
+        graph = Supergraph(breakfast_knowledge)
+        result = constructor.construct(
+            graph,
+            breakfast_spec,
+            task_filter=lambda task: task.name != "cook omelets",
+        )
+        workflow = result.require_workflow()
+        assert "cook omelets" not in workflow.task_names
+        assert "serve breakfast buffet" in workflow.task_names
+
+
+class TestStatistics:
+    def test_statistics_populated(self, breakfast_knowledge, breakfast_spec):
+        result = construct_workflow(breakfast_knowledge, breakfast_spec)
+        stats = result.statistics
+        assert stats.supergraph_tasks == 4
+        assert stats.fragments_considered == 3
+        assert stats.fragments_selected >= 1
+        assert stats.blue_nodes > 0
+        assert stats.elapsed_seconds >= 0
+        assert set(stats.as_dict()) >= {"supergraph_tasks", "blue_nodes"}
+
+    def test_selected_fragments_cover_workflow_tasks(self, breakfast_knowledge, breakfast_spec):
+        result = construct_workflow(breakfast_knowledge, breakfast_spec)
+        knowledge = {f.fragment_id: f for f in breakfast_knowledge}
+        covered = set()
+        for fragment_id in result.selected_fragment_ids:
+            covered |= knowledge[fragment_id].task_names
+        assert result.workflow.task_names <= covered

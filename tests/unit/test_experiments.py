@@ -1,0 +1,128 @@
+"""Unit tests for the experiment harness (trials, figure sweeps, ablations)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_baseline_comparison,
+    run_discovery_ablation,
+    run_policy_ablation,
+)
+from repro.experiments.figures import (
+    default_runs,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_single_point,
+)
+from repro.experiments.trials import (
+    adhoc_network_factory,
+    build_trial_community,
+    run_allocation_trial,
+    simulated_network_factory,
+)
+from repro.sim.randomness import derive_rng
+from repro.workloads.supergraph_gen import RandomSupergraphWorkload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return RandomSupergraphWorkload(seed=3).generate(25)
+
+
+class TestTrials:
+    def test_build_trial_community_partitions_knowledge(self, workload):
+        community = build_trial_community(workload, num_hosts=5, seed=1)
+        assert len(community) == 5
+        assert community.total_fragments() == 25
+        per_host = [host.fragment_count for host in community]
+        assert max(per_host) - min(per_host) <= 1
+
+    def test_run_allocation_trial_simnet(self, workload):
+        rng = derive_rng(1, "trial-test")
+        spec = workload.path_specification(3, rng)
+        result = run_allocation_trial(
+            workload, 3, spec, seed=1, network_factory=simulated_network_factory()
+        )
+        assert result.succeeded
+        assert result.workflow_tasks == 3
+        assert result.allocation_seconds >= 0.0
+        assert result.messages_sent > 0
+        assert result.sim_seconds == 0.0  # zero-latency simulated network
+
+    def test_run_allocation_trial_adhoc_adds_latency(self, workload):
+        rng = derive_rng(2, "trial-test-adhoc")
+        spec = workload.path_specification(3, rng)
+        result = run_allocation_trial(
+            workload, 4, spec, seed=2, network_factory=adhoc_network_factory()
+        )
+        assert result.succeeded
+        assert result.sim_seconds > 0.0
+        assert result.allocation_seconds >= result.sim_seconds
+
+    def test_invalid_host_count(self, workload):
+        rng = derive_rng(1, "x")
+        spec = workload.path_specification(2, rng)
+        with pytest.raises(ValueError):
+            run_allocation_trial(workload, 0, spec, seed=1)
+
+
+class TestFigureRunners:
+    def test_default_runs_env_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RUNS", raising=False)
+        assert default_runs(7) == 7
+        monkeypatch.setenv("REPRO_RUNS", "12")
+        assert default_runs() == 12
+        monkeypatch.setenv("REPRO_RUNS", "junk")
+        assert default_runs(5) == 5
+
+    def test_run_single_point(self):
+        result = run_single_point(25, 2, 3, seed=5)
+        assert result is not None and result.succeeded
+        assert run_single_point(25, 2, 500, seed=5) is None  # impossible path length
+
+    def test_figure4_small_sweep(self):
+        figure = run_figure4(
+            num_tasks=25, host_counts=(2, 3), path_lengths=(2, 4), runs=1, seed=5
+        )
+        assert set(figure.series) == {"2 host", "3 host"}
+        for series in figure.series.values():
+            assert series.xs() == [2, 4]
+            for x in series.xs():
+                assert series.mean(x) > 0.0
+
+    def test_figure5_small_sweep(self):
+        figure = run_figure5(task_counts=(25, 50), path_lengths=(2, 4), runs=1, seed=5)
+        assert set(figure.series) == {"25 task", "50 task"}
+
+    def test_figure6_small_sweep_includes_latency(self):
+        figure = run_figure6(task_counts=(25,), path_lengths=(2, 4), runs=1, seed=5)
+        assert "25 task" in figure.series
+        assert "max_path_length" in figure.metadata
+        for x in figure.series["25 task"].xs():
+            assert figure.series["25 task"].mean(x) > 0.0
+
+
+class TestAblations:
+    def test_discovery_ablation_saves_transfers(self):
+        points = run_discovery_ablation(task_counts=(50,), path_lengths=(2, 4), seed=3)
+        assert points
+        for point in points:
+            assert point.both_succeeded
+            assert point.incremental_fragments <= point.batch_fragments
+            assert 0.0 <= point.transfer_savings <= 1.0
+
+    def test_policy_ablation_runs_all_policies(self):
+        points = run_policy_ablation(num_tasks=25, num_hosts=3, path_lengths=(3,), seed=3)
+        assert {p.policy for p in points} == {"specialization", "earliest-start", "random"}
+        assert all(p.succeeded for p in points)
+
+    def test_baseline_comparison_matches_paper_story(self):
+        points = {p.scenario: p for p in run_baseline_comparison()}
+        assert points["all-present"].open_workflow_succeeded
+        assert points["all-present"].static_workflow_succeeded
+        # The statically designed workflow breaks when key staff are absent;
+        # the open workflow adapts and still succeeds.
+        assert points["chef-absent"].open_workflow_succeeded
+        assert not points["chef-absent"].static_workflow_succeeded
+        assert points["wait-staff-absent"].open_workflow_succeeded
+        assert not points["wait-staff-absent"].static_workflow_succeeded

@@ -1,0 +1,108 @@
+"""Unit tests for repro.core.graph (the shared bipartite graph base)."""
+
+import pytest
+
+from repro.core.errors import InvalidWorkflowError
+from repro.core.graph import BipartiteGraph, NodeKind, NodeRef
+from repro.core.tasks import Task
+
+
+def simple_graph() -> BipartiteGraph:
+    return BipartiteGraph(
+        [
+            Task("t1", ["a"], ["b"]),
+            Task("t2", ["b"], ["c"]),
+            Task("t3", ["b"], ["d"]),
+        ]
+    )
+
+
+class TestNodeRef:
+    def test_factories_and_predicates(self):
+        label = NodeRef.label("x")
+        task = NodeRef.task("t")
+        assert label.is_label and not label.is_task
+        assert task.is_task and not task.is_label
+        assert label.kind is NodeKind.LABEL
+
+    def test_ordering_labels_before_tasks(self):
+        assert NodeRef.label("z") < NodeRef.task("a")
+        assert sorted([NodeRef.task("a"), NodeRef.label("b")])[0].is_label
+
+
+class TestAdjacency:
+    def test_nodes_and_edges(self):
+        graph = simple_graph()
+        names = {node.name for node in graph.nodes()}
+        assert names == {"a", "b", "c", "d", "t1", "t2", "t3"}
+        assert graph.edge_count == 6
+        assert len(list(graph.edges())) == 6
+
+    def test_producers_and_consumers(self):
+        graph = simple_graph()
+        assert graph.producers_of("b") == {"t1"}
+        assert graph.consumers_of("b") == {"t2", "t3"}
+        assert graph.producers_of("a") == frozenset()
+        assert graph.consumers_of("missing") == frozenset()
+
+    def test_parents_and_children(self):
+        graph = simple_graph()
+        assert graph.parents(NodeRef.task("t2")) == {NodeRef.label("b")}
+        assert graph.children(NodeRef.label("b")) == {NodeRef.task("t2"), NodeRef.task("t3")}
+
+    def test_contains_and_len(self):
+        graph = simple_graph()
+        assert NodeRef.task("t1") in graph
+        assert NodeRef.label("a") in graph
+        assert NodeRef.task("zzz") not in graph
+        assert len(graph) == 7
+
+
+class TestSourcesSinks:
+    def test_source_and_sink_labels(self):
+        graph = simple_graph()
+        assert graph.source_labels == {"a"}
+        assert graph.sink_labels == {"c", "d"}
+
+    def test_task_without_inputs_is_source_node(self):
+        graph = BipartiteGraph([Task("gen", outputs=["x"])])
+        assert NodeRef.task("gen") in graph.sources()
+
+    def test_extra_labels_appear_as_isolated_nodes(self):
+        graph = BipartiteGraph([], extra_labels=["lonely"])
+        assert graph.has_label("lonely")
+        assert NodeRef.label("lonely") in graph.sources()
+        assert NodeRef.label("lonely") in graph.sinks()
+
+
+class TestStructure:
+    def test_acyclic_detection(self):
+        assert simple_graph().is_acyclic()
+        cyclic = BipartiteGraph([Task("t1", ["a"], ["b"]), Task("t2", ["b"], ["a"])])
+        assert not cyclic.is_acyclic()
+
+    def test_topological_order_is_valid(self):
+        graph = simple_graph()
+        order = graph.topological_order()
+        positions = {node: index for index, node in enumerate(order)}
+        for edge in graph.edges():
+            assert positions[edge.src] < positions[edge.dst]
+
+    def test_topological_order_raises_on_cycle(self):
+        cyclic = BipartiteGraph([Task("t1", ["a"], ["b"]), Task("t2", ["b"], ["a"])])
+        with pytest.raises(InvalidWorkflowError):
+            cyclic.topological_order()
+
+    def test_multi_producer_labels(self):
+        graph = BipartiteGraph(
+            [Task("t1", ["a"], ["x"]), Task("t2", ["b"], ["x"])]
+        )
+        assert graph.multi_producer_labels() == {"x"}
+
+    def test_conflicting_task_definitions_rejected(self):
+        with pytest.raises(InvalidWorkflowError):
+            BipartiteGraph([Task("t", ["a"], ["b"]), Task("t", ["a"], ["c"])])
+
+    def test_duplicate_identical_tasks_merge(self):
+        graph = BipartiteGraph([Task("t", ["a"], ["b"]), Task("t", ["a"], ["b"])])
+        assert graph.task_names == {"t"}

@@ -1,0 +1,113 @@
+"""Unit tests for Host message dispatch and the Community container."""
+
+import pytest
+
+from repro.core import Task, WorkflowFragment
+from repro.core.errors import OpenWorkflowError
+from repro.execution import ServiceDescription
+from repro.host import Community, WorkflowPhase
+from repro.net.messages import CapabilityQuery, FragmentQuery, Message
+
+
+class TestCommunityMembership:
+    def test_add_and_remove_hosts(self):
+        community = Community()
+        community.add_host("a")
+        community.add_host("b")
+        assert community.host_ids == ["a", "b"]
+        assert "a" in community and len(community) == 2
+        community.remove_host("a")
+        assert community.host_ids == ["b"]
+        assert not community.network.is_registered("a")
+
+    def test_duplicate_host_rejected(self):
+        community = Community()
+        community.add_host("a")
+        with pytest.raises(OpenWorkflowError):
+            community.add_host("a")
+
+    def test_community_wide_views(self):
+        community = Community()
+        community.add_host(
+            "a",
+            fragments=[WorkflowFragment([Task("t1", ["x"], ["y"])])],
+            services=[ServiceDescription("t1")],
+        )
+        community.add_host(
+            "b",
+            fragments=[WorkflowFragment([Task("t2", ["y"], ["z"])])],
+            services=[ServiceDescription("t2")],
+        )
+        assert community.total_fragments() == 2
+        assert community.all_service_types() == {"t1", "t2"}
+        assert community.all_labels() == {"x", "y", "z"}
+
+
+class TestHostDispatch:
+    def test_fragment_query_answered(self, breakfast_community):
+        community = breakfast_community
+        alice = community.host("alice")
+        bob = community.host("bob")
+        community.network.send(
+            FragmentQuery(sender="alice", recipient="bob", want_all=True, workflow_id="w")
+        )
+        community.run_idle()
+        assert bob.fragment_manager.queries_answered == 1
+        assert bob.messages_received == 1
+        # Alice receives the response even though no workspace expects it.
+        assert alice.messages_received == 1
+
+    def test_capability_query_answered(self, breakfast_community):
+        community = breakfast_community
+        community.network.send(
+            CapabilityQuery(
+                sender="alice", recipient="bob",
+                service_types=frozenset({"cook omelets", "fly"}), workflow_id="w",
+            )
+        )
+        community.run_idle()
+        alice = community.host("alice")
+        assert alice.workflow_manager.capabilities.hosts_providing("cook omelets") == {"bob"}
+        assert not alice.workflow_manager.capabilities.is_available("fly")
+
+    def test_unknown_message_kind_ignored(self, breakfast_community):
+        community = breakfast_community
+        community.network.send(Message(sender="alice", recipient="bob"))
+        community.run_idle()
+        assert community.host("bob").messages_received == 1
+
+    def test_add_fragment_and_service_after_creation(self, breakfast_community):
+        host = breakfast_community.host("alice")
+        before = host.fragment_count
+        host.add_fragment(WorkflowFragment([Task("extra", ["p"], ["q"])]))
+        host.add_service(ServiceDescription("extra"))
+        assert host.fragment_count == before + 1
+        assert "extra" in host.service_types
+
+
+class TestCommunityProblemRunning:
+    def test_submit_and_run_until_allocated(self, breakfast_community):
+        workspace = breakfast_community.submit_problem(
+            "alice", ["breakfast ingredients"], ["breakfast served"]
+        )
+        breakfast_community.run_until_allocated(workspace)
+        assert workspace.phase is WorkflowPhase.EXECUTING
+        assert workspace.is_allocated
+
+    def test_run_until_completed(self, breakfast_community):
+        workspace = breakfast_community.submit_problem(
+            "alice", ["breakfast ingredients"], ["breakfast served"]
+        )
+        breakfast_community.run_until_completed(workspace)
+        assert workspace.phase is WorkflowPhase.COMPLETED
+        assert workspace.all_tasks_completed
+
+    def test_commitments_visible_on_hosts(self, breakfast_community):
+        workspace = breakfast_community.submit_problem(
+            "alice", ["breakfast ingredients"], ["breakfast served"]
+        )
+        breakfast_community.run_until_completed(workspace)
+        total_commitments = sum(
+            len(host.commitments()) for host in breakfast_community
+        )
+        assert total_commitments == len(workspace.expected_tasks)

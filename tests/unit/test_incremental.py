@@ -1,0 +1,89 @@
+"""Unit tests for incremental (frontier-driven) construction."""
+
+from repro.core.construction import construct_workflow
+from repro.core.fragments import KnowledgeSet, WorkflowFragment
+from repro.core.incremental import (
+    IncrementalConstructor,
+    LocalFragmentSource,
+    compute_frontier_labels,
+    construct_incrementally,
+)
+from repro.core.specification import Specification
+from repro.core.supergraph import Supergraph
+from repro.core.tasks import Task
+
+
+class TestLocalFragmentSource:
+    def test_queries_and_exclusion(self, breakfast_knowledge):
+        source = LocalFragmentSource(breakfast_knowledge)
+        produced = source.fragments_producing("breakfast served", frozenset())
+        assert {f.fragment_id for f in produced} == {"test/cook", "test/pancakes"}
+        excluded = source.fragments_producing("breakfast served", frozenset({"test/cook"}))
+        assert {f.fragment_id for f in excluded} == {"test/pancakes"}
+        assert source.query_count == 2
+
+    def test_accepts_plain_fragment_list(self, breakfast_fragments):
+        source = LocalFragmentSource(breakfast_fragments)
+        assert source.fragments_consuming("breakfast ingredients", frozenset())
+
+
+class TestIncrementalConstruction:
+    def test_matches_batch_result_feasibility(self, breakfast_knowledge, breakfast_spec):
+        batch = construct_workflow(breakfast_knowledge, breakfast_spec)
+        incremental = construct_incrementally(breakfast_knowledge, breakfast_spec)
+        assert incremental.succeeded == batch.succeeded
+        assert incremental.workflow.satisfies(breakfast_spec)
+
+    def test_transfers_no_more_than_whole_knowledge(self, breakfast_knowledge, breakfast_spec):
+        incremental = construct_incrementally(breakfast_knowledge, breakfast_spec)
+        assert incremental.incremental.fragments_transferred <= len(breakfast_knowledge)
+
+    def test_unsatisfiable_specification_terminates(self, breakfast_knowledge):
+        spec = Specification(["breakfast served"], ["breakfast ingredients"])
+        result = construct_incrementally(breakfast_knowledge, spec)
+        assert not result.succeeded
+        assert result.incremental.rounds >= 0
+
+    def test_initial_fragments_reduce_transfers(self, breakfast_fragments, breakfast_spec):
+        knowledge = KnowledgeSet(breakfast_fragments)
+        source = LocalFragmentSource(knowledge)
+        constructor = IncrementalConstructor(source)
+        result = constructor.construct(
+            breakfast_spec, initial_fragments=breakfast_fragments[:2]
+        )
+        assert result.succeeded
+        # The two seeded fragments never cross the (simulated) query interface.
+        transferred_ids = result.supergraph.fragment_ids
+        assert "test/set-out" in transferred_ids
+
+    def test_supergraph_reuse_across_specifications(self, chain_fragments):
+        knowledge = KnowledgeSet(chain_fragments)
+        constructor = IncrementalConstructor(LocalFragmentSource(knowledge))
+        graph = Supergraph()
+        first = constructor.construct(Specification(["a"], ["b"]), supergraph=graph)
+        assert first.succeeded
+        second = constructor.construct(Specification(["a"], ["d"]), supergraph=graph)
+        assert second.succeeded
+        assert second.supergraph is graph
+
+    def test_skips_goal_seeding_when_disabled(self, chain_fragments):
+        knowledge = KnowledgeSet(chain_fragments)
+        constructor = IncrementalConstructor(
+            LocalFragmentSource(knowledge), seed_with_goal_producers=False
+        )
+        result = constructor.construct(Specification(["a"], ["d"]))
+        assert result.succeeded
+
+
+class TestFrontier:
+    def test_frontier_contains_goals_and_unexplained_inputs(self):
+        fragments = [WorkflowFragment([Task("t1", ["a"], ["b"])], fragment_id="f1")]
+        graph = Supergraph(KnowledgeSet(fragments))
+        spec = Specification(["a"], ["z"])
+        from repro.core.construction import WorkflowConstructor
+
+        result = WorkflowConstructor().construct(graph, spec)
+        frontier = compute_frontier_labels(graph, spec, result)
+        assert "z" in frontier  # the goal
+        assert "a" in frontier  # green label
+        assert "b" in frontier  # green label reachable forward

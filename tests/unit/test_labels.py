@@ -1,0 +1,80 @@
+"""Unit tests for repro.core.labels."""
+
+import pytest
+
+from repro.core.labels import Label, LabelSet, as_label, as_label_names
+
+
+class TestLabel:
+    def test_equality_is_by_name(self):
+        assert Label("breakfast served") == Label("breakfast served")
+        assert Label("breakfast served") != Label("lunch served")
+
+    def test_description_does_not_affect_equality_or_hash(self):
+        plain = Label("spill contained")
+        documented = Label("spill contained", description="mercury cleaned up")
+        assert plain == documented
+        assert hash(plain) == hash(documented)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Label("")
+        with pytest.raises(ValueError):
+            Label("   ")
+
+    def test_str_and_repr(self):
+        label = Label("area cordoned off")
+        assert str(label) == "area cordoned off"
+        assert "area cordoned off" in repr(label)
+
+    def test_ordering_is_by_name(self):
+        assert sorted([Label("b"), Label("a")]) == [Label("a"), Label("b")]
+
+
+class TestCoercion:
+    def test_as_label_accepts_strings(self):
+        assert as_label("x") == Label("x")
+
+    def test_as_label_passes_labels_through(self):
+        label = Label("y")
+        assert as_label(label) is label
+
+    def test_as_label_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_label(42)
+
+    def test_as_label_names_mixes_types(self):
+        names = as_label_names(["a", Label("b"), "a"])
+        assert names == frozenset({"a", "b"})
+
+
+class TestLabelSet:
+    def test_contains_by_name_and_label(self):
+        labels = LabelSet(["a", Label("b")])
+        assert "a" in labels
+        assert Label("b") in labels
+        assert "c" not in labels
+
+    def test_deduplicates_and_prefers_described_labels(self):
+        labels = LabelSet([Label("a"), Label("a", description="better")])
+        assert len(labels) == 1
+        assert labels.get("a").description == "better"
+
+    def test_union_intersection_difference(self):
+        left = LabelSet(["a", "b"])
+        right = LabelSet(["b", "c"])
+        assert left.union(right).names == {"a", "b", "c"}
+        assert left.intersection(right).names == {"b"}
+        assert left.difference(right).names == {"a"}
+
+    def test_issubset(self):
+        assert LabelSet(["a"]).issubset(LabelSet(["a", "b"]))
+        assert not LabelSet(["a", "z"]).issubset(["a", "b"])
+
+    def test_equality_with_plain_sets(self):
+        assert LabelSet(["a", "b"]) == {"a", "b"}
+        assert LabelSet(["a"]) == LabelSet(["a"])
+
+    def test_iteration_is_sorted(self):
+        labels = LabelSet(["c", "a", "b"])
+        assert [label.name for label in labels] == ["a", "b", "c"]

@@ -1,0 +1,141 @@
+"""Unit tests for the mobility substrate: geometry, locations, movement."""
+
+import pytest
+
+from repro.mobility.geometry import ORIGIN, Point, Rectangle, square_site
+from repro.mobility.locations import (
+    Location,
+    LocationDirectory,
+    TravelModel,
+    grid_locations,
+)
+from repro.mobility.models import (
+    RandomWaypointMobility,
+    StaticMobility,
+    WaypointMobility,
+)
+from repro.sim.randomness import rng_from_seed
+
+
+class TestGeometry:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+        assert ORIGIN.distance_to(ORIGIN) == 0.0
+
+    def test_midpoint_and_translate(self):
+        assert Point(0, 0).midpoint(Point(2, 2)) == Point(1, 1)
+        assert Point(1, 1).translated(2, -1) == Point(3, 0)
+
+    def test_moved_towards_clamps_at_target(self):
+        start, target = Point(0, 0), Point(10, 0)
+        assert start.moved_towards(target, 4) == Point(4, 0)
+        assert start.moved_towards(target, 100) == target
+        assert target.moved_towards(target, 5) == target
+
+    def test_rectangle(self):
+        area = Rectangle(0, 0, 10, 20)
+        assert area.width == 10 and area.height == 20
+        assert area.center == Point(5, 10)
+        assert area.contains(Point(5, 5))
+        assert not area.contains(Point(-1, 5))
+        assert area.clamp(Point(-5, 25)) == Point(0, 20)
+        with pytest.raises(ValueError):
+            Rectangle(10, 0, 0, 0)
+
+    def test_square_site_and_random_point(self):
+        area = square_site(100)
+        point = area.random_point(rng_from_seed(1))
+        assert area.contains(point)
+        with pytest.raises(ValueError):
+            square_site(0)
+
+
+class TestLocations:
+    def test_directory_lookup(self):
+        directory = LocationDirectory([Location("kitchen", Point(0, 0))])
+        directory.add_point("yard", 50, 50)
+        assert "kitchen" in directory and "yard" in directory
+        assert directory.position_of("yard") == Point(50, 50)
+        assert directory.position_of("nowhere") is None
+        assert len(directory) == 2
+        assert [loc.name for loc in directory] == ["kitchen", "yard"]
+
+    def test_grid_locations(self):
+        directory = grid_locations(["a", "b", "c", "d", "e"], spacing=10, columns=2)
+        assert directory.position_of("a") == Point(0, 0)
+        assert directory.position_of("b") == Point(10, 0)
+        assert directory.position_of("c") == Point(0, 10)
+
+
+class TestTravelModel:
+    def test_travel_seconds(self):
+        model = TravelModel(speed=2.0)
+        assert model.travel_seconds(Point(0, 0), Point(20, 0)) == 10.0
+        assert model.travel_seconds(Point(0, 0), Point(0, 0)) == 0.0
+        assert model.travel_seconds(None, Point(0, 0)) == model.unknown_location_penalty
+
+    def test_fixed_overhead_applies_to_nonzero_trips(self):
+        model = TravelModel(speed=1.0, fixed_overhead=30.0)
+        assert model.travel_seconds(Point(0, 0), Point(10, 0)) == 40.0
+        assert model.travel_seconds(Point(0, 0), Point(0, 0)) == 0.0
+
+    def test_travel_between_named_locations(self):
+        directory = LocationDirectory(
+            [Location("a", Point(0, 0)), Location("b", Point(100, 0))]
+        )
+        model = TravelModel(speed=10.0)
+        assert model.travel_between(directory, "a", "b") == 10.0
+        assert model.travel_between(directory, "a", None) == 0.0
+        assert model.travel_between(directory, "a", "unknown") == model.unknown_location_penalty
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TravelModel(speed=0)
+        with pytest.raises(ValueError):
+            TravelModel(fixed_overhead=-1)
+
+
+class TestMobilityModels:
+    def test_static(self):
+        model = StaticMobility(Point(3, 4))
+        assert model.position_at(0) == Point(3, 4)
+        assert model.position_at(1e6) == Point(3, 4)
+
+    def test_waypoint_progression(self):
+        model = WaypointMobility([Point(0, 0), Point(10, 0)], speed=1.0)
+        assert model.position_at(0) == Point(0, 0)
+        assert model.position_at(5) == Point(5, 0)
+        assert model.position_at(100) == Point(10, 0)
+        assert model.final_position == Point(10, 0)
+
+    def test_waypoint_pause(self):
+        model = WaypointMobility([Point(0, 0), Point(10, 0)], speed=1.0, pause=5.0)
+        assert model.position_at(3) == Point(0, 0)  # still pausing
+        assert model.position_at(7) == Point(2, 0)
+
+    def test_waypoint_validation(self):
+        with pytest.raises(ValueError):
+            WaypointMobility([])
+        with pytest.raises(ValueError):
+            WaypointMobility([Point(0, 0)], speed=0)
+
+    def test_random_waypoint_is_deterministic_and_bounded(self):
+        area = square_site(100)
+        first = RandomWaypointMobility(area, seed=9)
+        second = RandomWaypointMobility(area, seed=9)
+        for t in (0.0, 10.0, 100.0, 500.0):
+            assert first.position_at(t) == second.position_at(t)
+            assert area.contains(first.position_at(t))
+
+    def test_random_waypoint_queries_out_of_order(self):
+        model = RandomWaypointMobility(square_site(50), seed=4)
+        late = model.position_at(300.0)
+        early = model.position_at(10.0)
+        assert model.position_at(300.0) == late
+        assert model.position_at(10.0) == early
+
+    def test_random_waypoint_validation(self):
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(square_site(10), seed=1, min_speed=0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(square_site(10), seed=1, pause=-1)

@@ -1,0 +1,131 @@
+"""Unit tests for the Auction Participation Manager."""
+
+import pytest
+
+from repro.allocation.participation import AuctionParticipationManager
+from repro.core.tasks import Task
+from repro.execution.engine import ExecutionManager
+from repro.execution.services import ServiceDescription, ServiceManager
+from repro.net.messages import AwardMessage, AwardRejected, BidDeclined, BidMessage, CallForBids
+from repro.scheduling.commitments import Commitment
+from repro.scheduling.preferences import ParticipantPreferences
+from repro.scheduling.schedule import ScheduleManager
+from repro.sim.events import EventScheduler
+
+
+def make_participant(services=None, preferences=None):
+    scheduler = EventScheduler()
+    service_manager = ServiceManager(
+        "worker", services if services is not None else [ServiceDescription("cook", duration=10.0)]
+    )
+    schedule = ScheduleManager(
+        "worker", clock=scheduler.clock, preferences=preferences or ParticipantPreferences()
+    )
+    sent: list = []
+    execution = ExecutionManager("worker", scheduler, service_manager, sent.append)
+    manager = AuctionParticipationManager(
+        "worker", scheduler.clock, service_manager, schedule, execution
+    )
+    return manager, schedule, scheduler
+
+
+def call_for(task: Task, earliest: float = 0.0) -> CallForBids:
+    return CallForBids(
+        sender="initiator", recipient="worker", workflow_id="w", task=task, earliest_start=earliest
+    )
+
+
+def award_for(task: Task, start: float = 0.0) -> AwardMessage:
+    return AwardMessage(
+        sender="initiator",
+        recipient="worker",
+        workflow_id="w",
+        task=task,
+        scheduled_start=start,
+        trigger_labels=frozenset(task.inputs),
+    )
+
+
+class TestBidding:
+    def test_capable_host_bids(self):
+        manager, _, _ = make_participant()
+        answer = manager.handle_call_for_bids(call_for(Task("cook", ["a"], ["b"], duration=5.0)))
+        assert isinstance(answer, BidMessage)
+        assert answer.task_name == "cook"
+        assert answer.specialization == 1
+        assert manager.statistics.bids_submitted == 1
+
+    def test_incapable_host_declines(self):
+        manager, _, _ = make_participant()
+        answer = manager.handle_call_for_bids(call_for(Task("fly", ["a"], ["b"])))
+        assert isinstance(answer, BidDeclined)
+        assert "no service" in answer.reason
+
+    def test_unwilling_host_declines(self):
+        prefs = ParticipantPreferences(refused_service_types=frozenset({"cook"}))
+        manager, _, _ = make_participant(preferences=prefs)
+        answer = manager.handle_call_for_bids(call_for(Task("cook", ["a"], ["b"], duration=1.0)))
+        assert isinstance(answer, BidDeclined)
+
+    def test_bid_uses_service_duration_when_task_has_none(self):
+        manager, _, _ = make_participant()
+        answer = manager.handle_call_for_bids(call_for(Task("cook", ["a"], ["b"])))
+        assert isinstance(answer, BidMessage)
+
+    def test_deadline_too_tight_declines(self):
+        manager, schedule, _ = make_participant()
+        schedule.add_commitment(
+            Commitment(task=Task("busy", ["x"], ["y"], duration=100.0), workflow_id="other", start=0.0)
+        )
+        call = CallForBids(
+            sender="initiator", recipient="worker", workflow_id="w",
+            task=Task("cook", ["a"], ["b"], duration=10.0), earliest_start=0.0, deadline=50.0,
+        )
+        answer = manager.handle_call_for_bids(call)
+        assert isinstance(answer, BidDeclined)
+
+    def test_bid_validity_sets_response_deadline(self):
+        prefs = ParticipantPreferences(bid_validity=60.0)
+        manager, _, _ = make_participant(preferences=prefs)
+        answer = manager.handle_call_for_bids(call_for(Task("cook", ["a"], ["b"], duration=1.0)))
+        assert isinstance(answer, BidMessage)
+        assert answer.response_deadline == pytest.approx(60.0)
+
+    def test_missing_task_declines(self):
+        manager, _, _ = make_participant()
+        answer = manager.handle_call_for_bids(
+            CallForBids(sender="initiator", recipient="worker", workflow_id="w", task=None)
+        )
+        assert isinstance(answer, BidDeclined)
+
+
+class TestAwards:
+    def test_award_creates_commitment_and_watches_execution(self):
+        manager, schedule, scheduler = make_participant()
+        result = manager.handle_award(award_for(Task("cook", ["a"], ["b"], duration=5.0), start=10.0))
+        assert isinstance(result, Commitment)
+        assert schedule.has_commitment_for("w", "cook")
+        assert manager.statistics.awards_accepted == 1
+        scheduler.run()
+        assert manager.execution.completed_count == 1
+
+    def test_conflicting_award_moves_to_next_slot(self):
+        manager, schedule, _ = make_participant()
+        first = manager.handle_award(award_for(Task("cook", ["a"], ["b"], duration=50.0), start=0.0))
+        second_task = Task("cook", ["c"], ["d"], duration=10.0)
+        second = manager.handle_award(
+            AwardMessage(sender="initiator", recipient="worker", workflow_id="w",
+                         task=second_task, scheduled_start=0.0,
+                         trigger_labels=frozenset({"c"}))
+        )
+        assert isinstance(second, Commitment)
+        assert second.start >= first.end
+        assert schedule.commitment_count() == 2
+
+    def test_award_without_task_rejected(self):
+        manager, _, _ = make_participant()
+        result = manager.handle_award(
+            AwardMessage(sender="initiator", recipient="worker", workflow_id="w", task=None)
+        )
+        assert isinstance(result, AwardRejected)
+        assert manager.statistics.awards_rejected == 1

@@ -1,0 +1,61 @@
+"""Unit tests for deterministic randomness helpers."""
+
+import pytest
+
+from repro.sim.randomness import (
+    choice,
+    derive_rng,
+    derive_seed,
+    exponential_jitter,
+    rng_from_seed,
+    sample_without_replacement,
+    shuffled,
+    uniform_jitter,
+)
+
+
+class TestSeeds:
+    def test_same_seed_same_stream(self):
+        assert rng_from_seed(42).random() == rng_from_seed(42).random()
+
+    def test_derive_seed_is_stable_and_distinct(self):
+        assert derive_seed(1, "mobility") == derive_seed(1, "mobility")
+        assert derive_seed(1, "mobility") != derive_seed(1, "workload")
+        assert derive_seed(1, "a", "b") != derive_seed(1, "a", "c")
+
+    def test_derive_rng_independent_streams(self):
+        a = derive_rng(5, "x")
+        b = derive_rng(5, "y")
+        assert [a.random() for _ in range(3)] != [b.random() for _ in range(3)]
+
+    def test_default_seed_used_when_none(self):
+        assert rng_from_seed(None).random() == rng_from_seed(None).random()
+
+
+class TestHelpers:
+    def test_choice(self):
+        rng = rng_from_seed(1)
+        assert choice(rng, ["only"]) == "only"
+        with pytest.raises(ValueError):
+            choice(rng, [])
+
+    def test_sample_without_replacement(self):
+        rng = rng_from_seed(1)
+        sample = sample_without_replacement(rng, list(range(10)), 4)
+        assert len(set(sample)) == 4
+        with pytest.raises(ValueError):
+            sample_without_replacement(rng, [1, 2], 3)
+
+    def test_shuffled_leaves_input_untouched(self):
+        original = [1, 2, 3, 4, 5]
+        result = shuffled(rng_from_seed(3), original)
+        assert sorted(result) == original
+        assert original == [1, 2, 3, 4, 5]
+
+    def test_jitters(self):
+        rng = rng_from_seed(2)
+        assert exponential_jitter(rng, 0.0) == 0.0
+        assert exponential_jitter(rng, 1.0) >= 0.0
+        assert 1.0 <= uniform_jitter(rng, 1.0, 2.0) <= 2.0
+        with pytest.raises(ValueError):
+            uniform_jitter(rng, 2.0, 1.0)

@@ -1,0 +1,176 @@
+"""Unit tests for commitments, preferences, and the Schedule Manager."""
+
+import pytest
+
+from repro.core.errors import ScheduleConflictError, SchedulingError
+from repro.core.tasks import Task
+from repro.mobility.geometry import Point
+from repro.mobility.locations import Location, LocationDirectory, TravelModel
+from repro.scheduling.commitments import Commitment
+from repro.scheduling.preferences import ALWAYS_WILLING, ParticipantPreferences
+from repro.scheduling.schedule import ScheduleManager
+from repro.sim.clock import SimulatedClock
+
+
+def make_commitment(name: str, start: float, duration: float = 10.0, travel: float = 0.0) -> Commitment:
+    return Commitment(
+        task=Task(name, ["in"], ["out"], duration=duration),
+        workflow_id="w1",
+        start=start,
+        travel_time=travel,
+    )
+
+
+class TestCommitment:
+    def test_time_window(self):
+        commitment = make_commitment("t", start=100.0, duration=20.0, travel=5.0)
+        assert commitment.blocked_from == 95.0
+        assert commitment.end == 120.0
+        assert commitment.duration == 20.0
+
+    def test_overlap_detection(self):
+        first = make_commitment("a", start=0.0, duration=10.0)
+        adjacent = make_commitment("b", start=10.0, duration=10.0)
+        overlapping = make_commitment("c", start=5.0, duration=10.0)
+        assert not first.overlaps(adjacent)
+        assert first.overlaps(overlapping)
+        assert first.overlaps_window(5.0, 6.0)
+        assert not first.overlaps_window(10.0, 20.0)
+
+    def test_required_inputs_exclude_triggers(self):
+        commitment = Commitment(
+            task=Task("t", ["a", "b"], ["c"]),
+            workflow_id="w",
+            start=0.0,
+            trigger_labels=frozenset({"a"}),
+        )
+        assert commitment.required_inputs == {"b"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_commitment("t", start=-1.0)
+        with pytest.raises(ValueError):
+            Commitment(task=Task("t", ["a"], ["b"]), workflow_id="w", start=0.0, travel_time=-1)
+
+
+class TestPreferences:
+    def test_refused_service_types(self):
+        prefs = ParticipantPreferences(refused_service_types=frozenset({"serve tables"}))
+        willing, reason = prefs.is_willing(Task("serve tables", ["a"], ["b"]), 0)
+        assert not willing and "refuses" in reason
+        assert prefs.is_willing(Task("cook", ["a"], ["b"]), 0)[0]
+
+    def test_commitment_limit(self):
+        prefs = ParticipantPreferences(max_commitments=2)
+        assert prefs.is_willing(Task("t", ["a"], ["b"]), 1)[0]
+        assert not prefs.is_willing(Task("t", ["a"], ["b"]), 2)[0]
+
+    def test_working_hours(self):
+        prefs = ParticipantPreferences(working_hours=(100.0, 200.0))
+        assert prefs.within_working_hours(150.0, 10.0)
+        assert not prefs.within_working_hours(195.0, 10.0)
+        assert prefs.clamp_to_working_hours(50.0) == 100.0
+        assert prefs.clamp_to_working_hours(150.0) == 150.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParticipantPreferences(max_commitments=-1)
+        with pytest.raises(ValueError):
+            ParticipantPreferences(working_hours=(10.0, 5.0))
+        with pytest.raises(ValueError):
+            ParticipantPreferences(bid_validity=0)
+        with pytest.raises(ValueError):
+            ParticipantPreferences(eagerness=2.0)
+
+    def test_always_willing_default(self):
+        assert ALWAYS_WILLING.is_willing(Task("anything", ["a"], ["b"]), 1000)[0]
+
+
+class TestScheduleManager:
+    def make_manager(self, **kwargs) -> ScheduleManager:
+        return ScheduleManager("host", clock=SimulatedClock(), **kwargs)
+
+    def test_add_and_query_commitments(self):
+        manager = self.make_manager()
+        manager.add_commitment(make_commitment("a", start=0.0))
+        manager.add_commitment(make_commitment("b", start=20.0))
+        assert manager.commitment_count() == 2
+        assert [c.task.name for c in manager.commitments] == ["a", "b"]
+        assert manager.has_commitment_for("w1", "a")
+        assert not manager.has_commitment_for("w1", "zzz")
+        assert manager.busy_windows() == [(0.0, 10.0), (20.0, 30.0)]
+
+    def test_overlapping_commitments_rejected(self):
+        manager = self.make_manager()
+        manager.add_commitment(make_commitment("a", start=0.0, duration=10.0))
+        with pytest.raises(ScheduleConflictError):
+            manager.add_commitment(make_commitment("b", start=5.0, duration=10.0))
+
+    def test_remove_commitment(self):
+        manager = self.make_manager()
+        commitment = make_commitment("a", start=0.0)
+        manager.add_commitment(commitment)
+        assert manager.remove_commitment(commitment.commitment_id)
+        assert not manager.remove_commitment("nope")
+        assert manager.commitment_count() == 0
+
+    def test_find_slot_skips_busy_periods(self):
+        manager = self.make_manager()
+        manager.add_commitment(make_commitment("busy", start=0.0, duration=50.0))
+        slot = manager.find_slot(Task("new", ["a"], ["b"], duration=10.0))
+        assert slot is not None
+        assert slot.start >= 50.0
+        assert manager.is_free(slot.start, slot.start + 10.0)
+
+    def test_find_slot_respects_deadline(self):
+        manager = self.make_manager()
+        manager.add_commitment(make_commitment("busy", start=0.0, duration=50.0))
+        slot = manager.find_slot(Task("new", ["a"], ["b"], duration=10.0), deadline=40.0)
+        assert slot is None
+
+    def test_find_slot_includes_travel_time(self):
+        locations = LocationDirectory(
+            [Location("here", Point(0, 0)), Location("there", Point(140, 0))]
+        )
+        manager = ScheduleManager(
+            "host",
+            clock=SimulatedClock(),
+            locations=locations,
+            travel_model=TravelModel(speed=1.4),
+            mobility=Point(0, 0),
+        )
+        slot = manager.find_slot(Task("remote", ["a"], ["b"], duration=10.0, location="there"))
+        assert slot is not None
+        assert slot.travel_time == pytest.approx(100.0)
+        assert slot.start >= 100.0
+
+    def test_can_commit_checks_willingness(self):
+        prefs = ParticipantPreferences(refused_service_types=frozenset({"t"}))
+        manager = self.make_manager(preferences=prefs)
+        slot, reason = manager.can_commit_to(Task("t", ["a"], ["b"], duration=1.0))
+        assert slot is None and "refuses" in reason
+
+    def test_can_commit_success(self):
+        manager = self.make_manager()
+        slot, reason = manager.can_commit_to(Task("t", ["a"], ["b"], duration=1.0))
+        assert slot is not None and reason == ""
+
+    def test_utilisation(self):
+        manager = self.make_manager()
+        manager.add_commitment(make_commitment("a", start=0.0, duration=50.0))
+        assert manager.utilisation(100.0) == pytest.approx(0.5)
+        with pytest.raises(SchedulingError):
+            manager.utilisation(0.0)
+
+    def test_commitments_for_workflow_and_clear(self):
+        manager = self.make_manager()
+        manager.add_commitment(make_commitment("a", start=0.0))
+        assert len(manager.commitments_for_workflow("w1")) == 1
+        assert manager.commitments_for_workflow("other") == []
+        manager.clear()
+        assert manager.commitment_count() == 0
+
+    def test_travel_time_to_unknown_location(self):
+        manager = self.make_manager()
+        assert manager.travel_time_to(None) == 0.0
+        assert manager.travel_time_to("unknown") == manager.travel_model.unknown_location_penalty

@@ -1,0 +1,181 @@
+"""Unit tests for the Service Manager and the Execution Manager."""
+
+import pytest
+
+from repro.core.errors import ExecutionError, ServiceNotFoundError
+from repro.core.tasks import Task, TaskMode
+from repro.execution.engine import ExecutionManager
+from repro.execution.services import (
+    CallableService,
+    ManualService,
+    ServiceDescription,
+    ServiceManager,
+)
+from repro.net.messages import LabelDataMessage, TaskCompleted
+from repro.scheduling.commitments import Commitment
+from repro.sim.events import EventScheduler
+
+
+class TestServiceDescriptions:
+    def test_base_service_produces_provenance_records(self):
+        service = ServiceDescription("cook", name="stove")
+        outputs = service.execute(Task("cook", ["a"], ["meal"]), {"a": 1})
+        assert set(outputs) == {"meal"}
+        assert outputs["meal"]["produced_by"] == "stove"
+
+    def test_callable_service_uses_callable(self):
+        service = CallableService(
+            "add", callable=lambda task, inputs: {"sum": inputs["x"] + inputs["y"]}
+        )
+        outputs = service.execute(Task("add", ["x", "y"], ["sum"]), {"x": 2, "y": 3})
+        assert outputs["sum"] == 5
+
+    def test_callable_service_fills_missing_outputs(self):
+        service = CallableService("t", callable=lambda task, inputs: {})
+        outputs = service.execute(Task("t", ["a"], ["b", "c"]), {})
+        assert set(outputs) == {"b", "c"}
+
+    def test_manual_service_marks_outputs(self):
+        service = ManualService("sign-off")
+        outputs = service.execute(Task("sign-off", ["report"], ["approved"]), {})
+        assert outputs["approved"]["manual"] is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceDescription("")
+        with pytest.raises(ValueError):
+            ServiceDescription("x", duration=-1)
+
+
+class TestServiceManager:
+    def test_registry_queries(self):
+        manager = ServiceManager("host", [ServiceDescription("cook"), ServiceDescription("serve")])
+        assert manager.provides("cook")
+        assert not manager.provides("fly")
+        assert not manager.provides(None)
+        assert manager.service_count == 2
+        assert manager.matching(["cook", "fly"]) == {"cook"}
+        assert manager.unregister("serve")
+        assert not manager.unregister("serve")
+
+    def test_expected_duration_prefers_task_then_service(self):
+        manager = ServiceManager("host", [ServiceDescription("cook", duration=30.0)])
+        assert manager.expected_duration(Task("cook", ["a"], ["b"], duration=10.0)) == 10.0
+        assert manager.expected_duration(Task("cook", ["a"], ["b"])) == 30.0
+        assert manager.expected_duration(Task("other", ["a"], ["b"])) == 0.0
+
+    def test_invoke_unknown_service_raises(self):
+        manager = ServiceManager("host")
+        with pytest.raises(ServiceNotFoundError):
+            manager.invoke(Task("cook", ["a"], ["b"]), {})
+
+    def test_invoke_wraps_service_failures(self):
+        def broken(task, inputs):
+            raise RuntimeError("boom")
+
+        manager = ServiceManager("host", [CallableService("cook", callable=broken)])
+        with pytest.raises(ExecutionError):
+            manager.invoke(Task("cook", ["a"], ["b"]), {})
+        assert manager.invocations == 1
+
+
+def make_execution_manager(services=None):
+    scheduler = EventScheduler()
+    service_manager = ServiceManager("worker", services or [ServiceDescription("do", duration=5.0)])
+    sent: list = []
+    manager = ExecutionManager("worker", scheduler, service_manager, sent.append)
+    return manager, scheduler, sent
+
+
+def make_commitment(**overrides):
+    defaults = dict(
+        task=Task("do", ["input"], ["output"], duration=5.0),
+        workflow_id="w1",
+        start=10.0,
+        input_sources={"input": "alice"},
+        output_destinations={"output": ("bob",)},
+        trigger_labels=frozenset(),
+        initiator="alice",
+    )
+    defaults.update(overrides)
+    return Commitment(**defaults)
+
+
+class TestExecutionManager:
+    def test_waits_for_time_and_inputs(self):
+        manager, scheduler, sent = make_execution_manager()
+        manager.watch(make_commitment())
+        scheduler.run()  # start window passes but input never arrives
+        assert manager.completed_count == 0
+        manager.deliver_label(
+            LabelDataMessage(sender="alice", recipient="worker", workflow_id="w1", label="input", value=1)
+        )
+        scheduler.run()
+        assert manager.completed_count == 1
+        kinds = {type(m).__name__ for m in sent}
+        assert kinds == {"LabelDataMessage", "TaskCompleted"}
+
+    def test_trigger_labels_count_as_available(self):
+        manager, scheduler, sent = make_execution_manager()
+        manager.watch(make_commitment(trigger_labels=frozenset({"input"}), input_sources={}))
+        scheduler.run()
+        assert manager.completed_count == 1
+        completed = [m for m in sent if isinstance(m, TaskCompleted)]
+        assert completed and completed[0].task_name == "do"
+        assert scheduler.clock.now() == pytest.approx(15.0)  # start 10 + duration 5
+
+    def test_disjunctive_task_needs_any_input(self):
+        manager, scheduler, _ = make_execution_manager()
+        commitment = make_commitment(
+            task=Task("do", ["x", "y"], ["output"], mode=TaskMode.DISJUNCTIVE, duration=5.0),
+            input_sources={"x": "alice", "y": "bob"},
+        )
+        manager.watch(commitment)
+        manager.deliver_label(
+            LabelDataMessage(sender="bob", recipient="worker", workflow_id="w1", label="y", value=2)
+        )
+        scheduler.run()
+        assert manager.completed_count == 1
+
+    def test_wrong_workflow_labels_ignored(self):
+        manager, scheduler, _ = make_execution_manager()
+        manager.watch(make_commitment(trigger_labels=frozenset({"input"}), input_sources={}))
+        manager.deliver_label(
+            LabelDataMessage(sender="x", recipient="worker", workflow_id="other", label="input", value=1)
+        )
+        assert manager.pending_for_workflow("w1")
+        assert manager.pending_for_workflow("other") == []
+
+    def test_failed_service_recorded_as_failure(self):
+        def broken(task, inputs):
+            raise RuntimeError("no gas")
+
+        manager, scheduler, sent = make_execution_manager(
+            services=[CallableService("do", callable=broken, duration=1.0)]
+        )
+        manager.watch(make_commitment(trigger_labels=frozenset({"input"}), input_sources={}))
+        scheduler.run()
+        assert manager.failed_count == 1
+        assert manager.completed_count == 0
+        assert not any(isinstance(m, TaskCompleted) for m in sent)
+
+    def test_duplicate_watch_is_idempotent(self):
+        manager, scheduler, _ = make_execution_manager()
+        commitment = make_commitment(trigger_labels=frozenset({"input"}), input_sources={})
+        first = manager.watch(commitment)
+        second = manager.watch(commitment)
+        assert first is second
+        scheduler.run()
+        assert manager.completed_count == 1
+
+    def test_outputs_routed_to_each_destination(self):
+        manager, scheduler, sent = make_execution_manager()
+        commitment = make_commitment(
+            trigger_labels=frozenset({"input"}),
+            input_sources={},
+            output_destinations={"output": ("bob", "carol")},
+        )
+        manager.watch(commitment)
+        scheduler.run()
+        label_messages = [m for m in sent if isinstance(m, LabelDataMessage)]
+        assert {m.recipient for m in label_messages} == {"bob", "carol"}

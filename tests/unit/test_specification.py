@@ -1,0 +1,62 @@
+"""Unit tests for repro.core.specification."""
+
+import pytest
+
+from repro.core.errors import SpecificationError
+from repro.core.specification import (
+    PredicateSpecification,
+    Specification,
+    specification,
+)
+
+
+class TestSpecification:
+    def test_predicate_form(self):
+        spec = Specification(["a", "b"], ["c"])
+        assert spec(frozenset({"a"}), frozenset({"c"}))
+        assert spec(frozenset(), frozenset({"c"}))
+        assert not spec(frozenset({"z"}), frozenset({"c"}))
+        assert not spec(frozenset({"a"}), frozenset({"c", "d"}))
+
+    def test_accepts_label_objects_and_strings(self):
+        from repro.core.labels import Label
+
+        spec = Specification([Label("a")], [Label("c")])
+        assert spec(["a"], ["c"])
+
+    def test_aliases_match_paper_notation(self):
+        spec = Specification(["a"], ["c"])
+        assert spec.iota == {"a"}
+        assert spec.omega == {"c"}
+
+    def test_requires_at_least_one_goal(self):
+        with pytest.raises(SpecificationError):
+            Specification(["a"], [])
+
+    def test_empty_triggers_allowed(self):
+        spec = Specification([], ["goal"])
+        assert spec(frozenset(), frozenset({"goal"}))
+
+    def test_trivially_satisfied(self):
+        assert Specification(["a", "b"], ["a"]).is_trivially_satisfied()
+        assert not Specification(["a"], ["b"]).is_trivially_satisfied()
+
+    def test_equality_ignores_name(self):
+        assert Specification(["a"], ["b"], name="x") == Specification(["a"], ["b"], name="y")
+
+    def test_shorthand_constructor(self):
+        spec = specification(["a"], ["b"], name="short")
+        assert spec.name == "short"
+        assert spec.goals == {"b"}
+
+
+class TestPredicateSpecification:
+    def test_wraps_arbitrary_predicate(self):
+        spec = PredicateSpecification(lambda inset, outset: len(outset) <= 2)
+        assert spec(["a"], ["x", "y"])
+        assert not spec(["a"], ["x", "y", "z"])
+
+    def test_guide_carries_trigger_goal_hint(self):
+        guide = Specification(["a"], ["b"])
+        spec = PredicateSpecification(lambda i, o: True, guide=guide)
+        assert spec.guide.goals == {"b"}

@@ -1,0 +1,89 @@
+"""Unit tests for repro.core.tasks."""
+
+import pytest
+
+from repro.core.tasks import Task, TaskMode, conjunctive, disjunctive
+
+
+class TestTaskConstruction:
+    def test_defaults(self):
+        task = Task("cook")
+        assert task.inputs == frozenset()
+        assert task.outputs == frozenset()
+        assert task.mode is TaskMode.CONJUNCTIVE
+        assert task.service_type == "cook"
+        assert task.duration == 0.0
+        assert task.location is None
+
+    def test_inputs_outputs_normalised_to_names(self):
+        task = Task("t", inputs=["a", "a", "b"], outputs=["c"])
+        assert task.inputs == frozenset({"a", "b"})
+        assert task.outputs == frozenset({"c"})
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Task("")
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Task("t", duration=-1)
+
+    def test_explicit_service_type_kept(self):
+        task = Task("serve tables", service_type="waiting")
+        assert task.service_type == "waiting"
+
+
+class TestTaskModes:
+    def test_conjunctive_helper(self):
+        task = conjunctive("t", ["a", "b"], ["c"])
+        assert task.is_conjunctive and not task.is_disjunctive
+
+    def test_disjunctive_helper(self):
+        task = disjunctive("t", ["a", "b"], ["c"])
+        assert task.is_disjunctive and not task.is_conjunctive
+
+    def test_mode_coercion_from_value(self):
+        task = Task("t", mode="disjunctive")
+        assert task.mode is TaskMode.DISJUNCTIVE
+
+    def test_source_task_detection(self):
+        assert Task("t", outputs=["x"]).is_source_task
+        assert not Task("t", inputs=["a"], outputs=["x"]).is_source_task
+
+
+class TestTaskDerivation:
+    def test_with_inputs_returns_new_task(self):
+        base = Task("t", ["a"], ["b"])
+        derived = base.with_inputs(["c", "d"])
+        assert derived.inputs == frozenset({"c", "d"})
+        assert base.inputs == frozenset({"a"})
+        assert derived.name == base.name
+
+    def test_with_outputs(self):
+        derived = Task("t", ["a"], ["b"]).with_outputs(["z"])
+        assert derived.outputs == frozenset({"z"})
+
+    def test_without_input_and_output(self):
+        task = Task("t", ["a", "b"], ["c", "d"])
+        assert task.without_input("a").inputs == frozenset({"b"})
+        assert task.without_output("d").outputs == frozenset({"c"})
+
+
+class TestTaskEquality:
+    def test_equal_tasks(self):
+        assert Task("t", ["a"], ["b"]) == Task("t", ["a"], ["b"])
+
+    def test_unequal_on_structure(self):
+        assert Task("t", ["a"], ["b"]) != Task("t", ["a"], ["c"])
+        assert Task("t", ["a"], ["b"], mode=TaskMode.DISJUNCTIVE) != Task("t", ["a"], ["b"])
+
+    def test_unequal_on_metadata(self):
+        assert Task("t", ["a"], ["b"], duration=5) != Task("t", ["a"], ["b"], duration=6)
+        assert Task("t", ["a"], ["b"], location="x") != Task("t", ["a"], ["b"])
+
+    def test_hashable_and_usable_in_sets(self):
+        tasks = {Task("t", ["a"], ["b"]), Task("t", ["a"], ["b"])}
+        assert len(tasks) == 1
+
+    def test_attributes_ignored_for_equality(self):
+        assert Task("t", ["a"], ["b"], attributes={"k": 1}) == Task("t", ["a"], ["b"])

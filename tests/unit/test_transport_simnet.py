@@ -1,0 +1,126 @@
+"""Unit tests for the abstract communications layer and the simulated network."""
+
+import pytest
+
+from repro.core.errors import CommunicationError, HostUnreachableError
+from repro.net.messages import Message
+from repro.net.simnet import LoopbackNetwork, SimulatedNetwork
+from repro.sim.events import EventScheduler
+
+
+def make_network(**kwargs) -> tuple[SimulatedNetwork, EventScheduler, dict]:
+    scheduler = EventScheduler()
+    network = SimulatedNetwork(scheduler, **kwargs)
+    inboxes: dict[str, list[Message]] = {}
+    for host in ("a", "b", "c"):
+        inboxes[host] = []
+        network.register(host, inboxes[host].append)
+    return network, scheduler, inboxes
+
+
+class TestRegistration:
+    def test_register_and_unregister(self):
+        network, _, _ = make_network()
+        assert network.host_ids == {"a", "b", "c"}
+        network.unregister("c")
+        assert not network.is_registered("c")
+
+    def test_duplicate_registration_rejected(self):
+        network, _, _ = make_network()
+        with pytest.raises(CommunicationError):
+            network.register("a", lambda m: None)
+
+
+class TestDelivery:
+    def test_messages_delivered_after_running_scheduler(self):
+        network, scheduler, inboxes = make_network()
+        network.send(Message(sender="a", recipient="b"))
+        assert inboxes["b"] == []  # asynchronous
+        scheduler.run()
+        assert len(inboxes["b"]) == 1
+        assert network.statistics.messages_delivered == 1
+
+    def test_unknown_recipient_raises(self):
+        network, _, _ = make_network()
+        with pytest.raises(HostUnreachableError):
+            network.send(Message(sender="a", recipient="zzz"))
+        assert network.statistics.messages_dropped == 1
+
+    def test_try_send_returns_false_instead_of_raising(self):
+        network, _, _ = make_network()
+        assert network.try_send(Message(sender="a", recipient="zzz")) is False
+        assert network.try_send(Message(sender="a", recipient="b")) is True
+
+    def test_latency_delays_delivery(self):
+        network, scheduler, inboxes = make_network(base_latency=0.5)
+        network.send(Message(sender="a", recipient="b"))
+        scheduler.run(until=0.4)
+        assert inboxes["b"] == []
+        scheduler.run()
+        assert len(inboxes["b"]) == 1
+        assert scheduler.clock.now() == pytest.approx(0.5)
+
+    def test_bandwidth_model_adds_transfer_time(self):
+        network, scheduler, _ = make_network(bandwidth_bytes_per_second=64.0)
+        message = Message(sender="a", recipient="b")
+        assert network.latency_for(message) == pytest.approx(message.size_bytes() / 64.0)
+
+    def test_message_to_departed_host_dropped_in_flight(self):
+        network, scheduler, inboxes = make_network(base_latency=1.0)
+        network.send(Message(sender="a", recipient="b"))
+        network.unregister("b")
+        scheduler.run()
+        assert inboxes["b"] == []
+        assert network.statistics.messages_dropped == 1
+
+    def test_broadcast_reaches_all_other_hosts(self):
+        network, scheduler, inboxes = make_network()
+        recipients = network.broadcast(
+            "a", lambda recipient: Message(sender="a", recipient=recipient)
+        )
+        scheduler.run()
+        assert recipients == ["b", "c"]
+        assert len(inboxes["b"]) == 1 and len(inboxes["c"]) == 1
+
+    def test_statistics_by_kind(self):
+        network, scheduler, _ = make_network()
+        network.send(Message(sender="a", recipient="b"))
+        scheduler.run()
+        assert network.statistics.by_kind["Message"] == 1
+        assert network.statistics.bytes_sent > 0
+        assert "messages_sent" in network.statistics.as_dict()
+
+
+class TestPartitions:
+    def test_severed_link_blocks_delivery(self):
+        network, _, _ = make_network()
+        network.sever_link("a", "b")
+        assert not network.is_reachable("a", "b")
+        assert network.is_reachable("a", "c")
+        with pytest.raises(HostUnreachableError):
+            network.send(Message(sender="a", recipient="b"))
+        network.restore_link("a", "b")
+        assert network.is_reachable("a", "b")
+
+    def test_sever_host_isolates_it(self):
+        network, _, _ = make_network()
+        network.sever_host("b")
+        assert network.reachable_from("a") == {"c"}
+        network.restore_host("b")
+        assert network.reachable_from("a") == {"b", "c"}
+
+    def test_loopback_network(self):
+        scheduler = EventScheduler()
+        network = LoopbackNetwork(scheduler)
+        received = []
+        network.register("self", received.append)
+        network.send(Message(sender="self", recipient="self"))
+        scheduler.run()
+        assert len(received) == 1
+
+    def test_invalid_parameters(self):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError):
+            SimulatedNetwork(scheduler, base_latency=-1)
+        with pytest.raises(ValueError):
+            SimulatedNetwork(scheduler, bandwidth_bytes_per_second=0)

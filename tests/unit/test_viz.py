@@ -1,0 +1,118 @@
+"""Unit tests for the visualisation helpers (DOT export and timelines)."""
+
+from repro.core import Specification, Task, Workflow, WorkflowConstructor, WorkflowFragment
+from repro.core.supergraph import Supergraph
+from repro.scheduling.commitments import Commitment
+from repro.scheduling.schedule import ScheduleManager
+from repro.sim.clock import SimulatedClock
+from repro.viz import (
+    allocation_to_dot,
+    coloring_to_dot,
+    manager_timeline,
+    schedule_timeline,
+    supergraph_to_dot,
+    workflow_to_dot,
+    write_dot,
+)
+
+
+def chain_workflow() -> Workflow:
+    return Workflow([Task("t1", ["a"], ["b"]), Task("t2", ["b"], ["c"])])
+
+
+class TestDotExport:
+    def test_workflow_to_dot_contains_all_nodes_and_edges(self):
+        dot = workflow_to_dot(chain_workflow())
+        assert dot.startswith("digraph")
+        for name in ("t1", "t2", "a", "b", "c"):
+            assert f'"{name}"' in dot
+        assert dot.count("->") == 4
+        assert dot.rstrip().endswith("}")
+
+    def test_disjunctive_tasks_use_diamond_shape(self):
+        workflow = Workflow([Task("either", ["a", "b"], ["c"], mode="disjunctive")])
+        dot = workflow_to_dot(workflow)
+        assert "diamond" in dot
+
+    def test_supergraph_to_dot_handles_multi_producers(self):
+        graph = Supergraph(
+            [
+                WorkflowFragment([Task("t1", ["a"], ["x"])], fragment_id="v1"),
+                WorkflowFragment([Task("t2", ["b"], ["x"])], fragment_id="v2"),
+            ]
+        )
+        dot = supergraph_to_dot(graph)
+        assert dot.count('-> "label:x"') == 2
+
+    def test_coloring_to_dot_marks_blue_selection(self):
+        fragments = [
+            WorkflowFragment([Task("t1", ["a"], ["b"])], fragment_id="c1"),
+            WorkflowFragment([Task("noise", ["p"], ["q"])], fragment_id="c2"),
+        ]
+        graph = Supergraph(fragments)
+        result = WorkflowConstructor().construct(graph, Specification(["a"], ["b"]))
+        dot = coloring_to_dot(graph, result.state)
+        assert "lightblue" in dot  # selected nodes
+        assert "penwidth=2.5" in dot  # selected edges drawn bold
+        assert "white" in dot  # the noise task stays uncoloured
+        assert "d=0" in dot  # distances rendered
+
+    def test_allocation_to_dot_clusters_by_host(self):
+        dot = allocation_to_dot(chain_workflow(), {"t1": "alice", "t2": "bob"})
+        assert "subgraph cluster_0" in dot
+        assert '"alice"' in dot and '"bob"' in dot
+
+    def test_write_dot(self, tmp_path):
+        path = tmp_path / "graph.dot"
+        write_dot(str(path), workflow_to_dot(chain_workflow()))
+        assert path.read_text().startswith("digraph")
+
+    def test_identifiers_with_quotes_are_escaped(self):
+        workflow = Workflow([Task('say "hello"', ["a"], ["b"])])
+        dot = workflow_to_dot(workflow)
+        assert '\\"hello\\"' in dot
+
+
+class TestTimelines:
+    def make_manager(self) -> ScheduleManager:
+        manager = ScheduleManager("chef", clock=SimulatedClock())
+        manager.add_commitment(
+            Commitment(
+                task=Task("cook omelets", ["setup"], ["served"], duration=2700, location="kitchen"),
+                workflow_id="w1",
+                start=3600.0,
+                travel_time=300.0,
+            )
+        )
+        manager.add_commitment(
+            Commitment(
+                task=Task("plate dessert", ["served"], ["dessert"], duration=600),
+                workflow_id="w2",
+                start=7200.0,
+            )
+        )
+        return manager
+
+    def test_schedule_timeline_lists_commitments_in_order(self):
+        text = manager_timeline(self.make_manager())
+        assert "Schedule of chef" in text
+        assert text.index("cook omelets") < text.index("plate dessert")
+        assert "kitchen" in text
+        assert "0:55:00" in text  # travel blocked from 3600 - 300 seconds
+
+    def test_empty_schedule_renders_placeholder(self):
+        text = schedule_timeline([], title="Nothing planned")
+        assert "no commitments" in text
+
+    def test_execution_report_and_community_timeline(self, breakfast_community):
+        from repro.viz import community_timeline, execution_report
+
+        workspace = breakfast_community.submit_problem(
+            "alice", ["breakfast ingredients"], ["breakfast served"]
+        )
+        breakfast_community.run_until_completed(workspace)
+        timeline = community_timeline(breakfast_community)
+        assert "Schedule of alice" in timeline and "Schedule of bob" in timeline
+        report = execution_report(breakfast_community)
+        assert "cook omelets" in report
+        assert "[ok]" in report

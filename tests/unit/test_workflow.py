@@ -1,0 +1,196 @@
+"""Unit tests for repro.core.workflow: validity, composition, pruning."""
+
+import pytest
+
+from repro.core.errors import CompositionError, InvalidWorkflowError, PruningError
+from repro.core.specification import Specification
+from repro.core.tasks import Task, TaskMode
+from repro.core.workflow import Workflow, empty_workflow
+
+
+def chain_workflow() -> Workflow:
+    return Workflow(
+        [
+            Task("t1", ["a"], ["b"]),
+            Task("t2", ["b"], ["c"]),
+        ]
+    )
+
+
+class TestValidity:
+    def test_valid_chain(self):
+        workflow = chain_workflow()
+        assert workflow.is_valid()
+        assert workflow.inset == {"a"}
+        assert workflow.outset == {"c"}
+
+    def test_task_without_inputs_is_invalid(self):
+        with pytest.raises(InvalidWorkflowError):
+            Workflow([Task("gen", outputs=["x"])])
+
+    def test_task_without_outputs_is_invalid(self):
+        with pytest.raises(InvalidWorkflowError):
+            Workflow([Task("sink", inputs=["x"])])
+
+    def test_label_with_two_producers_is_invalid(self):
+        with pytest.raises(InvalidWorkflowError):
+            Workflow([Task("t1", ["a"], ["x"]), Task("t2", ["b"], ["x"])])
+
+    def test_cycle_is_invalid(self):
+        with pytest.raises(InvalidWorkflowError):
+            Workflow([Task("t1", ["a"], ["b"]), Task("t2", ["b"], ["a"])])
+
+    def test_task_and_label_sharing_a_name_is_flagged(self):
+        with pytest.raises(InvalidWorkflowError):
+            Workflow([Task("x", ["a"], ["b"]), Task("t2", ["b"], ["x"])])
+
+    def test_validation_can_be_deferred(self):
+        workflow = Workflow([Task("gen", outputs=["x"])], validate=False)
+        assert not workflow.is_valid()
+        assert workflow.validation_errors()
+
+    def test_empty_workflow_is_valid(self):
+        assert empty_workflow().is_valid()
+        assert empty_workflow().inset == frozenset()
+
+
+class TestSatisfaction:
+    def test_satisfies_matching_specification(self):
+        workflow = chain_workflow()
+        assert workflow.satisfies(Specification(["a"], ["c"]))
+        assert workflow.satisfies(Specification(["a", "zzz"], ["c"]))
+
+    def test_does_not_satisfy_wrong_goal(self):
+        workflow = chain_workflow()
+        assert not workflow.satisfies(Specification(["a"], ["b"]))
+
+    def test_does_not_satisfy_missing_trigger(self):
+        workflow = chain_workflow()
+        assert not workflow.satisfies(Specification(["other"], ["c"]))
+
+
+class TestComposition:
+    def test_compose_chains_sinks_to_sources(self):
+        first = Workflow([Task("t1", ["a"], ["b"])])
+        second = Workflow([Task("t2", ["b"], ["c"])])
+        combined = first.compose(second)
+        assert combined.inset == {"a"}
+        assert combined.outset == {"c"}
+        assert combined.task_names == {"t1", "t2"}
+
+    def test_compose_example_from_paper(self):
+        # W1 sources {a,b,c} sinks {d,e,f}; W2 sources {c,d,e} sinks {g,h}
+        w1 = Workflow(
+            [Task("w1x", ["a", "b"], ["d", "e"]), Task("w1y", ["c"], ["f"])]
+        )
+        w2 = Workflow([Task("w2x", ["c", "d", "e"], ["g", "h"])])
+        combined = w1.compose(w2)
+        assert combined.inset == {"a", "b", "c"}
+        assert combined.outset == {"f", "g", "h"}
+
+    def test_compose_rejects_conflicting_task_definitions(self):
+        first = Workflow([Task("t", ["a"], ["b"])])
+        second = Workflow([Task("t", ["a"], ["c"])])
+        with pytest.raises(CompositionError):
+            first.compose(second)
+
+    def test_compose_rejects_double_producers(self):
+        first = Workflow([Task("t1", ["a"], ["x"])])
+        second = Workflow([Task("t2", ["b"], ["x"])])
+        with pytest.raises(CompositionError):
+            first.compose(second)
+        assert not first.is_composable_with(second)
+
+    def test_compose_rejects_cycles(self):
+        first = Workflow([Task("t1", ["a"], ["b"])])
+        second = Workflow([Task("t2", ["b"], ["a"])])
+        with pytest.raises(CompositionError):
+            first.compose(second)
+
+    def test_compose_all(self):
+        parts = [
+            Workflow([Task("t1", ["a"], ["b"])]),
+            Workflow([Task("t2", ["b"], ["c"])]),
+            Workflow([Task("t3", ["c"], ["d"])]),
+        ]
+        combined = Workflow.compose_all(parts)
+        assert combined.outset == {"d"}
+        assert Workflow.compose_all([]).is_valid()
+
+
+class TestPruning:
+    def test_prune_sink_output(self):
+        workflow = Workflow([Task("t", ["a"], ["b", "extra"])])
+        pruned = workflow.prune_output("t", "extra")
+        assert pruned.outset == {"b"}
+        assert "extra" not in pruned.labels
+
+    def test_cannot_prune_last_output(self):
+        workflow = Workflow([Task("t", ["a"], ["b"])])
+        with pytest.raises(PruningError):
+            workflow.prune_output("t", "b")
+
+    def test_cannot_prune_consumed_output(self):
+        workflow = chain_workflow()
+        with pytest.raises(PruningError):
+            workflow.prune_output("t1", "b")
+
+    def test_prune_source_input_of_disjunctive_task(self):
+        workflow = Workflow(
+            [Task("t", ["a", "alt"], ["b"], mode=TaskMode.DISJUNCTIVE)]
+        )
+        pruned = workflow.prune_input("t", "alt")
+        assert pruned.inset == {"a"}
+
+    def test_cannot_prune_input_of_conjunctive_task(self):
+        workflow = Workflow([Task("t", ["a", "b"], ["c"])])
+        with pytest.raises(PruningError):
+            workflow.prune_input("t", "a")
+
+    def test_prune_whole_task_with_dangling_labels(self):
+        workflow = Workflow(
+            [Task("t1", ["a"], ["b"]), Task("t2", ["x"], ["y"])]
+        )
+        pruned = workflow.prune_task("t2")
+        assert pruned.task_names == {"t1"}
+        assert "x" not in pruned.labels and "y" not in pruned.labels
+
+    def test_cannot_prune_task_with_consumed_output(self):
+        workflow = chain_workflow()
+        with pytest.raises(PruningError):
+            workflow.prune_task("t1")
+
+    def test_restricted_to_subset(self):
+        workflow = Workflow(
+            [Task("t1", ["a"], ["b"]), Task("t2", ["x"], ["y"])]
+        )
+        sub = workflow.restricted_to(["t1"])
+        assert sub.task_names == {"t1"}
+        with pytest.raises(PruningError):
+            workflow.restricted_to(["nope"])
+
+
+class TestNavigation:
+    def test_task_order_respects_dependencies(self):
+        workflow = Workflow(
+            [Task("t2", ["b"], ["c"]), Task("t1", ["a"], ["b"]), Task("t3", ["c"], ["d"])]
+        )
+        assert workflow.task_order() == ["t1", "t2", "t3"]
+
+    def test_upstream_and_downstream(self):
+        workflow = Workflow(
+            [Task("t1", ["a"], ["b"]), Task("t2", ["b"], ["c"]), Task("t3", ["c"], ["d"])]
+        )
+        assert workflow.upstream_tasks("t3") == {"t1", "t2"}
+        assert workflow.downstream_tasks("t1") == {"t2", "t3"}
+        assert workflow.upstream_tasks("t1") == frozenset()
+
+    def test_producing_task(self):
+        workflow = chain_workflow()
+        assert workflow.producing_task("b") == "t1"
+        assert workflow.producing_task("a") is None
+
+    def test_equality_and_hash(self):
+        assert chain_workflow() == chain_workflow()
+        assert hash(chain_workflow()) == hash(chain_workflow())
+        assert chain_workflow() != empty_workflow()

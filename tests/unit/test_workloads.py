@@ -1,0 +1,137 @@
+"""Unit tests for the workload generators (random supergraph, catering, emergency)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.construction import construct_workflow
+from repro.sim.randomness import derive_rng
+from repro.workloads import catering, emergency
+from repro.workloads.supergraph_gen import (
+    RandomSupergraphWorkload,
+    label_name,
+    task_name,
+)
+
+
+class TestRandomSupergraph:
+    def test_generation_is_deterministic(self):
+        first = RandomSupergraphWorkload(seed=3).generate(30)
+        second = RandomSupergraphWorkload(seed=3).generate(30)
+        assert first.edge_count == second.edge_count
+        assert first.task_successors == second.task_successors
+
+    def test_task_digraph_is_strongly_connected(self):
+        workload = RandomSupergraphWorkload(seed=5).generate(40)
+        digraph = nx.DiGraph()
+        digraph.add_nodes_from(range(workload.num_tasks))
+        for source, targets in workload.task_successors.items():
+            for target in targets:
+                digraph.add_edge(source, target)
+        assert nx.is_strongly_connected(digraph)
+
+    def test_every_task_is_disjunctive_with_single_output(self):
+        workload = RandomSupergraphWorkload(seed=5).generate(30)
+        for index, task in enumerate(workload.tasks):
+            assert task.is_disjunctive
+            assert task.outputs == {label_name(index)}
+            assert task.inputs  # strong connectivity implies in-degree >= 1
+            assert task.name == task_name(index)
+
+    def test_partitioning_is_even(self):
+        workload = RandomSupergraphWorkload(seed=5).generate(30)
+        rng = derive_rng(5, "partition-test")
+        groups = workload.partition_fragments(4, rng)
+        sizes = [len(g) for g in groups]
+        assert sum(sizes) == 30
+        assert max(sizes) - min(sizes) <= 1
+        services = workload.partition_services(4, rng)
+        assert sum(len(g) for g in services) == 30
+
+    def test_path_specification_respects_requested_length(self, workload_rng):
+        workload = RandomSupergraphWorkload(seed=5).generate(30)
+        spec = workload.path_specification(4, workload_rng)
+        assert spec is not None
+        result = construct_workflow(workload.knowledge, spec)
+        assert result.succeeded
+        # Shortest distance equals the requested path length, so the selected
+        # workflow contains exactly that many tasks.
+        assert len(result.workflow.task_names) == 4
+
+    def test_path_specification_beyond_max_returns_none(self, workload_rng):
+        workload = RandomSupergraphWorkload(seed=5).generate(10)
+        too_long = workload.max_path_length() + 5
+        assert workload.path_specification(too_long, workload_rng) is None
+
+    def test_max_path_length_grows_with_graph_size(self):
+        small = RandomSupergraphWorkload(seed=11).generate(25)
+        large = RandomSupergraphWorkload(seed=11).generate(100)
+        assert large.max_path_length() >= small.max_path_length()
+
+    def test_invalid_parameters(self, workload_rng):
+        with pytest.raises(ValueError):
+            RandomSupergraphWorkload(seed=1).generate(1)
+        workload = RandomSupergraphWorkload(seed=1).generate(5)
+        with pytest.raises(ValueError):
+            workload.path_specification(0, workload_rng)
+        with pytest.raises(ValueError):
+            workload.partition_fragments(0, workload_rng)
+
+
+class TestCateringWorkload:
+    def test_all_fragments_are_valid_and_cover_figure1(self):
+        fragments = catering.all_fragments()
+        assert len(fragments) >= 7
+        task_names = {t.name for f in fragments for t in f.tasks}
+        assert {"cook omelets", "make pancakes", "serve tables", "serve buffet"} <= task_names
+
+    def test_breakfast_and_lunch_feasible_with_full_knowledge(self):
+        result = construct_workflow(
+            catering.all_fragments(), catering.breakfast_and_lunch_specification()
+        )
+        assert result.succeeded
+        workflow = result.workflow
+        assert "breakfast served" in workflow.outset
+        assert "lunch served" in workflow.outset
+
+    def test_doughnut_breakfast_uses_doughnut_path(self):
+        result = construct_workflow(
+            catering.all_fragments(), catering.doughnut_breakfast_specification()
+        )
+        assert result.succeeded
+        assert "pick up doughnuts" in result.workflow.task_names
+
+    def test_roles_have_services_for_their_knowhow(self):
+        for role in catering.ALL_ROLES:
+            assert role.services, role.name
+            assert role.service_types
+
+    def test_build_catering_community(self):
+        community = catering.build_catering_community()
+        assert set(community.host_ids) == {"manager", "master-chef", "kitchen-staff", "wait-staff"}
+        assert community.total_fragments() == len(catering.all_fragments())
+
+
+class TestEmergencyWorkload:
+    def test_full_response_is_feasible(self):
+        result = construct_workflow(
+            emergency.all_fragments(), emergency.spill_response_specification()
+        )
+        assert result.succeeded
+        names = result.workflow.task_names
+        assert "report spill" in names
+        assert "declare all clear" in names
+        assert "dismantle support structure" in names
+
+    def test_containment_only_is_smaller(self):
+        full = construct_workflow(
+            emergency.all_fragments(), emergency.spill_response_specification()
+        ).workflow
+        partial = construct_workflow(
+            emergency.all_fragments(), emergency.containment_only_specification()
+        ).workflow
+        assert len(partial.task_names) < len(full.task_names)
+
+    def test_build_site_community(self):
+        community = emergency.build_site_community()
+        assert len(community) == 5
+        assert "chief-engineer" in community.host_ids

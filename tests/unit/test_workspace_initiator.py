@@ -1,0 +1,98 @@
+"""Unit tests for workspaces and the Workflow Initiator front end."""
+
+import pytest
+
+from repro.core.errors import SpecificationError
+from repro.core.specification import Specification
+from repro.host.initiator import ProblemForm, WorkflowInitiator
+from repro.host.workspace import Workspace, WorkflowPhase, next_workflow_id
+
+
+class TestWorkspace:
+    def make_workspace(self) -> Workspace:
+        return Workspace(
+            workflow_id="host/workflow-1",
+            specification=Specification(["a"], ["b"]),
+            participants=frozenset({"host", "other"}),
+        )
+
+    def test_phase_transitions_and_marks(self):
+        workspace = self.make_workspace()
+        workspace.mark("submitted", 0.0)
+        workspace.enter_phase(WorkflowPhase.DISCOVERY, 1.0)
+        workspace.enter_phase(WorkflowPhase.ALLOCATION, 2.0)
+        workspace.mark("allocated", 3.0)
+        assert workspace.phase is WorkflowPhase.ALLOCATION
+        sim, wall = workspace.time_to_allocation()
+        assert sim == 3.0
+        assert wall >= 0.0
+
+    def test_marks_are_first_write_wins(self):
+        workspace = self.make_workspace()
+        workspace.mark("submitted", 1.0)
+        workspace.mark("submitted", 99.0)
+        assert workspace.timestamps["submitted"].sim_time == 1.0
+
+    def test_missing_marks_return_none(self):
+        workspace = self.make_workspace()
+        assert workspace.time_to_allocation() is None
+        assert workspace.elapsed("submitted", "allocated") is None
+
+    def test_failure(self):
+        workspace = self.make_workspace()
+        workspace.fail("no bids", 5.0)
+        assert workspace.phase is WorkflowPhase.FAILED
+        assert not workspace.succeeded
+        assert workspace.failure_reason == "no bids"
+
+    def test_completion_tracking(self):
+        workspace = self.make_workspace()
+        workspace.expected_tasks = {"t1", "t2"}
+        workspace.completed_tasks = {"t1"}
+        assert not workspace.all_tasks_completed
+        workspace.completed_tasks.add("t2")
+        assert workspace.all_tasks_completed
+
+    def test_summary_shape(self):
+        workspace = self.make_workspace()
+        summary = workspace.summary()
+        assert summary["workflow_id"] == "host/workflow-1"
+        assert summary["participants"] == 2
+        assert "allocation_sim_seconds" in summary
+
+    def test_workflow_ids_unique(self):
+        assert next_workflow_id("h") != next_workflow_id("h")
+
+
+class TestProblemForm:
+    def test_build_specification(self):
+        form = ProblemForm(name="meals")
+        form.add_triggers(["breakfast ingredients"]).add_goal("breakfast served")
+        spec = form.build()
+        assert spec.name == "meals"
+        assert spec.triggers == {"breakfast ingredients"}
+        assert spec.goals == {"breakfast served"}
+
+    def test_empty_goals_rejected(self):
+        with pytest.raises(SpecificationError):
+            ProblemForm().build()
+
+    def test_vocabulary_validation(self):
+        form = ProblemForm(known_labels=frozenset({"a", "b"}))
+        form.add_trigger("a")
+        with pytest.raises(SpecificationError):
+            form.add_goal("unknown-label")
+
+
+class TestWorkflowInitiator:
+    def test_create_specification(self):
+        initiator = WorkflowInitiator("manager")
+        spec = initiator.create_specification(["a"], ["b"])
+        assert spec.goals == {"b"}
+        assert initiator.problems_created == 1
+        assert "manager" in spec.name
+
+    def test_known_labels_enforced(self):
+        initiator = WorkflowInitiator("manager", known_labels=["a", "b"])
+        with pytest.raises(SpecificationError):
+            initiator.create_specification(["a"], ["zzz"])
