@@ -31,6 +31,16 @@ BENCH_SEED = 20090514
 _WORKLOAD_CACHE: dict[int, GeneratedWorkload] = {}
 
 
+def pytest_collection_modifyitems(items) -> None:
+    """Mark every timing benchmark (anything using the ``benchmark`` fixture)
+    as ``slow`` so the tier-1 run collects this directory without paying for
+    the pedantic rounds; run them with ``-m slow --benchmark-enable``."""
+
+    for item in items:
+        if "benchmark" in getattr(item, "fixturenames", ()):
+            item.add_marker(pytest.mark.slow)
+
+
 def workload_for(num_tasks: int) -> GeneratedWorkload:
     """Generate (and cache) the random supergraph workload of a given size."""
 

@@ -42,6 +42,7 @@ def test_fig5_max_path_length_grows_with_graph_size() -> None:
     assert lengths[25] < lengths[500]
 
 
+@pytest.mark.slow
 def test_fig5_cost_grows_with_supergraph_size() -> None:
     """Qualitative shape check: bigger supergraphs take longer per problem."""
 

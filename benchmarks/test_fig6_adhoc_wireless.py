@@ -42,6 +42,7 @@ def test_fig6_wireless_allocation_latency(benchmark, num_tasks: int, path_length
     run_pedantic(benchmark, setup, target)
 
 
+@pytest.mark.slow
 def test_fig6_combined_latency_shape() -> None:
     """The 802.11g model adds visible latency but stays within the paper's ballpark."""
 

@@ -1,0 +1,155 @@
+"""Incremental re-solve vs from-scratch construction on the fig5 workload.
+
+The paper's Algorithm 1 recolors the whole supergraph on every solve; the
+indexed construction engine (:mod:`repro.core.solver`) memoizes the green
+exploration state and, when know-how arrives, recolors only the dirty
+frontier reported by the supergraph's mutation journal.  These tests pin
+the two claims that justify the engine on the Figure 5 supergraph-size
+workload:
+
+* **strictly less colouring work** — every re-solve after a fragment
+  arrival touches fewer nodes than the graph contains (and, summed over a
+  whole arrival sequence, far fewer than the from-scratch strategy);
+* **equivalence** — the incrementally maintained result agrees with a
+  from-scratch :func:`~repro.core.construction.construct_workflow` over the
+  final knowledge set: same feasibility, and on success a valid workflow
+  satisfying the specification.
+
+The unmarked tests run in the tier-1 suite (they assert on work counters,
+not wall-clock); the ``slow``-marked benchmark measures actual latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ColoringSolver,
+    MemoizedColoringSolver,
+    Supergraph,
+    construct_workflow,
+    results_equivalent,
+)
+from repro.sim.randomness import derive_rng
+
+from .conftest import BENCH_SEED, run_pedantic, workload_for
+
+NUM_TASKS = 250
+PATH_LENGTH = 8
+ARRIVALS = 12
+
+
+def _arrival_scenario(num_tasks: int = NUM_TASKS, path_length: int = PATH_LENGTH):
+    """A supergraph missing the last ``ARRIVALS`` fragments, plus those fragments."""
+
+    workload = workload_for(num_tasks)
+    rng = derive_rng(BENCH_SEED, "incremental-spec", num_tasks, path_length)
+    specification = workload.path_specification(path_length, rng)
+    assert specification is not None
+    initial = workload.fragments[:-ARRIVALS]
+    arrivals = workload.fragments[-ARRIVALS:]
+    return workload, specification, initial, arrivals
+
+
+def test_incremental_resolve_does_less_coloring_work() -> None:
+    """Each post-arrival re-solve recolors less than the full node count."""
+
+    _, specification, initial, arrivals = _arrival_scenario()
+    graph = Supergraph(initial)
+    solver = MemoizedColoringSolver()
+    first = solver.solve(graph, specification)
+    assert first.statistics.cache_misses == 1
+
+    for fragment in arrivals:
+        graph.add_fragment(fragment)
+        result = solver.solve(graph, specification)
+        assert result.statistics.cache_hits == 1
+        # The incremental contract of the engine: recolouring is bounded by
+        # the dirty frontier, not the graph.
+        assert result.statistics.nodes_recolored < graph.node_count
+
+    # A re-solve with no arrival in between does no colouring work at all.
+    repeat = solver.solve(graph, specification)
+    assert repeat.statistics.nodes_recolored == 0
+    assert repeat.statistics.exploration_iterations == 0
+
+
+def test_incremental_resolve_beats_scratch_on_total_work() -> None:
+    """Summed over an arrival sequence, memoized < from-scratch colouring."""
+
+    _, specification, initial, arrivals = _arrival_scenario()
+
+    def total_recolored(solver) -> tuple[int, object]:
+        graph = Supergraph(initial)
+        result = solver.solve(graph, specification)
+        total = result.statistics.nodes_recolored
+        for fragment in arrivals:
+            graph.add_fragment(fragment)
+            result = solver.solve(graph, specification)
+            total += result.statistics.nodes_recolored
+        return total, result
+
+    incremental_total, incremental_final = total_recolored(MemoizedColoringSolver())
+    scratch_total, scratch_final = total_recolored(ColoringSolver())
+
+    assert incremental_total < scratch_total
+    assert results_equivalent(incremental_final, scratch_final)
+
+
+def test_incremental_result_equivalent_to_scratch() -> None:
+    """The final incremental answer matches construct_workflow on all knowledge."""
+
+    workload, specification, initial, arrivals = _arrival_scenario()
+    graph = Supergraph(initial)
+    solver = MemoizedColoringSolver()
+    solver.solve(graph, specification)
+    for fragment in arrivals:
+        graph.add_fragment(fragment)
+        result = solver.solve(graph, specification)
+
+    scratch = construct_workflow(workload.knowledge, specification)
+    assert results_equivalent(result, scratch)
+    # The full-knowledge path specification is guaranteed satisfiable.
+    assert result.succeeded and scratch.succeeded
+
+
+@pytest.mark.parametrize("num_tasks", (100, 250, 500))
+def test_fig5_incremental_latency(benchmark, num_tasks: int) -> None:
+    """Wall-clock: memoized re-solve loop over the fig5 graph sizes."""
+
+    benchmark.group = f"incremental vs scratch n={num_tasks}"
+    benchmark.extra_info.update({"task_nodes": num_tasks, "solver": "memoized"})
+    _, specification, initial, arrivals = _arrival_scenario(num_tasks)
+
+    def setup():
+        graph = Supergraph(initial)
+        solver = MemoizedColoringSolver()
+        solver.solve(graph, specification)
+        return (graph, solver), {}
+
+    def target(graph, solver):
+        for fragment in arrivals:
+            graph.add_fragment(fragment)
+            solver.solve(graph, specification)
+
+    run_pedantic(benchmark, setup, target)
+
+
+@pytest.mark.parametrize("num_tasks", (100, 250, 500))
+def test_fig5_scratch_latency(benchmark, num_tasks: int) -> None:
+    """Wall-clock: from-scratch re-solve loop (the paper's strategy)."""
+
+    benchmark.group = f"incremental vs scratch n={num_tasks}"
+    benchmark.extra_info.update({"task_nodes": num_tasks, "solver": "coloring"})
+    _, specification, initial, arrivals = _arrival_scenario(num_tasks)
+
+    def setup():
+        return (Supergraph(initial), ColoringSolver()), {}
+
+    def target(graph, solver):
+        solver.solve(graph, specification)
+        for fragment in arrivals:
+            graph.add_fragment(fragment)
+            solver.solve(graph, specification)
+
+    run_pedantic(benchmark, setup, target)

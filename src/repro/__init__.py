@@ -18,10 +18,13 @@ based allocation, and decentralized execution.
 
 from .core import (
     Color,
+    ColoringSolver,
     ConstructionResult,
     KnowledgeSet,
     Label,
+    MemoizedColoringSolver,
     OpenWorkflowError,
+    Solver,
     Specification,
     Supergraph,
     Task,
@@ -34,6 +37,7 @@ from .core import (
     construct_workflow,
     disjunctive,
     is_feasible,
+    make_solver,
     specification,
 )
 from .execution import CallableService, ManualService, ServiceDescription
@@ -46,10 +50,13 @@ __version__ = "1.0.0"
 __all__ = [
     "CallableService",
     "Color",
+    "ColoringSolver",
     "Commitment",
     "Community",
     "ConstructionResult",
     "Host",
+    "MemoizedColoringSolver",
+    "Solver",
     "KnowledgeSet",
     "Label",
     "ManualService",
@@ -72,6 +79,7 @@ __all__ = [
     "construct_workflow",
     "disjunctive",
     "is_feasible",
+    "make_solver",
     "specification",
     "__version__",
 ]

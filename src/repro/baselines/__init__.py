@@ -1,11 +1,23 @@
-"""Baseline comparators: static workflow engine and a centralized planner."""
+"""Baseline comparators: static workflow engine and a centralized planner.
 
-from .planner import ForwardChainingPlanner, PlannerResult
-from .static_engine import StaticExecutionReport, StaticWorkflowEngine
+Both baselines also implement the :class:`~repro.core.solver.Solver`
+strategy interface (:class:`PlannerSolver`, :class:`StaticSolver`) so the
+ablation benchmarks swap strategies behind the workflow manager's
+``solver=`` hook instead of maintaining separate code paths.
+"""
+
+from .planner import ForwardChainingPlanner, PlannerResult, PlannerSolver
+from .static_engine import (
+    StaticExecutionReport,
+    StaticSolver,
+    StaticWorkflowEngine,
+)
 
 __all__ = [
     "ForwardChainingPlanner",
     "PlannerResult",
+    "PlannerSolver",
     "StaticExecutionReport",
+    "StaticSolver",
     "StaticWorkflowEngine",
 ]

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import enum
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
@@ -81,7 +82,16 @@ class ColoringState:
 
 @dataclass
 class ConstructionStatistics:
-    """Counters describing the work done by one construction run."""
+    """Counters describing the work done by one construction run.
+
+    ``nodes_recolored`` counts the nodes whose colour or distance actually
+    changed during the run: for a from-scratch solve it equals the size of
+    the coloured region, for an incremental re-solve (see
+    :class:`repro.core.solver.MemoizedColoringSolver`) it measures only the
+    dirty frontier that had to be revisited.  ``cache_hits`` /
+    ``cache_misses`` are filled in by memoizing solvers; ``solver`` names
+    the strategy that produced the result.
+    """
 
     supergraph_tasks: int = 0
     supergraph_labels: int = 0
@@ -92,9 +102,13 @@ class ConstructionStatistics:
     blue_nodes: int = 0
     fragments_considered: int = 0
     fragments_selected: int = 0
+    nodes_recolored: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    solver: str = ""
     elapsed_seconds: float = 0.0
 
-    def as_dict(self) -> dict[str, float]:
+    def as_dict(self) -> dict[str, float | str]:
         return {
             "supergraph_tasks": self.supergraph_tasks,
             "supergraph_labels": self.supergraph_labels,
@@ -105,6 +119,10 @@ class ConstructionStatistics:
             "blue_nodes": self.blue_nodes,
             "fragments_considered": self.fragments_considered,
             "fragments_selected": self.fragments_selected,
+            "nodes_recolored": self.nodes_recolored,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "solver": self.solver,
             "elapsed_seconds": self.elapsed_seconds,
         }
 
@@ -178,18 +196,8 @@ class WorkflowConstructor:
         """
 
         started = time.perf_counter()
-        self._task_filter = task_filter
         state = ColoringState()
-        stats = ConstructionStatistics(
-            supergraph_tasks=len(supergraph.task_names),
-            supergraph_labels=len(supergraph.labels),
-            supergraph_edges=supergraph.edge_count,
-            fragments_considered=len(supergraph.fragment_ids),
-        )
-
-        missing_goals = [
-            g for g in specification.goals if not supergraph.has_label(g)
-        ]
+        stats = self.begin_statistics(supergraph)
         for label in specification.triggers:
             supergraph.add_label(label)
 
@@ -197,9 +205,37 @@ class WorkflowConstructor:
         # exploration phase still runs: the coloured region it produces is
         # what the incremental variant uses to decide which labels to query
         # the community about next.
-        reached = self._explore(supergraph, specification, state, stats)
+        reached = self.explore(
+            supergraph, specification, state, stats, task_filter=task_filter
+        )
+        return self.finalize(supergraph, specification, state, stats, reached, started)
+
+    def begin_statistics(self, supergraph: Supergraph) -> ConstructionStatistics:
+        """Fresh statistics pre-filled with the supergraph's current size."""
+
+        return ConstructionStatistics(
+            supergraph_tasks=len(supergraph.task_names),
+            supergraph_labels=len(supergraph.labels),
+            supergraph_edges=supergraph.edge_count,
+            fragments_considered=len(supergraph.fragment_ids),
+        )
+
+    def finalize(
+        self,
+        supergraph: Supergraph,
+        specification: Specification,
+        state: ColoringState,
+        stats: ConstructionStatistics,
+        reached: bool,
+        started: float,
+    ) -> ConstructionResult:
+        """Shared tail of a construction run: prune on success, explain failure."""
+
         if not reached:
             stats.elapsed_seconds = time.perf_counter() - started
+            missing_goals = [
+                g for g in specification.goals if not supergraph.has_label(g)
+            ]
             if missing_goals:
                 reason = (
                     "goal labels unknown to the community: "
@@ -234,17 +270,82 @@ class WorkflowConstructor:
         )
 
     # -- exploration phase --------------------------------------------------
-    def _explore(
+    def explore(
         self,
         graph: Supergraph,
         specification: Specification,
         state: ColoringState,
         stats: ConstructionStatistics,
+        task_filter: Callable[[Task], bool] | None = None,
+    ) -> bool:
+        """Colour the graph green from scratch, starting at the triggers."""
+
+        self._task_filter = task_filter
+        seeds = self._seed_triggers(graph, specification, state, stats)
+        return self._propagate(graph, specification, state, stats, seeds)
+
+    def resume_coloring(
+        self,
+        graph: Supergraph,
+        specification: Specification,
+        state: ColoringState,
+        stats: ConstructionStatistics,
+        dirty: Iterable[NodeRef],
+        task_filter: Callable[[Task], bool] | None = None,
+    ) -> bool:
+        """Extend an existing green colouring after graph mutations.
+
+        ``state`` must be the exploration state of an earlier
+        :meth:`explore` / :meth:`resume_coloring` call for the *same*
+        specification and task filter against the same (since grown) graph;
+        ``dirty`` is the set of nodes added or whose adjacency changed since
+        (as reported by :meth:`Supergraph.dirty_since`).  Because fragment
+        addition is monotone — tasks are immutable once merged and labels
+        only ever gain producers/consumers — every previously green node
+        remains validly green, so only the dirty region and whatever it
+        newly unlocks needs to be (re)visited.
+        """
+
+        self._task_filter = task_filter
+        seeds = self._seed_triggers(graph, specification, state, stats)
+        seeds.extend(sorted(n for n in dirty if graph.has_node(n)))
+        return self._propagate(graph, specification, state, stats, seeds)
+
+    def _seed_triggers(
+        self,
+        graph: Supergraph,
+        specification: Specification,
+        state: ColoringState,
+        stats: ConstructionStatistics,
+    ) -> list[NodeRef]:
+        """Colour trigger labels green at distance 0; return nodes to enqueue."""
+
+        seeds: list[NodeRef] = []
+        for label in sorted(specification.triggers):
+            node = NodeRef.label(label)
+            if not graph.has_label(label):
+                continue
+            if state.color_of(node) is Color.GREEN and state.distance_of(node) == 0.0:
+                continue
+            state.set(node, Color.GREEN, 0.0)
+            stats.nodes_recolored += 1
+            seeds.extend(graph.children(node))
+        return seeds
+
+    def _propagate(
+        self,
+        graph: Supergraph,
+        specification: Specification,
+        state: ColoringState,
+        stats: ConstructionStatistics,
+        initial: Iterable[NodeRef],
     ) -> bool:
         goal_nodes = {NodeRef.label(g) for g in specification.goals}
-        green_goals: set[NodeRef] = set()
+        green_goals = {
+            n for n in goal_nodes if state.color_of(n) is Color.GREEN
+        }
 
-        worklist: list[NodeRef] = []
+        worklist: deque[NodeRef] = deque()
         queued: set[NodeRef] = set()
 
         def enqueue(node: NodeRef) -> None:
@@ -252,27 +353,21 @@ class WorkflowConstructor:
                 queued.add(node)
                 worklist.append(node)
 
-        for label in sorted(specification.triggers):
-            node = NodeRef.label(label)
-            if not graph.has_label(label):
-                continue
-            state.set(node, Color.GREEN, 0.0)
-            if node in goal_nodes:
-                green_goals.add(node)
-            for child in graph.children(node):
-                enqueue(child)
+        for node in initial:
+            enqueue(node)
 
         if self.stop_exploration_early and green_goals >= goal_nodes:
             return True
 
         while worklist:
-            node = worklist.pop(0)
+            node = worklist.popleft()
             queued.discard(node)
             stats.exploration_iterations += 1
 
             updated = self._try_color_green(graph, node, state)
             if not updated:
                 continue
+            stats.nodes_recolored += 1
             if node in goal_nodes:
                 green_goals.add(node)
                 if self.stop_exploration_early and green_goals >= goal_nodes:
@@ -295,6 +390,11 @@ class WorkflowConstructor:
             and self._task_filter is not None
             and not self._task_filter(graph.task(node.name))
         ):
+            return False
+        # Degree-index early-out: a parentless node can never be coloured by
+        # propagation (triggers are seeded directly), so skip building the
+        # parent set for it.
+        if graph.in_degree(node) == 0:
             return False
         parents = graph.parents(node)
         green_parents = [
@@ -379,19 +479,22 @@ class WorkflowConstructor:
         blue_tasks = [n for n in blue_nodes if n.is_task]
         blue_labels = {n.name for n in blue_nodes if n.is_label}
 
+        # Index the blue edges once (O(edges)) instead of scanning the whole
+        # edge set per task (O(tasks * edges)) — this is the dominant cost of
+        # extracting large workflows.
+        inputs_by_task: dict[NodeRef, set[str]] = {}
+        outputs_by_task: dict[NodeRef, set[str]] = {}
+        for parent, child in state.blue_edges:
+            if parent.is_label and child.is_task:
+                inputs_by_task.setdefault(child, set()).add(parent.name)
+            elif parent.is_task and child.is_label:
+                outputs_by_task.setdefault(parent, set()).add(child.name)
+
         tasks: list[Task] = []
         for node in sorted(blue_tasks):
             original = graph.task(node.name)
-            kept_inputs = {
-                parent.name
-                for (parent, child) in state.blue_edges
-                if child == node and parent.is_label
-            }
-            kept_outputs = {
-                child.name
-                for (parent, child) in state.blue_edges
-                if parent == node and child.is_label
-            }
+            kept_inputs = inputs_by_task.get(node, set())
+            kept_outputs = outputs_by_task.get(node, set())
             # A conjunctive task keeps all of its declared inputs (they are
             # all blue by construction); a disjunctive task keeps exactly the
             # selected minimum-distance input.  Outputs not needed by any

@@ -23,8 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Protocol
 
-from .construction import ConstructionResult, WorkflowConstructor
+from .construction import ConstructionResult
 from .fragments import KnowledgeSet, WorkflowFragment
+from .solver import Solver, make_solver
 from .specification import Specification
 from .supergraph import Supergraph
 
@@ -178,6 +179,12 @@ class IncrementalConstructor:
     max_rounds:
         Safety bound on the number of frontier-expansion rounds; the
         default is generous enough for any realistic community.
+    solver:
+        Construction strategy used for the per-round colouring (a
+        :class:`~repro.core.solver.Solver`, a registry name, or ``None``
+        for the default memoized solver).  With the memoized solver each
+        round after the first recolors only the fragments pulled in that
+        round instead of the whole accumulated graph.
     """
 
     def __init__(
@@ -186,12 +193,13 @@ class IncrementalConstructor:
         seed_with_goal_producers: bool = True,
         max_rounds: int = 10_000,
         stop_exploration_early: bool = True,
+        solver: Solver | str | None = None,
     ) -> None:
         self._source = source
         self._seed_with_goal_producers = seed_with_goal_producers
         self._max_rounds = max_rounds
-        self._constructor = WorkflowConstructor(
-            stop_exploration_early=stop_exploration_early
+        self._solver = make_solver(
+            solver, stop_exploration_early=stop_exploration_early
         )
 
     def construct(
@@ -218,7 +226,7 @@ class IncrementalConstructor:
             for goal in sorted(specification.goals):
                 self._pull_producing(graph, goal, queried_backward, stats)
 
-        result = self._constructor.construct(graph, specification)
+        result = self._solver.solve(graph, specification)
         while not result.succeeded and stats.rounds < self._max_rounds:
             stats.rounds += 1
             frontier = self._frontier_labels(graph, specification, result)
@@ -234,7 +242,7 @@ class IncrementalConstructor:
                     )
             if new_fragments == 0:
                 break
-            result = self._constructor.construct(graph, specification)
+            result = self._solver.solve(graph, specification)
 
         return IncrementalConstructionResult(result, graph, stats)
 

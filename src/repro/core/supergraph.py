@@ -13,10 +13,21 @@ fragments can be added one at a time, which is what the incremental
 construction variant relies on (fragments are pulled from remote hosts only
 when the colored frontier reaches labels the local graph cannot yet
 explain).
+
+To make repeated construction over a growing graph cheap, the supergraph is
+*versioned*: every mutation that actually changes the graph bumps a
+monotonically increasing :attr:`version` and records the set of affected
+nodes in a journal.  A solver that cached a coloring at version ``v`` can
+ask :meth:`dirty_since` for the nodes touched after ``v`` and recolor only
+that dirty region instead of the whole graph (see
+:mod:`repro.core.solver`).  Adjacency indexes (label → producers/consumers,
+task → in/out degree) are maintained eagerly on every ``add_fragment`` so
+graph navigation during coloring never scans the task table.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, Iterator, Mapping
 
 from .errors import InvalidWorkflowError
@@ -24,9 +35,17 @@ from .fragments import KnowledgeSet, WorkflowFragment
 from .graph import Edge, NodeRef
 from .tasks import Task
 
+_graph_counter = itertools.count(1)
+
+#: Journal entries older than this are compacted (merged pairwise) to bound
+#: memory on long-lived graphs.  Compaction over-approximates the dirty set
+#: for very old versions, which is safe: recoloring extra nodes is wasted
+#: work, never wrong answers.
+_JOURNAL_COMPACTION_THRESHOLD = 4096
+
 
 class Supergraph:
-    """A mutable union of workflow fragments.
+    """A mutable, versioned union of workflow fragments.
 
     The supergraph keeps track of which fragments contributed each task so
     that, after construction, the selected sub-workflow can be attributed
@@ -34,6 +53,9 @@ class Supergraph:
     """
 
     def __init__(self, fragments: Iterable[WorkflowFragment] = ()) -> None:
+        self._graph_id = f"supergraph-{next(_graph_counter)}"
+        self._version = 0
+        self._journal: list[tuple[int, frozenset[NodeRef]]] = []
         self._tasks: dict[str, Task] = {}
         self._labels: set[str] = set()
         self._producers: dict[str, set[str]] = {}
@@ -42,6 +64,62 @@ class Supergraph:
         self._fragment_ids: set[str] = set()
         for fragment in fragments:
             self.add_fragment(fragment)
+
+    # -- versioning --------------------------------------------------------
+    @property
+    def graph_id(self) -> str:
+        """Process-unique identity of this graph (used in solver cache keys)."""
+
+        return self._graph_id
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing mutation counter."""
+
+        return self._version
+
+    def _record_mutation(self, nodes: Iterable[NodeRef]) -> None:
+        affected = frozenset(nodes)
+        if not affected:
+            return
+        self._version += 1
+        self._journal.append((self._version, affected))
+        if len(self._journal) > _JOURNAL_COMPACTION_THRESHOLD:
+            self._compact_journal()
+
+    def _compact_journal(self) -> None:
+        """Merge the oldest half of the journal pairwise.
+
+        A merged entry keeps the *newest* version of the pair while unioning
+        the node sets, so ``dirty_since`` can only over-report for versions
+        that fall inside a merged range.
+        """
+
+        half = len(self._journal) // 2
+        old, recent = self._journal[:half], self._journal[half:]
+        merged: list[tuple[int, frozenset[NodeRef]]] = []
+        for i in range(0, len(old), 2):
+            pair = old[i : i + 2]
+            merged.append((pair[-1][0], frozenset().union(*(s for _, s in pair))))
+        self._journal = merged + recent
+
+    def dirty_since(self, version: int) -> frozenset[NodeRef]:
+        """Nodes added or whose adjacency changed after ``version``.
+
+        ``dirty_since(self.version)`` is always empty.  For versions that
+        predate journal compaction the result may be a superset of the true
+        dirty region (never a subset), which keeps incremental recoloring
+        conservative but correct.
+        """
+
+        if version >= self._version:
+            return frozenset()
+        dirty: set[NodeRef] = set()
+        for entry_version, nodes in reversed(self._journal):
+            if entry_version <= version:
+                break
+            dirty |= nodes
+        return frozenset(dirty)
 
     # -- mutation ----------------------------------------------------------
     def add_fragment(self, fragment: WorkflowFragment) -> bool:
@@ -54,11 +132,18 @@ class Supergraph:
 
         if fragment.fragment_id in self._fragment_ids:
             return False
+        affected: set[NodeRef] = set()
+        try:
+            for task in fragment.tasks:
+                self._add_task(task, fragment.fragment_id, affected)
+        finally:
+            # Journal even when a later task of the fragment conflicts and
+            # raises: the earlier tasks are already merged, and dirty_since
+            # must never under-report.  The fragment id is only registered
+            # on success so a corrected resubmission is not ignored.
+            self._record_mutation(affected)
         self._fragment_ids.add(fragment.fragment_id)
-        changed = False
-        for task in fragment.tasks:
-            changed |= self._add_task(task, fragment.fragment_id)
-        return changed
+        return bool(affected)
 
     def add_knowledge(self, knowledge: KnowledgeSet | Iterable[WorkflowFragment]) -> int:
         """Merge every fragment of ``knowledge``; returns how many changed the graph."""
@@ -72,8 +157,16 @@ class Supergraph:
             self._labels.add(label)
             self._producers.setdefault(label, set())
             self._consumers.setdefault(label, set())
+            self._record_mutation({NodeRef.label(label)})
 
-    def _add_task(self, task: Task, fragment_id: str) -> bool:
+    def _add_label_quietly(self, label: str, affected: set[NodeRef]) -> None:
+        if label not in self._labels:
+            self._labels.add(label)
+            self._producers.setdefault(label, set())
+            self._consumers.setdefault(label, set())
+            affected.add(NodeRef.label(label))
+
+    def _add_task(self, task: Task, fragment_id: str, affected: set[NodeRef]) -> bool:
         existing = self._tasks.get(task.name)
         if existing is not None:
             if existing != task:
@@ -85,10 +178,13 @@ class Supergraph:
             return False
         self._tasks[task.name] = task
         self._task_fragments[task.name] = {fragment_id}
+        affected.add(NodeRef.task(task.name))
         for label in task.inputs | task.outputs:
-            self.add_label(label)
+            self._add_label_quietly(label, affected)
         for out in task.outputs:
             self._producers[out].add(task.name)
+            # The label gained a producer: its parent set changed.
+            affected.add(NodeRef.label(out))
         for inp in task.inputs:
             self._consumers[inp].add(task.name)
         return True
@@ -159,6 +255,21 @@ class Supergraph:
     def consumers_of(self, label: str) -> frozenset[str]:
         return frozenset(self._consumers.get(label, ()))
 
+    # -- degree indexes ----------------------------------------------------
+    def in_degree(self, node: NodeRef) -> int:
+        """Number of parents: producers for a label, inputs for a task."""
+
+        if node.is_task:
+            return len(self._tasks[node.name].inputs)
+        return len(self._producers.get(node.name, ()))
+
+    def out_degree(self, node: NodeRef) -> int:
+        """Number of children: consumers for a label, outputs for a task."""
+
+        if node.is_task:
+            return len(self._tasks[node.name].outputs)
+        return len(self._consumers.get(node.name, ()))
+
     def parents(self, node: NodeRef) -> frozenset[NodeRef]:
         if node.is_task:
             return frozenset(NodeRef.label(i) for i in self._tasks[node.name].inputs)
@@ -185,6 +296,7 @@ class Supergraph:
             "labels": len(self._labels),
             "edges": self.edge_count,
             "fragments": len(self._fragment_ids),
+            "version": self._version,
             "multi_producer_labels": sum(
                 1 for prods in self._producers.values() if len(prods) > 1
             ),

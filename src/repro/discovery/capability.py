@@ -56,6 +56,11 @@ class CapabilityDirectory:
 
         return bool(self.providers.get(service_type))
 
+    def available_service_types(self) -> frozenset[str]:
+        """Every service type at least one known host offers."""
+
+        return frozenset(s for s, hosts in self.providers.items() if hosts)
+
     def unavailable_services(self, required: Iterable[str]) -> frozenset[str]:
         """The subset of ``required`` service types nobody in the community offers."""
 

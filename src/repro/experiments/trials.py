@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from ..core.solver import Solver
 from ..core.specification import Specification
 from ..host.community import Community
 from ..host.workspace import Workspace, WorkflowPhase
@@ -36,7 +37,14 @@ from ..workloads.supergraph_gen import GeneratedWorkload
 
 @dataclass(frozen=True)
 class TrialResult:
-    """Outcome and timings of one construction+allocation trial."""
+    """Outcome and timings of one construction+allocation trial.
+
+    ``nodes_recolored`` / ``cache_hits`` / ``solver`` expose the
+    construction engine's effort counters (see
+    :class:`~repro.core.construction.ConstructionStatistics`) so the
+    incremental-vs-scratch benchmarks can compare colouring work, not just
+    wall-clock time.
+    """
 
     succeeded: bool
     allocation_seconds: float
@@ -47,6 +55,9 @@ class TrialResult:
     bytes_sent: int
     fragments_collected: int
     failure_reason: str = ""
+    solver: str = ""
+    nodes_recolored: int = 0
+    cache_hits: int = 0
 
 
 def simulated_network_factory(seed: int = 0) -> Callable[[EventScheduler], CommunicationsLayer]:
@@ -82,8 +93,13 @@ def build_trial_community(
     num_hosts: int,
     seed: int,
     network_factory: Callable[[EventScheduler], CommunicationsLayer] | None = None,
+    solver: Solver | str | None = None,
 ) -> Community:
-    """Set up a community for one trial (fragments/services dealt out randomly)."""
+    """Set up a community for one trial (fragments/services dealt out randomly).
+
+    ``solver`` selects the construction strategy installed on every host, so
+    ablations can sweep strategies with no other change to the procedure.
+    """
 
     if num_hosts < 1:
         raise ValueError("a trial needs at least one host")
@@ -97,6 +113,7 @@ def build_trial_community(
             fragments=fragment_groups[index],
             services=service_groups[index],
             mobility=Point(20.0 * index, 0.0),
+            solver=solver,
         )
         del host
     return community
@@ -109,11 +126,12 @@ def run_allocation_trial(
     seed: int,
     network_factory: Callable[[EventScheduler], CommunicationsLayer] | None = None,
     initiator_index: int = 0,
+    solver: Solver | str | None = None,
 ) -> TrialResult:
     """Run one construction+allocation trial and return its measurements."""
 
     community = build_trial_community(
-        workload, num_hosts, seed, network_factory=network_factory
+        workload, num_hosts, seed, network_factory=network_factory, solver=solver
     )
     initiator = f"host-{initiator_index % num_hosts}"
     workspace = community.submit_specification(initiator, specification)
@@ -134,6 +152,7 @@ def trial_result_from_workspace(
     sim_seconds, wall_seconds = timing if timing is not None else (0.0, 0.0)
     stats = community.network.statistics
     workflow = workspace.workflow
+    construction = workspace.construction_statistics
     return TrialResult(
         succeeded=succeeded,
         allocation_seconds=wall_seconds + sim_seconds,
@@ -144,4 +163,7 @@ def trial_result_from_workspace(
         bytes_sent=stats.bytes_sent,
         fragments_collected=workspace.fragments_collected,
         failure_reason=workspace.failure_reason,
+        solver=construction.solver if construction else "",
+        nodes_recolored=construction.nodes_recolored if construction else 0,
+        cache_hits=construction.cache_hits if construction else 0,
     )

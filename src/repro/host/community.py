@@ -16,6 +16,7 @@ from typing import Callable, Iterable, Iterator
 
 from ..core.errors import OpenWorkflowError
 from ..core.fragments import WorkflowFragment
+from ..core.solver import Solver
 from ..core.specification import Specification
 from ..execution.services import ServiceDescription
 from ..mobility.geometry import Point
@@ -73,6 +74,7 @@ class Community:
         construction_mode: str = "batch",
         capability_aware: bool = False,
         enable_recovery: bool = False,
+        solver: "Solver | str | None" = None,
     ) -> Host:
         """Create a host, attach it to the network, and join it to the community."""
 
@@ -91,6 +93,7 @@ class Community:
             construction_mode=construction_mode,
             capability_aware=capability_aware,
             enable_recovery=enable_recovery,
+            solver=solver,
         )
         self._hosts[host_id] = host
         if isinstance(self.network, AdHocWirelessNetwork) and mobility is not None:

@@ -22,6 +22,7 @@ from ..allocation.auction import AuctionManager
 from ..allocation.bids import DEFAULT_POLICY, BidSelectionPolicy
 from ..allocation.participation import AuctionParticipationManager
 from ..core.fragments import WorkflowFragment
+from ..core.solver import Solver
 from ..core.specification import Specification
 from ..discovery.knowhow import FragmentManager
 from ..execution.engine import ExecutionManager
@@ -76,6 +77,10 @@ class Host:
         (``"batch"`` or ``"incremental"``).
     bid_policy:
         Bid selection policy used when this host acts as auction manager.
+    solver:
+        Construction strategy for this host's workflow manager (a
+        :class:`~repro.core.solver.Solver`, a registry name, or ``None``
+        for the default memoized solver).
     """
 
     def __init__(
@@ -93,6 +98,7 @@ class Host:
         bid_policy: BidSelectionPolicy = DEFAULT_POLICY,
         capability_aware: bool = False,
         enable_recovery: bool = False,
+        solver: "Solver | str | None" = None,
     ) -> None:
         self.host_id = host_id
         self.network = network
@@ -134,6 +140,7 @@ class Host:
             capability_aware=capability_aware,
             local_services=self.service_manager,
             enable_recovery=enable_recovery,
+            solver=solver,
         )
         self.initiator = WorkflowInitiator(host_id)
 

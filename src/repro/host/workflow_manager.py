@@ -23,9 +23,10 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 from ..allocation.auction import AllocationOutcome, AuctionManager
-from ..core.construction import WorkflowConstructor
 from ..core.incremental import compute_frontier_labels
+from ..core.solver import Solver, make_solver
 from ..core.specification import Specification
+from ..core.supergraph import Supergraph
 from ..discovery.capability import CapabilityDirectory
 from ..discovery.knowhow import FragmentManager
 from ..execution.services import ServiceManager
@@ -63,6 +64,14 @@ class WorkflowManager:
         The host's auction manager, used for the allocation phase.
     construction_mode:
         ``"batch"`` (collect everything first) or ``"incremental"``.
+    solver:
+        Construction strategy (a :class:`~repro.core.solver.Solver`
+        instance, a registry name like ``"coloring"`` or ``"memoized"``, or
+        ``None`` for the default memoized solver).  With the memoized
+        solver, re-solves of the same workspace — the per-round colourings
+        of incremental discovery, and the final construction after
+        discovery — reuse the cached green region and recolor only the
+        fragments that arrived in between.
     """
 
     def __init__(
@@ -78,6 +87,7 @@ class WorkflowManager:
         local_services: ServiceManager | None = None,
         enable_recovery: bool = False,
         max_repair_attempts: int = 3,
+        solver: Solver | str | None = None,
     ) -> None:
         if construction_mode not in ("batch", "incremental"):
             raise ValueError("construction_mode must be 'batch' or 'incremental'")
@@ -92,8 +102,8 @@ class WorkflowManager:
         self.enable_recovery = enable_recovery
         self.max_repair_attempts = max_repair_attempts
         self.capabilities = CapabilityDirectory()
-        self._constructor = WorkflowConstructor(
-            stop_exploration_early=stop_exploration_early
+        self.solver = make_solver(
+            solver, stop_exploration_early=stop_exploration_early
         )
         self._workspaces: dict[str, Workspace] = {}
         self._on_allocated: dict[str, WorkspaceCallback] = {}
@@ -109,6 +119,7 @@ class WorkflowManager:
         excluded_tasks: Iterable[str] = (),
         repair_of: str | None = None,
         repair_attempt: int = 0,
+        supergraph: Supergraph | None = None,
     ) -> Workspace:
         """Start working on a new problem; returns its workspace immediately.
 
@@ -117,7 +128,10 @@ class WorkflowManager:
         the optional callbacks and can always be inspected on the returned
         workspace.  ``excluded_tasks`` forbids specific tasks during
         construction — used by workflow repair to route around tasks whose
-        execution has already failed.
+        execution has already failed.  ``supergraph`` lets a caller reuse an
+        already-accumulated graph (repairs pass the failed workspace's graph
+        so the solver's cached colouring — and the community knowledge — is
+        reused instead of rediscovered).
         """
 
         participant_set = frozenset(participants) | {self.host_id}
@@ -127,6 +141,8 @@ class WorkflowManager:
             specification=specification,
             participants=participant_set,
         )
+        if supergraph is not None:
+            workspace.supergraph = supergraph
         workspace.excluded_tasks = set(excluded_tasks)
         workspace.repair_of = repair_of
         workspace.repair_attempt = repair_attempt
@@ -183,9 +199,7 @@ class WorkflowManager:
             )
 
     def _query_frontier(self, workspace: Workspace, remotes: list[str]) -> None:
-        result = self._constructor.construct(
-            workspace.supergraph, workspace.specification
-        )
+        result = self.solver.solve(workspace.supergraph, workspace.specification)
         if result.succeeded:
             self._after_discovery(workspace)
             return
@@ -307,12 +321,32 @@ class WorkflowManager:
 
         return allowed
 
+    def _filter_token(self, workspace: Workspace):
+        """Hashable fingerprint of the workspace's task filter behaviour.
+
+        The filter is a pure function of the excluded-task set and (when
+        capability-aware) the set of service types some participant offers,
+        so those two ingredients key the solver's memoization safely: any
+        capability response or repair exclusion that would change filter
+        decisions also changes the token.
+        """
+
+        if not self.capability_aware and not workspace.excluded_tasks:
+            return None
+        available: frozenset[str] = frozenset()
+        if self.capability_aware:
+            available = self.capabilities.available_service_types()
+            if self.local_services is not None:
+                available |= self.local_services.service_types
+        return (frozenset(workspace.excluded_tasks), available)
+
     def _run_construction(self, workspace: Workspace) -> None:
         workspace.enter_phase(WorkflowPhase.CONSTRUCTION, self.scheduler.clock.now())
-        result = self._constructor.construct(
+        result = self.solver.solve(
             workspace.supergraph,
             workspace.specification,
             task_filter=self._workspace_task_filter(workspace),
+            filter_token=self._filter_token(workspace),
         )
         workspace.construction_result = result
         workspace.mark("constructed", self.scheduler.clock.now())
@@ -421,6 +455,7 @@ class WorkflowManager:
             excluded_tasks=excluded,
             repair_of=workspace.workflow_id,
             repair_attempt=workspace.repair_attempt + 1,
+            supergraph=workspace.supergraph,
         )
         workspace.repaired_by = repaired.workflow_id
 

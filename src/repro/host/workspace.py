@@ -156,11 +156,21 @@ class Workspace:
 
         return self.elapsed("submitted", "completed")
 
+    # -- construction effort (cache/recolor counters of the solver engine) ---------
+    @property
+    def construction_statistics(self):
+        """The :class:`ConstructionStatistics` of the last solve, if any."""
+
+        if self.construction_result is None:
+            return None
+        return self.construction_result.statistics
+
     def summary(self) -> dict[str, object]:
         """A flat summary used by reports and tests."""
 
         allocation = self.time_to_allocation()
         completion = self.time_to_completion()
+        stats = self.construction_statistics
         return {
             "workflow_id": self.workflow_id,
             "phase": self.phase.value,
@@ -173,6 +183,9 @@ class Workspace:
             "allocation_wall_seconds": allocation[1] if allocation else None,
             "completion_sim_seconds": completion[0] if completion else None,
             "completion_wall_seconds": completion[1] if completion else None,
+            "solver": stats.solver if stats else "",
+            "nodes_recolored": stats.nodes_recolored if stats else 0,
+            "construction_cache_hits": stats.cache_hits if stats else 0,
             "failure_reason": self.failure_reason,
         }
 

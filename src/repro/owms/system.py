@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Callable, Iterable, Mapping
 
 from ..core.fragments import WorkflowFragment
+from ..core.solver import Solver
 from ..core.specification import Specification
 from ..core.workflow import Workflow
 from ..execution.services import ServiceDescription
@@ -61,15 +62,32 @@ class SolveReport:
 
 
 class OpenWorkflowSystem:
-    """Deploy hosts, submit problems, and run them to completion."""
+    """Deploy hosts, submit problems, and run them to completion.
+
+    Parameters
+    ----------
+    network_factory:
+        Builds the community's communications layer (defaults to the
+        zero-latency simulated network).
+    capability_aware:
+        Whether initiators learn community capabilities before construction.
+    solver:
+        Construction strategy installed on every deployed device: a
+        :class:`~repro.core.solver.Solver` instance (shared by all hosts —
+        safe, cache keys include the graph identity), a registry name such
+        as ``"coloring"`` or ``"memoized"``, or ``None`` for the default
+        memoized incremental engine.
+    """
 
     def __init__(
         self,
         network_factory: Callable[[EventScheduler], CommunicationsLayer] | None = None,
         capability_aware: bool = True,
+        solver: "Solver | str | None" = None,
     ) -> None:
         self.community = Community(network_factory=network_factory)
         self.capability_aware = capability_aware
+        self.solver = solver
 
     # -- deployment ------------------------------------------------------------
     def add_device(
@@ -80,6 +98,7 @@ class OpenWorkflowSystem:
         position: Point | None = None,
         preferences: ParticipantPreferences | None = None,
         construction_mode: str = "batch",
+        solver: "Solver | str | None" = None,
     ) -> Host:
         """Install the middleware on a new device and join it to the community."""
 
@@ -91,6 +110,7 @@ class OpenWorkflowSystem:
             preferences=preferences or ParticipantPreferences(),
             construction_mode=construction_mode,
             capability_aware=self.capability_aware,
+            solver=solver if solver is not None else self.solver,
         )
 
     def deploy_device_config(self, config: DeviceConfig) -> Host:
@@ -163,6 +183,43 @@ class OpenWorkflowSystem:
                 workspace, max_sim_seconds=max_sim_seconds
             )
         return self.report(workspace)
+
+    def solve_many(
+        self,
+        initiator: str,
+        problems: Iterable[Specification | tuple[Iterable[str], Iterable[str]]],
+        wait_for_execution: bool = True,
+        max_sim_seconds: float = 7 * 24 * 3600.0,
+    ) -> list[SolveReport]:
+        """Submit a batch of problems at ``initiator`` and run them all.
+
+        ``problems`` is an iterable of :class:`Specification` objects or
+        ``(triggers, goals)`` pairs.  Every problem is submitted before any
+        is pumped to completion, so discovery and auction traffic for the
+        whole batch interleaves in a single event-scheduler run instead of
+        one run per problem.  Reports come back in submission order.
+        """
+
+        workspaces: list[Workspace] = []
+        for problem in problems:
+            if isinstance(problem, Specification):
+                workspaces.append(
+                    self.community.submit_specification(initiator, problem)
+                )
+            else:
+                triggers, goals = problem
+                workspaces.append(self.submit_problem(initiator, triggers, goals))
+        for workspace in workspaces:
+            self.community.run_until_allocated(
+                workspace, max_sim_seconds=max_sim_seconds
+            )
+        if wait_for_execution:
+            for workspace in workspaces:
+                if workspace.phase is WorkflowPhase.EXECUTING:
+                    self.community.run_until_completed(
+                        workspace, max_sim_seconds=max_sim_seconds
+                    )
+        return [self.report(workspace) for workspace in workspaces]
 
     def solve_specification(
         self,

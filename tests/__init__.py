@@ -1,0 +1,1 @@
+"""Test package marker (keeps relative imports and unique module names working)."""

@@ -1,0 +1,79 @@
+"""Property: incremental dirty-frontier recolouring ≡ from-scratch solving.
+
+The memoized solver claims that solving after N ``add_fragment`` calls,
+recolouring only the dirty frontier each time, is *equivalent* to a single
+from-scratch :func:`~repro.core.construction.construct_workflow` over the
+final knowledge set: the two agree on feasibility, and on success each
+produces a valid workflow satisfying the specification.  (The workflows may
+legitimately differ node-for-node — redundant producers give the pruning
+phase tie-break freedom — so equivalence, not identity, is the contract.)
+
+These properties drive random knowledge sets through random arrival orders
+and check the contract at *every* intermediate prefix, not just the end,
+plus the engine's bookkeeping claims (pure re-solves do zero colouring
+work; recolouring is monotone in the dirty region, never the whole graph).
+"""
+
+from hypothesis import given, settings
+
+from repro.core.construction import construct_workflow
+from repro.core.solver import (
+    ColoringSolver,
+    MemoizedColoringSolver,
+    results_equivalent,
+)
+from repro.core.supergraph import Supergraph
+
+from .strategies import knowledge_sets, specifications
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+@SETTINGS
+@given(fragments=knowledge_sets(), spec=specifications())
+def test_incremental_equivalent_to_scratch_at_every_prefix(fragments, spec):
+    graph = Supergraph()
+    solver = MemoizedColoringSolver()
+    for prefix_end in range(len(fragments) + 1):
+        if prefix_end > 0:
+            graph.add_fragment(fragments[prefix_end - 1])
+        incremental = solver.solve(graph, spec)
+        scratch = construct_workflow(fragments[:prefix_end], spec)
+        assert results_equivalent(incremental, scratch), (
+            f"diverged after {prefix_end} arrivals: "
+            f"incremental={incremental!r} scratch={scratch!r}"
+        )
+
+
+@SETTINGS
+@given(fragments=knowledge_sets(), spec=specifications())
+def test_resolve_without_mutation_does_no_coloring_work(fragments, spec):
+    graph = Supergraph(fragments)
+    solver = MemoizedColoringSolver()
+    solver.solve(graph, spec)
+    repeat = solver.solve(graph, spec)
+    assert repeat.statistics.nodes_recolored == 0
+    assert repeat.statistics.cache_hits == 1
+
+
+@SETTINGS
+@given(fragments=knowledge_sets(min_fragments=2), spec=specifications())
+def test_incremental_work_never_exceeds_scratch_work(fragments, spec):
+    split = len(fragments) // 2
+    graph = Supergraph(fragments[:split])
+    memoized = MemoizedColoringSolver()
+    memoized.solve(graph, spec)
+    incremental_work = 0
+    for fragment in fragments[split:]:
+        graph.add_fragment(fragment)
+        incremental_work += memoized.solve(graph, spec).statistics.nodes_recolored
+
+    scratch = ColoringSolver()
+    scratch_work = 0
+    scratch_graph = Supergraph(fragments[:split])
+    scratch.solve(scratch_graph, spec)
+    for fragment in fragments[split:]:
+        scratch_graph.add_fragment(fragment)
+        scratch_work += scratch.solve(scratch_graph, spec).statistics.nodes_recolored
+
+    assert incremental_work <= scratch_work
