@@ -1,0 +1,233 @@
+"""Scaling benchmarks for the spatial-indexed wireless network substrate.
+
+Measures, at 50/200/500 hosts scattered over a density-preserving site:
+
+* full neighbour-set sweeps per simulated tick — grid snapshot vs. the
+  brute-force O(n) scans (``use_spatial_index=False``);
+* community connectivity probes — one components pass vs. the original
+  all-pairs reachability loop;
+* route churn under mobility — link-epoch revalidation vs. flushing the
+  route cache on every movement tick;
+* a fig4-style sweep through the parallel ``TrialRunner`` vs. sequential
+  execution (skipped below 4 cores).
+
+Everything here is ``slow``-marked; run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_network_scaling.py -m slow
+
+Each run (re)writes ``benchmarks/BENCH_network.json`` with the sections it
+measured (existing sections from earlier runs are preserved), so the perf
+trajectory of the network substrate is tracked from this PR on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import TrialRunner, sweep_tasks
+from repro.mobility.geometry import square_site
+from repro.mobility.models import RandomWaypointMobility
+from repro.net.adhoc import AdHocWirelessNetwork
+from repro.sim.events import EventScheduler
+from repro.sim.randomness import derive_rng, derive_seed
+
+pytestmark = pytest.mark.slow
+
+BENCH_SEED = 20090514
+RADIO_RANGE = 150.0
+# 60 m of site side per sqrt(host): keeps the mean radio degree near 20
+# regardless of population, so per-query work measures the index, not a
+# densifying swarm.
+SITE_SPACING = 60.0
+
+RESULTS_PATH = Path(__file__).with_name("BENCH_network.json")
+_RESULTS: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_report():
+    """Merge this run's measurements into ``BENCH_network.json``."""
+
+    yield
+    if not _RESULTS:
+        return
+    existing: dict = {}
+    if RESULTS_PATH.exists():
+        try:
+            existing = json.loads(RESULTS_PATH.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            existing = {}
+    for section, payload in _RESULTS.items():
+        existing.setdefault(section, {}).update(payload)
+    existing["meta"] = {
+        "seed": BENCH_SEED,
+        "radio_range_m": RADIO_RANGE,
+        "cpu_count": os.cpu_count(),
+    }
+    RESULTS_PATH.write_text(
+        json.dumps(existing, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def build_network(
+    num_hosts: int, use_spatial_index: bool, mobile: bool = False
+) -> tuple[AdHocWirelessNetwork, EventScheduler]:
+    scheduler = EventScheduler()
+    network = AdHocWirelessNetwork(
+        scheduler, radio_range=RADIO_RANGE, use_spatial_index=use_spatial_index
+    )
+    site = square_site(SITE_SPACING * math.sqrt(num_hosts))
+    for index in range(num_hosts):
+        host = f"h{index}"
+        network.register(host, lambda m: None)
+        if mobile:
+            network.place_host(
+                host,
+                RandomWaypointMobility(
+                    site, seed=derive_seed(BENCH_SEED, "walk", index), pause=0.0
+                ),
+            )
+        else:
+            network.place_host(host, site.random_point(derive_rng(BENCH_SEED, "place", index)))
+    return network, scheduler
+
+
+def timed_neighbour_sweeps(network, scheduler, rounds: int) -> float:
+    """Seconds for ``rounds`` ticks of querying every host's neighbour set."""
+
+    hosts = sorted(network.host_ids)
+    started = time.perf_counter()
+    for _ in range(rounds):
+        scheduler.clock.advance(1.0)  # fresh tick: nothing memoized yet
+        for host in hosts:
+            network.neighbours_of(host)
+    return time.perf_counter() - started
+
+
+@pytest.mark.parametrize("num_hosts", (50, 200, 500))
+def test_neighbour_query_speedup(num_hosts):
+    rounds = 5
+    brute, brute_scheduler = build_network(num_hosts, use_spatial_index=False)
+    grid, grid_scheduler = build_network(num_hosts, use_spatial_index=True)
+    brute_seconds = timed_neighbour_sweeps(brute, brute_scheduler, rounds)
+    grid_seconds = timed_neighbour_sweeps(grid, grid_scheduler, rounds)
+    speedup = brute_seconds / grid_seconds
+    _RESULTS.setdefault("neighbour_query", {})[str(num_hosts)] = {
+        "rounds": rounds,
+        "brute_seconds": brute_seconds,
+        "grid_seconds": grid_seconds,
+        "speedup": speedup,
+    }
+    if num_hosts >= 200:
+        assert speedup >= 5.0, (
+            f"grid neighbour queries only {speedup:.1f}x faster than brute force "
+            f"at {num_hosts} hosts"
+        )
+
+
+@pytest.mark.parametrize("num_hosts", (50, 200))
+def test_connectivity_probe_speedup(num_hosts):
+    rounds = 3
+    timings = {}
+    for label, use_spatial_index in (("brute", False), ("grid", True)):
+        network, scheduler = build_network(num_hosts, use_spatial_index=use_spatial_index)
+        started = time.perf_counter()
+        for _ in range(rounds):
+            scheduler.clock.advance(1.0)
+            network.is_connected()
+        timings[label] = time.perf_counter() - started
+    speedup = timings["brute"] / timings["grid"]
+    _RESULTS.setdefault("connectivity", {})[str(num_hosts)] = {
+        "rounds": rounds,
+        "brute_seconds": timings["brute"],
+        "grid_seconds": timings["grid"],
+        "speedup": speedup,
+    }
+    if num_hosts >= 200:
+        assert speedup >= 5.0
+
+
+@pytest.mark.parametrize("num_hosts", (200,))
+def test_route_churn_under_mobility(num_hosts):
+    """Link-epoch revalidation keeps most routes across movement ticks."""
+
+    ticks, pairs_per_tick = 20, 50
+
+    def churn(flush_each_tick: bool) -> tuple[float, int]:
+        network, scheduler = build_network(num_hosts, use_spatial_index=True, mobile=True)
+        pair_rng = derive_rng(BENCH_SEED, "pairs", num_hosts)
+        hosts = sorted(network.host_ids)
+        pairs = [
+            (pair_rng.choice(hosts), pair_rng.choice(hosts)) for _ in range(pairs_per_tick)
+        ]
+        started = time.perf_counter()
+        for _ in range(ticks):
+            scheduler.clock.advance(1.0)
+            network.invalidate_routes(flush=flush_each_tick)
+            for source, destination in pairs:
+                if source != destination and network.is_reachable(source, destination):
+                    network.router.route(source, destination)
+        return time.perf_counter() - started, network.router.discoveries
+
+    flush_seconds, flush_discoveries = churn(flush_each_tick=True)
+    epoch_seconds, epoch_discoveries = churn(flush_each_tick=False)
+    _RESULTS.setdefault("route_churn", {})[str(num_hosts)] = {
+        "ticks": ticks,
+        "pairs_per_tick": pairs_per_tick,
+        "flush_seconds": flush_seconds,
+        "flush_discoveries": flush_discoveries,
+        "epoch_seconds": epoch_seconds,
+        "epoch_discoveries": epoch_discoveries,
+        "discoveries_saved": 1 - epoch_discoveries / flush_discoveries,
+    }
+    # The epoch cache must eliminate a substantial share of rediscoveries;
+    # at walking speeds most 150 m links survive a 1 s tick.
+    assert epoch_discoveries < flush_discoveries * 0.5
+
+
+def test_parallel_sweep_speedup():
+    """A fig4-style sweep through the process-pool runner vs. sequential."""
+
+    cores = os.cpu_count() or 1
+    tasks = []
+    for num_hosts in (2, 3, 4, 5):
+        tasks.extend(
+            sweep_tasks(
+                series=f"{num_hosts} host",
+                num_tasks=100,
+                num_hosts=num_hosts,
+                path_lengths=(2, 4, 6, 8),
+                runs=3,
+                seed=BENCH_SEED,
+            )
+        )
+    sequential_runner = TrialRunner(parallel=False, timing="sim")
+    started = time.perf_counter()
+    sequential = sequential_runner.run(tasks)
+    sequential_seconds = time.perf_counter() - started
+
+    parallel_runner = TrialRunner(parallel=True, timing="sim", chunksize=2)
+    started = time.perf_counter()
+    parallel = parallel_runner.run(tasks)
+    parallel_seconds = time.perf_counter() - started
+
+    speedup = sequential_seconds / parallel_seconds
+    _RESULTS["parallel_sweep"] = {
+        "trials": len(tasks),
+        "workers": parallel_runner.max_workers,
+        "cores": cores,
+        "sequential_seconds": sequential_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": speedup,
+        "pool_used": parallel_runner.parallel_batches > 0,
+    }
+    assert parallel == sequential  # identical results, whatever the schedule
+    if cores < 4 or parallel_runner.sequential_fallbacks:
+        pytest.skip(f"parallel speedup needs >=4 cores and a process pool (cores={cores})")
+    assert speedup >= 2.0

@@ -9,6 +9,8 @@ Usage::
     python examples/run_experiments.py all --runs 20   # more repetitions per point
     python examples/run_experiments.py ablations       # discovery/policy/baseline ablations
     python examples/run_experiments.py all --csv out/  # also write CSV files
+    python examples/run_experiments.py all --parallel  # fan trials across all cores
+    python examples/run_experiments.py scaling         # multi-hop ad hoc, 20-200 mobile hosts
 
 The paper averages 1000 runs per point; pass ``--runs 1000`` to match (it
 takes a while).  Each figure is printed as a table whose rows are path
@@ -23,6 +25,8 @@ from pathlib import Path
 
 from repro.analysis.reporting import FigureResult, comparison_table
 from repro.experiments import (
+    TrialRunner,
+    run_adhoc_scaling,
     run_baseline_comparison,
     run_discovery_ablation,
     run_figure4,
@@ -112,22 +116,53 @@ def main() -> None:
         "figures",
         nargs="*",
         default=["all"],
-        help="which experiments to run: fig4, fig5, fig6, ablations, or all",
+        help="which experiments to run: fig4, fig5, fig6, scaling, ablations, or all",
     )
     parser.add_argument("--runs", type=int, default=None, help="repetitions per data point")
     parser.add_argument("--seed", type=int, default=20090514, help="master random seed")
     parser.add_argument("--csv", type=Path, default=None, help="directory for CSV output")
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan independent trials across a process pool (all cores)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="process count for --parallel"
+    )
     args = parser.parse_args()
+    runner = (
+        TrialRunner(max_workers=args.workers)
+        if args.parallel or args.workers is not None
+        else None
+    )
 
     wanted = {name.lower() for name in (args.figures or ["all"])}
     run_everything = "all" in wanted or not wanted
 
     if run_everything or "fig4" in wanted:
-        emit(run_figure4(runs=args.runs, seed=args.seed), args.csv, "figure4.csv")
+        emit(
+            run_figure4(runs=args.runs, seed=args.seed, runner=runner),
+            args.csv,
+            "figure4.csv",
+        )
     if run_everything or "fig5" in wanted:
-        emit(run_figure5(runs=args.runs, seed=args.seed), args.csv, "figure5.csv")
+        emit(
+            run_figure5(runs=args.runs, seed=args.seed, runner=runner),
+            args.csv,
+            "figure5.csv",
+        )
     if run_everything or "fig6" in wanted:
-        emit(run_figure6(runs=args.runs, seed=args.seed), args.csv, "figure6.csv")
+        emit(
+            run_figure6(runs=args.runs, seed=args.seed, runner=runner),
+            args.csv,
+            "figure6.csv",
+        )
+    if run_everything or "scaling" in wanted:
+        emit(
+            run_adhoc_scaling(runs=args.runs, seed=args.seed, runner=runner),
+            args.csv,
+            "adhoc_scaling.csv",
+        )
     if run_everything or "ablations" in wanted:
         run_ablation_reports()
 

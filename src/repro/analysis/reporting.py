@@ -60,6 +60,14 @@ class FigureResult:
     def add_sample(self, label: str, x: int, value: float) -> None:
         self.series_for(label).add_sample(x, value)
 
+    def add_samples(self, label: str, x: int, values: Iterable[float]) -> None:
+        """Append a batch of samples to one point (used by the parallel
+        experiment runner's ordered aggregation)."""
+
+        series = self.series_for(label)
+        for value in values:
+            series.add_sample(x, value)
+
     def all_xs(self) -> list[int]:
         xs: set[int] = set()
         for series in self.series.values():

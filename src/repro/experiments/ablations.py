@@ -21,18 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..allocation.bids import (
-    BidSelectionPolicy,
-    EarliestStartPolicy,
-    RandomPolicy,
-    SpecializationPolicy,
-)
 from ..core.incremental import LocalFragmentSource, IncrementalConstructor
 from ..core.construction import construct_workflow
 from ..core.fragments import KnowledgeSet
 from ..sim.randomness import DEFAULT_SEED, derive_rng
-from ..workloads.supergraph_gen import GeneratedWorkload, RandomSupergraphWorkload
-from .trials import run_allocation_trial, simulated_network_factory
+from ..workloads.supergraph_gen import RandomSupergraphWorkload
+from .runner import TrialRunner, TrialTask
 
 
 @dataclass(frozen=True)
@@ -111,63 +105,55 @@ def run_policy_ablation(
     num_hosts: int = 5,
     path_lengths: Sequence[int] = (4, 8, 12),
     seed: int = DEFAULT_SEED,
+    runner: TrialRunner | None = None,
 ) -> list[PolicyAblationPoint]:
     """Compare auction selection policies on the same random workloads.
 
-    The trial runner always uses the default policy inside hosts; to compare
-    policies this function re-ranks the winning bids offline would be
-    misleading, so instead it rebuilds the community with the policy under
-    test wired into every host's auction manager.
+    Re-ranking the winning bids offline would be misleading, so each point
+    rebuilds the community with the policy under test wired into every
+    host's auction manager.  The sweep is expressed as
+    :class:`~repro.experiments.runner.TrialTask` descriptions (the policy
+    travels by name) and fans out through the shared
+    :class:`~repro.experiments.runner.TrialRunner`.
     """
 
-    from ..host.community import Community
-    from ..mobility.geometry import Point
-
-    policies: list[BidSelectionPolicy] = [
-        SpecializationPolicy(),
-        EarliestStartPolicy(),
-        RandomPolicy(seed=seed),
-    ]
+    policy_names = ("specialization", "earliest-start", "random")
     workload = RandomSupergraphWorkload(seed=seed).generate(num_tasks)
+    max_length = workload.max_path_length()
+    # A shared cohort holds the specification and the fragment/service deal
+    # fixed across policies, so each point varies only the policy under test.
+    tasks = [
+        TrialTask(
+            series=policy,
+            x=path_length,
+            num_tasks=num_tasks,
+            num_hosts=num_hosts,
+            path_length=path_length,
+            seed=seed,
+            policy=policy,
+            cohort="policy-ablation",
+        )
+        for policy in policy_names
+        for path_length in path_lengths
+        if path_length <= max_length
+    ]
+    runner = runner if runner is not None else TrialRunner(parallel=False)
     results: list[PolicyAblationPoint] = []
-    for policy in policies:
-        rng = derive_rng(seed, "ablation-policy", policy.name)
-        for path_length in path_lengths:
-            if path_length > workload.max_path_length():
-                continue
-            specification = workload.path_specification(path_length, rng)
-            if specification is None:
-                continue
-            partition_rng = derive_rng(seed, "ablation-policy-partition", path_length)
-            fragment_groups = workload.partition_fragments(num_hosts, partition_rng)
-            service_groups = workload.partition_services(num_hosts, partition_rng)
-            community = Community(network_factory=simulated_network_factory(seed))
-            for index in range(num_hosts):
-                host = community.add_host(
-                    f"host-{index}",
-                    fragments=fragment_groups[index],
-                    services=service_groups[index],
-                    mobility=Point(15.0 * index, 0.0),
-                )
-                host.auction_manager.policy = policy
-            workspace = community.submit_specification("host-0", specification)
-            community.run_until_allocated(workspace)
-            timing = workspace.time_to_allocation() or (0.0, 0.0)
-            outcome = workspace.allocation_outcome
-            winners = (
-                len(set(outcome.allocation.values())) if outcome is not None else 0
+    for outcome in runner.run(tasks):
+        result = outcome.result
+        if result is None:
+            continue
+        results.append(
+            PolicyAblationPoint(
+                policy=outcome.task.policy,
+                num_tasks=num_tasks,
+                num_hosts=num_hosts,
+                path_length=outcome.task.path_length,
+                allocation_seconds=result.allocation_seconds,
+                distinct_winners=result.distinct_winners,
+                succeeded=result.succeeded,
             )
-            results.append(
-                PolicyAblationPoint(
-                    policy=policy.name,
-                    num_tasks=num_tasks,
-                    num_hosts=num_hosts,
-                    path_length=path_length,
-                    allocation_seconds=timing[0] + timing[1],
-                    distinct_winners=winners,
-                    succeeded=workspace.is_allocated,
-                )
-            )
+        )
     return results
 
 

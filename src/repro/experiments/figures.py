@@ -12,6 +12,16 @@ with the same axes and series as the corresponding figure in the paper:
   model, supergraphs of 25/50/100 task nodes; the maximum achievable path
   length shrinks with the graph size, reproducing the cut-offs annotated in
   the paper's figure.
+* :func:`run_adhoc_scaling` — beyond the paper: fig6-style workloads over a
+  *multi-hop* ad hoc network with hundreds of mobile hosts scattered over a
+  site, the scenario class the spatial-indexed network substrate unlocks.
+
+Each figure expresses its sweep as a flat list of
+:class:`~repro.experiments.runner.TrialTask` descriptions and hands them to
+a :class:`~repro.experiments.runner.TrialRunner`; pass
+``runner=TrialRunner()`` to fan the trials across every core (results are
+identical to the default sequential execution — per-trial seeding is
+order-independent).
 
 The paper averages one thousand runs per point.  That is supported (pass
 ``runs=1000``) but the default is intentionally small so the whole suite can
@@ -22,13 +32,12 @@ argument for higher fidelity.
 from __future__ import annotations
 
 import os
-from typing import Callable, Iterable, Sequence
+from typing import Iterable, Sequence
 
 from ..analysis.reporting import FigureResult
-from ..net.transport import CommunicationsLayer
-from ..sim.events import EventScheduler
 from ..sim.randomness import DEFAULT_SEED, derive_rng
 from ..workloads.supergraph_gen import GeneratedWorkload, RandomSupergraphWorkload
+from .runner import TrialRunner, TrialTask, sweep_tasks
 from .trials import (
     TrialResult,
     adhoc_network_factory,
@@ -40,6 +49,7 @@ DEFAULT_PATH_LENGTHS: tuple[int, ...] = tuple(range(2, 23, 2))
 FIGURE4_HOST_COUNTS: tuple[int, ...] = (2, 3, 4, 5, 10, 15)
 FIGURE5_TASK_COUNTS: tuple[int, ...] = (25, 50, 100, 250, 500)
 FIGURE6_TASK_COUNTS: tuple[int, ...] = (25, 50, 100)
+SCALING_HOST_COUNTS: tuple[int, ...] = (20, 50, 100, 200)
 
 
 def default_runs(fallback: int = 3) -> int:
@@ -60,37 +70,11 @@ def _generate_workloads(
     return {count: generator.generate(count) for count in task_counts}
 
 
-def _sweep(
-    figure: FigureResult,
-    workload: GeneratedWorkload,
-    series_label: str,
-    num_hosts: int,
-    path_lengths: Sequence[int],
-    runs: int,
-    seed: int,
-    network_factory: Callable[[EventScheduler], CommunicationsLayer],
-) -> None:
-    """Fill one series of a figure by running ``runs`` trials per path length."""
-
-    max_length = workload.max_path_length()
-    spec_rng = derive_rng(seed, "spec", series_label, workload.num_tasks, num_hosts)
-    for path_length in path_lengths:
-        if path_length > max_length:
-            continue
-        for repetition in range(runs):
-            specification = workload.path_specification(path_length, spec_rng)
-            if specification is None:
-                continue
-            result = run_allocation_trial(
-                workload,
-                num_hosts,
-                specification,
-                seed=seed + repetition,
-                network_factory=network_factory,
-                initiator_index=repetition,
-            )
-            if result.succeeded:
-                figure.add_sample(series_label, path_length, result.allocation_seconds)
+def _run_tasks(
+    figure: FigureResult, tasks: Sequence[TrialTask], runner: TrialRunner | None
+) -> FigureResult:
+    runner = runner if runner is not None else TrialRunner(parallel=False)
+    return runner.run_figure(tasks, figure)
 
 
 def run_figure4(
@@ -99,6 +83,7 @@ def run_figure4(
     path_lengths: Sequence[int] = DEFAULT_PATH_LENGTHS,
     runs: int | None = None,
     seed: int = DEFAULT_SEED,
+    runner: TrialRunner | None = None,
 ) -> FigureResult:
     """Figure 4: 100 task nodes partitioned across different numbers of hosts."""
 
@@ -108,18 +93,21 @@ def run_figure4(
         metadata={"task_nodes": num_tasks, "runs_per_point": runs, "network": "simulated"},
     )
     workload = RandomSupergraphWorkload(seed=seed).generate(num_tasks)
+    tasks: list[TrialTask] = []
     for num_hosts in host_counts:
-        _sweep(
-            figure,
-            workload,
-            series_label=f"{num_hosts} host",
-            num_hosts=num_hosts,
-            path_lengths=path_lengths,
-            runs=runs,
-            seed=seed,
-            network_factory=simulated_network_factory(seed),
+        tasks.extend(
+            sweep_tasks(
+                series=f"{num_hosts} host",
+                num_tasks=num_tasks,
+                num_hosts=num_hosts,
+                path_lengths=path_lengths,
+                runs=runs,
+                seed=seed,
+                max_path_length=workload.max_path_length(),
+                network="simulated",
+            )
         )
-    return figure
+    return _run_tasks(figure, tasks, runner)
 
 
 def run_figure5(
@@ -128,6 +116,7 @@ def run_figure5(
     path_lengths: Sequence[int] = tuple(range(2, 15, 2)),
     runs: int | None = None,
     seed: int = DEFAULT_SEED,
+    runner: TrialRunner | None = None,
 ) -> FigureResult:
     """Figure 5: different numbers of task nodes partitioned across 2 hosts."""
 
@@ -137,18 +126,21 @@ def run_figure5(
         metadata={"hosts": num_hosts, "runs_per_point": runs, "network": "simulated"},
     )
     workloads = _generate_workloads(task_counts, seed)
+    tasks: list[TrialTask] = []
     for task_count in task_counts:
-        _sweep(
-            figure,
-            workloads[task_count],
-            series_label=f"{task_count} task",
-            num_hosts=num_hosts,
-            path_lengths=path_lengths,
-            runs=runs,
-            seed=seed,
-            network_factory=simulated_network_factory(seed),
+        tasks.extend(
+            sweep_tasks(
+                series=f"{task_count} task",
+                num_tasks=task_count,
+                num_hosts=num_hosts,
+                path_lengths=path_lengths,
+                runs=runs,
+                seed=seed,
+                max_path_length=workloads[task_count].max_path_length(),
+                network="simulated",
+            )
         )
-    return figure
+    return _run_tasks(figure, tasks, runner)
 
 
 def run_figure6(
@@ -157,6 +149,7 @@ def run_figure6(
     path_lengths: Sequence[int] = tuple(range(2, 21, 2)),
     runs: int | None = None,
     seed: int = DEFAULT_SEED,
+    runner: TrialRunner | None = None,
 ) -> FigureResult:
     """Figure 6: ad hoc 802.11g wireless "empirical" runs with 4 hosts.
 
@@ -173,22 +166,76 @@ def run_figure6(
         metadata={"hosts": num_hosts, "runs_per_point": runs, "network": "802.11g model"},
     )
     workloads = _generate_workloads(task_counts, seed)
+    tasks: list[TrialTask] = []
     for task_count in task_counts:
-        _sweep(
-            figure,
-            workloads[task_count],
-            series_label=f"{task_count} task",
-            num_hosts=num_hosts,
-            path_lengths=path_lengths,
-            runs=runs,
-            seed=seed,
-            network_factory=adhoc_network_factory(seed),
+        tasks.extend(
+            sweep_tasks(
+                series=f"{task_count} task",
+                num_tasks=task_count,
+                num_hosts=num_hosts,
+                path_lengths=path_lengths,
+                runs=runs,
+                seed=seed,
+                max_path_length=workloads[task_count].max_path_length(),
+                network="adhoc",
+            )
         )
-    max_lengths = {
+    figure.metadata["max_path_length"] = {
         f"{count} task": workloads[count].max_path_length() for count in task_counts
     }
-    figure.metadata["max_path_length"] = max_lengths
-    return figure
+    return _run_tasks(figure, tasks, runner)
+
+
+def run_adhoc_scaling(
+    num_tasks: int = 50,
+    host_counts: Sequence[int] = SCALING_HOST_COUNTS,
+    path_length: int = 4,
+    runs: int | None = None,
+    seed: int = DEFAULT_SEED,
+    mobility: str = "waypoint",
+    runner: TrialRunner | None = None,
+) -> FigureResult:
+    """Fig6-style workloads scaled to hundreds of mobile multi-hop hosts.
+
+    Hosts are scattered (``mobility="scatter"``) or wander as random
+    waypoints (``"waypoint"``, the default) over a site whose area grows
+    with the population, so messages must be relayed over AODV routes and
+    the route table churns as hosts move.  The x axis is the host count.
+    """
+
+    runs = default_runs() if runs is None else runs
+    figure = FigureResult(
+        title=(
+            f"Ad hoc scaling — {num_tasks} task nodes, multi-hop 802.11g, "
+            f"{mobility} mobility"
+        ),
+        x_label="Hosts",
+        metadata={
+            "task_nodes": num_tasks,
+            "runs_per_point": runs,
+            "network": "802.11g multi-hop",
+            "path_length": path_length,
+            "mobility": mobility,
+        },
+    )
+    workload = RandomSupergraphWorkload(seed=seed).generate(num_tasks)
+    tasks: list[TrialTask] = []
+    for num_hosts in host_counts:
+        tasks.extend(
+            sweep_tasks(
+                series=f"path {path_length}",
+                num_tasks=num_tasks,
+                num_hosts=num_hosts,
+                path_lengths=(path_length,),
+                runs=runs,
+                seed=seed,
+                max_path_length=workload.max_path_length(),
+                network="adhoc-multihop",
+                mobility=mobility,
+                x_values=(num_hosts,),
+            )
+        )
+    return _run_tasks(figure, tasks, runner)
 
 
 def run_single_point(

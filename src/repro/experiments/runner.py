@@ -1,0 +1,372 @@
+"""A parallel experiment engine for independent ``(seed, config)`` trials.
+
+The paper averages one thousand runs per figure point; every trial is an
+independent discrete-event simulation, so the sweep is embarrassingly
+parallel.  This module supplies the fan-out machinery the figure and
+ablation drivers run on:
+
+* :class:`TrialTask` — a *picklable, declarative* description of one trial:
+  workload size and seed, host count, path length, repetition index,
+  network kind, placement, solver, and auction policy.  Everything a worker
+  needs to reconstruct the trial from scratch, so no live objects ever
+  cross a process boundary.
+* :func:`execute_trial` — turns a task into a
+  :class:`~repro.experiments.trials.TrialResult`.  All randomness is
+  derived from the task's fields via :func:`~repro.sim.randomness.derive_seed`,
+  so a task executes identically wherever and in whatever order it runs.
+* :class:`TrialRunner` — fans a task list across a
+  ``ProcessPoolExecutor`` and returns outcomes *in task order*.  With
+  ``parallel=False`` (or a single worker, or a pool that fails to start) it
+  runs the exact same code path in-process; because per-trial seeding is
+  order-independent, sequential and parallel execution produce the same
+  results for the same tasks.
+
+Determinism contract: everything in a ``TrialResult`` except the wall-clock
+components (``wall_seconds`` and its contribution to
+``allocation_seconds``) is a pure function of the task.  ``timing="sim"``
+zeroes those components at the source, making the outcomes byte-identical
+across runs and schedulers — the equivalence tests run in that mode, and so
+can any experiment that only cares about simulated time.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Iterable, Sequence
+
+from ..allocation.bids import (
+    BidSelectionPolicy,
+    EarliestStartPolicy,
+    LeastTravelPolicy,
+    RandomPolicy,
+    SpecializationPolicy,
+)
+from ..analysis.reporting import FigureResult
+from ..analysis.stats import SampleSummary, summarise
+from ..mobility.geometry import Point, square_site
+from ..mobility.models import MobilityModel, RandomWaypointMobility
+from ..sim.randomness import DEFAULT_SEED, derive_rng, derive_seed
+from ..workloads.supergraph_gen import GeneratedWorkload, RandomSupergraphWorkload
+from .trials import (
+    TrialResult,
+    adhoc_network_factory,
+    build_trial_community,
+    simulated_network_factory,
+    trial_result_from_workspace,
+)
+
+NETWORK_KINDS = ("simulated", "adhoc", "adhoc-multihop")
+MOBILITY_KINDS = ("line", "scatter", "waypoint")
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """One trial, described by plain data (safe to pickle to a worker).
+
+    ``series``/``x`` are aggregation coordinates (figure series label and
+    x-axis value); the remaining fields parameterise the trial itself.
+    """
+
+    series: str
+    x: int
+    num_tasks: int
+    num_hosts: int
+    path_length: int
+    repetition: int = 0
+    seed: int = DEFAULT_SEED
+    workload_seed: int | None = None
+    network: str = "simulated"
+    mobility: str = "line"
+    solver: str | None = None
+    policy: str = ""
+    initiator_index: int = 0
+    cohort: str = ""
+    """Seed-derivation label; defaults to ``series``.  Tasks that share a
+    cohort draw the same specifications and community deals even when their
+    series differ — ablations use this to hold everything except the
+    variable under test fixed across series."""
+
+    @property
+    def seed_label(self) -> str:
+        return self.cohort or self.series
+
+    def __post_init__(self) -> None:
+        if self.network not in NETWORK_KINDS:
+            raise ValueError(f"unknown network kind {self.network!r}")
+        if self.mobility not in MOBILITY_KINDS:
+            raise ValueError(f"unknown mobility kind {self.mobility!r}")
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """A task paired with its result (``None`` when no spec could be drawn)."""
+
+    task: TrialTask
+    result: TrialResult | None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.result is not None and self.result.succeeded
+
+
+# Workload generation is deterministic in (seed, num_tasks), so each worker
+# process regenerates and caches its own copies instead of shipping the
+# (large) supergraph over the pipe.
+_WORKLOADS: dict[tuple[int, int], GeneratedWorkload] = {}
+
+
+def workload_for(seed: int, num_tasks: int) -> GeneratedWorkload:
+    key = (seed, num_tasks)
+    if key not in _WORKLOADS:
+        _WORKLOADS[key] = RandomSupergraphWorkload(seed=seed).generate(num_tasks)
+    return _WORKLOADS[key]
+
+
+def _policy_for(name: str, seed: int) -> BidSelectionPolicy:
+    if name == "specialization":
+        return SpecializationPolicy()
+    if name == "earliest-start":
+        return EarliestStartPolicy()
+    if name == "least-travel":
+        return LeastTravelPolicy()
+    if name == "random":
+        return RandomPolicy(seed=seed)
+    raise ValueError(f"unknown auction policy {name!r}")
+
+
+def _network_factory_for(task: TrialTask):
+    if task.network == "simulated":
+        return simulated_network_factory(task.seed)
+    if task.network == "adhoc":
+        return adhoc_network_factory(task.seed)
+    return adhoc_network_factory(task.seed, multi_hop=True)
+
+
+def _mobility_factory_for(
+    task: TrialTask, trial_seed: int
+) -> Callable[[int], "MobilityModel | Point"] | None:
+    if task.mobility == "line":
+        return None  # build_trial_community's default: hosts 20 m apart
+    # Scale the site with the population so the mean radio degree stays
+    # roughly constant (~20 neighbours at the default 150 m range).
+    site = square_site(60.0 * math.sqrt(task.num_hosts))
+    if task.mobility == "scatter":
+
+        def scatter(index: int) -> Point:
+            rng = derive_rng(trial_seed, "scatter", index)
+            return site.random_point(rng)
+
+        return scatter
+
+    def waypoint(index: int) -> MobilityModel:
+        return RandomWaypointMobility(
+            site, seed=derive_seed(trial_seed, "waypoint", index)
+        )
+
+    return waypoint
+
+
+def execute_trial(task: TrialTask, timing: str = "wall") -> TrialOutcome:
+    """Run one task to completion (the worker entry point).
+
+    Every random stream — specification draw, fragment/service partition,
+    mobility, network jitter — is derived from the task's own fields, so
+    the outcome does not depend on which process runs the task or what ran
+    before it.
+    """
+
+    workload_seed = task.seed if task.workload_seed is None else task.workload_seed
+    workload = workload_for(workload_seed, task.num_tasks)
+    spec_rng = derive_rng(
+        task.seed,
+        "runner-spec",
+        task.seed_label,
+        task.num_tasks,
+        task.num_hosts,
+        task.path_length,
+        task.repetition,
+    )
+    specification = workload.path_specification(task.path_length, spec_rng)
+    if specification is None:
+        return TrialOutcome(task=task, result=None)
+    trial_seed = derive_seed(
+        task.seed, "runner-trial", task.seed_label, task.path_length, task.repetition
+    )
+    community = build_trial_community(
+        workload,
+        task.num_hosts,
+        seed=trial_seed,
+        network_factory=_network_factory_for(task),
+        solver=task.solver,
+        mobility_factory=_mobility_factory_for(task, trial_seed),
+    )
+    if task.policy:
+        policy = _policy_for(task.policy, trial_seed)
+        for host in community:
+            host.auction_manager.policy = policy
+    initiator = f"host-{task.initiator_index % task.num_hosts}"
+    workspace = community.submit_specification(initiator, specification)
+    community.run_until_allocated(workspace, max_sim_seconds=3_600.0)
+    result = trial_result_from_workspace(community, workspace)
+    if timing == "sim":
+        result = result.deterministic_copy()
+    return TrialOutcome(task=task, result=result)
+
+
+class TrialRunner:
+    """Run independent trials, optionally fanned across worker processes.
+
+    Parameters
+    ----------
+    max_workers:
+        Process count for the pool; defaults to ``os.cpu_count()``.
+    parallel:
+        ``None`` (default) auto-selects: parallel when more than one worker
+        is available.  ``False`` forces in-process sequential execution —
+        the same code path, so results match the parallel run exactly (see
+        the module's determinism contract).
+    timing:
+        ``"wall"`` keeps the paper's measurement (wall clock + simulated
+        latency); ``"sim"`` zeroes the wall component so outcomes are
+        byte-identical across runs.
+    chunksize:
+        Tasks handed to a worker per dispatch; raise it for very large
+        sweeps of very short trials.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        parallel: bool | None = None,
+        timing: str = "wall",
+        chunksize: int = 1,
+    ) -> None:
+        if timing not in ("wall", "sim"):
+            raise ValueError("timing must be 'wall' or 'sim'")
+        if chunksize < 1:
+            raise ValueError("chunksize must be at least 1")
+        self.max_workers = max_workers if max_workers is not None else os.cpu_count() or 1
+        if self.max_workers < 1:
+            raise ValueError("need at least one worker")
+        self.parallel = self.max_workers > 1 if parallel is None else parallel
+        self.timing = timing
+        self.chunksize = chunksize
+        self.trials_run = 0
+        self.parallel_batches = 0
+        self.sequential_fallbacks = 0
+
+    # -- execution ----------------------------------------------------------
+    def run(self, tasks: Iterable[TrialTask]) -> list[TrialOutcome]:
+        """Execute every task and return outcomes in task order."""
+
+        task_list = list(tasks)
+        if not task_list:
+            return []
+        worker = partial(execute_trial, timing=self.timing)
+        outcomes: list[TrialOutcome] | None = None
+        if self.parallel and self.max_workers > 1 and len(task_list) > 1:
+            try:
+                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                    outcomes = list(
+                        pool.map(worker, task_list, chunksize=self.chunksize)
+                    )
+                self.parallel_batches += 1
+            except (OSError, ImportError, BrokenExecutor):
+                # Pool-infrastructure failure (restricted sandbox, missing
+                # semaphores, killed worker): degrade gracefully.  Errors
+                # raised *by a trial* propagate unchanged.
+                self.sequential_fallbacks += 1
+                outcomes = None
+        if outcomes is None:
+            outcomes = [worker(task) for task in task_list]
+        self.trials_run += len(outcomes)
+        return outcomes
+
+    def run_figure(
+        self, tasks: Iterable[TrialTask], figure: FigureResult
+    ) -> FigureResult:
+        """Execute the tasks and aggregate successful samples into ``figure``."""
+
+        return aggregate_into_figure(self.run(tasks), figure)
+
+
+def aggregate_into_figure(
+    outcomes: Sequence[TrialOutcome], figure: FigureResult
+) -> FigureResult:
+    """Fold outcomes into a figure, in task order (so repeated aggregation of
+    the same outcomes — sequential or parallel — builds identical figures)."""
+
+    samples: dict[tuple[str, int], list[float]] = {}
+    for outcome in outcomes:
+        if outcome.succeeded:
+            assert outcome.result is not None
+            key = (outcome.task.series, outcome.task.x)
+            samples.setdefault(key, []).append(outcome.result.allocation_seconds)
+    for (series, x), values in samples.items():
+        figure.add_samples(series, x, values)
+    return figure
+
+
+def summarise_by_point(
+    outcomes: Sequence[TrialOutcome],
+) -> dict[tuple[str, int], SampleSummary]:
+    """Per-(series, x) summary statistics of the successful trials."""
+
+    samples: dict[tuple[str, int], list[float]] = {}
+    for outcome in outcomes:
+        if outcome.succeeded:
+            assert outcome.result is not None
+            key = (outcome.task.series, outcome.task.x)
+            samples.setdefault(key, []).append(outcome.result.allocation_seconds)
+    return {key: summarise(values) for key, values in samples.items()}
+
+
+def sweep_tasks(
+    series: str,
+    num_tasks: int,
+    num_hosts: int,
+    path_lengths: Sequence[int],
+    runs: int,
+    seed: int = DEFAULT_SEED,
+    max_path_length: int | None = None,
+    network: str = "simulated",
+    mobility: str = "line",
+    solver: str | None = None,
+    policy: str = "",
+    workload_seed: int | None = None,
+    x_values: Sequence[int] | None = None,
+) -> list[TrialTask]:
+    """Build the task list for one figure series (``runs`` trials per point).
+
+    ``x_values`` overrides the aggregation x coordinate per path length
+    (defaults to the path length itself).
+    """
+
+    tasks: list[TrialTask] = []
+    for position, path_length in enumerate(path_lengths):
+        if max_path_length is not None and path_length > max_path_length:
+            continue
+        x = path_length if x_values is None else x_values[position]
+        for repetition in range(runs):
+            tasks.append(
+                TrialTask(
+                    series=series,
+                    x=x,
+                    num_tasks=num_tasks,
+                    num_hosts=num_hosts,
+                    path_length=path_length,
+                    repetition=repetition,
+                    seed=seed,
+                    workload_seed=workload_seed,
+                    network=network,
+                    mobility=mobility,
+                    solver=solver,
+                    policy=policy,
+                    initiator_index=repetition,
+                )
+            )
+    return tasks

@@ -19,7 +19,7 @@ the messages exchanged (the extra term that distinguishes the "empirical"
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from ..core.solver import Solver
@@ -30,6 +30,7 @@ from ..net.adhoc import AdHocWirelessNetwork
 from ..net.simnet import SimulatedNetwork
 from ..net.transport import CommunicationsLayer
 from ..mobility.geometry import Point
+from ..mobility.models import MobilityModel
 from ..sim.events import EventScheduler
 from ..sim.randomness import derive_rng
 from ..workloads.supergraph_gen import GeneratedWorkload
@@ -58,6 +59,19 @@ class TrialResult:
     solver: str = ""
     nodes_recolored: int = 0
     cache_hits: int = 0
+    distinct_winners: int = 0
+
+    def deterministic_copy(self) -> "TrialResult":
+        """This result with the wall-clock timing components zeroed.
+
+        Everything else in a trial is a pure function of its seeds, so two
+        runs of the same trial — sequential or parallel, on any machine —
+        agree exactly on this view.  The parallel-runner equivalence tests
+        compare these copies; ``allocation_seconds`` collapses onto the
+        simulated component.
+        """
+
+        return replace(self, wall_seconds=0.0, allocation_seconds=self.sim_seconds)
 
 
 def simulated_network_factory(seed: int = 0) -> Callable[[EventScheduler], CommunicationsLayer]:
@@ -73,15 +87,22 @@ def adhoc_network_factory(
     seed: int = 0,
     radio_range: float = 150.0,
     jitter: float = 0.0005,
+    multi_hop: bool = False,
 ) -> Callable[[EventScheduler], CommunicationsLayer]:
-    """An 802.11g-like ad hoc wireless network with all hosts in mutual range."""
+    """An 802.11g-like ad hoc wireless network.
+
+    The default (``multi_hop=False``) matches the paper's Figure 6 setup of
+    a few laptops in mutual radio range; pass ``multi_hop=True`` for the
+    scaled scenarios where hundreds of hosts relay for each other over
+    AODV-style routes.
+    """
 
     def factory(scheduler: EventScheduler) -> CommunicationsLayer:
         return AdHocWirelessNetwork(
             scheduler,
             radio_range=radio_range,
             jitter=jitter,
-            multi_hop=False,
+            multi_hop=multi_hop,
             seed=seed,
         )
 
@@ -94,11 +115,16 @@ def build_trial_community(
     seed: int,
     network_factory: Callable[[EventScheduler], CommunicationsLayer] | None = None,
     solver: Solver | str | None = None,
+    mobility_factory: Callable[[int], "MobilityModel | Point"] | None = None,
 ) -> Community:
     """Set up a community for one trial (fragments/services dealt out randomly).
 
     ``solver`` selects the construction strategy installed on every host, so
     ablations can sweep strategies with no other change to the procedure.
+    ``mobility_factory`` maps a host index to its placement (a fixed
+    :class:`~repro.mobility.geometry.Point` or a mobility model); the
+    default is the paper-style line of hosts 20 m apart.  The scaled ad hoc
+    scenarios use it to scatter hundreds of mobile hosts over a site.
     """
 
     if num_hosts < 1:
@@ -108,11 +134,16 @@ def build_trial_community(
     service_groups = workload.partition_services(num_hosts, rng)
     community = Community(network_factory=network_factory)
     for index in range(num_hosts):
+        mobility = (
+            mobility_factory(index)
+            if mobility_factory is not None
+            else Point(20.0 * index, 0.0)
+        )
         host = community.add_host(
             f"host-{index}",
             fragments=fragment_groups[index],
             services=service_groups[index],
-            mobility=Point(20.0 * index, 0.0),
+            mobility=mobility,
             solver=solver,
         )
         del host
@@ -127,11 +158,17 @@ def run_allocation_trial(
     network_factory: Callable[[EventScheduler], CommunicationsLayer] | None = None,
     initiator_index: int = 0,
     solver: Solver | str | None = None,
+    mobility_factory: Callable[[int], "MobilityModel | Point"] | None = None,
 ) -> TrialResult:
     """Run one construction+allocation trial and return its measurements."""
 
     community = build_trial_community(
-        workload, num_hosts, seed, network_factory=network_factory, solver=solver
+        workload,
+        num_hosts,
+        seed,
+        network_factory=network_factory,
+        solver=solver,
+        mobility_factory=mobility_factory,
     )
     initiator = f"host-{initiator_index % num_hosts}"
     workspace = community.submit_specification(initiator, specification)
@@ -153,6 +190,8 @@ def trial_result_from_workspace(
     stats = community.network.statistics
     workflow = workspace.workflow
     construction = workspace.construction_statistics
+    outcome = workspace.allocation_outcome
+    winners = len(set(outcome.allocation.values())) if outcome is not None else 0
     return TrialResult(
         succeeded=succeeded,
         allocation_seconds=wall_seconds + sim_seconds,
@@ -166,4 +205,5 @@ def trial_result_from_workspace(
         solver=construction.solver if construction else "",
         nodes_recolored=construction.nodes_recolored if construction else 0,
         cache_hits=construction.cache_hits if construction else 0,
+        distinct_winners=winners,
     )

@@ -24,6 +24,7 @@ ticker.
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Protocol, Sequence
 
@@ -79,17 +80,34 @@ class WaypointMobility:
             duration = origin.distance_to(destination) / self._speed
             self._legs.append((cursor, cursor + duration, origin, destination))
             cursor += duration
+        self._leg_starts = [leg[0] for leg in self._legs]
+        # Single-slot (time -> position) memo: the network snapshots every
+        # host once per simulated instant, and the scheduling layer probes
+        # the same instant repeatedly, so the last answer is almost always
+        # the next one too.
+        self._memo: tuple[float, Point] | None = None
 
     def position_at(self, time: float) -> Point:
+        memo = self._memo
+        if memo is not None and memo[0] == time:
+            return memo[1]
+        position = self._position_at(time)
+        self._memo = (time, position)
+        return position
+
+    def _position_at(self, time: float) -> Point:
         if time <= 0 or not self._legs:
             return self._waypoints[0]
-        for start, end, origin, destination in self._legs:
-            if time < start:
-                return origin
-            if start <= time < end:
-                travelled = (time - start) * self._speed
-                return origin.moved_towards(destination, travelled)
-        return self._waypoints[-1]
+        index = bisect_right(self._leg_starts, time) - 1
+        if index < 0:
+            return self._waypoints[0]
+        start, end, origin, destination = self._legs[index]
+        if time < end:
+            travelled = (time - start) * self._speed
+            return origin.moved_towards(destination, travelled)
+        # Past the leg's end: pausing at (or done at) its destination, which
+        # is also the origin of the next leg.
+        return destination
 
     @property
     def final_position(self) -> Point:
@@ -130,8 +148,12 @@ class RandomWaypointMobility:
         # Each leg: (start_time, end_time, origin, destination, speed) followed
         # by a pause of self._pause seconds at the destination.
         self._legs: list[tuple[float, float, Point, Point, float]] = []
+        self._leg_starts: list[float] = []
         self._horizon = 0.0
         self._last_position = origin
+        # Single-slot (time -> position) memo, same rationale as
+        # :class:`WaypointMobility`: queries cluster on one simulated instant.
+        self._memo: tuple[float, Point] | None = None
 
     def _extend_to(self, time: float) -> None:
         while self._horizon <= time:
@@ -141,22 +163,29 @@ class RandomWaypointMobility:
             start = self._horizon
             end = start + duration
             self._legs.append((start, end, self._last_position, destination, speed))
+            self._leg_starts.append(start)
             self._horizon = end + self._pause
             self._last_position = destination
 
     def position_at(self, time: float) -> Point:
+        memo = self._memo
+        if memo is not None and memo[0] == time:
+            return memo[1]
+        position = self._position_at(time)
+        self._memo = (time, position)
+        return position
+
+    def _position_at(self, time: float) -> Point:
         if time <= 0:
             self._extend_to(0.0)
             return self._legs[0][2]
         self._extend_to(time)
-        for start, end, origin, destination, speed in self._legs:
-            if time < start:
-                return origin
-            if start <= time < end:
-                return origin.moved_towards(destination, (time - start) * speed)
-            if end <= time < end + self._pause:
-                return destination
-        return self._last_position
+        index = bisect_right(self._leg_starts, time) - 1
+        start, end, origin, destination, speed = self._legs[index]
+        if time < end:
+            return origin.moved_towards(destination, (time - start) * speed)
+        # Pausing at the destination until the next leg starts.
+        return destination
 
     def __repr__(self) -> str:
         return (

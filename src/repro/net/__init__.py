@@ -24,6 +24,7 @@ from .messages import (
 )
 from .routing import AodvRouter, Route, RouteNotFound
 from .simnet import LoopbackNetwork, SimulatedNetwork
+from .spatial import SpatialGridIndex
 from .transport import CommunicationsLayer, MessageHandler, TransportStatistics
 
 __all__ = [
@@ -49,6 +50,7 @@ __all__ = [
     "Route",
     "RouteNotFound",
     "SimulatedNetwork",
+    "SpatialGridIndex",
     "TaskCompleted",
     "TransportStatistics",
     "estimate_fragment_bytes",

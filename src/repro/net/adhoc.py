@@ -20,6 +20,20 @@ small control messages cost roughly the per-hop overhead while fragment
 transfers scale with their payload, so protocol-level trade-offs (batch vs.
 incremental discovery, number of participants) show up the same way they do
 on real hardware.
+
+Scaling architecture
+--------------------
+All geometry flows through a per-timestamp *snapshot*: the first query at a
+simulated instant evaluates every host's mobility model once, indexes the
+positions in a :class:`~repro.net.spatial.SpatialGridIndex`, and memoizes
+neighbour sets, connectivity components, and link epochs against that
+snapshot.  Every further query at the same instant — and the discrete event
+simulation batches many (a routing BFS, a broadcast fan-out) at one instant
+— is a dictionary lookup.  ``neighbours_of`` is an O(k) grid query,
+``is_connected`` one O(V+E) component sweep, and cached routes revalidate
+by comparing link epochs instead of walking links.  Pass
+``use_spatial_index=False`` to fall back to the original brute-force scans
+(kept for the grid/brute-force equivalence tests).
 """
 
 from __future__ import annotations
@@ -33,6 +47,7 @@ from ..sim.events import EventScheduler
 from ..sim.randomness import rng_from_seed
 from .messages import Message
 from .routing import AodvRouter, RouteNotFound
+from .spatial import SpatialGridIndex
 from .transport import CommunicationsLayer
 
 # 802.11g nominal characteristics.
@@ -41,6 +56,23 @@ DEFAULT_GOODPUT_FRACTION = 0.45
 DEFAULT_PER_HOP_OVERHEAD = 0.0015  # seconds: MAC contention + protocol stack
 DEFAULT_RADIO_RANGE = 100.0  # metres, typical outdoor 802.11g
 DEFAULT_ROUTE_DISCOVERY_COST = 0.004  # seconds per hop of RREQ/RREP exchange
+
+
+class _Snapshot:
+    """Everything the network knows about one simulated instant."""
+
+    __slots__ = ("time", "version", "positions", "grid", "neighbours", "epochs", "components")
+
+    def __init__(
+        self, time: float, version: int, positions: dict[str, Point], grid: SpatialGridIndex
+    ) -> None:
+        self.time = time
+        self.version = version
+        self.positions = positions
+        self.grid = grid
+        self.neighbours: dict[str, frozenset[str]] = {}
+        self.epochs: dict[str, int] = {}
+        self.components: dict[str, int] | None = None
 
 
 class AdHocWirelessNetwork(CommunicationsLayer):
@@ -66,6 +98,11 @@ class AdHocWirelessNetwork(CommunicationsLayer):
     multi_hop:
         When false (the paper's Figure 6 setup has all four laptops in
         mutual range), only direct neighbours can communicate.
+    use_spatial_index:
+        When true (the default), geometry queries go through the per-tick
+        grid snapshot; when false, the original brute-force O(n) scans and
+        all-pairs connectivity loop are used.  The flag exists for the
+        equivalence tests and the scaling benchmarks' baseline.
     """
 
     def __init__(
@@ -78,6 +115,7 @@ class AdHocWirelessNetwork(CommunicationsLayer):
         jitter: float = 0.0,
         multi_hop: bool = True,
         seed: int = 0,
+        use_spatial_index: bool = True,
     ) -> None:
         super().__init__(scheduler)
         if radio_range <= 0:
@@ -90,30 +128,71 @@ class AdHocWirelessNetwork(CommunicationsLayer):
         self.route_discovery_cost = route_discovery_cost
         self.jitter = jitter
         self.multi_hop = multi_hop
+        self.use_spatial_index = use_spatial_index
         self._rng = rng_from_seed(seed)
         self._mobility: dict[str, MobilityModel] = {}
-        self._router = AodvRouter(self.neighbours_of)
+        self._snapshot: _Snapshot | None = None
+        self._version = 0  # bumped on membership / placement changes
+        # Link epochs persist across snapshots: a host's epoch advances when
+        # its neighbour set is observed to differ from the set recorded the
+        # last time its epoch was established.
+        self._link_epochs: dict[str, int] = {}
+        self._epoch_links: dict[str, frozenset[str]] = {}
+        self.snapshots_built = 0
+        self._router = AodvRouter(self.neighbours_of, epoch_of=self.link_epoch)
 
     # -- membership with positions -------------------------------------------
+    def register(self, host_id: str, handler) -> None:  # type: ignore[override]
+        super().register(host_id, handler)
+        self._version += 1
+
+    def unregister(self, host_id: str) -> None:
+        super().unregister(host_id)
+        self._version += 1
+
     def place_host(self, host_id: str, mobility: MobilityModel | Point) -> None:
         """Attach a mobility model (or a fixed position) to a registered host."""
 
         if isinstance(mobility, Point):
             mobility = StaticMobility(mobility)
         self._mobility[host_id] = mobility
+        self._version += 1
+
+    def _position_at(self, host_id: str, time: float) -> Point:
+        mobility = self._mobility.get(host_id)
+        if mobility is None:
+            return Point(0.0, 0.0)
+        return mobility.position_at(time)
+
+    def _current_snapshot(self) -> _Snapshot:
+        now = self.scheduler.clock.now()
+        snapshot = self._snapshot
+        if snapshot is None or snapshot.time != now or snapshot.version != self._version:
+            positions = {
+                host: self._position_at(host, now) for host in sorted(self.host_ids)
+            }
+            grid = SpatialGridIndex(positions, cell_size=self.radio_range)
+            snapshot = _Snapshot(now, self._version, positions, grid)
+            self._snapshot = snapshot
+            self.snapshots_built += 1
+        return snapshot
 
     def position_of(self, host_id: str) -> Point:
         """Current position of ``host_id`` (origin when never placed)."""
 
-        mobility = self._mobility.get(host_id)
-        if mobility is None:
-            return Point(0.0, 0.0)
-        return mobility.position_at(self.scheduler.clock.now())
+        snapshot = self._current_snapshot()
+        position = snapshot.positions.get(host_id)
+        if position is None:
+            # Placed but not (or no longer) registered: fall back to the
+            # mobility model directly.
+            return self._position_at(host_id, snapshot.time)
+        return position
 
     def positions(self) -> Mapping[str, Point]:
-        """Snapshot of every attached host's current position."""
+        """Snapshot of every attached host's current position (one evaluation
+        of each mobility model per simulated instant, shared by all queries)."""
 
-        return {host: self.position_of(host) for host in sorted(self.host_ids)}
+        return dict(self._current_snapshot().positions)
 
     # -- connectivity -------------------------------------------------------------
     def in_radio_range(self, host_a: str, host_b: str) -> bool:
@@ -125,13 +204,58 @@ class AdHocWirelessNetwork(CommunicationsLayer):
         return distance <= self.radio_range
 
     def neighbours_of(self, host_id: str) -> frozenset[str]:
-        """Hosts currently within direct radio range of ``host_id``."""
+        """Hosts currently within direct radio range of ``host_id``.
 
-        return frozenset(
-            other
-            for other in self.host_ids
-            if other != host_id and self.in_radio_range(host_id, other)
-        )
+        O(k) in the local host density via the grid snapshot (O(n) brute
+        force when ``use_spatial_index`` is off); memoized per instant.
+        """
+
+        snapshot = self._current_snapshot()
+        cached = snapshot.neighbours.get(host_id)
+        if cached is not None:
+            return cached
+        if self.use_spatial_index:
+            if host_id in snapshot.grid:
+                neighbours = snapshot.grid.neighbours_of(host_id, self.radio_range)
+            else:
+                position = self._position_at(host_id, snapshot.time)
+                neighbours = snapshot.grid.near(position, self.radio_range) - {host_id}
+        else:
+            neighbours = frozenset(
+                other
+                for other in self.host_ids
+                if other != host_id and self.in_radio_range(host_id, other)
+            )
+        snapshot.neighbours[host_id] = neighbours
+        return neighbours
+
+    def link_epoch(self, host_id: str) -> int:
+        """The host's link epoch: advances whenever its neighbour set changes.
+
+        Evaluated lazily (and memoized per instant): the first query at a
+        new instant compares the host's current neighbour set against the
+        set recorded when its epoch was last established and bumps the
+        counter on a difference.  Cached routes validate against these
+        counters instead of re-walking their links.
+        """
+
+        snapshot = self._current_snapshot()
+        cached = snapshot.epochs.get(host_id)
+        if cached is not None:
+            return cached
+        current_links = self.neighbours_of(host_id)
+        if self._epoch_links.get(host_id) != current_links:
+            self._link_epochs[host_id] = self._link_epochs.get(host_id, 0) + 1
+            self._epoch_links[host_id] = current_links
+        epoch = self._link_epochs.get(host_id, 0)
+        snapshot.epochs[host_id] = epoch
+        return epoch
+
+    def _component_labels(self) -> dict[str, int]:
+        snapshot = self._current_snapshot()
+        if snapshot.components is None:
+            snapshot.components = snapshot.grid.component_labels(self.radio_range)
+        return snapshot.components
 
     def is_reachable(self, sender: str, recipient: str) -> bool:
         if sender == recipient:
@@ -140,6 +264,10 @@ class AdHocWirelessNetwork(CommunicationsLayer):
             return True
         if not self.multi_hop:
             return False
+        if self.use_spatial_index:
+            labels = self._component_labels()
+            sender_label = labels.get(sender)
+            return sender_label is not None and sender_label == labels.get(recipient)
         try:
             self._router.route(sender, recipient)
         except RouteNotFound:
@@ -147,16 +275,40 @@ class AdHocWirelessNetwork(CommunicationsLayer):
         return True
 
     def is_connected(self) -> bool:
-        """True when every pair of attached hosts can currently communicate."""
+        """True when every pair of attached hosts can currently communicate.
 
-        hosts = sorted(self.host_ids)
-        return all(
-            self.is_reachable(a, b) for i, a in enumerate(hosts) for b in hosts[i + 1 :]
-        )
+        With the spatial index this is a single connected-components sweep
+        (multi-hop) or a neighbour-count check (single-hop, where "connected"
+        means every pair is in direct range); the brute-force flag keeps the
+        original all-pairs reachability loop for the equivalence tests.
+        """
+
+        if not self.use_spatial_index:
+            hosts = sorted(self.host_ids)
+            return all(
+                self.is_reachable(a, b)
+                for i, a in enumerate(hosts)
+                for b in hosts[i + 1 :]
+            )
+        hosts = self.host_ids
+        if len(hosts) <= 1:
+            return True
+        if not self.multi_hop:
+            # Single-hop "connected" = complete radio graph.  Early-exits on
+            # the first host missing a neighbour.
+            expected = len(hosts) - 1
+            return all(len(self.neighbours_of(host)) == expected for host in hosts)
+        return self._current_snapshot().grid.is_single_component(self.radio_range)
 
     # -- latency --------------------------------------------------------------------
     def latency_for(self, message: Message) -> float:
         hops, fresh_route = self._hops_for(message.sender, message.recipient)
+        if hops == 0:
+            # Local delivery never touches the radio: free, and — just as
+            # important for reproducibility — no draw from the seeded jitter
+            # stream, so loopback traffic cannot perturb the latency
+            # sequence observed by real transmissions.
+            return 0.0
         per_hop = self.per_hop_overhead + message.size_bytes() / self.bytes_per_second
         latency = hops * per_hop
         if fresh_route and hops > 1:
@@ -174,18 +326,24 @@ class AdHocWirelessNetwork(CommunicationsLayer):
             raise HostUnreachableError(
                 f"{recipient!r} is outside radio range of {sender!r}"
             )
-        cached = self._router.was_cached(sender, recipient)
         try:
-            route = self._router.route(sender, recipient)
+            route, cached = self._router.lookup(sender, recipient)
         except RouteNotFound as exc:
             raise HostUnreachableError(str(exc)) from exc
         return route.hop_count, not cached
 
     # -- maintenance ------------------------------------------------------------------
-    def invalidate_routes(self) -> None:
-        """Flush the route cache (call after significant host movement)."""
+    def invalidate_routes(self, flush: bool = False) -> None:
+        """Signal that hosts may have moved.
 
-        self._router.clear()
+        With link-epoch validation this is a no-op: movement is detected
+        lazily when a cached route's hosts report changed epochs, and only
+        routes whose own links broke are dropped.  Pass ``flush=True`` to
+        force the original flush-everything behaviour.
+        """
+
+        if flush:
+            self._router.clear()
 
     @property
     def router(self) -> AodvRouter:

@@ -15,6 +15,16 @@ instantaneous connectivity graph:
 * discovered routes are cached and invalidated when any link on the path
   breaks.
 
+Cache revalidation is *link-epoch* based when the network supplies an
+``epoch_of`` callback: every host carries a counter that the network bumps
+whenever that host's link set changes (it moved, or a neighbour moved in or
+out of range).  A cached route whose hosts all report unchanged epochs is
+known-good without touching a single link; only routes through hosts whose
+neighbourhood actually changed pay a per-link re-check, and even then the
+route survives when its own links are intact.  Mobile scenarios therefore
+keep most of their routes across movement instead of rediscovering the
+whole table.
+
 The class operates purely on host positions and radio range supplied by the
 ad hoc network; it has no dependency on the middleware above it.
 """
@@ -57,6 +67,16 @@ class RouteNotFound(Exception):
     """No path currently exists between the two hosts."""
 
 
+class _CacheEntry:
+    """A cached route plus the link epochs of its hosts at validation time."""
+
+    __slots__ = ("route", "epochs")
+
+    def __init__(self, route: Route, epochs: tuple[int, ...] | None) -> None:
+        self.route = route
+        self.epochs = epochs
+
+
 class AodvRouter:
     """On-demand route discovery with caching over a dynamic neighbour graph.
 
@@ -66,13 +86,27 @@ class AodvRouter:
         Callback returning the hosts currently within direct radio range of
         a given host.  The ad hoc network supplies this; the router never
         looks at positions itself.
+    epoch_of:
+        Optional callback returning a host's current *link epoch* — a
+        counter the network bumps whenever the host's neighbour set
+        changes.  When provided, cached routes whose hosts all report
+        unchanged epochs are accepted without re-checking any link.
     """
 
-    def __init__(self, neighbours_of: Callable[[str], frozenset[str]]) -> None:
+    def __init__(
+        self,
+        neighbours_of: Callable[[str], frozenset[str]],
+        epoch_of: Callable[[str], int] | None = None,
+    ) -> None:
         self._neighbours_of = neighbours_of
-        self._cache: dict[tuple[str, str], Route] = {}
+        self._epoch_of = epoch_of
+        self._cache: dict[tuple[str, str], _CacheEntry] = {}
         self.discoveries = 0
         self.cache_hits = 0
+        self.epoch_hits = 0
+        """Cache hits validated purely by unchanged link epochs."""
+        self.revalidations = 0
+        """Cached routes that survived a per-link re-check after epoch churn."""
 
     # -- route lookup -------------------------------------------------------
     def route(self, source: str, destination: str) -> Route:
@@ -84,31 +118,45 @@ class AodvRouter:
         partitioned.
         """
 
+        return self.lookup(source, destination)[0]
+
+    def lookup(self, source: str, destination: str) -> tuple[Route, bool]:
+        """Like :meth:`route` but also reports whether the cache answered.
+
+        Returns ``(route, was_cached)``; a single validation pass serves
+        both, so callers that need the freshness bit (the latency model
+        charges route discovery only to the first message) do not pay for
+        validating the route twice.
+        """
+
         if source == destination:
-            return Route(source, destination, (source,))
-        cached = self._cache.get((source, destination))
-        if cached is not None and self._route_still_valid(cached):
+            return Route(source, destination, (source,)), True
+        entry = self._cache.get((source, destination))
+        if entry is not None and self._entry_valid(entry, count=True):
             self.cache_hits += 1
-            return cached
+            return entry.route, True
         route = self._discover(source, destination)
-        self._cache[(source, destination)] = route
+        epochs = self._epochs_for(route.hops)
+        self._cache[(source, destination)] = _CacheEntry(route, epochs)
         # AODV installs the reverse path for free as the RREP travels back.
-        self._cache[(destination, source)] = Route(
-            destination, source, tuple(reversed(route.hops))
-        )
-        return route
+        reverse = Route(destination, source, tuple(reversed(route.hops)))
+        reverse_epochs = None if epochs is None else tuple(reversed(epochs))
+        self._cache[(destination, source)] = _CacheEntry(reverse, reverse_epochs)
+        return route, False
 
     def was_cached(self, source: str, destination: str) -> bool:
         """True when a still-valid route for the pair is in the cache."""
 
-        cached = self._cache.get((source, destination))
-        return cached is not None and self._route_still_valid(cached)
+        entry = self._cache.get((source, destination))
+        return entry is not None and self._entry_valid(entry, count=False)
 
     def invalidate(self, host_a: str, host_b: str) -> int:
         """Drop every cached route using the (broken) link a-b; returns the count."""
 
         broken = [
-            key for key, route in self._cache.items() if route.uses_link(host_a, host_b)
+            key
+            for key, entry in self._cache.items()
+            if entry.route.uses_link(host_a, host_b)
         ]
         for key in broken:
             del self._cache[key]
@@ -119,8 +167,35 @@ class AodvRouter:
 
         self._cache.clear()
 
+    @property
+    def cached_route_count(self) -> int:
+        return len(self._cache)
+
     # -- internals ----------------------------------------------------------------
-    def _route_still_valid(self, route: Route) -> bool:
+    def _epochs_for(self, hops: tuple[str, ...]) -> tuple[int, ...] | None:
+        if self._epoch_of is None:
+            return None
+        return tuple(self._epoch_of(host) for host in hops)
+
+    def _entry_valid(self, entry: _CacheEntry, count: bool) -> bool:
+        if self._epoch_of is not None and entry.epochs is not None:
+            current = self._epochs_for(entry.route.hops)
+            if current == entry.epochs:
+                if count:
+                    self.epoch_hits += 1
+                return True
+            # Some host's neighbourhood changed; the route may still be
+            # intact (an unrelated neighbour moved).  Re-check its links and
+            # refresh the stored epochs when it survives.
+            if self._links_valid(entry.route):
+                if count:
+                    self.revalidations += 1
+                entry.epochs = current
+                return True
+            return False
+        return self._links_valid(entry.route)
+
+    def _links_valid(self, route: Route) -> bool:
         for first, second in zip(route.hops, route.hops[1:]):
             if second not in self._neighbours_of(first):
                 return False

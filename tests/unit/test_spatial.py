@@ -1,0 +1,221 @@
+"""Unit tests for the spatial grid index and the indexed ad hoc network.
+
+Covers the per-tick snapshot (positions evaluated once per instant), the
+grid-backed neighbour/connectivity queries, link-epoch route revalidation,
+and the loopback-jitter fix.
+"""
+
+import pytest
+
+from repro.mobility.geometry import Point
+from repro.mobility.models import WaypointMobility
+from repro.net.adhoc import AdHocWirelessNetwork
+from repro.net.messages import Message
+from repro.net.spatial import SpatialGridIndex
+from repro.sim.events import EventScheduler
+
+
+class TestSpatialGridIndex:
+    def test_neighbours_within_radius_inclusive(self):
+        grid = SpatialGridIndex(
+            {"a": Point(0, 0), "b": Point(100, 0), "c": Point(100.0001, 0)},
+            cell_size=100.0,
+        )
+        assert grid.neighbours_of("a", 100.0) == {"b"}
+        assert grid.near(Point(0, 0), 100.0) == {"a", "b"}
+
+    def test_negative_coordinates(self):
+        grid = SpatialGridIndex(
+            {"a": Point(-250, -250), "b": Point(-260, -250), "c": Point(250, 250)},
+            cell_size=50.0,
+        )
+        assert grid.neighbours_of("a", 50.0) == {"b"}
+        assert grid.neighbours_of("c", 50.0) == frozenset()
+
+    def test_radius_larger_than_cell(self):
+        grid = SpatialGridIndex(
+            {"a": Point(0, 0), "b": Point(90, 0), "c": Point(240, 0)},
+            cell_size=30.0,
+        )
+        assert grid.neighbours_of("a", 100.0) == {"b"}
+        assert grid.neighbours_of("a", 250.0) == {"b", "c"}
+
+    def test_connected_components(self):
+        grid = SpatialGridIndex(
+            {
+                "a": Point(0, 0),
+                "b": Point(50, 0),
+                "c": Point(100, 0),
+                "x": Point(500, 500),
+                "y": Point(540, 500),
+            },
+            cell_size=60.0,
+        )
+        components = {frozenset(c) for c in grid.connected_components(60.0)}
+        assert components == {frozenset({"a", "b", "c"}), frozenset({"x", "y"})}
+        labels = grid.component_labels(60.0)
+        assert labels["a"] == labels["c"] != labels["x"]
+        assert not grid.is_single_component(60.0)
+        assert grid.is_single_component(1000.0)
+
+    def test_empty_and_singleton(self):
+        empty = SpatialGridIndex({}, cell_size=10.0)
+        assert empty.near(Point(0, 0), 5.0) == frozenset()
+        assert empty.connected_components(5.0) == []
+        assert empty.is_single_component(5.0)
+        single = SpatialGridIndex({"a": Point(1, 1)}, cell_size=10.0)
+        assert single.is_single_component(5.0)
+        assert single.neighbours_of("a", 5.0) == frozenset()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SpatialGridIndex({}, cell_size=0.0)
+        grid = SpatialGridIndex({"a": Point(0, 0)}, cell_size=10.0)
+        with pytest.raises(ValueError):
+            grid.near(Point(0, 0), -1.0)
+
+
+def make_network(**kwargs):
+    scheduler = EventScheduler()
+    network = AdHocWirelessNetwork(scheduler, radio_range=100.0, **kwargs)
+    positions = {"a": Point(0, 0), "b": Point(80, 0), "c": Point(160, 0)}
+    for host, position in positions.items():
+        network.register(host, lambda m: None)
+        network.place_host(host, position)
+    return network, scheduler
+
+
+class TestSnapshotReuse:
+    def test_queries_share_one_snapshot_per_instant(self):
+        network, scheduler = make_network()
+        network.positions()
+        network.neighbours_of("a")
+        network.is_connected()
+        network.is_reachable("a", "c")
+        assert network.snapshots_built == 1
+        scheduler.clock.advance(1.0)
+        network.positions()
+        assert network.snapshots_built == 2
+
+    def test_snapshot_invalidated_by_membership_changes(self):
+        network, _ = make_network()
+        assert network.neighbours_of("b") == {"a", "c"}
+        network.register("d", lambda m: None)
+        network.place_host("d", Point(80, 60))
+        assert network.neighbours_of("b") == {"a", "c", "d"}
+        network.unregister("d")
+        assert network.neighbours_of("b") == {"a", "c"}
+
+    def test_positions_reuse_snapshot(self):
+        network, _ = make_network()
+        first = network.positions()
+        second = network.positions()
+        assert first == second
+        assert network.snapshots_built == 1
+
+
+class TestGridBruteForceParity:
+    def test_modes_agree_on_small_topology(self):
+        indexed, _ = make_network(multi_hop=True)
+        brute, _ = make_network(multi_hop=True, use_spatial_index=False)
+        for host in ("a", "b", "c"):
+            assert indexed.neighbours_of(host) == brute.neighbours_of(host)
+        assert indexed.is_connected() == brute.is_connected()
+        assert indexed.is_reachable("a", "c") == brute.is_reachable("a", "c")
+
+    def test_single_hop_connected_means_complete_graph(self):
+        network, _ = make_network(multi_hop=False)
+        assert not network.is_connected()  # a-c not in direct range
+        brute, _ = make_network(multi_hop=False, use_spatial_index=False)
+        assert network.is_connected() == brute.is_connected()
+
+
+class TestLinkEpochs:
+    def test_epoch_stable_while_stationary(self):
+        network, scheduler = make_network()
+        first = network.link_epoch("a")
+        scheduler.clock.advance(5.0)
+        assert network.link_epoch("a") == first
+
+    def test_epoch_bumps_when_links_change(self):
+        scheduler = EventScheduler()
+        network = AdHocWirelessNetwork(scheduler, radio_range=100.0)
+        network.register("base", lambda m: None)
+        network.register("mobile", lambda m: None)
+        network.place_host("base", Point(0, 0))
+        network.place_host(
+            "mobile", WaypointMobility([Point(50, 0), Point(500, 0)], speed=10.0)
+        )
+        before = network.link_epoch("base")
+        scheduler.clock.advance(40.0)  # mobile walked out of range
+        assert network.link_epoch("base") == before + 1
+
+    def test_routes_survive_unrelated_movement(self):
+        scheduler = EventScheduler()
+        network = AdHocWirelessNetwork(scheduler, radio_range=100.0)
+        for host, place in {
+            "a": Point(0, 0),
+            "b": Point(80, 0),
+            "c": Point(160, 0),
+        }.items():
+            network.register(host, lambda m: None)
+            network.place_host(host, place)
+        network.register("walker", lambda m: None)
+        # The walker wanders far outside everyone's range the whole time.
+        network.place_host(
+            "walker", WaypointMobility([Point(1000, 1000), Point(2000, 1000)], speed=5.0)
+        )
+        route = network.router.route("a", "c")
+        assert route.hop_count == 2
+        assert network.router.discoveries == 1
+        scheduler.clock.advance(10.0)
+        network.invalidate_routes()  # soft: epochs revalidate lazily
+        again = network.router.route("a", "c")
+        assert again.hops == route.hops
+        assert network.router.discoveries == 1  # no rediscovery
+        assert network.router.epoch_hits >= 1
+
+    def test_routes_break_when_their_links_break(self):
+        scheduler = EventScheduler()
+        network = AdHocWirelessNetwork(scheduler, radio_range=100.0)
+        network.register("a", lambda m: None)
+        network.register("b", lambda m: None)
+        network.register("c", lambda m: None)
+        network.place_host("a", Point(0, 0))
+        network.place_host(
+            "b", WaypointMobility([Point(80, 0), Point(80, 500)], speed=10.0)
+        )
+        network.place_host("c", Point(160, 0))
+        assert network.router.route("a", "c").hop_count == 2
+        scheduler.clock.advance(45.0)  # b walked away; the a-b-c chain broke
+        assert not network.is_reachable("a", "c")
+
+    def test_flush_forces_rediscovery(self):
+        network, _ = make_network()
+        network.router.route("a", "c")
+        network.invalidate_routes(flush=True)
+        assert network.router.cached_route_count == 0
+        network.router.route("a", "c")
+        assert network.router.discoveries == 2
+
+
+class TestLoopbackJitter:
+    def test_self_delivery_is_free_and_draws_no_jitter(self):
+        def build():
+            scheduler = EventScheduler()
+            network = AdHocWirelessNetwork(
+                scheduler, radio_range=100.0, jitter=0.01, seed=42
+            )
+            for host, place in {"a": Point(0, 0), "b": Point(50, 0)}.items():
+                network.register(host, lambda m: None)
+                network.place_host(host, place)
+            return network
+
+        with_loopback = build()
+        without_loopback = build()
+        assert with_loopback.latency_for(Message(sender="a", recipient="a")) == 0.0
+        # The loopback delivery must not have consumed a jitter draw: the
+        # next real transmission sees the identical seeded stream.
+        first = with_loopback.latency_for(Message(sender="a", recipient="b"))
+        second = without_loopback.latency_for(Message(sender="a", recipient="b"))
+        assert first == second
