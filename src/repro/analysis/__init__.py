@@ -1,6 +1,6 @@
 """Analysis helpers: statistics and figure/table rendering for experiments."""
 
-from .reporting import FigureResult, FigureSeries, comparison_table
+from .reporting import FigureResult, FigureSeries, comparison_table, traffic_table
 from .stats import SampleSummary, linear_trend, mean, pearson_correlation, summarise
 
 __all__ = [
@@ -12,4 +12,5 @@ __all__ = [
     "mean",
     "pearson_correlation",
     "summarise",
+    "traffic_table",
 ]

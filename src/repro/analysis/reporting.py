@@ -122,6 +122,50 @@ class FigureResult:
         }
 
 
+def traffic_table(
+    statistics: Mapping[str, object], title: str = "Traffic by message kind"
+) -> str:
+    """Render a transport-statistics dict as a per-kind count/bytes table.
+
+    ``statistics`` is the output of
+    :meth:`~repro.net.transport.TransportStatistics.as_dict`; the table has
+    one row per message kind (sorted by bytes, heaviest first) plus a total
+    row, so a trial summary shows at a glance where the traffic went — and,
+    for repeat workflows on a shared knowledge plane, how much fragment
+    transfer was saved.
+    """
+
+    by_kind = statistics.get("by_kind", {})
+    bytes_by_kind = statistics.get("bytes_by_kind", {})
+    assert isinstance(by_kind, Mapping) and isinstance(bytes_by_kind, Mapping)
+    rows: list[list[str]] = [["kind", "messages", "bytes"]]
+    kinds = sorted(
+        set(by_kind) | set(bytes_by_kind),
+        key=lambda kind: (-int(bytes_by_kind.get(kind, 0)), kind),
+    )
+    for kind in kinds:
+        rows.append(
+            [kind, str(by_kind.get(kind, 0)), str(bytes_by_kind.get(kind, 0))]
+        )
+    rows.append(
+        [
+            "total",
+            str(statistics.get("messages_sent", 0)),
+            str(statistics.get("bytes_sent", 0)),
+        ]
+    )
+    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    lines = [title]
+    for row in rows:
+        lines.append(
+            "  ".join(
+                cell.ljust(width) if i == 0 else cell.rjust(width)
+                for i, (cell, width) in enumerate(zip(row, widths))
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
 def comparison_table(
     title: str,
     rows: Iterable[tuple[str, Mapping[str, object]]],

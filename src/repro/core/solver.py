@@ -177,11 +177,21 @@ class ColoringSolver(Solver):
 
 @dataclass
 class _CacheEntry:
-    """Memoized exploration state for one (graph, specification, filter)."""
+    """Memoized exploration state for one (graph, specification, filter).
+
+    ``result``/``result_version`` additionally memoize the *finished*
+    construction: pruning is deterministic given (graph version, spec,
+    filter), so a re-solve at the very version the cached result was
+    finalized at can replay it without copying the exploration state or
+    pruning again — the repeat-workflow fast path of the shared knowledge
+    plane.
+    """
 
     version: int
     state: ColoringState
     reached: bool
+    result: ConstructionResult | None = None
+    result_version: int = -1
 
 
 class MemoizedColoringSolver(ColoringSolver):
@@ -272,6 +282,31 @@ class MemoizedColoringSolver(ColoringSolver):
                     self.incremental_recolor_count += 1
             self.cache_hit_count += 1
             stats.cache_hits = 1
+            if (
+                entry.result is not None
+                and entry.result_version == supergraph.version
+            ):
+                # Nothing changed since this exact construction was
+                # finalized: replay it.  The workflow, coloring state, and
+                # selected fragments are immutable (consumers only read the
+                # state); only the statistics are rebuilt so the replay
+                # reports zero colouring work and its own elapsed time.
+                cached = entry.result
+                stats.green_nodes = cached.statistics.green_nodes
+                stats.blue_nodes = cached.statistics.blue_nodes
+                stats.pruning_iterations = cached.statistics.pruning_iterations
+                stats.fragments_selected = cached.statistics.fragments_selected
+                stats.elapsed_seconds = time.perf_counter() - started
+                return self._record(
+                    ConstructionResult(
+                        specification=cached.specification,
+                        workflow=cached.workflow,
+                        state=cached.state,
+                        statistics=stats,
+                        selected_fragment_ids=cached.selected_fragment_ids,
+                        reason=cached.reason,
+                    )
+                )
 
         # Prune on a throwaway plain-dict copy so the memoized green state
         # survives.  The copy is O(green region), but at C speed; a
@@ -285,6 +320,8 @@ class MemoizedColoringSolver(ColoringSolver):
         result = constructor.finalize(
             supergraph, specification, prune_state, stats, entry.reached, started
         )
+        entry.result = result
+        entry.result_version = supergraph.version
         return self._record(result)
 
     def _store(self, key: tuple, entry: _CacheEntry) -> None:

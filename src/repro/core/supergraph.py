@@ -145,10 +145,42 @@ class Supergraph:
         self._fragment_ids.add(fragment.fragment_id)
         return bool(affected)
 
+    def add_fragments_batch(self, fragments: Iterable[WorkflowFragment]) -> int:
+        """Merge a batch of fragments under a *single* journal entry.
+
+        Ingesting a discovery response fragment-by-fragment would bump
+        :attr:`version` once per fragment and leave one journal entry each;
+        a solver re-solving after the response would still recolor the same
+        dirty region, but the journal would grow (and compact) needlessly.
+        The batch merge unions every affected node into one journal entry
+        and bumps the version once, so one discovery round costs one dirty
+        frontier regardless of how many fragments it delivered.
+
+        Returns how many fragments added at least one new node or edge.
+        Like :meth:`add_fragment`, a conflicting task definition raises
+        *after* journaling the nodes merged so far.
+        """
+
+        affected: set[NodeRef] = set()
+        changed = 0
+        try:
+            for fragment in fragments:
+                if fragment.fragment_id in self._fragment_ids:
+                    continue
+                before = len(affected)
+                for task in fragment.tasks:
+                    self._add_task(task, fragment.fragment_id, affected)
+                self._fragment_ids.add(fragment.fragment_id)
+                if len(affected) > before:
+                    changed += 1
+        finally:
+            self._record_mutation(affected)
+        return changed
+
     def add_knowledge(self, knowledge: KnowledgeSet | Iterable[WorkflowFragment]) -> int:
         """Merge every fragment of ``knowledge``; returns how many changed the graph."""
 
-        return sum(1 for fragment in knowledge if self.add_fragment(fragment))
+        return self.add_fragments_batch(knowledge)
 
     def add_label(self, label: str) -> None:
         """Ensure a free-standing label node exists (used for trigger labels)."""
@@ -205,6 +237,12 @@ class Supergraph:
     @property
     def fragment_ids(self) -> frozenset[str]:
         return frozenset(self._fragment_ids)
+
+    @property
+    def fragment_count(self) -> int:
+        """Number of merged fragments, without materializing the id set."""
+
+        return len(self._fragment_ids)
 
     def task(self, name: str) -> Task:
         return self._tasks[name]

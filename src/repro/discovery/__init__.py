@@ -1,10 +1,12 @@
 """Discovery substrate: know-how (fragment) and capability (service) queries."""
 
 from .capability import CapabilityDirectory, make_capability_query
+from .fragment_index import FragmentIndex
 from .knowhow import FragmentManager
 
 __all__ = [
     "CapabilityDirectory",
+    "FragmentIndex",
     "FragmentManager",
     "make_capability_query",
 ]

@@ -1,0 +1,155 @@
+"""Versioned inverted index over a host's workflow fragments.
+
+:class:`FragmentIndex` is the storage engine behind the
+:class:`~repro.discovery.knowhow.FragmentManager`.  It extends the core
+:class:`~repro.core.fragments.KnowledgeSet` (label → producing/consuming
+fragments) with the three extra ingredients the shared knowledge plane
+needs:
+
+* **More inverted keys.**  The inherited produced/consumed-label keys are
+  what ``matching_fragments`` answers wire queries from, in O(matches)
+  instead of O(fragments).  Fragments are additionally indexed by the
+  names of the tasks they contain and by the service types (capabilities)
+  those tasks require — introspection keys maintained at the same cost,
+  exposed as :meth:`fragments_with_task` / :meth:`fragments_with_capability`
+  for capability-aware routing extensions (not yet consulted by the wire
+  protocol itself).
+* **Ingestion sequence numbers.**  Every fragment receives a monotonically
+  increasing sequence number when it is first added; :attr:`version` is the
+  highest number handed out so far.  A remote that has previously performed
+  a full sync at version ``v`` can ask for "everything since ``v``"
+  (:meth:`fragments_since`) and receive only the knowledge it has not seen,
+  which is what the delta fields on
+  :class:`~repro.net.messages.FragmentQuery` /
+  :class:`~repro.net.messages.FragmentResponse` carry on the wire.
+* **Cheap removal.**  Obsolete know-how is dropped from every index in
+  O(fragment) instead of rebuilding the whole set.
+
+Index keys and delta semantics are documented for maintainers in
+``ROADMAP.md`` ("Performance architecture (PR 3): knowledge plane").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.fragments import KnowledgeSet, WorkflowFragment
+
+
+class FragmentIndex(KnowledgeSet):
+    """A :class:`KnowledgeSet` with task/capability keys and a version stream.
+
+    The inherited label indexes answer "which fragments produce/consume this
+    artifact"; the extra indexes added here answer "which fragments mention
+    this task" and "which fragments need this capability".  All four are
+    maintained eagerly on :meth:`add` / :meth:`discard`.
+    """
+
+    def __init__(self, fragments: Iterable[WorkflowFragment] = ()) -> None:
+        self._by_task: dict[str, set[str]] = {}
+        self._by_capability: dict[str, set[str]] = {}
+        self._sequence: dict[str, int] = {}
+        self._next_sequence = 0
+        super().__init__(fragments)
+
+    # -- mutation ----------------------------------------------------------
+    def add(self, fragment: WorkflowFragment) -> None:
+        """Index a fragment (idempotent by id, like the base class)."""
+
+        if fragment.fragment_id in self._fragments:
+            return
+        super().add(fragment)
+        fragment_id = fragment.fragment_id
+        self._next_sequence += 1
+        self._sequence[fragment_id] = self._next_sequence
+        for task in fragment.tasks:
+            self._by_task.setdefault(task.name, set()).add(fragment_id)
+            if task.service_type is not None:
+                self._by_capability.setdefault(task.service_type, set()).add(
+                    fragment_id
+                )
+
+    def discard(self, fragment_id: str) -> bool:
+        """Remove a fragment from every index; returns whether it existed.
+
+        The sequence number of a removed fragment is retired, never reused:
+        :attr:`version` stays monotone, and a later delta query simply no
+        longer sees the forgotten know-how.
+        """
+
+        fragment = self._fragments.pop(fragment_id, None)
+        if fragment is None:
+            return False
+        self._sequence.pop(fragment_id, None)
+        for task in fragment.tasks:
+            for out in task.outputs:
+                self._discard_key(self._producing, out, fragment_id)
+            for inp in task.inputs:
+                self._discard_key(self._consuming, inp, fragment_id)
+            self._discard_key(self._by_task, task.name, fragment_id)
+            if task.service_type is not None:
+                self._discard_key(self._by_capability, task.service_type, fragment_id)
+        return True
+
+    @staticmethod
+    def _discard_key(index: dict[str, set[str]], key: str, fragment_id: str) -> None:
+        bucket = index.get(key)
+        if bucket is None:
+            return
+        bucket.discard(fragment_id)
+        if not bucket:
+            del index[key]
+
+    # -- version stream ----------------------------------------------------
+    @property
+    def version(self) -> int:
+        """The sequence number of the most recently ingested fragment."""
+
+        return self._next_sequence
+
+    def sequence_of(self, fragment_id: str) -> int:
+        """Ingestion sequence number of a stored fragment (0 if unknown)."""
+
+        return self._sequence.get(fragment_id, 0)
+
+    def fragments_since(self, version: int) -> list[WorkflowFragment]:
+        """Fragments ingested after ``version``, in ingestion order.
+
+        ``fragments_since(0)`` is everything; ``fragments_since(self.version)``
+        is empty.  Because removals only delete entries, iterating the
+        insertion-ordered fragment table already yields ascending sequence
+        numbers — the common ``version == 0`` case is a plain copy and the
+        delta case an O(fragments) filter without sorting.
+        """
+
+        if version <= 0:
+            return list(self._fragments.values())
+        sequence = self._sequence
+        return [
+            fragment
+            for fragment_id, fragment in self._fragments.items()
+            if sequence[fragment_id] > version
+        ]
+
+    # -- indexed lookups ---------------------------------------------------
+    def fragments_with_task(self, task_name: str) -> list[WorkflowFragment]:
+        """Fragments containing a task named ``task_name``."""
+
+        return [
+            self._fragments[fid]
+            for fid in sorted(self._by_task.get(task_name, ()))
+        ]
+
+    def fragments_with_capability(self, service_type: str) -> list[WorkflowFragment]:
+        """Fragments with at least one task requiring ``service_type``."""
+
+        return [
+            self._fragments[fid]
+            for fid in sorted(self._by_capability.get(service_type, ()))
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"FragmentIndex(fragments={len(self._fragments)}, "
+            f"version={self._next_sequence})"
+        )

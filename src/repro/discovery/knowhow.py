@@ -11,24 +11,54 @@ the two construction strategies:
 * *targeted* — used by the incremental variant, which only asks for
   fragments producing or consuming the labels at the boundary of the
   coloured region, excluding fragments the initiator already holds.
+
+Both flavours additionally honour the *delta* field of a query
+(``since_version``): the manager assigns every fragment a monotonically
+increasing ingestion sequence number (see
+:class:`~repro.discovery.fragment_index.FragmentIndex`), reports its
+current :attr:`version` on every response, and a querier that already holds
+everything up to version ``v`` receives only fragments ingested after
+``v``.  Repeat workflows on a host that stays in sync with the community
+therefore cost O(new knowledge), not O(community knowledge).
+
+Queries are answered from the inverted index by default; construct the
+manager with ``use_index=False`` to answer by the original linear scan
+(kept as the reference implementation for the equivalence property tests).
 """
 
 from __future__ import annotations
 
+import itertools
+from dataclasses import replace
 from typing import Iterable
 
-from ..core.fragments import KnowledgeSet, WorkflowFragment
+from ..core.fragments import WorkflowFragment
 from ..net.messages import FragmentQuery, FragmentResponse
+from .fragment_index import FragmentIndex
+
+_epoch_counter = itertools.count(1)
 
 
 class FragmentManager:
-    """Stores and serves the workflow fragments known to one host."""
+    """Stores and serves the workflow fragments known to one host.
+
+    :attr:`epoch` identifies this database *instance* (process-unique).
+    Delta floors recorded by remote hosts are only meaningful against the
+    instance that issued them: a new device reusing a departed host's id
+    gets a fresh epoch, so stale floors are detected and ignored rather
+    than silently hiding the new device's knowledge.
+    """
 
     def __init__(
-        self, host_id: str, fragments: Iterable[WorkflowFragment] = ()
+        self,
+        host_id: str,
+        fragments: Iterable[WorkflowFragment] = (),
+        use_index: bool = True,
     ) -> None:
         self.host_id = host_id
-        self._knowledge = KnowledgeSet()
+        self.use_index = use_index
+        self.epoch = next(_epoch_counter)
+        self._knowledge = FragmentIndex()
         self.queries_answered = 0
         self.fragments_served = 0
         for fragment in fragments:
@@ -50,15 +80,17 @@ class FragmentManager:
     def remove_fragment(self, fragment_id: str) -> bool:
         """Forget a fragment (e.g. the know-how became obsolete)."""
 
-        if fragment_id not in self._knowledge:
-            return False
-        remaining = [f for f in self._knowledge if f.fragment_id != fragment_id]
-        self._knowledge = KnowledgeSet(remaining)
-        return True
+        return self._knowledge.discard(fragment_id)
 
     @property
-    def knowledge(self) -> KnowledgeSet:
+    def knowledge(self) -> FragmentIndex:
         return self._knowledge
+
+    @property
+    def version(self) -> int:
+        """Monotone counter of fragment ingestions (the delta-query epoch)."""
+
+        return self._knowledge.version
 
     @property
     def fragment_count(self) -> int:
@@ -71,29 +103,85 @@ class FragmentManager:
     def all_fragments(self) -> list[WorkflowFragment]:
         return list(self._knowledge)
 
+    def fragments_since(self, version: int) -> list[WorkflowFragment]:
+        """Fragments ingested after ``version`` in ingestion order."""
+
+        return self._knowledge.fragments_since(version)
+
     # -- query answering ---------------------------------------------------------
     def matching_fragments(self, query: FragmentQuery) -> list[WorkflowFragment]:
-        """The fragments this host would return for ``query``."""
+        """The fragments this host would return for ``query``.
 
+        The result is ordered by ingestion sequence and honours all three
+        narrowing fields: the label sets (unless ``want_all``), the
+        exclusion list, and the delta floor ``since_version``.  A floor
+        recorded against a different database instance
+        (``query.since_epoch`` set but not this manager's :attr:`epoch`)
+        is ignored — the querier's knowledge of *this* instance is empty.
+        """
+
+        if query.since_epoch >= 0 and query.since_epoch != self.epoch:
+            query = replace(query, since_version=0, since_epoch=-1)
+        if self.use_index:
+            return self._matching_indexed(query)
+        return self._matching_linear(query)
+
+    def _matching_indexed(self, query: FragmentQuery) -> list[WorkflowFragment]:
+        knowledge = self._knowledge
         if query.want_all:
-            candidates = list(self._knowledge)
+            candidates = knowledge.fragments_since(query.since_version)
         else:
             by_id: dict[str, WorkflowFragment] = {}
             for label in query.consuming:
-                for fragment in self._knowledge.fragments_consuming(label):
+                for fragment in knowledge.fragments_consuming(label):
                     by_id[fragment.fragment_id] = fragment
             for label in query.producing:
-                for fragment in self._knowledge.fragments_producing(label):
+                for fragment in knowledge.fragments_producing(label):
                     by_id[fragment.fragment_id] = fragment
-            candidates = list(by_id.values())
+            candidates = sorted(
+                by_id.values(),
+                key=lambda f: knowledge.sequence_of(f.fragment_id),
+            )
+            if query.since_version > 0:
+                candidates = [
+                    fragment
+                    for fragment in candidates
+                    if knowledge.sequence_of(fragment.fragment_id)
+                    > query.since_version
+                ]
+        if not query.exclude_fragment_ids:
+            return candidates
         return [
             fragment
             for fragment in candidates
             if fragment.fragment_id not in query.exclude_fragment_ids
         ]
 
+    def _matching_linear(self, query: FragmentQuery) -> list[WorkflowFragment]:
+        """Reference implementation: one pass over every stored fragment."""
+
+        knowledge = self._knowledge
+        matches: list[WorkflowFragment] = []
+        for fragment in knowledge:
+            if fragment.fragment_id in query.exclude_fragment_ids:
+                continue
+            if knowledge.sequence_of(fragment.fragment_id) <= query.since_version:
+                continue
+            if not query.want_all:
+                relevant = any(
+                    fragment.consumes_label(label) for label in query.consuming
+                ) or any(fragment.produces_label(label) for label in query.producing)
+                if not relevant:
+                    continue
+            matches.append(fragment)
+        return matches
+
     def handle_query(self, query: FragmentQuery) -> FragmentResponse:
-        """Build the wire response for an incoming know-how query."""
+        """Build the wire response for an incoming know-how query.
+
+        The response carries this manager's current :attr:`version` so the
+        querier can record a high-water mark and issue delta queries later.
+        """
 
         self.queries_answered += 1
         fragments = tuple(self.matching_fragments(query))
@@ -103,6 +191,8 @@ class FragmentManager:
             recipient=query.sender,
             fragments=fragments,
             workflow_id=query.workflow_id,
+            knowledge_version=self.version,
+            knowledge_epoch=self.epoch,
         )
 
     def __repr__(self) -> str:

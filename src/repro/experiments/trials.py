@@ -44,7 +44,10 @@ class TrialResult:
     construction engine's effort counters (see
     :class:`~repro.core.construction.ConstructionStatistics`) so the
     incremental-vs-scratch benchmarks can compare colouring work, not just
-    wall-clock time.
+    wall-clock time.  ``fragments_reused`` / ``remotes_skipped`` expose the
+    shared knowledge plane's reuse, and ``fragment_messages`` /
+    ``fragment_bytes`` the discovery traffic (fragment queries plus
+    responses) the trial actually put on the wire.
     """
 
     succeeded: bool
@@ -60,6 +63,10 @@ class TrialResult:
     nodes_recolored: int = 0
     cache_hits: int = 0
     distinct_winners: int = 0
+    fragments_reused: int = 0
+    remotes_skipped: int = 0
+    fragment_messages: int = 0
+    fragment_bytes: int = 0
 
     def deterministic_copy(self) -> "TrialResult":
         """This result with the wall-clock timing components zeroed.
@@ -116,6 +123,7 @@ def build_trial_community(
     network_factory: Callable[[EventScheduler], CommunicationsLayer] | None = None,
     solver: Solver | str | None = None,
     mobility_factory: Callable[[int], "MobilityModel | Point"] | None = None,
+    share_supergraph: bool = True,
 ) -> Community:
     """Set up a community for one trial (fragments/services dealt out randomly).
 
@@ -125,6 +133,9 @@ def build_trial_community(
     :class:`~repro.mobility.geometry.Point` or a mobility model); the
     default is the paper-style line of hosts 20 m apart.  The scaled ad hoc
     scenarios use it to scatter hundreds of mobile hosts over a site.
+    ``share_supergraph=False`` restores per-workspace supergraphs on every
+    host (the pre-knowledge-plane behaviour, kept for equivalence tests and
+    the discovery-scaling benchmark baseline).
     """
 
     if num_hosts < 1:
@@ -145,6 +156,7 @@ def build_trial_community(
             services=service_groups[index],
             mobility=mobility,
             solver=solver,
+            share_supergraph=share_supergraph,
         )
         del host
     return community
@@ -206,4 +218,8 @@ def trial_result_from_workspace(
         nodes_recolored=construction.nodes_recolored if construction else 0,
         cache_hits=construction.cache_hits if construction else 0,
         distinct_winners=winners,
+        fragments_reused=workspace.fragments_reused,
+        remotes_skipped=workspace.remotes_skipped,
+        fragment_messages=stats.kind_count("FragmentQuery", "FragmentResponse"),
+        fragment_bytes=stats.kind_bytes("FragmentQuery", "FragmentResponse"),
     )

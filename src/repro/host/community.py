@@ -75,6 +75,8 @@ class Community:
         capability_aware: bool = False,
         enable_recovery: bool = False,
         solver: "Solver | str | None" = None,
+        share_supergraph: bool = True,
+        knowledge_refresh_interval: float = float("inf"),
     ) -> Host:
         """Create a host, attach it to the network, and join it to the community."""
 
@@ -94,6 +96,8 @@ class Community:
             capability_aware=capability_aware,
             enable_recovery=enable_recovery,
             solver=solver,
+            share_supergraph=share_supergraph,
+            knowledge_refresh_interval=knowledge_refresh_interval,
         )
         self._hosts[host_id] = host
         if isinstance(self.network, AdHocWirelessNetwork) and mobility is not None:

@@ -81,6 +81,11 @@ class Host:
         Construction strategy for this host's workflow manager (a
         :class:`~repro.core.solver.Solver`, a registry name, or ``None``
         for the default memoized solver).
+    share_supergraph / knowledge_refresh_interval:
+        Shared-knowledge-plane configuration, forwarded to the
+        :class:`~repro.host.workflow_manager.WorkflowManager`: one
+        supergraph (and solver cache) for all of this host's workspaces,
+        and how long a remote's full sync stays trusted.
     """
 
     def __init__(
@@ -99,6 +104,8 @@ class Host:
         capability_aware: bool = False,
         enable_recovery: bool = False,
         solver: "Solver | str | None" = None,
+        share_supergraph: bool = True,
+        knowledge_refresh_interval: float = float("inf"),
     ) -> None:
         self.host_id = host_id
         self.network = network
@@ -141,6 +148,8 @@ class Host:
             local_services=self.service_manager,
             enable_recovery=enable_recovery,
             solver=solver,
+            share_supergraph=share_supergraph,
+            knowledge_refresh_interval=knowledge_refresh_interval,
         )
         self.initiator = WorkflowInitiator(host_id)
 

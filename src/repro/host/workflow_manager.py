@@ -16,10 +16,35 @@ Two discovery strategies are supported, matching Section 3.1:
   the labels at the boundary of the coloured region, re-running the
   colouring after each round, until a feasible workflow emerges or the
   community has nothing new to offer.
+
+**The shared knowledge plane.**  By default every workspace of a manager
+shares one long-lived :class:`~repro.core.supergraph.Supergraph` (and hence
+the solver's memoized colouring cache, which is keyed by graph identity).
+Workspace-local state — phase, exclusions, statistics, timing — stays
+per-workspace; only the accumulated community knowledge is shared.  The
+manager keeps two high-water marks against that plane:
+
+* its own fragment manager's ingestion version, so ``submit()`` seeds only
+  local know-how added since the previous submission;
+* per-remote *full-sync* versions: after a ``want_all`` round the remote's
+  reported fragment-set version is recorded, later full queries become
+  delta queries ("everything since version v"), and a remote whose sync is
+  younger than ``knowledge_refresh_interval`` simulated seconds is not
+  queried at all.  Repeat workflows on a host therefore cost traffic and
+  recolouring proportional to *new* knowledge, not community size.
+
+Pass ``share_supergraph=False`` to restore the original per-workspace
+graphs (used by the equivalence property tests), and
+``knowledge_refresh_interval=0.0`` to keep the shared graph but re-poll
+the community (with delta queries) on every submission.  One semantic
+difference of the shared plane is that knowledge, once learned, persists:
+fragments collected for an earlier workflow remain available even if the
+contributing host has since left the community.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Iterable
 
 from ..allocation.auction import AllocationOutcome, AuctionManager
@@ -72,6 +97,16 @@ class WorkflowManager:
         of incremental discovery, and the final construction after
         discovery — reuse the cached green region and recolor only the
         fragments that arrived in between.
+    share_supergraph:
+        When true (the default) all workspaces of this manager accumulate
+        knowledge into one shared supergraph, so repeat workflows reuse
+        fragments and cached colourings across submissions.  ``False``
+        restores the original per-workspace graphs.
+    knowledge_refresh_interval:
+        Minimum simulated-seconds age of a remote's full sync before that
+        remote is re-queried.  The default (``inf``) trusts a completed
+        sync for the lifetime of the community; ``0.0`` re-polls (with
+        delta queries) on every submission.
     """
 
     def __init__(
@@ -88,6 +123,8 @@ class WorkflowManager:
         enable_recovery: bool = False,
         max_repair_attempts: int = 3,
         solver: Solver | str | None = None,
+        share_supergraph: bool = True,
+        knowledge_refresh_interval: float = math.inf,
     ) -> None:
         if construction_mode not in ("batch", "incremental"):
             raise ValueError("construction_mode must be 'batch' or 'incremental'")
@@ -105,6 +142,16 @@ class WorkflowManager:
         self.solver = make_solver(
             solver, stop_exploration_early=stop_exploration_early
         )
+        self.share_supergraph = share_supergraph
+        self.knowledge_refresh_interval = knowledge_refresh_interval
+        #: The host's knowledge plane: one supergraph for every workspace.
+        self.supergraph: Supergraph | None = Supergraph() if share_supergraph else None
+        self._seeded_local_version = 0
+        #: remote host -> (version, sim time, database epoch) of its last
+        #: full sync.  The epoch ties the version to one database instance;
+        #: a new device reusing the host id answers with a different epoch,
+        #: which resets the floor (see FragmentManager.epoch).
+        self._synced_remotes: dict[str, tuple[int, float, int]] = {}
         self._workspaces: dict[str, Workspace] = {}
         self._on_allocated: dict[str, WorkspaceCallback] = {}
         self._on_completed: dict[str, WorkspaceCallback] = {}
@@ -143,6 +190,8 @@ class WorkflowManager:
         )
         if supergraph is not None:
             workspace.supergraph = supergraph
+        elif self.supergraph is not None:
+            workspace.supergraph = self.supergraph
         workspace.excluded_tasks = set(excluded_tasks)
         workspace.repair_of = repair_of
         workspace.repair_attempt = repair_attempt
@@ -154,10 +203,19 @@ class WorkflowManager:
             self._on_completed[workflow_id] = on_completed
 
         # The initiator's own know-how seeds the supergraph without any
-        # network traffic.
-        for fragment in self.fragments.all_fragments():
-            workspace.supergraph.add_fragment(fragment)
-            workspace.fragments_collected += 1
+        # network traffic.  On the shared plane only fragments added since
+        # the previous submission are merged (one journaled batch).
+        workspace.fragments_reused = workspace.supergraph.fragment_count
+        if self._uses_shared_plane(workspace):
+            new_local = self.fragments.fragments_since(self._seeded_local_version)
+            workspace.fragments_collected += workspace.supergraph.add_fragments_batch(
+                new_local
+            )
+            self._seeded_local_version = self.fragments.version
+        else:
+            for fragment in self.fragments.all_fragments():
+                workspace.supergraph.add_fragment(fragment)
+                workspace.fragments_collected += 1
 
         self._start_discovery(workspace)
         return workspace
@@ -172,6 +230,55 @@ class WorkflowManager:
     def _remote_participants(self, workspace: Workspace) -> list[str]:
         return sorted(workspace.participants - {self.host_id})
 
+    def _uses_shared_plane(self, workspace: Workspace) -> bool:
+        return self.supergraph is not None and workspace.supergraph is self.supergraph
+
+    def _is_freshly_synced(self, remote: str) -> bool:
+        """True when ``remote``'s last full sync is young enough to trust."""
+
+        sync = self._synced_remotes.get(remote)
+        if sync is None:
+            return False
+        age = self.scheduler.clock.now() - sync[1]
+        return age < self.knowledge_refresh_interval
+
+    def _stale_remotes(self, workspace: Workspace, remotes: list[str]) -> list[str]:
+        """The remotes whose knowledge the shared plane does not already hold."""
+
+        if not self._uses_shared_plane(workspace):
+            return remotes
+        return [r for r in remotes if not self._is_freshly_synced(r)]
+
+    def _sync_floor(self, workspace: Workspace, remote: str) -> tuple[int, int]:
+        """(version, epoch) delta floor for a query to ``remote``.
+
+        ``(0, -1)`` means "send everything".  The epoch lets the responder
+        reject a floor recorded against a previous database instance.
+        """
+
+        if not self._uses_shared_plane(workspace):
+            return 0, -1
+        sync = self._synced_remotes.get(remote)
+        return (sync[0], sync[2]) if sync is not None else (0, -1)
+
+    def _exclusions_for(
+        self, workspace: Workspace, floor_version: int
+    ) -> frozenset[str]:
+        """Exclusion list for a query whose delta floor is ``floor_version``.
+
+        With no floor the full held-fragment set is sent — first contact
+        with a remote, where exclusions are what prevents re-transferring
+        knowledge learned from third parties.  With a floor, everything at
+        or below it cannot be returned anyway; the rare third-party
+        fragment the remote ingested since then is deduplicated on merge,
+        so the list is dropped instead of growing with the plane's lifetime
+        knowledge.
+        """
+
+        if floor_version > 0:
+            return frozenset()
+        return workspace.supergraph.fragment_ids
+
     def _start_discovery(self, workspace: Workspace) -> None:
         workspace.enter_phase(WorkflowPhase.DISCOVERY, self.scheduler.clock.now())
         remotes = self._remote_participants(workspace)
@@ -184,23 +291,45 @@ class WorkflowManager:
             self._query_frontier(workspace, remotes)
 
     def _query_all_fragments(self, workspace: Workspace, remotes: list[str]) -> None:
-        workspace.discovery_rounds += 1
         workspace.did_full_discovery = True
-        workspace.awaiting_fragment_responses = set(remotes)
-        for remote in remotes:
+        stale = self._stale_remotes(workspace, remotes)
+        workspace.remotes_skipped += len(remotes) - len(stale)
+        if not stale:
+            # Every participant completed a full sync into the shared plane
+            # recently enough: the graph already holds the community's
+            # knowledge, no traffic needed.
+            self._after_discovery(workspace)
+            return
+        workspace.discovery_rounds += 1
+        workspace.awaiting_fragment_responses = set(stale)
+        workspace.awaiting_full_sync = set(stale)
+        for remote in stale:
+            floor_version, floor_epoch = self._sync_floor(workspace, remote)
             self._send(
                 FragmentQuery(
                     sender=self.host_id,
                     recipient=remote,
                     want_all=True,
-                    exclude_fragment_ids=workspace.supergraph.fragment_ids,
+                    exclude_fragment_ids=self._exclusions_for(
+                        workspace, floor_version
+                    ),
                     workflow_id=workspace.workflow_id,
+                    since_version=floor_version,
+                    since_epoch=floor_epoch,
                 )
             )
 
     def _query_frontier(self, workspace: Workspace, remotes: list[str]) -> None:
         result = self.solver.solve(workspace.supergraph, workspace.specification)
         if result.succeeded:
+            self._after_discovery(workspace)
+            return
+        stale = self._stale_remotes(workspace, remotes)
+        if not stale:
+            # The shared plane already holds everything the community knows;
+            # asking again cannot change the verdict.
+            workspace.remotes_skipped += len(remotes)
+            workspace.did_full_discovery = True
             self._after_discovery(workspace)
             return
         frontier = compute_frontier_labels(
@@ -220,29 +349,51 @@ class WorkflowManager:
             return
         workspace.queried_labels |= new_labels
         workspace.discovery_rounds += 1
-        workspace.awaiting_fragment_responses = set(remotes)
-        for remote in remotes:
+        workspace.remotes_skipped += len(remotes) - len(stale)
+        workspace.awaiting_fragment_responses = set(stale)
+        for remote in stale:
+            floor_version, floor_epoch = self._sync_floor(workspace, remote)
             self._send(
                 FragmentQuery(
                     sender=self.host_id,
                     recipient=remote,
                     consuming=frozenset(new_labels),
                     producing=frozenset(new_labels),
-                    exclude_fragment_ids=workspace.supergraph.fragment_ids,
+                    exclude_fragment_ids=self._exclusions_for(
+                        workspace, floor_version
+                    ),
                     workflow_id=workspace.workflow_id,
+                    since_version=floor_version,
+                    since_epoch=floor_epoch,
                 )
             )
 
     def handle_fragment_response(self, response: FragmentResponse) -> None:
-        """Integrate a participant's know-how into the right workspace."""
+        """Integrate a participant's know-how into the right workspace.
+
+        The whole response is merged as one journaled batch: the graph
+        version advances once and a later re-solve recolors one dirty
+        frontier, however many fragments the participant returned.
+        """
 
         workspace = self._workspaces.get(response.workflow_id)
         if workspace is None or workspace.phase is not WorkflowPhase.DISCOVERY:
             return
         workspace.fragment_responses_received += 1
-        for fragment in response.fragments:
-            if workspace.supergraph.add_fragment(fragment):
-                workspace.fragments_collected += 1
+        workspace.fragments_collected += workspace.supergraph.add_fragments_batch(
+            response.fragments
+        )
+        if response.sender in workspace.awaiting_full_sync:
+            workspace.awaiting_full_sync.discard(response.sender)
+            # A full (want_all) answer means the plane now holds everything
+            # the sender knew up to its reported version: record the
+            # high-water mark for future delta queries.
+            if response.knowledge_version >= 0 and self._uses_shared_plane(workspace):
+                self._synced_remotes[response.sender] = (
+                    response.knowledge_version,
+                    self.scheduler.clock.now(),
+                    response.knowledge_epoch,
+                )
         workspace.awaiting_fragment_responses.discard(response.sender)
         if workspace.awaiting_fragment_responses:
             return

@@ -72,10 +72,15 @@ class Workspace:
     allocation_outcome: AllocationOutcome | None = None
     failure_reason: str = ""
 
-    # Discovery bookkeeping.
+    # Discovery bookkeeping.  ``fragments_reused`` counts the fragments the
+    # shared knowledge plane already held at submission; ``remotes_skipped``
+    # counts remote queries avoided because the sender was fully synced.
     awaiting_fragment_responses: set[str] = field(default_factory=set)
+    awaiting_full_sync: set[str] = field(default_factory=set)
     fragment_responses_received: int = 0
     fragments_collected: int = 0
+    fragments_reused: int = 0
+    remotes_skipped: int = 0
     discovery_rounds: int = 0
     queried_labels: set[str] = field(default_factory=set)
     awaiting_capability_responses: set[str] = field(default_factory=set)
@@ -176,6 +181,8 @@ class Workspace:
             "phase": self.phase.value,
             "participants": len(self.participants),
             "fragments_collected": self.fragments_collected,
+            "fragments_reused": self.fragments_reused,
+            "remotes_skipped": self.remotes_skipped,
             "discovery_rounds": self.discovery_rounds,
             "tasks": len(self.expected_tasks),
             "completed_tasks": len(self.completed_tasks),

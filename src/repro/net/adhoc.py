@@ -47,7 +47,7 @@ from ..sim.events import EventScheduler
 from ..sim.randomness import rng_from_seed
 from .messages import Message
 from .routing import AodvRouter, RouteNotFound
-from .spatial import SpatialGridIndex
+from .spatial import SpatialGridIndex, padded_cell_size
 from .transport import CommunicationsLayer
 
 # 802.11g nominal characteristics.
@@ -171,7 +171,11 @@ class AdHocWirelessNetwork(CommunicationsLayer):
             positions = {
                 host: self._position_at(host, now) for host in sorted(self.host_ids)
             }
-            grid = SpatialGridIndex(positions, cell_size=self.radio_range)
+            # padded_cell_size keeps range queries on the 3x3 cell block
+            # while covering float-rounding slop at exact-radius distances.
+            grid = SpatialGridIndex(
+                positions, cell_size=padded_cell_size(self.radio_range)
+            )
             snapshot = _Snapshot(now, self._version, positions, grid)
             self._snapshot = snapshot
             self.snapshots_built += 1

@@ -65,9 +65,26 @@ class Message:
     msg_id: int = field(default_factory=_next_message_id, compare=False)
 
     def size_bytes(self) -> int:
-        """Approximate size on the wire; subclasses add their payload."""
+        """Approximate size on the wire, memoized on first call.
 
-        return _ENVELOPE_BYTES
+        A message's payload is immutable, but its size is consulted several
+        times per transmission: once by the transport statistics and once
+        per hop by the bandwidth-derived latency models.  The walk over the
+        payload (every task of every fragment, for the big responses)
+        therefore happens once per message instead of once per lookup.
+        Subclasses contribute their payload via :meth:`_payload_bytes`.
+        """
+
+        cached = self.__dict__.get("_size_bytes")
+        if cached is None:
+            cached = _ENVELOPE_BYTES + self._payload_bytes()
+            object.__setattr__(self, "_size_bytes", cached)
+        return cached
+
+    def _payload_bytes(self) -> int:
+        """Payload size beyond the envelope; overridden by subclasses."""
+
+        return 0
 
     @property
     def kind(self) -> str:
@@ -89,7 +106,16 @@ class FragmentQuery(Message):
     ``consuming`` and ``producing`` list labels the initiator wants
     fragments for; ``exclude_fragment_ids`` lists fragments it already
     holds.  ``want_all`` models the batch algorithm's "send me everything
-    you know" query.
+    you know" query.  ``since_version`` is the delta floor of the shared
+    knowledge plane: a querier that previously completed a full sync with
+    the recipient at fragment-set version ``v`` passes ``since_version=v``
+    and receives only fragments the recipient ingested after ``v``.
+    ``since_epoch`` names the responder database *instance* the floor was
+    recorded against (see
+    :attr:`~repro.discovery.knowhow.FragmentManager.epoch`); a responder
+    whose epoch differs ignores the floor, so a version recorded against a
+    departed host cannot hide the knowledge of a new host reusing its id.
+    ``since_epoch=-1`` skips the check (a trusted floor).
     """
 
     consuming: frozenset[str] = frozenset()
@@ -97,26 +123,35 @@ class FragmentQuery(Message):
     exclude_fragment_ids: frozenset[str] = frozenset()
     want_all: bool = False
     workflow_id: str = ""
+    since_version: int = 0
+    since_epoch: int = -1
 
-    def size_bytes(self) -> int:
+    def _payload_bytes(self) -> int:
         return (
-            _ENVELOPE_BYTES
-            + _LABEL_BYTES * (len(self.consuming) + len(self.producing))
+            _LABEL_BYTES * (len(self.consuming) + len(self.producing))
             + 8 * len(self.exclude_fragment_ids)
+            + (8 if self.since_version else 0)
         )
 
 
 @dataclass(frozen=True, repr=False)
 class FragmentResponse(Message):
-    """A host's answer to a :class:`FragmentQuery`: the matching fragments."""
+    """A host's answer to a :class:`FragmentQuery`: the matching fragments.
+
+    ``knowledge_version`` is the responder's fragment-set version at answer
+    time (see :class:`~repro.discovery.fragment_index.FragmentIndex`) and
+    ``knowledge_epoch`` its database-instance epoch; a querier that asked
+    for everything records the pair as the high-water mark for future delta
+    queries.  ``-1`` means the responder did not report them.
+    """
 
     fragments: tuple[WorkflowFragment, ...] = ()
     workflow_id: str = ""
+    knowledge_version: int = -1
+    knowledge_epoch: int = -1
 
-    def size_bytes(self) -> int:
-        return _ENVELOPE_BYTES + sum(
-            estimate_fragment_bytes(f) for f in self.fragments
-        )
+    def _payload_bytes(self) -> int:
+        return 8 + sum(estimate_fragment_bytes(f) for f in self.fragments)
 
 
 # ---------------------------------------------------------------------------
@@ -131,8 +166,8 @@ class CapabilityQuery(Message):
     service_types: frozenset[str] = frozenset()
     workflow_id: str = ""
 
-    def size_bytes(self) -> int:
-        return _ENVELOPE_BYTES + _LABEL_BYTES * len(self.service_types)
+    def _payload_bytes(self) -> int:
+        return _LABEL_BYTES * len(self.service_types)
 
 
 @dataclass(frozen=True, repr=False)
@@ -142,8 +177,8 @@ class CapabilityResponse(Message):
     offered: frozenset[str] = frozenset()
     workflow_id: str = ""
 
-    def size_bytes(self) -> int:
-        return _ENVELOPE_BYTES + _LABEL_BYTES * len(self.offered)
+    def _payload_bytes(self) -> int:
+        return _LABEL_BYTES * len(self.offered)
 
 
 # ---------------------------------------------------------------------------
@@ -167,10 +202,8 @@ class CallForBids(Message):
     deadline: float = float("inf")
     metadata: Mapping[str, object] = field(default_factory=dict)
 
-    def size_bytes(self) -> int:
-        return _ENVELOPE_BYTES + (
-            estimate_task_bytes(self.task) if self.task is not None else 0
-        )
+    def _payload_bytes(self) -> int:
+        return estimate_task_bytes(self.task) if self.task is not None else 0
 
 
 @dataclass(frozen=True, repr=False)
@@ -191,8 +224,8 @@ class BidMessage(Message):
     travel_time: float = 0.0
     response_deadline: float = float("inf")
 
-    def size_bytes(self) -> int:
-        return _ENVELOPE_BYTES + _BID_BYTES
+    def _payload_bytes(self) -> int:
+        return _BID_BYTES
 
 
 @dataclass(frozen=True, repr=False)
@@ -203,8 +236,8 @@ class BidDeclined(Message):
     task_name: str = ""
     reason: str = ""
 
-    def size_bytes(self) -> int:
-        return _ENVELOPE_BYTES + 16
+    def _payload_bytes(self) -> int:
+        return 16
 
 
 @dataclass(frozen=True, repr=False)
@@ -223,12 +256,12 @@ class AwardMessage(Message):
     output_destinations: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
     trigger_labels: frozenset[str] = frozenset()
 
-    def size_bytes(self) -> int:
+    def _payload_bytes(self) -> int:
         payload = estimate_task_bytes(self.task) if self.task is not None else 0
         payload += _LABEL_BYTES * (
             len(self.input_sources) + len(self.output_destinations)
         )
-        return _ENVELOPE_BYTES + payload
+        return payload
 
 
 @dataclass(frozen=True, repr=False)
@@ -239,8 +272,8 @@ class AwardRejected(Message):
     task_name: str = ""
     reason: str = ""
 
-    def size_bytes(self) -> int:
-        return _ENVELOPE_BYTES + 16
+    def _payload_bytes(self) -> int:
+        return 16
 
 
 # ---------------------------------------------------------------------------
@@ -258,8 +291,8 @@ class LabelDataMessage(Message):
     produced_by: str = ""
     produced_at: float = 0.0
 
-    def size_bytes(self) -> int:
-        return _ENVELOPE_BYTES + _LABEL_BYTES + 64
+    def _payload_bytes(self) -> int:
+        return _LABEL_BYTES + 64
 
 
 @dataclass(frozen=True, repr=False)
@@ -271,8 +304,8 @@ class TaskCompleted(Message):
     completed_at: float = 0.0
     outputs: frozenset[str] = frozenset()
 
-    def size_bytes(self) -> int:
-        return _ENVELOPE_BYTES + _LABEL_BYTES * len(self.outputs)
+    def _payload_bytes(self) -> int:
+        return _LABEL_BYTES * len(self.outputs)
 
 
 @dataclass(frozen=True, repr=False)
@@ -290,5 +323,5 @@ class TaskFailed(Message):
     failed_at: float = 0.0
     reason: str = ""
 
-    def size_bytes(self) -> int:
-        return _ENVELOPE_BYTES + 32
+    def _payload_bytes(self) -> int:
+        return 32

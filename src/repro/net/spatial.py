@@ -37,6 +37,34 @@ from ..mobility.geometry import Point
 
 _Cell = tuple[int, int]
 
+#: Relative padding applied when converting a query radius into a cell scan
+#: range.  Distances are computed through rounded float subtraction and
+#: ``math.hypot`` (itself accurate to ~1 ulp), so a pair whose *exact*
+#: coordinate delta is a few ulps beyond the radius can still report a
+#: rounded distance <= radius — while their floor-quantised cells sit one
+#: ring further apart than ``ceil(radius / cell_size)`` covers (e.g. y=1.0
+#: vs y=-1e-158 at radius 1.0: distance rounds to exactly 1.0 but the cells
+#: are two apart).  Padding the radius by a handful of ulps before the cell
+#: arithmetic makes the scan range cover every such pair; callers that want
+#: to keep the 3x3 scan of the ``cell_size == radius`` sweet spot should
+#: apply the same factor to the cell size (see
+#: :data:`padded_cell_size`).
+_RADIUS_SLOP = 1.0 + 2.0**-48
+
+
+def padded_cell_size(radius: float) -> float:
+    """The cell size that keeps radius queries on the minimal scan block.
+
+    ``SpatialGridIndex.near`` pads the radius by :data:`_RADIUS_SLOP` when
+    sizing its cell scan; a grid built with exactly ``cell_size=radius``
+    would therefore scan one extra ring of cells.  Building it with this
+    slightly inflated size (a factor of ~3.6e-15 — sub-picometre at radio
+    ranges) keeps the scan at ``ceil(padded/cell) == 1``, i.e. the 3x3
+    block.
+    """
+
+    return radius * _RADIUS_SLOP
+
 
 class SpatialGridIndex:
     """An immutable uniform-grid index over a ``{host_id: Point}`` snapshot.
@@ -86,7 +114,7 @@ class SpatialGridIndex:
 
         if radius < 0:
             raise ValueError("radius must be non-negative")
-        reach = math.ceil(radius / self.cell_size)
+        reach = math.ceil(radius * _RADIUS_SLOP / self.cell_size)
         cx, cy = self._cell_of(point)
         found: list[str] = []
         for dx in range(-reach, reach + 1):

@@ -38,24 +38,44 @@ MessageHandler = Callable[[Message], None]
 
 @dataclass
 class TransportStatistics:
-    """Counters describing the traffic carried by a communications layer."""
+    """Counters describing the traffic carried by a communications layer.
+
+    ``by_kind`` counts messages and ``bytes_by_kind`` the estimated wire
+    bytes per message kind, so experiments can attribute traffic to the
+    protocol phase that caused it (e.g. how many bytes of fragment transfer
+    the shared knowledge plane saved on a repeat workflow).
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
     bytes_sent: int = 0
     by_kind: dict[str, int] = field(default_factory=dict)
+    bytes_by_kind: dict[str, int] = field(default_factory=dict)
 
     def record_sent(self, message: Message) -> None:
+        size = message.size_bytes()
+        kind = message.kind
         self.messages_sent += 1
-        self.bytes_sent += message.size_bytes()
-        self.by_kind[message.kind] = self.by_kind.get(message.kind, 0) + 1
+        self.bytes_sent += size
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + size
 
     def record_delivered(self) -> None:
         self.messages_delivered += 1
 
     def record_dropped(self) -> None:
         self.messages_dropped += 1
+
+    def kind_count(self, *kinds: str) -> int:
+        """Total messages sent across the named kinds."""
+
+        return sum(self.by_kind.get(kind, 0) for kind in kinds)
+
+    def kind_bytes(self, *kinds: str) -> int:
+        """Total bytes sent across the named kinds."""
+
+        return sum(self.bytes_by_kind.get(kind, 0) for kind in kinds)
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -64,6 +84,7 @@ class TransportStatistics:
             "messages_dropped": self.messages_dropped,
             "bytes_sent": self.bytes_sent,
             "by_kind": dict(self.by_kind),
+            "bytes_by_kind": dict(self.bytes_by_kind),
         }
 
 

@@ -99,6 +99,8 @@ class OpenWorkflowSystem:
         preferences: ParticipantPreferences | None = None,
         construction_mode: str = "batch",
         solver: "Solver | str | None" = None,
+        share_supergraph: bool = True,
+        knowledge_refresh_interval: float = float("inf"),
     ) -> Host:
         """Install the middleware on a new device and join it to the community."""
 
@@ -111,6 +113,8 @@ class OpenWorkflowSystem:
             construction_mode=construction_mode,
             capability_aware=self.capability_aware,
             solver=solver if solver is not None else self.solver,
+            share_supergraph=share_supergraph,
+            knowledge_refresh_interval=knowledge_refresh_interval,
         )
 
     def deploy_device_config(self, config: DeviceConfig) -> Host:

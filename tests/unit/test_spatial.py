@@ -129,6 +129,26 @@ class TestGridBruteForceParity:
         brute, _ = make_network(multi_hop=False, use_spatial_index=False)
         assert network.is_connected() == brute.is_connected()
 
+    def test_rounded_boundary_distance_is_not_missed(self):
+        # Regression: the exact coordinate delta (1.0 + 1e-158) exceeds the
+        # radius, putting the hosts in cells *two* apart, but the float
+        # distance rounds to exactly 1.0 <= radius, so brute force finds the
+        # pair.  The padded cell scan must find it too.
+        from repro.mobility.geometry import Point
+        from repro.net.spatial import SpatialGridIndex, padded_cell_size
+
+        positions = {"top": Point(0.0, 1.0), "bottom": Point(0.0, -1e-158)}
+        assert positions["top"].distance_to(positions["bottom"]) == 1.0
+        for cell_size in (1.0, padded_cell_size(1.0), 0.3, 7.0):
+            grid = SpatialGridIndex(positions, cell_size=cell_size)
+            assert grid.neighbours_of("top", 1.0) == {"bottom"}, cell_size
+            assert grid.neighbours_of("bottom", 1.0) == {"top"}, cell_size
+        # The padded cell size keeps the scan on the minimal 3x3 block.
+        import math
+        from repro.net.spatial import _RADIUS_SLOP
+
+        assert math.ceil(1.0 * _RADIUS_SLOP / padded_cell_size(1.0)) == 1
+
 
 class TestLinkEpochs:
     def test_epoch_stable_while_stationary(self):
