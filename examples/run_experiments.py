@@ -139,32 +139,39 @@ def main() -> None:
     wanted = {name.lower() for name in (args.figures or ["all"])}
     run_everything = "all" in wanted or not wanted
 
-    if run_everything or "fig4" in wanted:
-        emit(
-            run_figure4(runs=args.runs, seed=args.seed, runner=runner),
-            args.csv,
-            "figure4.csv",
-        )
-    if run_everything or "fig5" in wanted:
-        emit(
-            run_figure5(runs=args.runs, seed=args.seed, runner=runner),
-            args.csv,
-            "figure5.csv",
-        )
-    if run_everything or "fig6" in wanted:
-        emit(
-            run_figure6(runs=args.runs, seed=args.seed, runner=runner),
-            args.csv,
-            "figure6.csv",
-        )
-    if run_everything or "scaling" in wanted:
-        emit(
-            run_adhoc_scaling(runs=args.runs, seed=args.seed, runner=runner),
-            args.csv,
-            "adhoc_scaling.csv",
-        )
-    if run_everything or "ablations" in wanted:
-        run_ablation_reports()
+    # One runner (and hence one process pool, forked lazily on the first
+    # parallel sweep) serves every figure; the try/finally releases the
+    # workers when the last figure is done.
+    try:
+        if run_everything or "fig4" in wanted:
+            emit(
+                run_figure4(runs=args.runs, seed=args.seed, runner=runner),
+                args.csv,
+                "figure4.csv",
+            )
+        if run_everything or "fig5" in wanted:
+            emit(
+                run_figure5(runs=args.runs, seed=args.seed, runner=runner),
+                args.csv,
+                "figure5.csv",
+            )
+        if run_everything or "fig6" in wanted:
+            emit(
+                run_figure6(runs=args.runs, seed=args.seed, runner=runner),
+                args.csv,
+                "figure6.csv",
+            )
+        if run_everything or "scaling" in wanted:
+            emit(
+                run_adhoc_scaling(runs=args.runs, seed=args.seed, runner=runner),
+                args.csv,
+                "adhoc_scaling.csv",
+            )
+        if run_everything or "ablations" in wanted:
+            run_ablation_reports()
+    finally:
+        if runner is not None:
+            runner.shutdown()
 
 
 if __name__ == "__main__":

@@ -25,12 +25,17 @@ from ..core.specification import Specification
 from ..core.tasks import Task
 from ..core.workflow import Workflow
 from ..net.messages import (
+    AwardBatch,
     AwardMessage,
     AwardRejected,
+    BidBatch,
     BidDeclined,
     BidMessage,
     CallForBids,
+    CallForBidsBatch,
     Message,
+    TaskAward,
+    TaskCall,
 )
 from ..sim.events import EventHandle, EventScheduler
 from .bids import DEFAULT_POLICY, Bid, BidSelectionPolicy, rank_bids
@@ -113,6 +118,18 @@ class AuctionManager:
     policy:
         Bid selection policy; defaults to the paper's specialization-first
         rule.
+    batch_auctions:
+        When true (the default) the manager speaks the batched protocol:
+        one :class:`~repro.net.messages.CallForBidsBatch` per participant
+        carrying every task, one :class:`~repro.net.messages.BidBatch`
+        reply, and one :class:`~repro.net.messages.AwardBatch` per winning
+        host — O(participants) messages per workflow instead of
+        O(tasks x participants).  ``False`` restores the original per-task
+        message exchange.  Both protocols record identical bids, pick
+        identical winners, and produce identical
+        :class:`AllocationOutcome`\\ s (pinned by
+        ``tests/property/test_auction_batching_equivalence.py``); only the
+        number and size of messages differ.
     """
 
     def __init__(
@@ -121,11 +138,13 @@ class AuctionManager:
         scheduler: EventScheduler,
         send: SendFunction,
         policy: BidSelectionPolicy = DEFAULT_POLICY,
+        batch_auctions: bool = True,
     ) -> None:
         self.host_id = host_id
         self.scheduler = scheduler
         self._send = send
         self.policy = policy
+        self.batch_auctions = batch_auctions
         self._auctions: dict[str, dict[str, TaskAuction]] = {}
         self._outcomes: dict[str, AllocationOutcome] = {}
         self._callbacks: dict[str, Callable[[AllocationOutcome], None]] = {}
@@ -165,6 +184,22 @@ class AuctionManager:
         if not auctions:
             # An empty workflow (goals already satisfied) allocates trivially.
             self._complete(workflow_id)
+            return
+
+        if self.batch_auctions:
+            calls = tuple(
+                TaskCall(task=auction.task, earliest_start=auction.earliest_start)
+                for auction in auctions.values()
+            )
+            for participant in sorted(participant_set):
+                self._send(
+                    CallForBidsBatch(
+                        sender=self.host_id,
+                        recipient=participant,
+                        workflow_id=workflow_id,
+                        calls=calls,
+                    )
+                )
             return
 
         for task_name, auction in auctions.items():
@@ -208,28 +243,58 @@ class AuctionManager:
     def handle_bid(self, message: BidMessage) -> None:
         """Record a firm bid and re-evaluate the tentative allocation."""
 
-        auction = self._find_auction(message.workflow_id, message.task_name)
-        if auction is None or auction.finalized:
-            return
-        outcome = self._outcomes[message.workflow_id]
-        outcome.bids_received += 1
-        bid = Bid.from_message(message)
-        auction.bids.append(bid)
-        self._reevaluate_tentative(message.workflow_id, auction)
-        if auction.all_responded():
-            self._finalize(message.workflow_id, auction)
+        self._apply_bid(message.workflow_id, Bid.from_message(message))
 
     def handle_decline(self, message: BidDeclined) -> None:
         """Record an explicit decline; may complete the auction for the task."""
 
-        auction = self._find_auction(message.workflow_id, message.task_name)
+        self._apply_decline(message.workflow_id, message.task_name, message.sender)
+
+    def handle_bid_batch(self, message: BidBatch) -> None:
+        """Unpack a participant's combined answer into per-task bids/declines.
+
+        Each entry goes through the same recording path as an individual
+        :class:`~repro.net.messages.BidMessage` /
+        :class:`~repro.net.messages.BidDeclined`, in batch order, so the
+        auction state evolves exactly as if the messages had arrived
+        back-to-back.
+        """
+
+        for offer in message.bids:
+            self._apply_bid(
+                message.workflow_id,
+                Bid(
+                    bidder=message.sender,
+                    task_name=offer.task_name,
+                    specialization=offer.specialization,
+                    proposed_start=offer.proposed_start,
+                    travel_time=offer.travel_time,
+                    response_deadline=offer.response_deadline,
+                ),
+            )
+        for decline in message.declines:
+            self._apply_decline(message.workflow_id, decline.task_name, message.sender)
+
+    def _apply_bid(self, workflow_id: str, bid: Bid) -> None:
+        auction = self._find_auction(workflow_id, bid.task_name)
         if auction is None or auction.finalized:
             return
-        outcome = self._outcomes[message.workflow_id]
-        outcome.declines_received += 1
-        auction.declines.add(message.sender)
+        outcome = self._outcomes[workflow_id]
+        outcome.bids_received += 1
+        auction.bids.append(bid)
+        self._reevaluate_tentative(workflow_id, auction)
         if auction.all_responded():
-            self._finalize(message.workflow_id, auction)
+            self._finalize(workflow_id, auction)
+
+    def _apply_decline(self, workflow_id: str, task_name: str, sender: str) -> None:
+        auction = self._find_auction(workflow_id, task_name)
+        if auction is None or auction.finalized:
+            return
+        outcome = self._outcomes[workflow_id]
+        outcome.declines_received += 1
+        auction.declines.add(sender)
+        if auction.all_responded():
+            self._finalize(workflow_id, auction)
 
     def handle_award_rejected(self, message: AwardRejected) -> None:
         """Re-allocate a task whose winner could no longer honour its bid."""
@@ -293,38 +358,80 @@ class AuctionManager:
     def _complete(self, workflow_id: str) -> None:
         outcome = self._outcomes[workflow_id]
         outcome.completed_at = self.scheduler.clock.now()
-        workflow = self._workflows[workflow_id]
         auctions = self._auctions[workflow_id]
         if outcome.succeeded or outcome.allocation:
-            for auction in auctions.values():
-                if auction.winner is not None:
-                    self._send_award(workflow_id, auction)
+            if self.batch_auctions:
+                self._send_award_batches(workflow_id, auctions)
+            else:
+                for auction in auctions.values():
+                    if auction.winner is not None:
+                        self._send_award(workflow_id, auction)
         callback = self._callbacks.get(workflow_id)
         if callback is not None:
             callback(outcome)
 
-    def _send_award(self, workflow_id: str, auction: TaskAuction) -> None:
+    def _send_award_batches(
+        self, workflow_id: str, auctions: Mapping[str, TaskAuction]
+    ) -> None:
+        """One combined award message per winning host.
+
+        Awards are grouped in task order, so each participant converts its
+        wins into commitments in exactly the order it would have processed
+        the individual :class:`~repro.net.messages.AwardMessage`\\ s —
+        schedule-conflict resolution is therefore identical across the two
+        protocols.
+        """
+
+        grouped: dict[str, list[TaskAward]] = {}
+        for auction in auctions.values():
+            if auction.winner is None:
+                continue
+            grouped.setdefault(auction.winner.bidder, []).append(
+                self._award_entry(workflow_id, auction)
+            )
+        for winner, awards in grouped.items():
+            self._send(
+                AwardBatch(
+                    sender=self.host_id,
+                    recipient=winner,
+                    workflow_id=workflow_id,
+                    awards=tuple(awards),
+                )
+            )
+
+    def _award_entry(self, workflow_id: str, auction: TaskAuction) -> TaskAward:
         workflow = self._workflows[workflow_id]
         specification = self._specifications[workflow_id]
         outcome = self._outcomes[workflow_id]
         task = auction.task
         winner = auction.winner
-        if winner is None:
-            return
+        assert winner is not None
         input_sources, trigger_labels = self._input_routing(
             workflow, specification, outcome, task
         )
-        output_destinations = self._output_routing(workflow, outcome, task)
+        return TaskAward(
+            task=task,
+            scheduled_start=max(winner.proposed_start, auction.earliest_start),
+            input_sources=input_sources,
+            output_destinations=self._output_routing(workflow, outcome, task),
+            trigger_labels=trigger_labels,
+        )
+
+    def _send_award(self, workflow_id: str, auction: TaskAuction) -> None:
+        winner = auction.winner
+        if winner is None:
+            return
+        entry = self._award_entry(workflow_id, auction)
         self._send(
             AwardMessage(
                 sender=self.host_id,
                 recipient=winner.bidder,
                 workflow_id=workflow_id,
-                task=task,
-                scheduled_start=max(winner.proposed_start, auction.earliest_start),
-                input_sources=input_sources,
-                output_destinations=output_destinations,
-                trigger_labels=trigger_labels,
+                task=entry.task,
+                scheduled_start=entry.scheduled_start,
+                input_sources=entry.input_sources,
+                output_destinations=entry.output_destinations,
+                trigger_labels=entry.trigger_labels,
             )
         )
 

@@ -27,12 +27,20 @@ from dataclasses import dataclass, replace
 from ..core.errors import ScheduleConflictError
 from ..execution.engine import ExecutionManager
 from ..execution.services import ServiceManager
+from typing import Mapping
+
+from ..core.tasks import Task
 from ..net.messages import (
+    AwardBatch,
     AwardMessage,
     AwardRejected,
+    BidBatch,
     BidDeclined,
     BidMessage,
     CallForBids,
+    CallForBidsBatch,
+    TaskBidOffer,
+    TaskDecline,
 )
 from ..scheduling.commitments import Commitment
 from ..scheduling.schedule import ScheduleManager
@@ -78,18 +86,24 @@ class AuctionParticipationManager:
         self.statistics = ParticipationStatistics()
 
     # -- bidding ----------------------------------------------------------------
-    def handle_call_for_bids(self, call: CallForBids) -> BidMessage | BidDeclined:
-        """Evaluate a call for bids and produce the host's answer."""
+    def _evaluate_task(
+        self, task: Task | None, earliest_start: float, deadline: float
+    ) -> TaskBidOffer | TaskDecline:
+        """Apply the paper's service-availability conditions to one task.
+
+        Shared by the per-task and batched protocols: the answer (and the
+        participation statistics, which count per *task*, not per message)
+        is identical however the solicitation arrived.
+        """
 
         self.statistics.calls_received += 1
-        task = call.task
         if task is None:
-            return self._decline(call, "call carried no task definition")
+            return self._decline_task("", "call carried no task definition")
 
         # Condition 1: capability.
         if not self.services.provides(task.service_type):
-            return self._decline(
-                call, f"no service of type {task.service_type!r}"
+            return self._decline_task(
+                task.name, f"no service of type {task.service_type!r}"
             )
 
         # Conditions 2, 3, and 5: time, travel, willingness.  Use the service's
@@ -100,67 +114,147 @@ class AuctionParticipationManager:
         )
         slot, reason = self.schedule.can_commit_to(
             effective_task,
-            earliest_start=call.earliest_start,
-            deadline=call.deadline,
+            earliest_start=earliest_start,
+            deadline=deadline,
         )
         if slot is None:
-            return self._decline(call, reason)
+            return self._decline_task(task.name, reason)
 
         self.statistics.bids_submitted += 1
         validity = self.schedule.preferences.bid_validity
-        deadline = (
+        response_deadline = (
             float("inf") if validity == float("inf") else self.clock.now() + validity
         )
-        return BidMessage(
-            sender=self.host_id,
-            recipient=call.sender,
-            workflow_id=call.workflow_id,
+        return TaskBidOffer(
             task_name=task.name,
             specialization=self.services.service_count,
             proposed_start=slot.start,
             travel_time=slot.travel_time,
-            response_deadline=deadline,
+            response_deadline=response_deadline,
         )
 
-    def _decline(self, call: CallForBids, reason: str) -> BidDeclined:
+    def _decline_task(self, task_name: str, reason: str) -> TaskDecline:
         self.statistics.declines_sent += 1
-        return BidDeclined(
+        return TaskDecline(task_name=task_name, reason=reason)
+
+    def handle_call_for_bids(self, call: CallForBids) -> BidMessage | BidDeclined:
+        """Evaluate a call for bids and produce the host's answer."""
+
+        answer = self._evaluate_task(call.task, call.earliest_start, call.deadline)
+        if isinstance(answer, TaskDecline):
+            return BidDeclined(
+                sender=self.host_id,
+                recipient=call.sender,
+                workflow_id=call.workflow_id,
+                task_name=answer.task_name,
+                reason=answer.reason,
+            )
+        return BidMessage(
             sender=self.host_id,
             recipient=call.sender,
             workflow_id=call.workflow_id,
-            task_name=call.task.name if call.task is not None else "",
-            reason=reason,
+            task_name=answer.task_name,
+            specialization=answer.specialization,
+            proposed_start=answer.proposed_start,
+            travel_time=answer.travel_time,
+            response_deadline=answer.response_deadline,
+        )
+
+    def handle_call_for_bids_batch(self, batch: CallForBidsBatch) -> BidBatch:
+        """Evaluate every solicited task and answer with one combined message.
+
+        Bids do not reserve schedule slots (only awards do), so the tasks
+        are evaluated independently and the combined answer matches what
+        per-task calls would have produced.
+        """
+
+        bids: list[TaskBidOffer] = []
+        declines: list[TaskDecline] = []
+        for call in batch.calls:
+            answer = self._evaluate_task(call.task, call.earliest_start, call.deadline)
+            if isinstance(answer, TaskDecline):
+                declines.append(answer)
+            else:
+                bids.append(answer)
+        return BidBatch(
+            sender=self.host_id,
+            recipient=batch.sender,
+            workflow_id=batch.workflow_id,
+            bids=tuple(bids),
+            declines=tuple(declines),
         )
 
     # -- award handling -------------------------------------------------------------
     def handle_award(self, award: AwardMessage) -> AwardRejected | Commitment:
         """Turn an award into a commitment (or reject it when no longer feasible)."""
 
-        task = award.task
+        return self._accept_award(
+            workflow_id=award.workflow_id,
+            initiator=award.sender,
+            task=award.task,
+            scheduled_start=award.scheduled_start,
+            input_sources=award.input_sources,
+            output_destinations=award.output_destinations,
+            trigger_labels=award.trigger_labels,
+        )
+
+    def handle_award_batch(
+        self, batch: AwardBatch
+    ) -> list[AwardRejected | Commitment]:
+        """Accept every award in the batch, in batch (= task) order.
+
+        Each entry goes through the same commitment logic as an individual
+        :class:`~repro.net.messages.AwardMessage`; rejections come back as
+        :class:`~repro.net.messages.AwardRejected` messages the caller must
+        send, exactly as for single awards.
+        """
+
+        return [
+            self._accept_award(
+                workflow_id=batch.workflow_id,
+                initiator=batch.sender,
+                task=entry.task,
+                scheduled_start=entry.scheduled_start,
+                input_sources=entry.input_sources,
+                output_destinations=entry.output_destinations,
+                trigger_labels=entry.trigger_labels,
+            )
+            for entry in batch.awards
+        ]
+
+    def _accept_award(
+        self,
+        workflow_id: str,
+        initiator: str,
+        task: Task | None,
+        scheduled_start: float,
+        input_sources: Mapping[str, str],
+        output_destinations: Mapping[str, tuple[str, ...]],
+        trigger_labels: frozenset[str],
+    ) -> AwardRejected | Commitment:
         if task is None:
             self.statistics.awards_rejected += 1
             return AwardRejected(
                 sender=self.host_id,
-                recipient=award.sender,
-                workflow_id=award.workflow_id,
+                recipient=initiator,
+                workflow_id=workflow_id,
                 task_name="",
                 reason="award carried no task definition",
             )
 
-        duration = max(task.duration, self.services.expected_duration(task))
-        start = max(award.scheduled_start, self.clock.now())
+        start = max(scheduled_start, self.clock.now())
         travel = self.schedule.travel_time_to(task.location, at_time=start)
         commitment = Commitment(
             task=task,
-            workflow_id=award.workflow_id,
+            workflow_id=workflow_id,
             start=start,
             travel_time=min(travel, start),
-            input_sources=dict(award.input_sources),
+            input_sources=dict(input_sources),
             output_destinations={
-                label: tuple(hosts) for label, hosts in award.output_destinations.items()
+                label: tuple(hosts) for label, hosts in output_destinations.items()
             },
-            trigger_labels=frozenset(award.trigger_labels),
-            initiator=award.sender,
+            trigger_labels=frozenset(trigger_labels),
+            initiator=initiator,
         )
         try:
             self.schedule.add_commitment(commitment)
@@ -173,23 +267,15 @@ class AuctionParticipationManager:
                 self.statistics.awards_rejected += 1
                 return AwardRejected(
                     sender=self.host_id,
-                    recipient=award.sender,
-                    workflow_id=award.workflow_id,
+                    recipient=initiator,
+                    workflow_id=workflow_id,
                     task_name=task.name,
                     reason="no remaining feasible slot",
                 )
-            commitment = Commitment(
-                task=task,
-                workflow_id=award.workflow_id,
+            commitment = replace(
+                commitment,
                 start=slot.start,
                 travel_time=min(slot.travel_time, slot.start),
-                input_sources=dict(award.input_sources),
-                output_destinations={
-                    label: tuple(hosts)
-                    for label, hosts in award.output_destinations.items()
-                },
-                trigger_labels=frozenset(award.trigger_labels),
-                initiator=award.sender,
             )
             self.schedule.add_commitment(commitment)
 

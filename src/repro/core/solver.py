@@ -184,7 +184,9 @@ class _CacheEntry:
     filter), so a re-solve at the very version the cached result was
     finalized at can replay it without copying the exploration state or
     pruning again — the repeat-workflow fast path of the shared knowledge
-    plane.
+    plane.  ``hits`` counts how often the entry was served; eviction uses
+    it to keep popular specifications resident (see
+    :meth:`MemoizedColoringSolver._evict_one`).
     """
 
     version: int
@@ -192,6 +194,7 @@ class _CacheEntry:
     reached: bool
     result: ConstructionResult | None = None
     result_version: int = -1
+    hits: int = 0
 
 
 class MemoizedColoringSolver(ColoringSolver):
@@ -200,19 +203,36 @@ class MemoizedColoringSolver(ColoringSolver):
     The cache maps ``(graph_id, triggers, goals, filter_token)`` to the
     exploration state and the graph version it was computed at.  On a hit at
     the same version the green phase is skipped entirely; at a newer version
-    only ``supergraph.dirty_since(cached_version)`` is re-seeded.  Entries
-    are evicted LRU once ``max_entries`` is exceeded.
+    only ``supergraph.dirty_since(cached_version)`` is re-seeded.
+
+    The cache is bounded: once ``max_entries`` is exceeded, entries are
+    evicted from the least-recently-used end, but with a *hit-rate-aware
+    keep* — an LRU entry that has served at least ``popular_hit_threshold``
+    hits is given a second chance (its hit count is halved and it rejoins
+    the recently-used end) rather than being dropped, so the exploration
+    state of popular specifications survives bursts of one-off solves.
+    Demotion halves the count, so an entry that stops being asked for is
+    evicted after O(log hits) spared rounds; ``eviction_count`` (exposed as
+    ``"evictions"`` in :meth:`statistics`) reports how many entries were
+    actually dropped.
     """
 
     name = "memoized"
 
     def __init__(
-        self, stop_exploration_early: bool = True, max_entries: int = 256
+        self,
+        stop_exploration_early: bool = True,
+        max_entries: int = 256,
+        popular_hit_threshold: int = 4,
     ) -> None:
         super().__init__(stop_exploration_early=stop_exploration_early)
         if max_entries < 1:
             raise ConfigurationError("max_entries must be at least 1")
+        if popular_hit_threshold < 1:
+            raise ConfigurationError("popular_hit_threshold must be at least 1")
         self.max_entries = max_entries
+        self.popular_hit_threshold = popular_hit_threshold
+        self.eviction_count = 0
         self._cache: OrderedDict[tuple, _CacheEntry] = OrderedDict()
 
     def invalidate(self) -> None:
@@ -220,6 +240,12 @@ class MemoizedColoringSolver(ColoringSolver):
 
     def cache_size(self) -> int:
         return len(self._cache)
+
+    def statistics(self) -> dict[str, int]:
+        stats = super().statistics()
+        stats["evictions"] = self.eviction_count
+        stats["cache_entries"] = len(self._cache)
+        return stats
 
     def solve(
         self,
@@ -262,6 +288,7 @@ class MemoizedColoringSolver(ColoringSolver):
             stats.cache_misses = 1
         else:
             self._cache.move_to_end(key)
+            entry.hits += 1
             dirty = supergraph.dirty_since(entry.version)
             if dirty:
                 entry.reached = constructor.resume_coloring(
@@ -328,7 +355,29 @@ class MemoizedColoringSolver(ColoringSolver):
         self._cache[key] = entry
         self._cache.move_to_end(key)
         while len(self._cache) > self.max_entries:
-            self._cache.popitem(last=False)
+            self._evict_one()
+
+    def _evict_one(self) -> None:
+        """Drop one entry: the least-recently-used *unpopular* one.
+
+        Walks from the LRU end; entries with at least
+        ``popular_hit_threshold`` recorded hits are demoted (hits halved)
+        and re-queued at the recently-used end instead of dropped.  The
+        walk is bounded by the cache size and demotion strictly shrinks hit
+        counts, so it always terminates with an eviction.
+        """
+
+        for _ in range(len(self._cache)):
+            key, entry = next(iter(self._cache.items()))
+            if entry.hits >= self.popular_hit_threshold:
+                entry.hits //= 2
+                self._cache.move_to_end(key)
+                continue
+            del self._cache[key]
+            self.eviction_count += 1
+            return
+        self._cache.popitem(last=False)  # pragma: no cover - defensive
+        self.eviction_count += 1
 
 
 #: Registry of named strategies accepted by ``solver=`` configuration hooks.

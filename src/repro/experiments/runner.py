@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import math
 import os
+import weakref
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import partial
@@ -84,6 +85,10 @@ class TrialTask:
     solver: str | None = None
     policy: str = ""
     initiator_index: int = 0
+    batch_auctions: bool = True
+    """Auction protocol for every host of the trial: batched (one combined
+    message per participant, the default) or the original per-task exchange.
+    Both produce the same allocation; only message counts differ."""
     cohort: str = ""
     """Seed-derivation label; defaults to ``series``.  Tasks that share a
     cohort draw the same specifications and community deals even when their
@@ -203,6 +208,7 @@ def execute_trial(task: TrialTask, timing: str = "wall") -> TrialOutcome:
         network_factory=_network_factory_for(task),
         solver=task.solver,
         mobility_factory=_mobility_factory_for(task, trial_seed),
+        batch_auctions=task.batch_auctions,
     )
     if task.policy:
         policy = _policy_for(task.policy, trial_seed)
@@ -236,6 +242,14 @@ class TrialRunner:
     chunksize:
         Tasks handed to a worker per dispatch; raise it for very large
         sweeps of very short trials.
+
+    One runner owns (at most) **one** process pool, created lazily on the
+    first parallel :meth:`run` and reused by every later call — running all
+    figures through a single runner forks the workers once instead of once
+    per figure, and the workers' per-process workload caches stay warm
+    across figures that share a workload.  Call :meth:`shutdown` (or use
+    the runner as a context manager) to release the workers; a runner whose
+    pool broke discards it and falls back to sequential execution.
     """
 
     def __init__(
@@ -258,6 +272,59 @@ class TrialRunner:
         self.trials_run = 0
         self.parallel_batches = 0
         self.sequential_fallbacks = 0
+        self.pools_created = 0
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_finalizer: weakref.finalize | None = None
+
+    # -- pool lifecycle -----------------------------------------------------
+    def _shared_pool(self) -> ProcessPoolExecutor:
+        """The runner's process pool, created on first use and then reused.
+
+        A finalizer ties the pool's lifetime to the runner's: callers that
+        treat runners as throwaways (``run_figure4(runner=TrialRunner())``)
+        get their workers reclaimed when the runner is collected, matching
+        the old pool-per-run behaviour; long-lived runners should still
+        call :meth:`shutdown` (or use ``with``) for prompt release.
+        """
+
+        if self._pool is None:
+            pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            self._pool = pool
+            # run() is synchronous, so the pool is idle whenever the runner
+            # becomes unreachable; shutdown(wait=True) returns immediately.
+            self._pool_finalizer = weakref.finalize(self, pool.shutdown)
+            self.pools_created += 1
+        return self._pool
+
+    def _detach_pool(self) -> ProcessPoolExecutor | None:
+        pool = self._pool
+        self._pool = None
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        return pool
+
+    def _discard_pool(self) -> None:
+        pool = self._detach_pool()
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def shutdown(self) -> None:
+        """Release the shared worker pool (idempotent; the runner stays usable —
+        the next parallel run simply forks a fresh pool)."""
+
+        pool = self._detach_pool()
+        if pool is not None:
+            pool.shutdown()
+
+    def __enter__(self) -> "TrialRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
 
     # -- execution ----------------------------------------------------------
     def run(self, tasks: Iterable[TrialTask]) -> list[TrialOutcome]:
@@ -270,16 +337,15 @@ class TrialRunner:
         outcomes: list[TrialOutcome] | None = None
         if self.parallel and self.max_workers > 1 and len(task_list) > 1:
             try:
-                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                    outcomes = list(
-                        pool.map(worker, task_list, chunksize=self.chunksize)
-                    )
+                pool = self._shared_pool()
+                outcomes = list(pool.map(worker, task_list, chunksize=self.chunksize))
                 self.parallel_batches += 1
             except (OSError, ImportError, BrokenExecutor):
                 # Pool-infrastructure failure (restricted sandbox, missing
                 # semaphores, killed worker): degrade gracefully.  Errors
                 # raised *by a trial* propagate unchanged.
                 self.sequential_fallbacks += 1
+                self._discard_pool()
                 outcomes = None
         if outcomes is None:
             outcomes = [worker(task) for task in task_list]
@@ -339,6 +405,7 @@ def sweep_tasks(
     policy: str = "",
     workload_seed: int | None = None,
     x_values: Sequence[int] | None = None,
+    batch_auctions: bool = True,
 ) -> list[TrialTask]:
     """Build the task list for one figure series (``runs`` trials per point).
 
@@ -367,6 +434,7 @@ def sweep_tasks(
                     solver=solver,
                     policy=policy,
                     initiator_index=repetition,
+                    batch_auctions=batch_auctions,
                 )
             )
     return tasks

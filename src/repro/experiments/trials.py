@@ -95,13 +95,15 @@ def adhoc_network_factory(
     radio_range: float = 150.0,
     jitter: float = 0.0005,
     multi_hop: bool = False,
+    incremental_grid: bool = True,
 ) -> Callable[[EventScheduler], CommunicationsLayer]:
     """An 802.11g-like ad hoc wireless network.
 
     The default (``multi_hop=False``) matches the paper's Figure 6 setup of
     a few laptops in mutual radio range; pass ``multi_hop=True`` for the
     scaled scenarios where hundreds of hosts relay for each other over
-    AODV-style routes.
+    AODV-style routes.  ``incremental_grid=False`` restores the per-tick
+    snapshot rebuild (the event-driven-maintenance benchmark baseline).
     """
 
     def factory(scheduler: EventScheduler) -> CommunicationsLayer:
@@ -111,6 +113,7 @@ def adhoc_network_factory(
             jitter=jitter,
             multi_hop=multi_hop,
             seed=seed,
+            incremental_grid=incremental_grid,
         )
 
     return factory
@@ -124,6 +127,7 @@ def build_trial_community(
     solver: Solver | str | None = None,
     mobility_factory: Callable[[int], "MobilityModel | Point"] | None = None,
     share_supergraph: bool = True,
+    batch_auctions: bool = True,
 ) -> Community:
     """Set up a community for one trial (fragments/services dealt out randomly).
 
@@ -135,7 +139,9 @@ def build_trial_community(
     scenarios use it to scatter hundreds of mobile hosts over a site.
     ``share_supergraph=False`` restores per-workspace supergraphs on every
     host (the pre-knowledge-plane behaviour, kept for equivalence tests and
-    the discovery-scaling benchmark baseline).
+    the discovery-scaling benchmark baseline), and ``batch_auctions=False``
+    the per-(task, participant) auction protocol (same outcomes, more
+    messages — the allocation-scaling benchmark baseline).
     """
 
     if num_hosts < 1:
@@ -157,6 +163,7 @@ def build_trial_community(
             mobility=mobility,
             solver=solver,
             share_supergraph=share_supergraph,
+            batch_auctions=batch_auctions,
         )
         del host
     return community

@@ -77,6 +77,7 @@ class Community:
         solver: "Solver | str | None" = None,
         share_supergraph: bool = True,
         knowledge_refresh_interval: float = float("inf"),
+        batch_auctions: bool = True,
     ) -> Host:
         """Create a host, attach it to the network, and join it to the community."""
 
@@ -93,6 +94,7 @@ class Community:
             mobility=mobility,
             preferences=preferences,
             construction_mode=construction_mode,
+            batch_auctions=batch_auctions,
             capability_aware=capability_aware,
             enable_recovery=enable_recovery,
             solver=solver,

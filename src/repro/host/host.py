@@ -31,11 +31,14 @@ from ..mobility.geometry import Point
 from ..mobility.locations import LocationDirectory, TravelModel
 from ..mobility.models import MobilityModel
 from ..net.messages import (
+    AwardBatch,
     AwardMessage,
     AwardRejected,
+    BidBatch,
     BidDeclined,
     BidMessage,
     CallForBids,
+    CallForBidsBatch,
     CapabilityQuery,
     CapabilityResponse,
     FragmentQuery,
@@ -77,6 +80,11 @@ class Host:
         (``"batch"`` or ``"incremental"``).
     bid_policy:
         Bid selection policy used when this host acts as auction manager.
+    batch_auctions:
+        When true (the default) this host's auction manager speaks the
+        batched O(participants)-message protocol (one combined
+        call-for-bids / bid / award message per participant); ``False``
+        restores the original per-(task, participant) exchange.
     solver:
         Construction strategy for this host's workflow manager (a
         :class:`~repro.core.solver.Solver`, a registry name, or ``None``
@@ -101,6 +109,7 @@ class Host:
         preferences: ParticipantPreferences = ALWAYS_WILLING,
         construction_mode: str = "batch",
         bid_policy: BidSelectionPolicy = DEFAULT_POLICY,
+        batch_auctions: bool = True,
         capability_aware: bool = False,
         enable_recovery: bool = False,
         solver: "Solver | str | None" = None,
@@ -135,7 +144,11 @@ class Host:
 
         # Construction subsystem.
         self.auction_manager = AuctionManager(
-            host_id, scheduler, self._send, policy=bid_policy
+            host_id,
+            scheduler,
+            self._send,
+            policy=bid_policy,
+            batch_auctions=batch_auctions,
         )
         self.workflow_manager = WorkflowManager(
             host_id,
@@ -225,14 +238,22 @@ class Host:
             self.workflow_manager.handle_capability_response(message)
         elif isinstance(message, CallForBids):
             self._send(self.participation_manager.handle_call_for_bids(message))
+        elif isinstance(message, CallForBidsBatch):
+            self._send(self.participation_manager.handle_call_for_bids_batch(message))
         elif isinstance(message, BidMessage):
             self.auction_manager.handle_bid(message)
+        elif isinstance(message, BidBatch):
+            self.auction_manager.handle_bid_batch(message)
         elif isinstance(message, BidDeclined):
             self.auction_manager.handle_decline(message)
         elif isinstance(message, AwardMessage):
             outcome = self.participation_manager.handle_award(message)
             if isinstance(outcome, AwardRejected):
                 self._send(outcome)
+        elif isinstance(message, AwardBatch):
+            for outcome in self.participation_manager.handle_award_batch(message):
+                if isinstance(outcome, AwardRejected):
+                    self._send(outcome)
         elif isinstance(message, AwardRejected):
             self.auction_manager.handle_award_rejected(message)
         elif isinstance(message, LabelDataMessage):

@@ -23,6 +23,7 @@ ticker.
 
 from __future__ import annotations
 
+import math
 import random
 from bisect import bisect_right
 from dataclasses import dataclass
@@ -32,7 +33,17 @@ from .geometry import Point, Rectangle
 
 
 class MobilityModel(Protocol):
-    """Anything that can report a host's position at a simulated time."""
+    """Anything that can report a host's position at a simulated time.
+
+    Models may additionally implement ``next_move_time(time) -> float``:
+    the earliest simulated instant at or after ``time`` from which the
+    position starts changing again — ``time`` itself while mid-leg (the
+    host is moving continuously), the start of the next leg while pausing
+    at a waypoint, and ``inf`` once the host has come to rest for good.
+    The event-driven network substrate uses it to skip re-evaluating (and
+    re-indexing) hosts that provably have not moved since the last tick; a
+    model without the method is conservatively re-evaluated every tick.
+    """
 
     def position_at(self, time: float) -> Point:
         """The host's position at simulated time ``time`` (seconds)."""
@@ -47,6 +58,9 @@ class StaticMobility:
 
     def position_at(self, time: float) -> Point:
         return self.position
+
+    def next_move_time(self, time: float) -> float:
+        return math.inf
 
 
 class WaypointMobility:
@@ -108,6 +122,22 @@ class WaypointMobility:
         # Past the leg's end: pausing at (or done at) its destination, which
         # is also the origin of the next leg.
         return destination
+
+    def next_move_time(self, time: float) -> float:
+        """When movement (re)starts: ``time`` mid-leg, the next leg's start
+        while pausing, ``inf`` once the final waypoint is reached."""
+
+        if not self._legs:
+            return math.inf
+        if time < self._legs[0][0]:
+            return self._legs[0][0]
+        index = bisect_right(self._leg_starts, time) - 1
+        start, end, _, _ = self._legs[index]
+        if time < end:
+            return time
+        if index + 1 < len(self._legs):
+            return self._legs[index + 1][0]
+        return math.inf
 
     @property
     def final_position(self) -> Point:
@@ -186,6 +216,20 @@ class RandomWaypointMobility:
             return origin.moved_towards(destination, (time - start) * speed)
         # Pausing at the destination until the next leg starts.
         return destination
+
+    def next_move_time(self, time: float) -> float:
+        """When movement (re)starts: ``time`` mid-leg, else the end of the
+        current pause.  Random waypoints wander forever, so never ``inf``;
+        the trajectory is extended (deterministically) as far as needed."""
+
+        time = max(time, 0.0)
+        self._extend_to(time)
+        index = max(bisect_right(self._leg_starts, time) - 1, 0)
+        _, end, _, _, _ = self._legs[index]
+        if time < end:
+            return time
+        # Pausing at the leg's destination; the next leg starts pause later.
+        return end + self._pause
 
     def __repr__(self) -> str:
         return (

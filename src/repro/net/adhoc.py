@@ -24,20 +24,41 @@ on real hardware.
 Scaling architecture
 --------------------
 All geometry flows through a per-timestamp *snapshot*: the first query at a
-simulated instant evaluates every host's mobility model once, indexes the
-positions in a :class:`~repro.net.spatial.SpatialGridIndex`, and memoizes
-neighbour sets, connectivity components, and link epochs against that
-snapshot.  Every further query at the same instant — and the discrete event
-simulation batches many (a routing BFS, a broadcast fan-out) at one instant
-— is a dictionary lookup.  ``neighbours_of`` is an O(k) grid query,
+simulated instant evaluates the host positions, indexes them in a
+:class:`~repro.net.spatial.SpatialGridIndex`, and memoizes neighbour sets,
+connectivity components, and link epochs against that snapshot.  Every
+further query at the same instant — and the discrete event simulation
+batches many (a routing BFS, a broadcast fan-out) at one instant — is a
+dictionary lookup.  ``neighbours_of`` is an O(k) grid query,
 ``is_connected`` one O(V+E) component sweep, and cached routes revalidate
-by comparing link epochs instead of walking links.  Pass
-``use_spatial_index=False`` to fall back to the original brute-force scans
-(kept for the grid/brute-force equivalence tests).
+by comparing link epochs instead of walking links.
+
+Event-driven link maintenance (the default, ``incremental_grid=True``)
+makes the *tick boundary* cheap as well.  Instead of discarding the whole
+snapshot when the clock moves, the network keeps a heap of
+``(next-possible-move time, host)`` entries fed by the mobility models'
+``next_move_time`` (leg and pause boundaries straight from the trajectory
+geometry).  Advancing to a new instant pops only the hosts that may have
+moved, re-evaluates just those, relocates them in the grid
+(:meth:`~repro.net.spatial.SpatialGridIndex.move` rehashes only on a cell
+change), and compares each mover's radio disc before and after: when no
+link changed — the overwhelmingly common tick under smooth mobility —
+every memoized neighbour set, component label, and link epoch survives,
+so the tick costs O(moved hosts) instead of an O(n) rebuild.  When links
+did change, only the hosts touching a changed link have their memos
+dropped (their epochs then bump lazily on the next query, exactly as on
+the rebuild path).
+
+Pass ``use_spatial_index=False`` to fall back to the original brute-force
+scans, or ``incremental_grid=False`` to keep the grid but rebuild it every
+tick (the PR-2 behaviour); both reference paths are kept for the
+equivalence property suites and benchmark baselines.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 from typing import Mapping
 
 from ..core.errors import HostUnreachableError
@@ -61,13 +82,28 @@ DEFAULT_ROUTE_DISCOVERY_COST = 0.004  # seconds per hop of RREQ/RREP exchange
 class _Snapshot:
     """Everything the network knows about one simulated instant."""
 
-    __slots__ = ("time", "version", "positions", "grid", "neighbours", "epochs", "components")
+    __slots__ = (
+        "time",
+        "version",
+        "radius",
+        "positions",
+        "grid",
+        "neighbours",
+        "epochs",
+        "components",
+    )
 
     def __init__(
-        self, time: float, version: int, positions: dict[str, Point], grid: SpatialGridIndex
+        self,
+        time: float,
+        version: int,
+        radius: float,
+        positions: dict[str, Point],
+        grid: SpatialGridIndex,
     ) -> None:
         self.time = time
         self.version = version
+        self.radius = radius
         self.positions = positions
         self.grid = grid
         self.neighbours: dict[str, frozenset[str]] = {}
@@ -103,6 +139,14 @@ class AdHocWirelessNetwork(CommunicationsLayer):
         grid snapshot; when false, the original brute-force O(n) scans and
         all-pairs connectivity loop are used.  The flag exists for the
         equivalence tests and the scaling benchmarks' baseline.
+    incremental_grid:
+        When true (the default, and only meaningful with the spatial
+        index), the snapshot is *advanced* across tick boundaries: only
+        hosts whose mobility model reports possible movement are
+        re-evaluated and re-indexed, and geometry memos survive wherever
+        no link changed.  ``False`` restores the PR-2 full rebuild per
+        tick (the reference path for the incremental/rebuild equivalence
+        property suite and the maintenance benchmark baseline).
     """
 
     def __init__(
@@ -116,6 +160,7 @@ class AdHocWirelessNetwork(CommunicationsLayer):
         multi_hop: bool = True,
         seed: int = 0,
         use_spatial_index: bool = True,
+        incremental_grid: bool = True,
     ) -> None:
         super().__init__(scheduler)
         if radio_range <= 0:
@@ -129,6 +174,7 @@ class AdHocWirelessNetwork(CommunicationsLayer):
         self.jitter = jitter
         self.multi_hop = multi_hop
         self.use_spatial_index = use_spatial_index
+        self.incremental_grid = incremental_grid
         self._rng = rng_from_seed(seed)
         self._mobility: dict[str, MobilityModel] = {}
         self._snapshot: _Snapshot | None = None
@@ -138,7 +184,14 @@ class AdHocWirelessNetwork(CommunicationsLayer):
         # last time its epoch was established.
         self._link_epochs: dict[str, int] = {}
         self._epoch_links: dict[str, frozenset[str]] = {}
-        self.snapshots_built = 0
+        # Event-driven maintenance: (next-possible-move time, host) entries.
+        # A host paused until T (or static: never in the heap at all) is not
+        # touched by any snapshot advance before T.
+        self._move_heap: list[tuple[float, str]] = []
+        self.snapshots_built = 0  # snapshots established (rebuilt or advanced)
+        self.grid_rebuilds = 0  # full O(n) rebuilds among them
+        self.hosts_reevaluated = 0  # mobility evaluations during advances
+        self.hosts_moved = 0  # position changes applied incrementally
         self._router = AodvRouter(self.neighbours_of, epoch_of=self.link_epoch)
 
     # -- membership with positions -------------------------------------------
@@ -167,19 +220,128 @@ class AdHocWirelessNetwork(CommunicationsLayer):
     def _current_snapshot(self) -> _Snapshot:
         now = self.scheduler.clock.now()
         snapshot = self._snapshot
-        if snapshot is None or snapshot.time != now or snapshot.version != self._version:
-            positions = {
-                host: self._position_at(host, now) for host in sorted(self.host_ids)
-            }
-            # padded_cell_size keeps range queries on the 3x3 cell block
-            # while covering float-rounding slop at exact-radius distances.
-            grid = SpatialGridIndex(
-                positions, cell_size=padded_cell_size(self.radio_range)
-            )
-            snapshot = _Snapshot(now, self._version, positions, grid)
-            self._snapshot = snapshot
-            self.snapshots_built += 1
+        if snapshot is not None and snapshot.version == self._version:
+            if snapshot.time == now:
+                return snapshot
+            if (
+                self.incremental_grid
+                and self.use_spatial_index
+                and now > snapshot.time
+                # Geometry memos only carry across ticks while the radio
+                # range they were computed for still holds.
+                and snapshot.radius == self.radio_range
+            ):
+                self._advance_snapshot(snapshot, now)
+                self.snapshots_built += 1
+                return snapshot
+        positions = {
+            host: self._position_at(host, now) for host in sorted(self.host_ids)
+        }
+        # padded_cell_size keeps range queries on the 3x3 cell block
+        # while covering float-rounding slop at exact-radius distances.
+        grid = SpatialGridIndex(
+            positions, cell_size=padded_cell_size(self.radio_range)
+        )
+        snapshot = _Snapshot(now, self._version, self.radio_range, positions, grid)
+        self._snapshot = snapshot
+        self.snapshots_built += 1
+        self.grid_rebuilds += 1
+        if self.incremental_grid and self.use_spatial_index:
+            self._rebuild_move_heap(now)
         return snapshot
+
+    # -- event-driven maintenance -------------------------------------------
+    def _next_move_time(self, host_id: str, time: float) -> float:
+        """When ``host_id`` may next change position (``inf`` = never).
+
+        Comes straight from the mobility model's trajectory geometry
+        (current leg / pause boundaries).  A model without
+        ``next_move_time`` is conservatively treated as always moving.
+        """
+
+        mobility = self._mobility.get(host_id)
+        if mobility is None:
+            return math.inf  # never placed: pinned at the origin
+        reporter = getattr(mobility, "next_move_time", None)
+        if reporter is None:
+            return time
+        return reporter(time)
+
+    def _rebuild_move_heap(self, now: float) -> None:
+        heap = [
+            (move_time, host)
+            for host in self.host_ids
+            if (move_time := self._next_move_time(host, now)) < math.inf
+        ]
+        heapq.heapify(heap)
+        self._move_heap = heap
+
+    def _advance_snapshot(self, snapshot: _Snapshot, now: float) -> None:
+        """Carry the snapshot forward to ``now``, touching only movable hosts.
+
+        Hosts whose next-possible-move time lies beyond ``now`` are provably
+        where they were — their positions, neighbour memos, and epochs carry
+        over untouched.  The hosts popped off the heap are re-evaluated; the
+        ones that actually moved are relocated in the grid and their radio
+        discs compared before/after.  Memos are dropped only for hosts
+        incident to a link that appeared or disappeared, and the component
+        labelling only when at least one such link exists.
+        """
+
+        snapshot.time = now
+        heap = self._move_heap
+        if not heap or heap[0][0] >= now:
+            return
+        moved: list[tuple[str, Point]] = []
+        while heap and heap[0][0] < now:
+            _, host = heapq.heappop(heap)
+            old = snapshot.positions.get(host)
+            if old is None:
+                continue  # stale entry from before a membership change
+            self.hosts_reevaluated += 1
+            new = self._position_at(host, now)
+            next_time = self._next_move_time(host, now)
+            if next_time < math.inf:
+                heapq.heappush(heap, (next_time, host))
+            if new != old:
+                moved.append((host, new))
+        if not moved:
+            return
+        self.hosts_moved += len(moved)
+        grid = snapshot.grid
+        if len(moved) * 4 >= len(snapshot.positions):
+            # Most of the population moved: comparing every mover's radio
+            # disc would cost more than the lazy recomputation it tries to
+            # save.  Apply the moves (still O(moved) grid work, no O(n)
+            # rebuild) and drop the geometry memos wholesale — queries then
+            # recompute lazily, exactly as on the rebuild path.
+            for host, new in moved:
+                snapshot.positions[host] = new
+                grid.move(host, new)
+            snapshot.neighbours.clear()
+            snapshot.epochs.clear()
+            snapshot.components = None
+            return
+        radius = self.radio_range
+        # Radio discs on the *old* positions (of every host) first, then
+        # apply all moves, then discs on the new positions: the symmetric
+        # differences are exactly the links that changed across the tick.
+        old_discs = [grid.near(snapshot.positions[host], radius) for host, _ in moved]
+        for host, new in moved:
+            snapshot.positions[host] = new
+            grid.move(host, new)
+        changed: set[str] = set()
+        for (host, new), old_disc in zip(moved, old_discs):
+            delta = grid.near(new, radius) ^ old_disc
+            if delta:
+                changed.add(host)
+                changed |= delta
+        if not changed:
+            return  # every mover kept its exact link set: all memos survive
+        snapshot.components = None
+        for host in changed:
+            snapshot.neighbours.pop(host, None)
+            snapshot.epochs.pop(host, None)
 
     def position_of(self, host_id: str) -> Point:
         """Current position of ``host_id`` (origin when never placed)."""
@@ -302,7 +464,11 @@ class AdHocWirelessNetwork(CommunicationsLayer):
             # the first host missing a neighbour.
             expected = len(hosts) - 1
             return all(len(self.neighbours_of(host)) == expected for host in hosts)
-        return self._current_snapshot().grid.is_single_component(self.radio_range)
+        # Answer from the memoized component labelling: one BFS per snapshot,
+        # shared with is_reachable — and, under event-driven maintenance,
+        # carried across ticks in which no link changed.
+        labels = self._component_labels()
+        return len(set(labels.values())) <= 1
 
     # -- latency --------------------------------------------------------------------
     def latency_for(self, message: Message) -> float:

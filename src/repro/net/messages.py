@@ -277,6 +277,109 @@ class AwardRejected(Message):
 
 
 # ---------------------------------------------------------------------------
+# Batched auction messages (one combined message per participant)
+# ---------------------------------------------------------------------------
+#
+# The per-task protocol above costs O(tasks x participants) messages per
+# workflow; on a wireless medium the per-message envelope and MAC overhead
+# dominate for the small control payloads involved.  The batched protocol
+# combines everything the auction manager says to one participant — every
+# call for bids, and later every award that participant won — into a single
+# message, and the participant's answer (firm bids and declines for all
+# tasks) into a single reply, so a workflow costs O(participants) messages.
+# The payload entries below are plain frozen records, not messages: only the
+# enclosing batch crosses the communications layer.
+
+
+@dataclass(frozen=True)
+class TaskCall:
+    """One task's solicitation inside a :class:`CallForBidsBatch`."""
+
+    task: Task
+    earliest_start: float = 0.0
+    deadline: float = float("inf")
+
+
+@dataclass(frozen=True)
+class TaskBidOffer:
+    """One task's firm bid inside a :class:`BidBatch` (see :class:`BidMessage`)."""
+
+    task_name: str
+    specialization: int = 0
+    proposed_start: float = 0.0
+    travel_time: float = 0.0
+    response_deadline: float = float("inf")
+
+
+@dataclass(frozen=True)
+class TaskDecline:
+    """One task's explicit decline inside a :class:`BidBatch`."""
+
+    task_name: str
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class TaskAward:
+    """One task's award (with routing) inside an :class:`AwardBatch`."""
+
+    task: Task
+    scheduled_start: float = 0.0
+    input_sources: Mapping[str, str] = field(default_factory=dict)
+    output_destinations: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+    trigger_labels: frozenset[str] = frozenset()
+
+    def payload_bytes(self) -> int:
+        return estimate_task_bytes(self.task) + _LABEL_BYTES * (
+            len(self.input_sources) + len(self.output_destinations)
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class CallForBidsBatch(Message):
+    """The auction manager solicits bids for *every* task in one message.
+
+    Semantically equivalent to one :class:`CallForBids` per entry of
+    ``calls``; the recipient answers with a single :class:`BidBatch`.
+    """
+
+    workflow_id: str = ""
+    calls: tuple[TaskCall, ...] = ()
+
+    def _payload_bytes(self) -> int:
+        return sum(estimate_task_bytes(call.task) + 16 for call in self.calls)
+
+
+@dataclass(frozen=True, repr=False)
+class BidBatch(Message):
+    """A participant's combined answer to a :class:`CallForBidsBatch`.
+
+    Carries one :class:`TaskBidOffer` per task the participant can do and
+    one :class:`TaskDecline` per task it cannot, in the order of the
+    soliciting batch, so the auction manager records exactly the same bids
+    and declines it would have received as individual messages.
+    """
+
+    workflow_id: str = ""
+    bids: tuple[TaskBidOffer, ...] = ()
+    declines: tuple[TaskDecline, ...] = ()
+
+    def _payload_bytes(self) -> int:
+        return _BID_BYTES * len(self.bids) + 16 * len(self.declines)
+
+
+@dataclass(frozen=True, repr=False)
+class AwardBatch(Message):
+    """Every task one participant won, awarded (with routing) in one message."""
+
+    workflow_id: str = ""
+    awards: tuple[TaskAward, ...] = ()
+
+    def _payload_bytes(self) -> int:
+        return sum(award.payload_bytes() for award in self.awards)
+
+
+# ---------------------------------------------------------------------------
 # Inter-service (execution phase) messages
 # ---------------------------------------------------------------------------
 

@@ -14,10 +14,14 @@ the local host density k rather than O(n).  Connectivity becomes a single
 breadth-first sweep over the grid (O(V + E) in the radio graph) instead of
 all-pairs routing.
 
-The index is immutable: it snapshots one instant of simulated time.  The
-network layer builds one snapshot per timestamp and throws it away when the
-clock moves, which matches how the discrete event simulation batches many
-queries (one routing BFS, one broadcast fan-out) at the same instant.
+The index snapshots one instant of simulated time.  The network layer
+builds one snapshot when the membership changes and then *advances* it in
+place as the clock moves: :meth:`SpatialGridIndex.move` relocates a single
+host and rehashes it only when its cell actually changed, so a tick in
+which k hosts moved costs O(k) — not an O(n) rebuild.  Within one instant
+the index is read-only, which matches how the discrete event simulation
+batches many queries (one routing BFS, one broadcast fan-out) at the same
+instant.
 
 Choosing ``cell_size``: the query cost is (cells scanned) × (hosts per
 cell).  ``cell_size == radius`` scans 9 cells and is the sweet spot when
@@ -107,6 +111,27 @@ class SpatialGridIndex:
 
     def _cell_of(self, point: Point) -> _Cell:
         return (int(point.x // self.cell_size), int(point.y // self.cell_size))
+
+    # -- incremental maintenance --------------------------------------------
+    def move(self, host_id: str, point: Point) -> None:
+        """Relocate one indexed host, rehashing only when its cell changed.
+
+        The common case under smooth mobility — a host drifting within its
+        current cell — updates one dict entry and touches no bucket.  A
+        bucket that empties is deleted so the cell table never outgrows the
+        live population.
+        """
+
+        old_cell = self._cell_of(self._positions[host_id])
+        self._positions[host_id] = point
+        new_cell = self._cell_of(point)
+        if new_cell == old_cell:
+            return
+        bucket = self._cells[old_cell]
+        bucket.remove(host_id)
+        if not bucket:
+            del self._cells[old_cell]
+        self._cells.setdefault(new_cell, []).append(host_id)
 
     # -- range queries ------------------------------------------------------
     def near(self, point: Point, radius: float) -> frozenset[str]:

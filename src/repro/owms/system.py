@@ -77,6 +77,10 @@ class OpenWorkflowSystem:
         safe, cache keys include the graph identity), a registry name such
         as ``"coloring"`` or ``"memoized"``, or ``None`` for the default
         memoized incremental engine.
+    batch_auctions:
+        Auction protocol installed on every deployed device: batched
+        O(participants) messaging (the default) or the original
+        per-(task, participant) exchange (``False``).
     """
 
     def __init__(
@@ -84,10 +88,12 @@ class OpenWorkflowSystem:
         network_factory: Callable[[EventScheduler], CommunicationsLayer] | None = None,
         capability_aware: bool = True,
         solver: "Solver | str | None" = None,
+        batch_auctions: bool = True,
     ) -> None:
         self.community = Community(network_factory=network_factory)
         self.capability_aware = capability_aware
         self.solver = solver
+        self.batch_auctions = batch_auctions
 
     # -- deployment ------------------------------------------------------------
     def add_device(
@@ -101,6 +107,7 @@ class OpenWorkflowSystem:
         solver: "Solver | str | None" = None,
         share_supergraph: bool = True,
         knowledge_refresh_interval: float = float("inf"),
+        batch_auctions: bool | None = None,
     ) -> Host:
         """Install the middleware on a new device and join it to the community."""
 
@@ -115,6 +122,9 @@ class OpenWorkflowSystem:
             solver=solver if solver is not None else self.solver,
             share_supergraph=share_supergraph,
             knowledge_refresh_interval=knowledge_refresh_interval,
+            batch_auctions=(
+                self.batch_auctions if batch_auctions is None else batch_auctions
+            ),
         )
 
     def deploy_device_config(self, config: DeviceConfig) -> Host:

@@ -15,7 +15,18 @@ from repro.allocation.bids import (
 from repro.core.specification import Specification
 from repro.core.tasks import Task
 from repro.core.workflow import Workflow
-from repro.net.messages import AwardMessage, BidDeclined, BidMessage, CallForBids
+from repro.net.messages import (
+    AwardBatch,
+    AwardMessage,
+    AwardRejected,
+    BidBatch,
+    BidDeclined,
+    BidMessage,
+    CallForBids,
+    CallForBidsBatch,
+    TaskBidOffer,
+    TaskDecline,
+)
 from repro.sim.events import EventScheduler
 
 
@@ -79,10 +90,18 @@ class TestPolicies:
         assert converted.response_deadline == 99.0
 
 
-def make_auction(policy=None):
+def make_auction(policy=None, batch_auctions=False):
+    # These tests exercise the classic per-(task, participant) protocol
+    # directly; the batched protocol has its own class below.
     scheduler = EventScheduler()
     sent: list = []
-    manager = AuctionManager("initiator", scheduler, sent.append, policy=policy or SpecializationPolicy())
+    manager = AuctionManager(
+        "initiator",
+        scheduler,
+        sent.append,
+        policy=policy or SpecializationPolicy(),
+        batch_auctions=batch_auctions,
+    )
     return manager, scheduler, sent
 
 
@@ -204,3 +223,119 @@ class TestAuctionManager:
                                       task_name="t1", specialization=0))
         assert outcomes[0].allocation["t1"] == "x"
         assert outcomes[0].bids_received == 2
+
+
+class TestBatchedAuctionManager:
+    """The batched protocol: O(participants) messages, identical outcomes."""
+
+    def run_batched_and_unbatched(self):
+        results = []
+        for batched in (True, False):
+            manager, _, sent = make_auction(batch_auctions=batched)
+            outcomes: list[AllocationOutcome] = []
+            manager.start_auction(
+                "w", simple_workflow(), SPEC, ["initiator", "x", "y"], outcomes.append
+            )
+            if batched:
+                for sender, specialization in (("x", 1), ("y", 5)):
+                    manager.handle_bid_batch(
+                        BidBatch(
+                            sender=sender,
+                            recipient="initiator",
+                            workflow_id="w",
+                            bids=tuple(
+                                TaskBidOffer(task_name=t, specialization=specialization)
+                                for t in ("t1", "t2")
+                            ),
+                        )
+                    )
+                manager.handle_bid_batch(
+                    BidBatch(
+                        sender="initiator",
+                        recipient="initiator",
+                        workflow_id="w",
+                        declines=tuple(
+                            TaskDecline(task_name=t, reason="busy") for t in ("t1", "t2")
+                        ),
+                    )
+                )
+            else:
+                for task in ("t1", "t2"):
+                    manager.handle_bid(BidMessage(sender="x", recipient="initiator",
+                                                  workflow_id="w", task_name=task,
+                                                  specialization=1))
+                    manager.handle_bid(BidMessage(sender="y", recipient="initiator",
+                                                  workflow_id="w", task_name=task,
+                                                  specialization=5))
+                    manager.handle_decline(BidDeclined(sender="initiator",
+                                                       recipient="initiator",
+                                                       workflow_id="w", task_name=task,
+                                                       reason="busy"))
+            assert len(outcomes) == 1
+            results.append((outcomes[0], sent))
+        return results
+
+    def test_one_call_message_per_participant(self):
+        manager, _, sent = make_auction(batch_auctions=True)
+        manager.start_auction(
+            "w", simple_workflow(), SPEC, ["initiator", "x", "y"], lambda o: None
+        )
+        calls = [m for m in sent if isinstance(m, CallForBidsBatch)]
+        assert len(calls) == 3  # one per participant, not per (task, participant)
+        assert not [m for m in sent if isinstance(m, CallForBids)]
+        assert {c.recipient for c in calls} == {"initiator", "x", "y"}
+        for call in calls:
+            assert [entry.task.name for entry in call.calls] == ["t1", "t2"]
+
+    def test_batched_outcome_matches_unbatched(self):
+        (batched, batched_sent), (unbatched, unbatched_sent) = (
+            self.run_batched_and_unbatched()
+        )
+        batched_dict = batched.as_dict()
+        unbatched_dict = unbatched.as_dict()
+        assert batched_dict == unbatched_dict
+        assert batched.winning_bids == unbatched.winning_bids
+        # Both tasks go to the specialist, in one combined award message.
+        award_batches = [m for m in batched_sent if isinstance(m, AwardBatch)]
+        assert len(award_batches) == 1
+        assert award_batches[0].recipient == "x"
+        assert [a.task.name for a in award_batches[0].awards] == ["t1", "t2"]
+        assert len([m for m in unbatched_sent if isinstance(m, AwardMessage)]) == 2
+
+    def test_award_batch_routing_matches_single_awards(self):
+        (_, batched_sent), (_, unbatched_sent) = self.run_batched_and_unbatched()
+        batch = next(m for m in batched_sent if isinstance(m, AwardBatch))
+        singles = {m.task.name: m for m in unbatched_sent
+                   if isinstance(m, AwardMessage)}
+        for entry in batch.awards:
+            single = singles[entry.task.name]
+            assert entry.scheduled_start == single.scheduled_start
+            assert entry.input_sources == single.input_sources
+            assert entry.output_destinations == single.output_destinations
+            assert entry.trigger_labels == single.trigger_labels
+
+    def test_reaward_after_rejection_stays_per_task(self):
+        manager, _, sent = make_auction(batch_auctions=True)
+        outcomes: list[AllocationOutcome] = []
+        manager.start_auction("w", simple_workflow(), SPEC, ["x", "y"], outcomes.append)
+        for sender, specialization in (("x", 1), ("y", 5)):
+            manager.handle_bid_batch(
+                BidBatch(
+                    sender=sender,
+                    recipient="initiator",
+                    workflow_id="w",
+                    bids=tuple(
+                        TaskBidOffer(task_name=t, specialization=specialization)
+                        for t in ("t1", "t2")
+                    ),
+                )
+            )
+        manager.handle_award_rejected(
+            AwardRejected(sender="x", recipient="initiator", workflow_id="w",
+                          task_name="t1", reason="schedule changed")
+        )
+        outcome = outcomes[0]
+        assert outcome.allocation["t1"] == "y"
+        assert outcome.reallocations == 1
+        reawards = [m for m in sent if isinstance(m, AwardMessage)]
+        assert len(reawards) == 1 and reawards[0].recipient == "y"

@@ -138,3 +138,38 @@ class TestAggregation:
         for summary in summaries.values():
             assert summary.count == 3
             assert summary.minimum <= summary.mean <= summary.maximum
+
+
+class TestSharedPool:
+    def test_one_pool_serves_many_runs(self):
+        runner = TrialRunner(max_workers=2, parallel=True, timing="sim")
+        try:
+            first = runner.run(make_tasks(runs=2))
+            second = runner.run(make_tasks(runs=2))
+            assert [o.result for o in first] == [o.result for o in second]
+            if runner.parallel_batches == 2:
+                # The pool forked once and was reused by the second sweep.
+                assert runner.pools_created == 1
+            else:
+                # Restricted sandbox: the graceful sequential fallback ran.
+                assert runner.sequential_fallbacks > 0
+        finally:
+            runner.shutdown()
+        assert runner._pool is None
+
+    def test_shutdown_is_idempotent_and_context_manager_works(self):
+        with TrialRunner(max_workers=2, parallel=False) as runner:
+            runner.run(make_tasks(runs=1))
+            runner.shutdown()
+            runner.shutdown()
+        assert runner.pools_created == 0  # sequential: no pool ever forked
+
+    def test_batch_auctions_flag_reduces_trial_traffic(self):
+        base = dict(series="flag", x=4, num_tasks=30, num_hosts=4, path_length=4)
+        batched = execute_trial(TrialTask(**base), timing="sim").result
+        unbatched = execute_trial(
+            TrialTask(**base, batch_auctions=False), timing="sim"
+        ).result
+        assert batched is not None and unbatched is not None
+        assert batched.succeeded and unbatched.succeeded
+        assert batched.messages_sent < unbatched.messages_sent

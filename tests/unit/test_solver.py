@@ -221,6 +221,41 @@ class TestMemoizedColoringSolver:
         for goal in ("L1", "L2", "L3"):
             solver.solve(graph, Specification(["L0"], [goal]))
         assert solver.cache_size() == 2
+        assert solver.eviction_count == 1
+        assert solver.statistics()["evictions"] == 1
+        assert solver.statistics()["cache_entries"] == 2
+
+    def test_popular_entries_survive_eviction_pressure(self):
+        solver = MemoizedColoringSolver(max_entries=2, popular_hit_threshold=2)
+        graph = Supergraph(chain_fragments(6))
+        popular = Specification(["L0"], ["L1"])
+        solver.solve(graph, popular)
+        for _ in range(4):  # rack up hits: the entry is now "popular"
+            solver.solve(graph, popular)
+        # A burst of one-off specifications would evict a plain LRU entry...
+        for goal in ("L2", "L3", "L4", "L5"):
+            solver.solve(graph, Specification(["L0"], [goal]))
+        assert solver.eviction_count > 0
+        # ... but the popular entry is still resident: re-solving it is a
+        # pure hit with zero colouring work.
+        result = solver.solve(graph, popular)
+        assert result.statistics.cache_hits == 1
+        assert result.statistics.nodes_recolored == 0
+
+    def test_unpopular_entries_are_the_ones_evicted(self):
+        solver = MemoizedColoringSolver(max_entries=2, popular_hit_threshold=2)
+        graph = Supergraph(chain_fragments(4))
+        one_off = Specification(["L0"], ["L1"])
+        solver.solve(graph, one_off)  # zero hits: evictable
+        solver.solve(graph, Specification(["L0"], ["L2"]))
+        solver.solve(graph, Specification(["L0"], ["L3"]))  # forces an eviction
+        assert solver.cache_size() == 2
+        result = solver.solve(graph, one_off)  # back in: had to be re-explored
+        assert result.statistics.cache_misses == 1
+
+    def test_popular_hit_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            MemoizedColoringSolver(popular_hit_threshold=0)
 
     def test_invalidate_clears_cache(self):
         solver = MemoizedColoringSolver()

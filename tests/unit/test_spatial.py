@@ -239,3 +239,99 @@ class TestLoopbackJitter:
         first = with_loopback.latency_for(Message(sender="a", recipient="b"))
         second = without_loopback.latency_for(Message(sender="a", recipient="b"))
         assert first == second
+
+
+class TestIncrementalMaintenance:
+    """Event-driven snapshot advances (PR 4): O(moved hosts) per tick."""
+
+    def test_static_population_never_rebuilds_after_first_snapshot(self):
+        network, scheduler = make_network()
+        network.neighbours_of("a")
+        assert network.grid_rebuilds == 1
+        for _ in range(5):
+            scheduler.clock.advance(1.0)
+            network.neighbours_of("a")
+        assert network.grid_rebuilds == 1  # advances only
+        assert network.snapshots_built == 6
+        assert network.hosts_reevaluated == 0  # everyone is provably at rest
+
+    def test_only_the_moving_host_is_reevaluated(self):
+        scheduler = EventScheduler()
+        network = AdHocWirelessNetwork(scheduler, radio_range=100.0)
+        for host, place in {"a": Point(0, 0), "b": Point(80, 0)}.items():
+            network.register(host, lambda m: None)
+            network.place_host(host, place)
+        network.register("walker", lambda m: None)
+        network.place_host(
+            "walker", WaypointMobility([Point(0, 300), Point(300, 300)], speed=10.0)
+        )
+        network.neighbours_of("a")
+        scheduler.clock.advance(1.0)
+        network.neighbours_of("a")
+        assert network.grid_rebuilds == 1
+        assert network.hosts_reevaluated == 1  # just the walker
+        assert network.hosts_moved == 1
+
+    def test_paused_walker_is_skipped_until_its_leg_starts(self):
+        scheduler = EventScheduler()
+        network = AdHocWirelessNetwork(scheduler, radio_range=100.0)
+        network.register("anchor", lambda m: None)
+        network.place_host("anchor", Point(0, 0))
+        network.register("walker", lambda m: None)
+        # Pauses 50 s at the first waypoint before walking away.
+        network.place_host(
+            "walker",
+            WaypointMobility([Point(80, 0), Point(400, 0)], speed=10.0, pause=50.0),
+        )
+        assert network.neighbours_of("anchor") == {"walker"}
+        for _ in range(4):
+            scheduler.clock.advance(10.0)
+            network.neighbours_of("anchor")
+        assert network.hosts_reevaluated == 0  # pause end is still ahead
+        scheduler.clock.advance(50.0)  # now inside the leg (t=90)
+        assert network.neighbours_of("anchor") == frozenset()
+        assert network.hosts_reevaluated >= 1
+
+    def test_membership_change_forces_full_rebuild(self):
+        network, scheduler = make_network()
+        network.neighbours_of("a")
+        scheduler.clock.advance(1.0)
+        network.register("d", lambda m: None)
+        network.place_host("d", Point(80, 60))
+        assert network.neighbours_of("b") == {"a", "c", "d"}
+        assert network.grid_rebuilds == 2
+
+    def test_incremental_flag_off_rebuilds_every_tick(self):
+        network, scheduler = make_network(incremental_grid=False)
+        network.neighbours_of("a")
+        for _ in range(3):
+            scheduler.clock.advance(1.0)
+            network.neighbours_of("a")
+        assert network.grid_rebuilds == 4
+        assert network.snapshots_built == 4
+
+    def test_epoch_bump_detected_across_incremental_advance(self):
+        scheduler = EventScheduler()
+        network = AdHocWirelessNetwork(scheduler, radio_range=100.0)
+        network.register("base", lambda m: None)
+        network.place_host("base", Point(0, 0))
+        network.register("mobile", lambda m: None)
+        network.place_host(
+            "mobile", WaypointMobility([Point(50, 0), Point(500, 0)], speed=10.0)
+        )
+        before = network.link_epoch("base")
+        scheduler.clock.advance(40.0)  # mobile walked out of range
+        assert network.grid_rebuilds == 1  # advanced, not rebuilt
+        assert network.link_epoch("base") == before + 1
+
+    def test_grid_move_rehashes_only_on_cell_change(self):
+        grid = SpatialGridIndex({"a": Point(0, 0), "b": Point(50, 0)}, cell_size=100.0)
+        cells_before = grid.occupied_cells
+        grid.move("a", Point(10, 10))  # same cell
+        assert grid.occupied_cells == cells_before
+        assert grid.position_of("a") == Point(10, 10)
+        grid.move("a", Point(250, 250))  # new cell; old one still holds b
+        assert grid.near(Point(250, 250), 10.0) == {"a"}
+        grid.move("b", Point(260, 260))  # empties and deletes the old cell
+        assert grid.occupied_cells == 1
+        assert grid.near(Point(255, 255), 20.0) == {"a", "b"}
