@@ -129,7 +129,16 @@ def main() -> None:
     parser.add_argument(
         "--workers", type=int, default=None, help="process count for --parallel"
     )
+    parser.add_argument(
+        "--no-batch-execution",
+        action="store_true",
+        help=(
+            "run every trial with the original per-label / per-task execution "
+            "protocol instead of the batched one (same outcomes, more messages)"
+        ),
+    )
     args = parser.parse_args()
+    batch_execution = not args.no_batch_execution
     runner = (
         TrialRunner(max_workers=args.workers)
         if args.parallel or args.workers is not None
@@ -145,25 +154,45 @@ def main() -> None:
     try:
         if run_everything or "fig4" in wanted:
             emit(
-                run_figure4(runs=args.runs, seed=args.seed, runner=runner),
+                run_figure4(
+                    runs=args.runs,
+                    seed=args.seed,
+                    runner=runner,
+                    batch_execution=batch_execution,
+                ),
                 args.csv,
                 "figure4.csv",
             )
         if run_everything or "fig5" in wanted:
             emit(
-                run_figure5(runs=args.runs, seed=args.seed, runner=runner),
+                run_figure5(
+                    runs=args.runs,
+                    seed=args.seed,
+                    runner=runner,
+                    batch_execution=batch_execution,
+                ),
                 args.csv,
                 "figure5.csv",
             )
         if run_everything or "fig6" in wanted:
             emit(
-                run_figure6(runs=args.runs, seed=args.seed, runner=runner),
+                run_figure6(
+                    runs=args.runs,
+                    seed=args.seed,
+                    runner=runner,
+                    batch_execution=batch_execution,
+                ),
                 args.csv,
                 "figure6.csv",
             )
         if run_everything or "scaling" in wanted:
             emit(
-                run_adhoc_scaling(runs=args.runs, seed=args.seed, runner=runner),
+                run_adhoc_scaling(
+                    runs=args.runs,
+                    seed=args.seed,
+                    runner=runner,
+                    batch_execution=batch_execution,
+                ),
                 args.csv,
                 "adhoc_scaling.csv",
             )

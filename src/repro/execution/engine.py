@@ -14,6 +14,31 @@ service execution, and publishes any output messages" (Section 4.2).
 Location condition (2) is represented by the travel time already blocked out
 in the commitment: the manager will not fire before ``commitment.start``,
 by which time the travel has taken place.
+
+Scaling architecture
+--------------------
+Trigger dispatch is *indexed*: an inverted index keyed by
+``(workflow_id, label)`` maps every awaited input label to the pending
+invocations that consume it, maintained eagerly on :meth:`watch` and on
+completion (a bucket whose last watcher leaves is deleted, so the index
+never outgrows the pending set — the same index-key rule as
+:class:`~repro.discovery.fragment_index.FragmentIndex`).  Delivering a
+label is O(consumers of that label), not O(pending invocations).
+
+Output publication and progress reporting are *batched* by default
+(``batch_execution=False`` restores the per-label protocol): one
+:class:`~repro.net.messages.LabelBatch` per (firing, destination host)
+instead of one :class:`~repro.net.messages.LabelDataMessage` per
+label x destination, and one
+:class:`~repro.net.messages.WorkflowProgressReport` to the initiator per
+completion *burst* — a completion is buffered while another invocation of
+the same workflow is still executing on this host (that invocation's own
+completion is already scheduled and will flush the report), so a pipeline
+of k tasks run back-to-back on one host reports once instead of k times.
+Failures always flush immediately (carrying any buffered completions) so
+workflow repair is never delayed.  Every batch entry is recorded through
+the same internals as its per-label counterpart, so commitment outcomes
+and repair behaviour are structurally identical across the two protocols.
 """
 
 from __future__ import annotations
@@ -22,12 +47,24 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from ..core.errors import ExecutionError
-from ..net.messages import LabelDataMessage, Message, TaskCompleted, TaskFailed
+from ..net.messages import (
+    LabelBatch,
+    LabelDataMessage,
+    LabelEntry,
+    Message,
+    TaskCompleted,
+    TaskCompletionRecord,
+    TaskFailed,
+    TaskFailureRecord,
+    WorkflowProgressReport,
+)
 from ..scheduling.commitments import Commitment, CommitmentOutcome
 from ..sim.events import EventScheduler
 from .services import ServiceManager
 
 SendFunction = Callable[[Message], None]
+
+_PendingKey = tuple[str, str]
 
 
 @dataclass
@@ -78,6 +115,12 @@ class ExecutionManager:
         The host's service manager, used to actually invoke services.
     send:
         Callback used to hand outgoing messages to the communications layer.
+    batch_execution:
+        When true (the default) outputs are published as one
+        :class:`~repro.net.messages.LabelBatch` per destination host and
+        progress is reported in combined
+        :class:`~repro.net.messages.WorkflowProgressReport` messages;
+        ``False`` restores the original per-label / per-task protocol.
     """
 
     def __init__(
@@ -86,13 +129,31 @@ class ExecutionManager:
         scheduler: EventScheduler,
         services: ServiceManager,
         send: SendFunction,
+        batch_execution: bool = True,
     ) -> None:
         self.host_id = host_id
         self.scheduler = scheduler
         self.services = services
         self._send = send
-        self._pending: dict[tuple[str, str], PendingInvocation] = {}
+        self.batch_execution = batch_execution
+        self._pending: dict[_PendingKey, PendingInvocation] = {}
+        #: Inverted trigger index: (workflow_id, label) -> the pending
+        #: invocations awaiting that label, in watch order.  Buckets are
+        #: ordered dicts used as sets so delivery order matches the old
+        #: linear scan exactly; an emptied bucket is deleted.
+        self._watchers: dict[tuple[str, str], dict[_PendingKey, None]] = {}
+        #: Per-workflow count of invocations currently executing (started,
+        #: not yet completed); used to decide when a completion burst ends.
+        self._running: dict[str, int] = {}
+        #: Completions not yet reported to the initiator, per workflow.
+        self._unsent_completions: dict[str, list[TaskCompletionRecord]] = {}
         self.outcomes: list[CommitmentOutcome] = []
+        #: Label deliveries that matched no pending invocation (late,
+        #: duplicate, or mis-routed data); ``_unreported_unexpected`` holds
+        #: the per-workflow count not yet piggybacked on a progress report
+        #: (popped on flush, so it never outlives the stray traffic).
+        self.unexpected_labels = 0
+        self._unreported_unexpected: dict[str, int] = {}
 
     # -- commitment intake ---------------------------------------------------
     def watch(self, commitment: Commitment) -> PendingInvocation:
@@ -103,6 +164,8 @@ class ExecutionManager:
             return self._pending[key]
         pending = PendingInvocation(commitment)
         self._pending[key] = pending
+        for label in commitment.task.inputs:
+            self._watchers.setdefault((commitment.workflow_id, label), {})[key] = None
         # Time condition: wake up when the scheduled start arrives.  Input
         # messages arriving earlier are recorded but do not trigger execution
         # before the committed time.
@@ -113,6 +176,18 @@ class ExecutionManager:
             description=f"start-window {commitment.task.name}",
         )
         return pending
+
+    def _unwatch(self, key: _PendingKey, commitment: Commitment) -> None:
+        """Remove a finished invocation from the trigger index."""
+
+        for label in commitment.task.inputs:
+            index_key = (commitment.workflow_id, label)
+            bucket = self._watchers.get(index_key)
+            if bucket is None:
+                continue
+            bucket.pop(key, None)
+            if not bucket:
+                del self._watchers[index_key]
 
     def pending_invocations(self) -> list[PendingInvocation]:
         return list(self._pending.values())
@@ -126,20 +201,42 @@ class ExecutionManager:
     def deliver_label(self, message: LabelDataMessage) -> None:
         """Record an input label delivered by another participant."""
 
-        delivered = False
-        for (wid, _), pending in list(self._pending.items()):
-            if wid != message.workflow_id:
+        self._deliver(message.workflow_id, message.label, message.value)
+
+    def handle_label_batch(self, batch: LabelBatch) -> None:
+        """Record every label of a batched delivery, in entry order."""
+
+        for entry in batch.entries:
+            self._deliver(batch.workflow_id, entry.label, entry.value)
+
+    def _deliver(self, workflow_id: str, label: str, value: object) -> None:
+        """Route one delivered label to the invocations awaiting it.
+
+        One O(1) index lookup finds exactly the pending invocations whose
+        task consumes the label; the old code scanned every pending
+        invocation of the host per message.
+        """
+
+        bucket = self._watchers.get((workflow_id, label))
+        if not bucket:
+            # Late or unexpected data; harmless, but worth counting.  Only
+            # the batched protocol reports these to the initiator, so only
+            # it accrues the per-workflow delta (which the flush pops).
+            self.unexpected_labels += 1
+            if self.batch_execution:
+                self._unreported_unexpected[workflow_id] = (
+                    self._unreported_unexpected.get(workflow_id, 0) + 1
+                )
+            return
+        for key in list(bucket):
+            pending = self._pending.get(key)
+            if pending is None:
                 continue
-            if message.label in pending.commitment.task.inputs:
-                pending.received_inputs[message.label] = message.value
-                delivered = True
-                self._maybe_execute((wid, pending.task_name))
-        if not delivered:
-            # Late or unexpected data; harmless, but worth counting for tests.
-            self.unexpected_labels = getattr(self, "unexpected_labels", 0) + 1
+            pending.received_inputs[label] = value
+            self._maybe_execute(key)
 
     # -- condition check and execution ----------------------------------------------
-    def _maybe_execute(self, key: tuple[str, str]) -> None:
+    def _maybe_execute(self, key: _PendingKey) -> None:
         pending = self._pending.get(key)
         if pending is None or pending.started or pending.completed:
             return
@@ -150,6 +247,9 @@ class ExecutionManager:
         if not pending.inputs_satisfied():
             return
         pending.started = True
+        self._running[commitment.workflow_id] = (
+            self._running.get(commitment.workflow_id, 0) + 1
+        )
         duration = max(
             commitment.task.duration, self.services.expected_duration(commitment.task)
         )
@@ -159,11 +259,17 @@ class ExecutionManager:
             description=f"execute {commitment.task.name}",
         )
 
-    def _complete(self, key: tuple[str, str]) -> None:
+    def _complete(self, key: _PendingKey) -> None:
         pending = self._pending.get(key)
         if pending is None or pending.completed:
             return
         commitment = pending.commitment
+        workflow_id = commitment.workflow_id
+        remaining = self._running.get(workflow_id, 1) - 1
+        if remaining:
+            self._running[workflow_id] = remaining
+        else:
+            self._running.pop(workflow_id, None)
         inputs = dict(pending.received_inputs)
         for trigger in commitment.trigger_labels:
             inputs.setdefault(trigger, {"trigger": True})
@@ -181,6 +287,7 @@ class ExecutionManager:
             )
             self._notify_failure(commitment, str(exc))
             self._pending.pop(key, None)
+            self._unwatch(key, commitment)
             return
 
         pending.completed = True
@@ -195,49 +302,83 @@ class ExecutionManager:
         )
         self._notify_initiator(commitment, outputs)
         self._pending.pop(key, None)
+        self._unwatch(key, commitment)
 
     # -- output publication --------------------------------------------------------
     def _publish_outputs(
         self, commitment: Commitment, outputs: Mapping[str, object]
     ) -> frozenset[str]:
+        if self.batch_execution:
+            return self._publish_outputs_batched(commitment, outputs)
         sent: set[str] = set()
         now = self.scheduler.clock.now()
         for label, destinations in commitment.output_destinations.items():
             value = outputs.get(label)
             for destination in destinations:
+                message = LabelDataMessage(
+                    sender=self.host_id,
+                    recipient=destination,
+                    workflow_id=commitment.workflow_id,
+                    label=label,
+                    value=value,
+                    produced_by=self.host_id,
+                    produced_at=now,
+                )
                 if destination == self.host_id:
                     # Local delivery still goes through the same code path the
                     # remote case uses, but without crossing the network.
-                    self.deliver_label(
-                        LabelDataMessage(
-                            sender=self.host_id,
-                            recipient=self.host_id,
-                            workflow_id=commitment.workflow_id,
-                            label=label,
-                            value=value,
-                            produced_by=self.host_id,
-                            produced_at=now,
-                        )
-                    )
+                    self.deliver_label(message)
                 else:
-                    self._send(
-                        LabelDataMessage(
-                            sender=self.host_id,
-                            recipient=destination,
-                            workflow_id=commitment.workflow_id,
-                            label=label,
-                            value=value,
-                            produced_by=self.host_id,
-                            produced_at=now,
-                        )
-                    )
+                    self._send(message)
                 sent.add(label)
         return frozenset(sent)
 
+    def _publish_outputs_batched(
+        self, commitment: Commitment, outputs: Mapping[str, object]
+    ) -> frozenset[str]:
+        """One :class:`LabelBatch` per destination host, labels in the same
+        order the per-label protocol would have sent them."""
+
+        sent: set[str] = set()
+        batches: dict[str, list[LabelEntry]] = {}
+        for label, destinations in commitment.output_destinations.items():
+            value = outputs.get(label)
+            for destination in destinations:
+                batches.setdefault(destination, []).append(LabelEntry(label, value))
+                sent.add(label)
+        now = self.scheduler.clock.now()
+        for destination, entries in batches.items():
+            message = LabelBatch(
+                sender=self.host_id,
+                recipient=destination,
+                workflow_id=commitment.workflow_id,
+                produced_by=self.host_id,
+                produced_at=now,
+                entries=tuple(entries),
+            )
+            if destination == self.host_id:
+                # Local delivery: same internals, no network crossing.
+                self.handle_label_batch(message)
+            else:
+                self._send(message)
+        return frozenset(sent)
+
+    # -- progress reporting --------------------------------------------------------
     def _notify_failure(self, commitment: Commitment, reason: str) -> None:
         """Report an execution failure back to the initiator (repair trigger)."""
 
         if not commitment.initiator:
+            return
+        now = self.scheduler.clock.now()
+        if self.batch_execution:
+            # Failures flush immediately, carrying any buffered completions,
+            # so the initiator can start workflow repair without delay.
+            self._flush_report(
+                commitment,
+                failure=TaskFailureRecord(
+                    task_name=commitment.task.name, failed_at=now, reason=reason
+                ),
+            )
             return
         self._send(
             TaskFailed(
@@ -245,7 +386,7 @@ class ExecutionManager:
                 recipient=commitment.initiator,
                 workflow_id=commitment.workflow_id,
                 task_name=commitment.task.name,
-                failed_at=self.scheduler.clock.now(),
+                failed_at=now,
                 reason=reason,
             )
         )
@@ -255,20 +396,51 @@ class ExecutionManager:
     ) -> None:
         if not commitment.initiator:
             return
-        message = TaskCompleted(
-            sender=self.host_id,
-            recipient=commitment.initiator,
-            workflow_id=commitment.workflow_id,
-            task_name=commitment.task.name,
-            completed_at=self.scheduler.clock.now(),
-            outputs=frozenset(outputs),
+        now = self.scheduler.clock.now()
+        if not self.batch_execution:
+            self._send(
+                TaskCompleted(
+                    sender=self.host_id,
+                    recipient=commitment.initiator,
+                    workflow_id=commitment.workflow_id,
+                    task_name=commitment.task.name,
+                    completed_at=now,
+                    outputs=frozenset(outputs),
+                )
+            )
+            return
+        self._unsent_completions.setdefault(commitment.workflow_id, []).append(
+            TaskCompletionRecord(
+                task_name=commitment.task.name,
+                completed_at=now,
+                outputs=frozenset(outputs),
+            )
         )
-        if commitment.initiator == self.host_id:
-            # The initiator executing its own task records completion locally;
-            # the host wires this callback up at construction time.
-            self._send(message)
-        else:
-            self._send(message)
+        if self._running.get(commitment.workflow_id):
+            # Another invocation of this workflow is executing right now; its
+            # completion is already scheduled and will flush the report, so
+            # this completion rides along instead of paying its own message.
+            return
+        self._flush_report(commitment)
+
+    def _flush_report(
+        self, commitment: Commitment, failure: TaskFailureRecord | None = None
+    ) -> None:
+        """Send one combined progress report for everything unreported."""
+
+        workflow_id = commitment.workflow_id
+        completions = tuple(self._unsent_completions.pop(workflow_id, ()))
+        delta = self._unreported_unexpected.pop(workflow_id, 0)
+        self._send(
+            WorkflowProgressReport(
+                sender=self.host_id,
+                recipient=commitment.initiator,
+                workflow_id=workflow_id,
+                completions=completions,
+                failures=(failure,) if failure is not None else (),
+                unexpected_labels=delta,
+            )
+        )
 
     # -- reporting ---------------------------------------------------------------------
     @property

@@ -89,6 +89,11 @@ class TrialTask:
     """Auction protocol for every host of the trial: batched (one combined
     message per participant, the default) or the original per-task exchange.
     Both produce the same allocation; only message counts differ."""
+    batch_execution: bool = True
+    """Execution protocol for every host of the trial: batched label
+    delivery and per-burst progress reports (the default) or the original
+    per-label / per-task messaging.  Both produce the same commitment
+    outcomes; only message counts differ."""
     cohort: str = ""
     """Seed-derivation label; defaults to ``series``.  Tasks that share a
     cohort draw the same specifications and community deals even when their
@@ -209,6 +214,7 @@ def execute_trial(task: TrialTask, timing: str = "wall") -> TrialOutcome:
         solver=task.solver,
         mobility_factory=_mobility_factory_for(task, trial_seed),
         batch_auctions=task.batch_auctions,
+        batch_execution=task.batch_execution,
     )
     if task.policy:
         policy = _policy_for(task.policy, trial_seed)
@@ -406,6 +412,7 @@ def sweep_tasks(
     workload_seed: int | None = None,
     x_values: Sequence[int] | None = None,
     batch_auctions: bool = True,
+    batch_execution: bool = True,
 ) -> list[TrialTask]:
     """Build the task list for one figure series (``runs`` trials per point).
 
@@ -435,6 +442,7 @@ def sweep_tasks(
                     policy=policy,
                     initiator_index=repetition,
                     batch_auctions=batch_auctions,
+                    batch_execution=batch_execution,
                 )
             )
     return tasks

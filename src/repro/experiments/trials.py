@@ -47,7 +47,9 @@ class TrialResult:
     wall-clock time.  ``fragments_reused`` / ``remotes_skipped`` expose the
     shared knowledge plane's reuse, and ``fragment_messages`` /
     ``fragment_bytes`` the discovery traffic (fragment queries plus
-    responses) the trial actually put on the wire.
+    responses) the trial actually put on the wire.  ``unexpected_labels``
+    sums, over every host of the community, the label deliveries that
+    matched no pending invocation (late or duplicate execution data).
     """
 
     succeeded: bool
@@ -67,6 +69,7 @@ class TrialResult:
     remotes_skipped: int = 0
     fragment_messages: int = 0
     fragment_bytes: int = 0
+    unexpected_labels: int = 0
 
     def deterministic_copy(self) -> "TrialResult":
         """This result with the wall-clock timing components zeroed.
@@ -96,6 +99,7 @@ def adhoc_network_factory(
     jitter: float = 0.0005,
     multi_hop: bool = False,
     incremental_grid: bool = True,
+    predictive_links: bool = True,
 ) -> Callable[[EventScheduler], CommunicationsLayer]:
     """An 802.11g-like ad hoc wireless network.
 
@@ -103,7 +107,9 @@ def adhoc_network_factory(
     a few laptops in mutual radio range; pass ``multi_hop=True`` for the
     scaled scenarios where hundreds of hosts relay for each other over
     AODV-style routes.  ``incremental_grid=False`` restores the per-tick
-    snapshot rebuild (the event-driven-maintenance benchmark baseline).
+    snapshot rebuild (the event-driven-maintenance benchmark baseline) and
+    ``predictive_links=False`` the purely lazy link-epoch maintenance (the
+    predictive-scheduling equivalence baseline).
     """
 
     def factory(scheduler: EventScheduler) -> CommunicationsLayer:
@@ -114,6 +120,7 @@ def adhoc_network_factory(
             multi_hop=multi_hop,
             seed=seed,
             incremental_grid=incremental_grid,
+            predictive_links=predictive_links,
         )
 
     return factory
@@ -128,6 +135,7 @@ def build_trial_community(
     mobility_factory: Callable[[int], "MobilityModel | Point"] | None = None,
     share_supergraph: bool = True,
     batch_auctions: bool = True,
+    batch_execution: bool = True,
 ) -> Community:
     """Set up a community for one trial (fragments/services dealt out randomly).
 
@@ -139,9 +147,10 @@ def build_trial_community(
     scenarios use it to scatter hundreds of mobile hosts over a site.
     ``share_supergraph=False`` restores per-workspace supergraphs on every
     host (the pre-knowledge-plane behaviour, kept for equivalence tests and
-    the discovery-scaling benchmark baseline), and ``batch_auctions=False``
-    the per-(task, participant) auction protocol (same outcomes, more
-    messages — the allocation-scaling benchmark baseline).
+    the discovery-scaling benchmark baseline), ``batch_auctions=False`` the
+    per-(task, participant) auction protocol, and ``batch_execution=False``
+    the per-label / per-task execution protocol (same outcomes, more
+    messages — the allocation- and execution-scaling benchmark baselines).
     """
 
     if num_hosts < 1:
@@ -164,6 +173,7 @@ def build_trial_community(
             solver=solver,
             share_supergraph=share_supergraph,
             batch_auctions=batch_auctions,
+            batch_execution=batch_execution,
         )
         del host
     return community
@@ -229,4 +239,7 @@ def trial_result_from_workspace(
         remotes_skipped=workspace.remotes_skipped,
         fragment_messages=stats.kind_count("FragmentQuery", "FragmentResponse"),
         fragment_bytes=stats.kind_bytes("FragmentQuery", "FragmentResponse"),
+        unexpected_labels=sum(
+            host.execution_manager.unexpected_labels for host in community
+        ),
     )

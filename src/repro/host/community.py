@@ -78,6 +78,7 @@ class Community:
         share_supergraph: bool = True,
         knowledge_refresh_interval: float = float("inf"),
         batch_auctions: bool = True,
+        batch_execution: bool = True,
     ) -> Host:
         """Create a host, attach it to the network, and join it to the community."""
 
@@ -95,6 +96,7 @@ class Community:
             preferences=preferences,
             construction_mode=construction_mode,
             batch_auctions=batch_auctions,
+            batch_execution=batch_execution,
             capability_aware=capability_aware,
             enable_recovery=enable_recovery,
             solver=solver,

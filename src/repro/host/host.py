@@ -43,10 +43,12 @@ from ..net.messages import (
     CapabilityResponse,
     FragmentQuery,
     FragmentResponse,
+    LabelBatch,
     LabelDataMessage,
     Message,
     TaskCompleted,
     TaskFailed,
+    WorkflowProgressReport,
 )
 from ..net.transport import CommunicationsLayer
 from ..scheduling.preferences import ALWAYS_WILLING, ParticipantPreferences
@@ -85,6 +87,11 @@ class Host:
         batched O(participants)-message protocol (one combined
         call-for-bids / bid / award message per participant); ``False``
         restores the original per-(task, participant) exchange.
+    batch_execution:
+        When true (the default) this host's execution manager publishes
+        outputs as one combined label batch per destination host and
+        reports progress in combined per-burst reports; ``False`` restores
+        the original per-label / per-task execution protocol.
     solver:
         Construction strategy for this host's workflow manager (a
         :class:`~repro.core.solver.Solver`, a registry name, or ``None``
@@ -110,6 +117,7 @@ class Host:
         construction_mode: str = "batch",
         bid_policy: BidSelectionPolicy = DEFAULT_POLICY,
         batch_auctions: bool = True,
+        batch_execution: bool = True,
         capability_aware: bool = False,
         enable_recovery: bool = False,
         solver: "Solver | str | None" = None,
@@ -132,7 +140,11 @@ class Host:
             preferences=preferences,
         )
         self.execution_manager = ExecutionManager(
-            host_id, scheduler, self.service_manager, self._send
+            host_id,
+            scheduler,
+            self.service_manager,
+            self._send,
+            batch_execution=batch_execution,
         )
         self.participation_manager = AuctionParticipationManager(
             host_id,
@@ -258,10 +270,14 @@ class Host:
             self.auction_manager.handle_award_rejected(message)
         elif isinstance(message, LabelDataMessage):
             self.execution_manager.deliver_label(message)
+        elif isinstance(message, LabelBatch):
+            self.execution_manager.handle_label_batch(message)
         elif isinstance(message, TaskCompleted):
             self.workflow_manager.handle_task_completed(message)
         elif isinstance(message, TaskFailed):
             self.workflow_manager.handle_task_failed(message)
+        elif isinstance(message, WorkflowProgressReport):
+            self.workflow_manager.handle_progress_report(message)
         # Unknown message kinds are ignored: forward compatibility with
         # extensions that add new protocol messages.
 

@@ -63,6 +63,7 @@ from ..net.messages import (
     Message,
     TaskCompleted,
     TaskFailed,
+    WorkflowProgressReport,
 )
 from ..sim.events import EventScheduler
 from .workspace import Workspace, WorkflowPhase, next_workflow_id
@@ -556,7 +557,28 @@ class WorkflowManager:
         workspace = self._workspaces.get(message.workflow_id)
         if workspace is None:
             return
-        workspace.completed_tasks.add(message.task_name)
+        self._record_completed(workspace, message.task_name)
+
+    def handle_progress_report(self, report: WorkflowProgressReport) -> None:
+        """Apply a batched progress report: completions first, then failures.
+
+        Each record goes through the same internals as its per-message
+        counterpart (:class:`~repro.net.messages.TaskCompleted` /
+        :class:`~repro.net.messages.TaskFailed`), so completion tracking and
+        workflow repair behave identically across the two protocols.
+        """
+
+        workspace = self._workspaces.get(report.workflow_id)
+        if workspace is None:
+            return
+        workspace.unexpected_labels += report.unexpected_labels
+        for completion in report.completions:
+            self._record_completed(workspace, completion.task_name)
+        for failure in report.failures:
+            self._record_failed(workspace, failure.task_name, failure.reason)
+
+    def _record_completed(self, workspace: Workspace, task_name: str) -> None:
+        workspace.completed_tasks.add(task_name)
         if (
             workspace.phase is WorkflowPhase.EXECUTING
             and workspace.all_tasks_completed
@@ -585,10 +607,15 @@ class WorkflowManager:
         workspace = self._workspaces.get(message.workflow_id)
         if workspace is None:
             return
-        workspace.failed_tasks.add(message.task_name)
+        self._record_failed(workspace, message.task_name, message.reason)
+
+    def _record_failed(
+        self, workspace: Workspace, task_name: str, reason: str
+    ) -> None:
+        workspace.failed_tasks.add(task_name)
         if workspace.phase is not WorkflowPhase.FAILED:
             workspace.fail(
-                f"task {message.task_name!r} failed during execution: {message.reason}",
+                f"task {task_name!r} failed during execution: {reason}",
                 self.scheduler.clock.now(),
             )
         if not self.enable_recovery or workspace.repaired_by is not None:
@@ -598,7 +625,7 @@ class WorkflowManager:
         excluded = (
             set(workspace.excluded_tasks)
             | set(workspace.failed_tasks)
-            | {message.task_name}
+            | {task_name}
         )
         repaired = self.submit(
             workspace.specification,

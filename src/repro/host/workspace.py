@@ -87,10 +87,14 @@ class Workspace:
     capability_responses_received: int = 0
     did_full_discovery: bool = False
 
-    # Execution bookkeeping.
+    # Execution bookkeeping.  ``unexpected_labels`` accumulates the
+    # unexpected-delivery counts executors piggyback on their batched
+    # progress reports (always 0 under the per-label protocol, which does
+    # not report them).
     expected_tasks: set[str] = field(default_factory=set)
     completed_tasks: set[str] = field(default_factory=set)
     failed_tasks: set[str] = field(default_factory=set)
+    unexpected_labels: int = 0
 
     # Repair bookkeeping (workflow revision after an execution failure).
     excluded_tasks: set[str] = field(default_factory=set)
@@ -186,6 +190,7 @@ class Workspace:
             "discovery_rounds": self.discovery_rounds,
             "tasks": len(self.expected_tasks),
             "completed_tasks": len(self.completed_tasks),
+            "unexpected_labels": self.unexpected_labels,
             "allocation_sim_seconds": allocation[0] if allocation else None,
             "allocation_wall_seconds": allocation[1] if allocation else None,
             "completion_sim_seconds": completion[0] if completion else None,

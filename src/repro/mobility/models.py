@@ -43,11 +43,34 @@ class MobilityModel(Protocol):
     The event-driven network substrate uses it to skip re-evaluating (and
     re-indexing) hosts that provably have not moved since the last tick; a
     model without the method is conservatively re-evaluated every tick.
+
+    Models built from piecewise-linear trajectories may also implement
+    ``leg_at(time) -> (valid_until, position, velocity)``: the current
+    motion segment as an exact linear function of time — the position at
+    ``time``, the velocity vector (metres/second; ``(0, 0)`` while paused
+    or at rest), and the simulated instant up to which that line holds
+    (the end of the current leg or pause; ``inf`` once at rest for good).
+    The predictive link-break scheduler uses it to compute, in closed
+    form, the instant a live radio link will cross the range boundary; a
+    model without the method simply gets no predictions (the lazy epoch
+    path still catches every change at the next query).
     """
 
     def position_at(self, time: float) -> Point:
         """The host's position at simulated time ``time`` (seconds)."""
         ...
+
+
+def _leg_velocity(origin: Point, destination: Point, speed: float) -> tuple[float, float]:
+    """Velocity vector of a constant-speed leg from ``origin`` to ``destination``."""
+
+    distance = origin.distance_to(destination)
+    if distance == 0.0:
+        return (0.0, 0.0)
+    return (
+        (destination.x - origin.x) / distance * speed,
+        (destination.y - origin.y) / distance * speed,
+    )
 
 
 @dataclass(frozen=True)
@@ -61,6 +84,9 @@ class StaticMobility:
 
     def next_move_time(self, time: float) -> float:
         return math.inf
+
+    def leg_at(self, time: float) -> tuple[float, Point, tuple[float, float]]:
+        return math.inf, self.position, (0.0, 0.0)
 
 
 class WaypointMobility:
@@ -138,6 +164,25 @@ class WaypointMobility:
         if index + 1 < len(self._legs):
             return self._legs[index + 1][0]
         return math.inf
+
+    def leg_at(self, time: float) -> tuple[float, Point, tuple[float, float]]:
+        """The current motion segment: mid-leg it is the leg's line (valid
+        until the leg ends); pausing or done it is a rest at the waypoint
+        (valid until the next leg starts, ``inf`` after the last one)."""
+
+        if not self._legs:
+            return math.inf, self._waypoints[0], (0.0, 0.0)
+        if time < self._legs[0][0]:
+            return self._legs[0][0], self._waypoints[0], (0.0, 0.0)
+        index = bisect_right(self._leg_starts, time) - 1
+        start, end, origin, destination = self._legs[index]
+        if time < end:
+            return end, self.position_at(time), _leg_velocity(
+                origin, destination, self._speed
+            )
+        if index + 1 < len(self._legs):
+            return self._legs[index + 1][0], destination, (0.0, 0.0)
+        return math.inf, destination, (0.0, 0.0)
 
     @property
     def final_position(self) -> Point:
@@ -230,6 +275,24 @@ class RandomWaypointMobility:
             return time
         # Pausing at the leg's destination; the next leg starts pause later.
         return end + self._pause
+
+    def leg_at(self, time: float) -> tuple[float, Point, tuple[float, float]]:
+        """The current motion segment (the trajectory is extended —
+        deterministically — as far as needed): mid-leg the leg's line,
+        otherwise a rest at the destination until the pause ends."""
+
+        time = max(time, 0.0)
+        self._extend_to(time)
+        index = max(bisect_right(self._leg_starts, time) - 1, 0)
+        start, end, origin, destination, speed = self._legs[index]
+        if start <= time < end:
+            return end, self.position_at(time), _leg_velocity(
+                origin, destination, speed
+            )
+        if time < start:
+            return start, origin, (0.0, 0.0)
+        # Pausing at the destination; the next leg starts pause later.
+        return end + self._pause, destination, (0.0, 0.0)
 
     def __repr__(self) -> str:
         return (

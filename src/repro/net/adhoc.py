@@ -49,10 +49,30 @@ did change, only the hosts touching a changed link have their memos
 dropped (their epochs then bump lazily on the next query, exactly as on
 the rebuild path).
 
+Predictive link-break scheduling (the default, ``predictive_links=True``)
+goes one step further for the links that carry traffic: whenever a message
+uses a link (directly or on a cached AODV route), the network derives — in
+closed form, from the two endpoints' current trajectory legs
+(:func:`~repro.net.spatial.link_crossing_time`) — the exact instant that
+link will cross the range boundary, and schedules an epoch-bump event at
+that instant on the shared event scheduler.  When the event fires the
+endpoints' link epochs are re-established *at the crossing time* (the same
+lazy comparison a query would run), so cached routes through the broken
+link start revalidating from the moment the link actually breaks instead
+of whenever the next query happens to land.  Arming is deliberately scoped
+to links on used routes — watching every link of the radio graph would
+cost an event per break across the whole site, almost all of them for
+links no cached state depends on.  Predictions are advisory and bump-only:
+a prediction invalidated by a leg change simply fires without effect (or
+is never armed, when the crossing falls beyond the legs' validity), and
+the lazy comparison at the next query remains the backstop that catches
+every change — so observable geometry is identical with the flag off.
+
 Pass ``use_spatial_index=False`` to fall back to the original brute-force
-scans, or ``incremental_grid=False`` to keep the grid but rebuild it every
-tick (the PR-2 behaviour); both reference paths are kept for the
-equivalence property suites and benchmark baselines.
+scans, ``incremental_grid=False`` to keep the grid but rebuild it every
+tick (the PR-2 behaviour), or ``predictive_links=False`` for purely lazy
+epochs; all reference paths are kept for the equivalence property suites
+and benchmark baselines.
 """
 
 from __future__ import annotations
@@ -68,7 +88,7 @@ from ..sim.events import EventScheduler
 from ..sim.randomness import rng_from_seed
 from .messages import Message
 from .routing import AodvRouter, RouteNotFound
-from .spatial import SpatialGridIndex, padded_cell_size
+from .spatial import SpatialGridIndex, link_crossing_time, padded_cell_size
 from .transport import CommunicationsLayer
 
 # 802.11g nominal characteristics.
@@ -147,6 +167,15 @@ class AdHocWirelessNetwork(CommunicationsLayer):
         no link changed.  ``False`` restores the PR-2 full rebuild per
         tick (the reference path for the incremental/rebuild equivalence
         property suite and the maintenance benchmark baseline).
+    predictive_links:
+        When true (the default), the instant each *used* link (one a
+        message just crossed, directly or on a cached route) will break is
+        computed in closed form from the endpoints' trajectory legs and an
+        epoch-bump event is scheduled at exactly that instant, so route
+        caches start invalidating when their links break instead of lazily
+        at the next query.  ``False`` keeps the purely lazy epoch
+        maintenance (the reference path for the predictive/lazy
+        equivalence suite).
     """
 
     def __init__(
@@ -161,6 +190,7 @@ class AdHocWirelessNetwork(CommunicationsLayer):
         seed: int = 0,
         use_spatial_index: bool = True,
         incremental_grid: bool = True,
+        predictive_links: bool = True,
     ) -> None:
         super().__init__(scheduler)
         if radio_range <= 0:
@@ -175,6 +205,7 @@ class AdHocWirelessNetwork(CommunicationsLayer):
         self.multi_hop = multi_hop
         self.use_spatial_index = use_spatial_index
         self.incremental_grid = incremental_grid
+        self.predictive_links = predictive_links
         self._rng = rng_from_seed(seed)
         self._mobility: dict[str, MobilityModel] = {}
         self._snapshot: _Snapshot | None = None
@@ -188,10 +219,24 @@ class AdHocWirelessNetwork(CommunicationsLayer):
         # A host paused until T (or static: never in the heap at all) is not
         # touched by any snapshot advance before T.
         self._move_heap: list[tuple[float, str]] = []
+        # Predictive link-break scheduling: one armed epoch-bump event per
+        # used link at a time, keyed by the sorted host pair.  The bump
+        # handler never arms new predictions, so the event population is
+        # bounded by the links message traffic actually crossed and the
+        # scheduler always drains once the middleware goes quiet.
+        # ``_no_break_until`` negative-caches the "cannot break on the
+        # current legs" verdict per pair until the legs' validity horizon,
+        # so repeat messages over a static or co-moving link (the common
+        # case) skip the leg lookups and the quadratic entirely.
+        self._armed_links: dict[tuple[str, str], float] = {}
+        self._no_break_until: dict[tuple[str, str], float] = {}
         self.snapshots_built = 0  # snapshots established (rebuilt or advanced)
         self.grid_rebuilds = 0  # full O(n) rebuilds among them
         self.hosts_reevaluated = 0  # mobility evaluations during advances
         self.hosts_moved = 0  # position changes applied incrementally
+        self.link_breaks_predicted = 0  # epoch-bump events armed
+        self.link_break_events = 0  # epoch-bump events fired
+        self.predicted_epoch_bumps = 0  # fired events that advanced an epoch
         self._router = AodvRouter(self.neighbours_of, epoch_of=self.link_epoch)
 
     # -- membership with positions -------------------------------------------
@@ -202,6 +247,7 @@ class AdHocWirelessNetwork(CommunicationsLayer):
     def unregister(self, host_id: str) -> None:
         super().unregister(host_id)
         self._version += 1
+        self._forget_link_verdicts(host_id)
 
     def place_host(self, host_id: str, mobility: MobilityModel | Point) -> None:
         """Attach a mobility model (or a fixed position) to a registered host."""
@@ -210,6 +256,21 @@ class AdHocWirelessNetwork(CommunicationsLayer):
             mobility = StaticMobility(mobility)
         self._mobility[host_id] = mobility
         self._version += 1
+        self._forget_link_verdicts(host_id)
+
+    def _forget_link_verdicts(self, host_id: str) -> None:
+        """Drop cached no-break verdicts involving ``host_id``.
+
+        A re-placed (or departed) host's trajectory no longer backs them;
+        armed events need no cleanup — they fire harmlessly.
+        """
+
+        if self._no_break_until:
+            self._no_break_until = {
+                pair: horizon
+                for pair, horizon in self._no_break_until.items()
+                if host_id not in pair
+            }
 
     def _position_at(self, host_id: str, time: float) -> Point:
         mobility = self._mobility.get(host_id)
@@ -395,6 +456,119 @@ class AdHocWirelessNetwork(CommunicationsLayer):
         snapshot.neighbours[host_id] = neighbours
         return neighbours
 
+    # -- predictive link-break scheduling -----------------------------------
+    def _current_leg(
+        self, host_id: str
+    ) -> tuple[float, Point, tuple[float, float]] | None:
+        """The host's current trajectory leg, or ``None`` when unpredictable."""
+
+        mobility = self._mobility.get(host_id)
+        if mobility is None:
+            # Never placed: pinned at the origin forever.
+            return math.inf, Point(0.0, 0.0), (0.0, 0.0)
+        reporter = getattr(mobility, "leg_at", None)
+        if reporter is None:
+            return None
+        return reporter(self.scheduler.clock.now())
+
+    def _predict_link_break(
+        self, host_a: str, host_b: str, now: float
+    ) -> tuple[float | None, float]:
+        """``(exact break instant or None, no-break horizon)`` for link a-b.
+
+        The instant is exact only while both endpoints stay on their
+        current legs: a crossing that falls beyond either leg's validity is
+        not armed (the lazy epoch comparison catches it at the next query
+        instead), so every armed instant is a true boundary crossing under
+        the geometry known at arming time.  When no crossing can be
+        certified, the horizon is how long that verdict provably holds —
+        the earlier leg boundary, or forever for models that report no
+        legs at all.
+        """
+
+        leg_a = self._current_leg(host_a)
+        leg_b = self._current_leg(host_b)
+        if leg_a is None or leg_b is None:
+            # Unpredictable mobility model: never a certified crossing
+            # (the cache is reset if the host is re-placed).
+            return None, math.inf
+        end_a, position_a, velocity_a = leg_a
+        end_b, position_b, velocity_b = leg_b
+        valid_until = min(end_a, end_b)
+        crossing = link_crossing_time(
+            position_a, velocity_a, position_b, velocity_b, self.radio_range
+        )
+        if not math.isfinite(crossing) or now + crossing > valid_until:
+            return None, valid_until
+        # Nudge past the boundary so the endpoints are strictly out of range
+        # when the event evaluates them (at the root itself the distance is
+        # exactly the radius, which still counts as in range).
+        instant = now + crossing
+        return instant + max(1e-9, instant * 1e-12), valid_until
+
+    def _arm_route_predictions(self, hops: tuple[str, ...]) -> None:
+        """Schedule an epoch-bump at each used link's crossing instant.
+
+        Called for the hop sequence a message just crossed; each link is
+        watched by at most one in-flight event (re-armed on its next use
+        after firing).
+        """
+
+        now = self.scheduler.clock.now()
+        for first, second in zip(hops, hops[1:]):
+            pair = (first, second) if first < second else (second, first)
+            armed = self._armed_links.get(pair)
+            if armed is not None and armed > now:
+                continue  # an event for this link is already in flight
+            horizon = self._no_break_until.get(pair)
+            if horizon is not None and now < horizon:
+                continue  # provably cannot break before `horizon`
+            instant, no_break_until = self._predict_link_break(
+                pair[0], pair[1], now
+            )
+            if instant is None:
+                if no_break_until > now:
+                    self._no_break_until[pair] = no_break_until
+                continue
+            self._no_break_until.pop(pair, None)
+            self._armed_links[pair] = instant
+            self.link_breaks_predicted += 1
+            self.scheduler.schedule_at(
+                max(instant, now),
+                lambda p=pair: self._on_predicted_break(p),
+                description=f"link-break {pair[0]}~{pair[1]}",
+            )
+
+    def _on_predicted_break(self, pair: tuple[str, str]) -> None:
+        """Bump both endpoints' epochs at the predicted crossing instant.
+
+        The bump is O(1) and *advisory*: the counters advance and the
+        endpoints' established link sets are forgotten, so the next route
+        validation through either host sees a changed epoch and re-checks
+        its links — from exactly the instant the link broke, not from the
+        next time a query happened to land.  A misprediction (a leg changed
+        after arming) merely causes one spurious re-check; bumps are never
+        destructive, and the handler arms no new predictions, so events
+        cannot chain and cost nothing beyond the dictionary updates.
+        """
+
+        self._armed_links.pop(pair, None)
+        self.link_break_events += 1
+        if not self.predictive_links:
+            return
+        hosts = self.host_ids
+        for host in pair:
+            if host not in hosts:
+                continue
+            self._link_epochs[host] = self._link_epochs.get(host, 0) + 1
+            # Forget the set the epoch was established against: the next
+            # query re-establishes it (and may bump again — harmless).
+            self._epoch_links.pop(host, None)
+            self.predicted_epoch_bumps += 1
+            snapshot = self._snapshot
+            if snapshot is not None:
+                snapshot.epochs.pop(host, None)
+
     def link_epoch(self, host_id: str) -> int:
         """The host's link epoch: advances whenever its neighbour set changes.
 
@@ -491,6 +665,8 @@ class AdHocWirelessNetwork(CommunicationsLayer):
         if sender == recipient:
             return 0, False
         if self.in_radio_range(sender, recipient):
+            if self.predictive_links:
+                self._arm_route_predictions((sender, recipient))
             return 1, False
         if not self.multi_hop:
             raise HostUnreachableError(
@@ -500,6 +676,8 @@ class AdHocWirelessNetwork(CommunicationsLayer):
             route, cached = self._router.lookup(sender, recipient)
         except RouteNotFound as exc:
             raise HostUnreachableError(str(exc)) from exc
+        if self.predictive_links:
+            self._arm_route_predictions(route.hops)
         return route.hop_count, not cached
 
     # -- maintenance ------------------------------------------------------------------

@@ -428,3 +428,90 @@ class TaskFailed(Message):
 
     def _payload_bytes(self) -> int:
         return 32
+
+
+# ---------------------------------------------------------------------------
+# Batched execution messages (one combined message per firing and receiver)
+# ---------------------------------------------------------------------------
+#
+# The per-label protocol above costs one message per output label per
+# destination, plus one completion/failure notification per task; like the
+# auction control traffic, the per-message envelope and MAC overhead dominate
+# these small payloads on a wireless medium.  The batched execution protocol
+# combines everything one firing says to one host — every output label bound
+# for that destination — into a single :class:`LabelBatch`, and everything a
+# host has to tell the initiator about a workflow's progress — completions
+# accumulated while its own invocations were still running, plus any failure
+# — into a single :class:`WorkflowProgressReport`.  The payload entries are
+# plain frozen records, not messages: only the enclosing batch crosses the
+# communications layer, and every entry is recorded through the exact same
+# execution-manager internals as its per-label counterpart.
+
+
+@dataclass(frozen=True)
+class LabelEntry:
+    """One output label (with its value) inside a :class:`LabelBatch`."""
+
+    label: str
+    value: object = None
+
+
+@dataclass(frozen=True)
+class TaskCompletionRecord:
+    """One task's completion inside a :class:`WorkflowProgressReport`."""
+
+    task_name: str
+    completed_at: float = 0.0
+    outputs: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class TaskFailureRecord:
+    """One task's execution failure inside a :class:`WorkflowProgressReport`."""
+
+    task_name: str
+    failed_at: float = 0.0
+    reason: str = ""
+
+
+@dataclass(frozen=True, repr=False)
+class LabelBatch(Message):
+    """Every output label one firing produced for one destination host.
+
+    Semantically equivalent to one :class:`LabelDataMessage` per entry; the
+    recipient's execution manager records each entry through the same
+    delivery internals, in entry order.
+    """
+
+    workflow_id: str = ""
+    produced_by: str = ""
+    produced_at: float = 0.0
+    entries: tuple[LabelEntry, ...] = ()
+
+    def _payload_bytes(self) -> int:
+        return (_LABEL_BYTES + 64) * len(self.entries)
+
+
+@dataclass(frozen=True, repr=False)
+class WorkflowProgressReport(Message):
+    """A participant's combined execution-progress report to the initiator.
+
+    Carries one :class:`TaskCompletionRecord` per completed commitment the
+    sender had not yet reported and at most one :class:`TaskFailureRecord`
+    (failures flush the report immediately so workflow repair is not
+    delayed).  ``unexpected_labels`` counts label deliveries for this
+    workflow that matched no pending invocation on the sender since its
+    previous report — surfaced initiator-side for diagnostics.
+    """
+
+    workflow_id: str = ""
+    completions: tuple[TaskCompletionRecord, ...] = ()
+    failures: tuple[TaskFailureRecord, ...] = ()
+    unexpected_labels: int = 0
+
+    def _payload_bytes(self) -> int:
+        payload = sum(
+            16 + _LABEL_BYTES * len(record.outputs) for record in self.completions
+        )
+        payload += 32 * len(self.failures)
+        return payload + (8 if self.unexpected_labels else 0)

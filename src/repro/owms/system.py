@@ -81,6 +81,10 @@ class OpenWorkflowSystem:
         Auction protocol installed on every deployed device: batched
         O(participants) messaging (the default) or the original
         per-(task, participant) exchange (``False``).
+    batch_execution:
+        Execution protocol installed on every deployed device: batched
+        label delivery and per-burst progress reports (the default) or the
+        original per-label / per-task messaging (``False``).
     """
 
     def __init__(
@@ -89,11 +93,13 @@ class OpenWorkflowSystem:
         capability_aware: bool = True,
         solver: "Solver | str | None" = None,
         batch_auctions: bool = True,
+        batch_execution: bool = True,
     ) -> None:
         self.community = Community(network_factory=network_factory)
         self.capability_aware = capability_aware
         self.solver = solver
         self.batch_auctions = batch_auctions
+        self.batch_execution = batch_execution
 
     # -- deployment ------------------------------------------------------------
     def add_device(
@@ -108,6 +114,7 @@ class OpenWorkflowSystem:
         share_supergraph: bool = True,
         knowledge_refresh_interval: float = float("inf"),
         batch_auctions: bool | None = None,
+        batch_execution: bool | None = None,
     ) -> Host:
         """Install the middleware on a new device and join it to the community."""
 
@@ -124,6 +131,9 @@ class OpenWorkflowSystem:
             knowledge_refresh_interval=knowledge_refresh_interval,
             batch_auctions=(
                 self.batch_auctions if batch_auctions is None else batch_auctions
+            ),
+            batch_execution=(
+                self.batch_execution if batch_execution is None else batch_execution
             ),
         )
 

@@ -14,12 +14,21 @@ Two questions are answered here:
   participant's preferences.
 * *What am I committed to?* — the commitment database consulted by the
   execution manager and by willingness checks for later bids.
+
+The commitment database is *indexed*: commitments are kept sorted by the
+start of their blocked period, and overlap queries bisect into the window
+that could possibly intersect (bounded by the longest blocked span seen),
+so ``is_free`` costs O(log n + candidates) instead of scanning every
+commitment the host ever accepted.  On a long-lived host answering bids for
+its hundredth workflow this is the difference between slot searches that
+scale with the *request* and ones that scale with the host's history.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from ..core.errors import ScheduleConflictError, SchedulingError
 from ..core.tasks import Task
@@ -82,7 +91,12 @@ class ScheduleManager:
             mobility = StaticMobility(mobility)
         self.mobility = mobility
         self.preferences = preferences
+        #: Commitments sorted by ``blocked_from`` with a parallel key list
+        #: for bisection; ``_max_span`` bounds how far left of a query
+        #: window an overlapping commitment's blocked period can begin.
         self._commitments: list[Commitment] = []
+        self._blocked_starts: list[float] = []
+        self._max_span: float = 0.0
 
     # -- location ------------------------------------------------------------
     def current_position(self) -> Point:
@@ -109,7 +123,10 @@ class ScheduleManager:
 
     def _position_before(self, timestamp: float) -> Point:
         previous = None
-        for commitment in self._commitments:
+        # Only commitments whose blocked period starts before ``timestamp``
+        # can have ended by then (end >= blocked_from).
+        hi = bisect_right(self._blocked_starts, timestamp)
+        for commitment in self._commitments[:hi]:
             if commitment.end <= timestamp and commitment.location is not None:
                 if previous is None or commitment.end > previous.end:
                     previous = commitment
@@ -138,31 +155,55 @@ class ScheduleManager:
             for c in self._commitments
         )
 
+    def _overlapping(self, start: float, end: float) -> Iterator[Commitment]:
+        """The commitments whose blocked period intersects ``[start, end)``.
+
+        An overlapping commitment must begin before ``end`` and end after
+        ``start``; since a blocked period spans at most ``_max_span``
+        seconds, its start also lies after ``start - _max_span``.  Two
+        bisections bound the candidates, each of which is checked exactly.
+        """
+
+        lo = bisect_left(self._blocked_starts, start - self._max_span)
+        hi = bisect_left(self._blocked_starts, end)
+        for commitment in self._commitments[lo:hi]:
+            if commitment.overlaps_window(start, end):
+                yield commitment
+
     def add_commitment(self, commitment: Commitment) -> None:
         """Add a commitment, enforcing that blocked periods never overlap."""
 
-        for existing in self._commitments:
-            if existing.overlaps(commitment):
-                raise ScheduleConflictError(
-                    f"commitment for {commitment.task.name!r} "
-                    f"({commitment.blocked_from:.1f}-{commitment.end:.1f}) overlaps "
-                    f"{existing.task.name!r} ({existing.blocked_from:.1f}-{existing.end:.1f})"
-                )
-        self._commitments.append(commitment)
+        for existing in self._overlapping(commitment.blocked_from, commitment.end):
+            raise ScheduleConflictError(
+                f"commitment for {commitment.task.name!r} "
+                f"({commitment.blocked_from:.1f}-{commitment.end:.1f}) overlaps "
+                f"{existing.task.name!r} ({existing.blocked_from:.1f}-{existing.end:.1f})"
+            )
+        index = bisect_right(self._blocked_starts, commitment.blocked_from)
+        self._commitments.insert(index, commitment)
+        insort(self._blocked_starts, commitment.blocked_from)
+        self._max_span = max(self._max_span, commitment.end - commitment.blocked_from)
 
     def remove_commitment(self, commitment_id: str) -> bool:
         """Drop a commitment (e.g. the workflow was cancelled); returns success."""
 
         before = len(self._commitments)
-        self._commitments = [
+        self._reindex(
             c for c in self._commitments if c.commitment_id != commitment_id
-        ]
+        )
         return len(self._commitments) != before
+
+    def _reindex(self, commitments: Iterable[Commitment]) -> None:
+        self._commitments = sorted(commitments, key=lambda c: c.blocked_from)
+        self._blocked_starts = [c.blocked_from for c in self._commitments]
+        self._max_span = max(
+            (c.end - c.blocked_from for c in self._commitments), default=0.0
+        )
 
     def is_free(self, start: float, end: float) -> bool:
         """True when no commitment blocks any part of ``[start, end)``."""
 
-        return not any(c.overlaps_window(start, end) for c in self._commitments)
+        return next(self._overlapping(start, end), None) is None
 
     def busy_windows(self) -> list[tuple[float, float]]:
         """The blocked periods, sorted — useful for display and tests."""
@@ -194,11 +235,15 @@ class ScheduleManager:
         # Candidate start times worth trying: the requested start and the end
         # of every existing commitment (plus travel).  One of these is always
         # the earliest feasible slot because feasibility only changes at
-        # commitment boundaries.
-        boundaries = [candidate]
-        boundaries.extend(c.end + travel for c in self._commitments)
-        for start in sorted(set(boundaries)):
-            start = max(start, candidate)
+        # commitment boundaries.  Boundaries are clamped *before* the dedup:
+        # every commitment that already ended proposes the same "start right
+        # at the candidate" slot, and a host with a long history would
+        # otherwise re-probe that identical window once per past commitment.
+        boundaries = {
+            max(c.end + travel, candidate) for c in self._commitments
+        }
+        boundaries.add(candidate)
+        for start in sorted(boundaries):
             start = self.preferences.clamp_to_working_hours(start)
             blocked_from = start - travel
             if blocked_from < now:
@@ -242,7 +287,7 @@ class ScheduleManager:
     def clear(self) -> None:
         """Drop every commitment (used between benchmark repetitions)."""
 
-        self._commitments.clear()
+        self._reindex(())
 
     def utilisation(self, horizon: float) -> float:
         """Fraction of ``[now, now + horizon)`` blocked by commitments."""

@@ -11,7 +11,12 @@ from repro.execution.services import (
     ServiceDescription,
     ServiceManager,
 )
-from repro.net.messages import LabelDataMessage, TaskCompleted
+from repro.net.messages import (
+    LabelBatch,
+    LabelDataMessage,
+    TaskCompleted,
+    WorkflowProgressReport,
+)
 from repro.scheduling.commitments import Commitment
 from repro.sim.events import EventScheduler
 
@@ -79,11 +84,17 @@ class TestServiceManager:
         assert manager.invocations == 1
 
 
-def make_execution_manager(services=None):
+def make_execution_manager(services=None, batch_execution=False):
     scheduler = EventScheduler()
     service_manager = ServiceManager("worker", services or [ServiceDescription("do", duration=5.0)])
     sent: list = []
-    manager = ExecutionManager("worker", scheduler, service_manager, sent.append)
+    manager = ExecutionManager(
+        "worker",
+        scheduler,
+        service_manager,
+        sent.append,
+        batch_execution=batch_execution,
+    )
     return manager, scheduler, sent
 
 
@@ -179,3 +190,157 @@ class TestExecutionManager:
         scheduler.run()
         label_messages = [m for m in sent if isinstance(m, LabelDataMessage)]
         assert {m.recipient for m in label_messages} == {"bob", "carol"}
+
+    def test_unexpected_labels_counted(self):
+        manager, scheduler, _ = make_execution_manager()
+        assert manager.unexpected_labels == 0
+        manager.deliver_label(
+            LabelDataMessage(
+                sender="x", recipient="worker", workflow_id="w1", label="stray", value=1
+            )
+        )
+        assert manager.unexpected_labels == 1
+
+    def test_trigger_index_emptied_after_completion(self):
+        manager, scheduler, _ = make_execution_manager()
+        manager.watch(make_commitment())
+        assert manager._watchers  # watching the 'input' label
+        manager.deliver_label(
+            LabelDataMessage(
+                sender="alice", recipient="worker", workflow_id="w1", label="input", value=1
+            )
+        )
+        scheduler.run()
+        assert manager.completed_count == 1
+        # Index-key rule: the bucket emptied with its last watcher, and a
+        # re-delivery of the same label now counts as unexpected.
+        assert not manager._watchers
+        manager.deliver_label(
+            LabelDataMessage(
+                sender="alice", recipient="worker", workflow_id="w1", label="input", value=1
+            )
+        )
+        assert manager.unexpected_labels == 1
+
+
+class TestBatchedExecutionProtocol:
+    def test_outputs_batched_per_destination(self):
+        manager, scheduler, sent = make_execution_manager(batch_execution=True)
+        commitment = make_commitment(
+            task=Task("do", ["input"], ["out-a", "out-b"], duration=5.0),
+            trigger_labels=frozenset({"input"}),
+            input_sources={},
+            output_destinations={
+                "out-a": ("bob", "carol"),
+                "out-b": ("bob",),
+            },
+        )
+        manager.watch(commitment)
+        scheduler.run()
+        batches = [m for m in sent if isinstance(m, LabelBatch)]
+        assert {m.recipient for m in batches} == {"bob", "carol"}
+        by_recipient = {m.recipient: [e.label for e in m.entries] for m in batches}
+        assert by_recipient["bob"] == ["out-a", "out-b"]
+        assert by_recipient["carol"] == ["out-a"]
+        assert not any(isinstance(m, LabelDataMessage) for m in sent)
+
+    def test_progress_report_replaces_task_completed(self):
+        manager, scheduler, sent = make_execution_manager(batch_execution=True)
+        manager.watch(
+            make_commitment(trigger_labels=frozenset({"input"}), input_sources={})
+        )
+        scheduler.run()
+        reports = [m for m in sent if isinstance(m, WorkflowProgressReport)]
+        assert len(reports) == 1
+        assert [c.task_name for c in reports[0].completions] == ["do"]
+        assert reports[0].failures == ()
+        assert not any(isinstance(m, TaskCompleted) for m in sent)
+
+    def test_pipeline_on_one_host_reports_once(self):
+        """A local chain (A feeds B) coalesces into a single progress report."""
+
+        manager, scheduler, sent = make_execution_manager(
+            services=[
+                CallableService("do", callable=lambda t, i: {"mid": 1}, duration=5.0),
+                CallableService("then", callable=lambda t, i: {"goal": 2}, duration=5.0),
+            ],
+            batch_execution=True,
+        )
+        first = make_commitment(
+            task=Task("do", ["input"], ["mid"], duration=5.0),
+            trigger_labels=frozenset({"input"}),
+            input_sources={},
+            output_destinations={"mid": ("worker",)},
+        )
+        second = make_commitment(
+            task=Task("then", ["mid"], ["goal"], service_type="then", duration=5.0),
+            start=10.0,
+            input_sources={"mid": "worker"},
+            output_destinations={"goal": ("alice",)},
+        )
+        manager.watch(first)
+        manager.watch(second)
+        scheduler.run()
+        assert manager.completed_count == 2
+        reports = [m for m in sent if isinstance(m, WorkflowProgressReport)]
+        assert len(reports) == 1
+        assert [c.task_name for c in reports[0].completions] == ["do", "then"]
+
+    def test_failure_flushes_buffered_completions(self):
+        def broken(task, inputs):
+            raise RuntimeError("no gas")
+
+        manager, scheduler, sent = make_execution_manager(
+            services=[
+                CallableService("do", callable=lambda t, i: {"mid": 1}, duration=5.0),
+                CallableService("then", callable=broken, duration=5.0),
+            ],
+            batch_execution=True,
+        )
+        first = make_commitment(
+            task=Task("do", ["input"], ["mid"], duration=5.0),
+            trigger_labels=frozenset({"input"}),
+            input_sources={},
+            output_destinations={"mid": ("worker",)},
+        )
+        second = make_commitment(
+            task=Task("then", ["mid"], ["goal"], service_type="then", duration=5.0),
+            start=10.0,
+            input_sources={"mid": "worker"},
+        )
+        manager.watch(first)
+        manager.watch(second)
+        scheduler.run()
+        reports = [m for m in sent if isinstance(m, WorkflowProgressReport)]
+        assert len(reports) == 1
+        assert [c.task_name for c in reports[0].completions] == ["do"]
+        assert [f.task_name for f in reports[0].failures] == ["then"]
+
+    def test_local_batch_delivery_feeds_dependent_task(self):
+        """Labels bound for this host go through the same batch internals."""
+
+        manager, scheduler, sent = make_execution_manager(
+            services=[
+                CallableService("do", callable=lambda t, i: {"mid": 7}, duration=1.0),
+                CallableService("then", callable=lambda t, i: dict(i), duration=1.0),
+            ],
+            batch_execution=True,
+        )
+        producer = make_commitment(
+            task=Task("do", ["input"], ["mid"], duration=1.0),
+            trigger_labels=frozenset({"input"}),
+            input_sources={},
+            output_destinations={"mid": ("worker",)},
+        )
+        consumer = make_commitment(
+            task=Task("then", ["mid"], ["goal"], service_type="then", duration=1.0),
+            start=10.0,
+            input_sources={"mid": "worker"},
+            output_destinations={},
+        )
+        manager.watch(producer)
+        manager.watch(consumer)
+        scheduler.run()
+        assert manager.completed_count == 2
+        # The local delivery crossed no network: no LabelBatch was sent.
+        assert not any(isinstance(m, LabelBatch) for m in sent)
