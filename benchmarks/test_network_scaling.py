@@ -9,11 +9,19 @@ Measures, at 50/200/500 hosts scattered over a density-preserving site:
 * route churn under mobility — link-epoch revalidation vs. flushing the
   route cache on every movement tick;
 * a fig4-style sweep through the parallel ``TrialRunner`` vs. sequential
-  execution (skipped below 4 cores).
+  execution (skipped below 4 cores);
+* the vectorized geometry kernels at fleet scale (1000 and 5000 hosts) —
+  batched snapshot advance and whole-population neighbour sweeps vs. the
+  scalar per-host loops (``vectorized=False``), plus a 1000-host mobile
+  end-to-end trial on the auto-resolved flags.
 
 Everything here is ``slow``-marked; run with::
 
     PYTHONPATH=src python -m pytest benchmarks/test_network_scaling.py -m slow
+
+Set ``REPRO_BENCH_FAST=1`` (the CI smoke job does) to drop the 5000-host
+rows and shrink the tick counts so the whole module stays in the CI
+budget; speedup thresholds relax accordingly.
 
 Each run (re)writes ``benchmarks/BENCH_network.json`` with the sections it
 measured (existing sections from earlier runs are preserved), so the perf
@@ -22,10 +30,12 @@ trajectory of the network substrate is tracked from this PR on.
 
 from __future__ import annotations
 
+import gc
 import json
 import math
 import os
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 import pytest
@@ -45,6 +55,22 @@ RADIO_RANGE = 150.0
 # regardless of population, so per-query work measures the index, not a
 # densifying swarm.
 SITE_SPACING = 60.0
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+
+
+@contextmanager
+def quiesced_gc():
+    """Keep collector pauses (from earlier tests' garbage) out of timings."""
+
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 RESULTS_PATH = Path(__file__).with_name("BENCH_network.json")
 _RESULTS: dict[str, dict] = {}
@@ -76,11 +102,17 @@ def bench_report():
 
 
 def build_network(
-    num_hosts: int, use_spatial_index: bool, mobile: bool = False
+    num_hosts: int,
+    use_spatial_index: bool,
+    mobile: bool = False,
+    vectorized: bool | None = None,
 ) -> tuple[AdHocWirelessNetwork, EventScheduler]:
     scheduler = EventScheduler()
     network = AdHocWirelessNetwork(
-        scheduler, radio_range=RADIO_RANGE, use_spatial_index=use_spatial_index
+        scheduler,
+        radio_range=RADIO_RANGE,
+        use_spatial_index=use_spatial_index,
+        vectorized=vectorized,
     )
     site = square_site(SITE_SPACING * math.sqrt(num_hosts))
     for index in range(num_hosts):
@@ -231,3 +263,168 @@ def test_parallel_sweep_speedup():
     if cores < 4 or parallel_runner.sequential_fallbacks:
         pytest.skip(f"parallel speedup needs >=4 cores and a process pool (cores={cores})")
     assert speedup >= 2.0
+
+
+# --- Fleet-scale vectorized kernels -----------------------------------------
+
+VECTOR_POPULATIONS = (1000,) if FAST else (1000, 5000)
+
+
+def _needs_numpy():
+    from repro.net import kernels
+
+    if not kernels.numpy_available():
+        pytest.skip("vectorized kernels need NumPy")
+
+
+def timed_snapshot_advance(network, scheduler, ticks: int) -> float:
+    """Seconds to drag the snapshot through ``ticks`` movement ticks.
+
+    One position probe per tick is enough to force the snapshot to catch
+    up through the whole due-mover set; with ``pause=0.0`` random-waypoint
+    walkers essentially every host is due every tick, so this times the
+    advance machinery (position replay, grid moves, changed-pair diffing),
+    not the query.
+    """
+
+    probe = sorted(network.host_ids)[0]
+    with quiesced_gc():
+        started = time.perf_counter()
+        for _ in range(ticks):
+            scheduler.clock.advance(1.0)
+            network.position_of(probe)
+        return time.perf_counter() - started
+
+
+def scatter_positions(num_hosts: int) -> dict:
+    site = square_site(SITE_SPACING * math.sqrt(num_hosts))
+    return {
+        f"h{index}": site.random_point(derive_rng(BENCH_SEED, "place", index))
+        for index in range(num_hosts)
+    }
+
+
+@pytest.mark.parametrize("num_hosts", VECTOR_POPULATIONS)
+def test_vectorized_snapshot_advance_speedup(num_hosts):
+    _needs_numpy()
+    ticks = 5 if FAST else 30
+    timings = {}
+    for label, vectorized in (("scalar", False), ("vectorized", True)):
+        network, scheduler = build_network(
+            num_hosts, use_spatial_index=True, mobile=True, vectorized=vectorized
+        )
+        network.neighbours_of("h0")  # build the initial snapshot off the clock
+        timed_snapshot_advance(network, scheduler, 1)  # warm-up tick
+        timings[label] = timed_snapshot_advance(network, scheduler, ticks)
+    speedup = timings["scalar"] / timings["vectorized"]
+    _RESULTS.setdefault("snapshot_advance", {})[str(num_hosts)] = {
+        "ticks": ticks,
+        "scalar_seconds": timings["scalar"],
+        "vectorized_seconds": timings["vectorized"],
+        "speedup": speedup,
+    }
+    floor = 2.0 if FAST else 5.0
+    assert speedup >= floor, (
+        f"vectorized snapshot advance only {speedup:.1f}x faster than scalar "
+        f"at {num_hosts} hosts"
+    )
+
+
+@pytest.mark.parametrize("num_hosts", VECTOR_POPULATIONS)
+def test_vectorized_neighbour_sweep_speedup(num_hosts):
+    """Whole-population radio-disc sweep: find every in-range pair.
+
+    The index-level microbenchmark of the pairwise-comparison kernel —
+    each side answers the identical question (which host pairs sit within
+    the radio range?) in its native form: the scalar grid runs one
+    ``near`` query per host, the vectorized grid produces the pair arrays
+    in a single batched gather/compare.
+    """
+
+    _needs_numpy()
+    from repro.net import kernels
+    from repro.net.spatial import SpatialGridIndex, padded_cell_size
+
+    rounds = 2 if FAST else 3
+    positions = scatter_positions(num_hosts)
+    ids = sorted(positions)
+    cell_size = padded_cell_size(RADIO_RANGE)
+    scalar_grid = SpatialGridIndex(positions, cell_size=cell_size)
+    vector_grid = kernels.VectorGridIndex(
+        ids,
+        [positions[host].x for host in ids],
+        [positions[host].y for host in ids],
+        cell_size,
+    )
+    with quiesced_gc():
+        started = time.perf_counter()
+        for _ in range(rounds):
+            scalar_sweep = [
+                scalar_grid.near(positions[host], RADIO_RANGE) for host in ids
+            ]
+        scalar_seconds = time.perf_counter() - started
+    with quiesced_gc():
+        started = time.perf_counter()
+        for _ in range(rounds):
+            queries, members = vector_grid.all_neighbour_pairs(RADIO_RANGE)
+        vectorized_seconds = time.perf_counter() - started
+    # Both sides swept the same pairs (scalar discs include the host itself).
+    vector_pairs = set(zip(queries.tolist(), members.tolist()))
+    scalar_pairs = {
+        (query, vector_grid.index_of(member))
+        for query, disc in enumerate(scalar_sweep)
+        for member in disc
+        if member != ids[query]
+    }
+    assert vector_pairs == scalar_pairs
+    speedup = scalar_seconds / vectorized_seconds
+    _RESULTS.setdefault("neighbour_sweep", {})[str(num_hosts)] = {
+        "rounds": rounds,
+        "pairs": len(vector_pairs),
+        "scalar_seconds": scalar_seconds,
+        "vectorized_seconds": vectorized_seconds,
+        "speedup": speedup,
+    }
+    floor = 2.0 if FAST else 5.0
+    assert speedup >= floor, (
+        f"vectorized neighbour sweep only {speedup:.1f}x faster than scalar "
+        f"at {num_hosts} hosts"
+    )
+
+
+def test_thousand_host_mobile_trial():
+    """A 1000-host mobile end-to-end trial completes on the default flags.
+
+    The fleet walks for 30 simulated seconds while the trial probes
+    connectivity and routes between random pairs every tick — the full
+    snapshot-advance → component-labels → route pipeline at a scale the
+    scalar loops cannot sustain inside a CI budget.  ``vectorized=None``
+    resolves to the kernels when NumPy is present and to the scalar paths
+    otherwise, so the trial also documents that the flag surface degrades
+    gracefully.
+    """
+
+    num_hosts, ticks, pairs_per_tick = 1000, 10 if FAST else 30, 20
+    network, scheduler = build_network(num_hosts, use_spatial_index=True, mobile=True)
+    pair_rng = derive_rng(BENCH_SEED, "trial-pairs", num_hosts)
+    hosts = sorted(network.host_ids)
+    routes = 0
+    started = time.perf_counter()
+    for _ in range(ticks):
+        scheduler.clock.advance(1.0)
+        network.is_connected()
+        for _ in range(pairs_per_tick):
+            source, destination = pair_rng.choice(hosts), pair_rng.choice(hosts)
+            if source != destination and network.is_reachable(source, destination):
+                network.router.route(source, destination)
+                routes += 1
+    elapsed = time.perf_counter() - started
+    _RESULTS["mobile_trial_1000"] = {
+        "hosts": num_hosts,
+        "ticks": ticks,
+        "pairs_per_tick": pairs_per_tick,
+        "routes": routes,
+        "vectorized": network.vectorized,
+        "seconds": elapsed,
+    }
+    assert routes > 0

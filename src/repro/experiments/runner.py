@@ -27,12 +27,22 @@ components (``wall_seconds`` and its contribution to
 zeroes those components at the source, making the outcomes byte-identical
 across runs and schedulers — the equivalence tests run in that mode, and so
 can any experiment that only cares about simulated time.
+
+Shared inputs: with ``shared_inputs=True`` (the default) a parallel run
+first publishes the sweep's distinct generated workloads — its only large,
+read-mostly input — into one :mod:`multiprocessing.shared_memory` segment
+(:mod:`repro.experiments.shared_inputs`); each worker attaches once and
+fills its per-process workload cache from the shared buffer instead of
+regenerating every workload from its seed.  Sharing is purely a cache
+warm-up, so outcomes are byte-identical with it on, off, or unavailable
+(the segment falls away silently on platforms without shared memory).
 """
 
 from __future__ import annotations
 
 import math
 import os
+import pickle
 import weakref
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
@@ -52,6 +62,7 @@ from ..mobility.geometry import Point, square_site
 from ..mobility.models import MobilityModel, RandomWaypointMobility
 from ..sim.randomness import DEFAULT_SEED, derive_rng, derive_seed
 from ..workloads.supergraph_gen import GeneratedWorkload, RandomSupergraphWorkload
+from .shared_inputs import SharedWorkloadSegment, attach_workloads, publish_workloads
 from .trials import (
     TrialResult,
     adhoc_network_factory,
@@ -134,6 +145,30 @@ def workload_for(seed: int, num_tasks: int) -> GeneratedWorkload:
     if key not in _WORKLOADS:
         _WORKLOADS[key] = RandomSupergraphWorkload(seed=seed).generate(num_tasks)
     return _WORKLOADS[key]
+
+
+# Shared-memory segments this process has already attached (successfully or
+# not): each worker reads a published segment at most once.
+_ATTACHED_SEGMENTS: set[str] = set()
+
+
+def _execute_trial_attached(
+    task: TrialTask, timing: str = "wall", segment: str = ""
+) -> tuple[TrialOutcome, bool]:
+    """Worker entry point for shared-input runs.
+
+    Warms the per-process workload cache from the published segment (once
+    per worker per segment), then runs the task exactly as
+    :func:`execute_trial` would.  Returns ``(outcome, attached)``: the flag
+    feeds the parent's ``workers_attached`` counter and never touches the
+    outcome, so shared and unshared runs stay byte-identical.
+    """
+
+    attached = False
+    if segment and segment not in _ATTACHED_SEGMENTS:
+        _ATTACHED_SEGMENTS.add(segment)  # never retry, even after a failure
+        attached = attach_workloads(segment, _WORKLOADS)
+    return execute_trial(task, timing=timing), attached
 
 
 def _policy_for(name: str, seed: int) -> BidSelectionPolicy:
@@ -248,6 +283,12 @@ class TrialRunner:
     chunksize:
         Tasks handed to a worker per dispatch; raise it for very large
         sweeps of very short trials.
+    shared_inputs:
+        When true (the default), each parallel run publishes the sweep's
+        distinct generated workloads into one shared-memory segment that
+        workers attach instead of regenerating per process.  Purely a
+        cache warm-up — outcomes are byte-identical with the flag off or
+        on platforms without shared memory, where it degrades silently.
 
     One runner owns (at most) **one** process pool, created lazily on the
     first parallel :meth:`run` and reused by every later call — running all
@@ -264,6 +305,7 @@ class TrialRunner:
         parallel: bool | None = None,
         timing: str = "wall",
         chunksize: int = 1,
+        shared_inputs: bool = True,
     ) -> None:
         if timing not in ("wall", "sim"):
             raise ValueError("timing must be 'wall' or 'sim'")
@@ -275,10 +317,14 @@ class TrialRunner:
         self.parallel = self.max_workers > 1 if parallel is None else parallel
         self.timing = timing
         self.chunksize = chunksize
+        self.shared_inputs = shared_inputs
         self.trials_run = 0
         self.parallel_batches = 0
         self.sequential_fallbacks = 0
         self.pools_created = 0
+        self.workers_attached = 0  # shared-segment attachments by workers
+        self.bytes_shared = 0  # payload bytes published into shared memory
+        self._closed = False
         self._pool: ProcessPoolExecutor | None = None
         self._pool_finalizer: weakref.finalize | None = None
 
@@ -319,9 +365,16 @@ class TrialRunner:
                 pass
 
     def shutdown(self) -> None:
-        """Release the shared worker pool (idempotent; the runner stays usable —
-        the next parallel run simply forks a fresh pool)."""
+        """Release the shared worker pool and retire the runner.
 
+        Idempotent: repeated calls (including the context manager's exit
+        after an explicit call) are no-ops.  A retired runner refuses
+        further :meth:`run` calls with a clear :class:`RuntimeError` — the
+        alternative is a cryptic ``BrokenProcessPool`` from a torn-down
+        executor, long after the actual mistake.
+        """
+
+        self._closed = True
         pool = self._detach_pool()
         if pool is not None:
             pool.shutdown()
@@ -332,19 +385,72 @@ class TrialRunner:
     def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
 
+    # -- shared inputs -------------------------------------------------------
+    def _publish_shared_inputs(
+        self, task_list: list[TrialTask]
+    ) -> SharedWorkloadSegment | None:
+        """Publish the sweep's distinct workloads into one shared segment.
+
+        ``None`` means no sharing this run — disabled, or the platform has
+        no usable shared memory — and workers regenerate from seeds (same
+        objects, same outcomes).
+        """
+
+        if not self.shared_inputs:
+            return None
+        keys = sorted(
+            {
+                (
+                    task.seed if task.workload_seed is None else task.workload_seed,
+                    task.num_tasks,
+                )
+                for task in task_list
+            }
+        )
+        try:
+            segment = publish_workloads(
+                {key: workload_for(*key) for key in keys}
+            )
+        except (OSError, ValueError, pickle.PicklingError):
+            return None
+        self.bytes_shared += segment.payload_bytes
+        return segment
+
     # -- execution ----------------------------------------------------------
     def run(self, tasks: Iterable[TrialTask]) -> list[TrialOutcome]:
         """Execute every task and return outcomes in task order."""
 
+        if self._closed:
+            raise RuntimeError(
+                "this TrialRunner has been shut down; create a new runner "
+                "to submit more trials"
+            )
         task_list = list(tasks)
         if not task_list:
             return []
         worker = partial(execute_trial, timing=self.timing)
         outcomes: list[TrialOutcome] | None = None
         if self.parallel and self.max_workers > 1 and len(task_list) > 1:
+            segment = self._publish_shared_inputs(task_list)
             try:
                 pool = self._shared_pool()
-                outcomes = list(pool.map(worker, task_list, chunksize=self.chunksize))
+                if segment is not None:
+                    attached_worker = partial(
+                        _execute_trial_attached,
+                        timing=self.timing,
+                        segment=segment.name,
+                    )
+                    pairs = list(
+                        pool.map(attached_worker, task_list, chunksize=self.chunksize)
+                    )
+                    self.workers_attached += sum(
+                        1 for _, attached in pairs if attached
+                    )
+                    outcomes = [outcome for outcome, _ in pairs]
+                else:
+                    outcomes = list(
+                        pool.map(worker, task_list, chunksize=self.chunksize)
+                    )
                 self.parallel_batches += 1
             except (OSError, ImportError, BrokenExecutor):
                 # Pool-infrastructure failure (restricted sandbox, missing
@@ -353,6 +459,9 @@ class TrialRunner:
                 self.sequential_fallbacks += 1
                 self._discard_pool()
                 outcomes = None
+            finally:
+                if segment is not None:
+                    segment.unlink()
         if outcomes is None:
             outcomes = [worker(task) for task in task_list]
         self.trials_run += len(outcomes)

@@ -1,0 +1,112 @@
+"""Shared-memory publication of read-mostly trial inputs.
+
+A sweep's tasks are tiny declarative records, but the workload behind them
+— the generated supergraph with its fragment partitioning inputs — is the
+one genuinely *shared, read-mostly* input of every trial: deterministic in
+``(workload_seed, num_tasks)`` and identical for every task that names the
+same pair.  Without sharing, every worker process regenerates each
+distinct workload from its seed on first use (see
+:data:`repro.experiments.runner._WORKLOADS`): deterministic, but the
+generation cost is paid once per worker per workload, and it grows with
+the workload size.
+
+This module publishes the pickled workloads of a sweep into **one**
+:mod:`multiprocessing.shared_memory` segment before the fan-out; workers
+attach, deserialize straight out of the shared buffer into their
+per-process cache, and detach — one generation in the parent instead of
+one per worker, and the bytes cross no pipe.  Attachment is a pure cache
+warm-up: a worker that misses the segment (or a run with
+``shared_inputs=False``) regenerates from seeds and produces *the same
+workload objects*, so trial outcomes are byte-identical either way under
+``timing="sim"`` — the shared/pickled equivalence test pins exactly that.
+
+Lifecycle: the parent unlinks the segment as soon as the fan-out
+completes, so nothing outlives the run even on a crash-free path.  Pool
+workers inherit the parent's resource tracker, so their read-only
+attachments add no cleanup obligations of their own — the parent's unlink
+retires the name exactly once.
+"""
+
+from __future__ import annotations
+
+import pickle
+from multiprocessing import shared_memory
+from typing import Mapping
+
+from ..workloads.supergraph_gen import GeneratedWorkload
+
+WorkloadKey = tuple[int, int]  # (workload_seed, num_tasks)
+
+
+class SharedWorkloadSegment:
+    """One published shared-memory segment holding a sweep's workloads.
+
+    Create with :func:`publish_workloads`; pass :attr:`name` to the
+    workers; call :meth:`unlink` (idempotent) once the fan-out is done.
+    ``payload_bytes`` is the pickled size — the bytes every worker would
+    otherwise have regenerated or received down a pipe.
+    """
+
+    def __init__(self, payload: bytes) -> None:
+        self._segment = shared_memory.SharedMemory(
+            create=True, size=max(len(payload), 1)
+        )
+        self._segment.buf[: len(payload)] = payload
+        self.name = self._segment.name
+        self.payload_bytes = len(payload)
+
+    def unlink(self) -> None:
+        """Release and destroy the segment (idempotent, best-effort)."""
+
+        segment = self._segment
+        if segment is None:
+            return
+        self._segment = None
+        try:
+            segment.close()
+            segment.unlink()
+        except OSError:  # pragma: no cover - already gone: nothing to free
+            pass
+
+
+def publish_workloads(
+    workloads: Mapping[WorkloadKey, GeneratedWorkload],
+) -> SharedWorkloadSegment:
+    """Pickle the keyed workloads into a fresh shared-memory segment.
+
+    Raises whatever the platform raises when shared memory is unavailable
+    (``OSError`` on a locked-down ``/dev/shm``); callers fall back to
+    per-worker regeneration.
+    """
+
+    payload = pickle.dumps(dict(workloads), protocol=pickle.HIGHEST_PROTOCOL)
+    return SharedWorkloadSegment(payload)
+
+
+def attach_workloads(
+    name: str, cache: dict[WorkloadKey, GeneratedWorkload]
+) -> bool:
+    """Load a published segment into ``cache`` (worker side).
+
+    Reads the pickled mapping straight out of the shared buffer, fills
+    only the cache keys not already present (an attached workload and a
+    regenerated one are interchangeable — both are pure functions of the
+    key), and detaches.  Returns ``True`` on success; any failure leaves
+    the cache untouched and the caller regenerating from seeds.
+    """
+
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except (OSError, ValueError):
+        return False
+    try:
+        # Note on cleanup: pool workers inherit the parent's resource
+        # tracker, so this open re-registers a name the tracker already
+        # holds (a set: no-op) and the parent's unlink retires it exactly
+        # once.  No per-worker unregister dance is needed — or safe.
+        workloads = pickle.loads(bytes(segment.buf))
+    finally:
+        segment.close()
+    for key, workload in workloads.items():
+        cache.setdefault(key, workload)
+    return True

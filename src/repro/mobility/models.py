@@ -54,6 +54,17 @@ class MobilityModel(Protocol):
     form, the instant a live radio link will cross the range boundary; a
     model without the method simply gets no predictions (the lazy epoch
     path still catches every change at the next query).
+
+    Finally, models may implement ``motion_at(time) -> (valid_until,
+    start, origin, destination, speed)``: the raw parameters of the
+    current trajectory leg, chosen so that for every ``t`` in ``[time,
+    valid_until)`` the scalar ``position_at(t)`` is *bit-identical* to
+    replaying ``origin.moved_towards(destination, (t - start) * speed)``
+    (rest segments are encoded as ``origin == destination`` with zero
+    speed).  The vectorized geometry kernels
+    (:mod:`repro.net.kernels`) load these rows into contiguous arrays
+    and evaluate whole populations in one NumPy call; a model without
+    the method is simply evaluated host-by-host on the scalar path.
     """
 
     def position_at(self, time: float) -> Point:
@@ -87,6 +98,9 @@ class StaticMobility:
 
     def leg_at(self, time: float) -> tuple[float, Point, tuple[float, float]]:
         return math.inf, self.position, (0.0, 0.0)
+
+    def motion_at(self, time: float) -> tuple[float, float, Point, Point, float]:
+        return math.inf, 0.0, self.position, self.position, 0.0
 
 
 class WaypointMobility:
@@ -183,6 +197,24 @@ class WaypointMobility:
         if index + 1 < len(self._legs):
             return self._legs[index + 1][0], destination, (0.0, 0.0)
         return math.inf, destination, (0.0, 0.0)
+
+    def motion_at(self, time: float) -> tuple[float, float, Point, Point, float]:
+        """The raw current leg, exactly replayable via ``moved_towards``
+        (see :class:`MobilityModel`): mid-leg the travelling segment, before
+        the first leg or while pausing a rest at the waypoint."""
+
+        if not self._legs:
+            return math.inf, 0.0, self._waypoints[0], self._waypoints[0], 0.0
+        if time <= 0 or time < self._legs[0][0]:
+            first = self._waypoints[0]
+            return self._legs[0][0], 0.0, first, first, 0.0
+        index = bisect_right(self._leg_starts, time) - 1
+        start, end, origin, destination = self._legs[index]
+        if time < end:
+            return end, start, origin, destination, self._speed
+        if index + 1 < len(self._legs):
+            return self._legs[index + 1][0], 0.0, destination, destination, 0.0
+        return math.inf, 0.0, destination, destination, 0.0
 
     @property
     def final_position(self) -> Point:
@@ -293,6 +325,22 @@ class RandomWaypointMobility:
             return start, origin, (0.0, 0.0)
         # Pausing at the destination; the next leg starts pause later.
         return end + self._pause, destination, (0.0, 0.0)
+
+    def motion_at(self, time: float) -> tuple[float, float, Point, Point, float]:
+        """The raw current leg (extending the trajectory as needed), exactly
+        replayable via ``moved_towards`` (see :class:`MobilityModel`)."""
+
+        if time <= 0:
+            self._extend_to(0.0)
+            start, end, origin, destination, speed = self._legs[0]
+            return end, start, origin, destination, speed
+        self._extend_to(time)
+        index = bisect_right(self._leg_starts, time) - 1
+        start, end, origin, destination, speed = self._legs[index]
+        if time < end:
+            return end, start, origin, destination, speed
+        # Pausing at the destination; the next leg starts pause later.
+        return end + self._pause, 0.0, destination, destination, 0.0
 
     def __repr__(self) -> str:
         return (

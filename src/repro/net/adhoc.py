@@ -68,11 +68,27 @@ is never armed, when the crossing falls beyond the legs' validity), and
 the lazy comparison at the next query remains the backstop that catches
 every change — so observable geometry is identical with the flag off.
 
+Vectorized geometry kernels (``vectorized=True``, automatic whenever
+NumPy is importable and the spatial index is on) move the remaining
+per-host Python loops into array code: the whole population's trajectory
+legs live in a contiguous :class:`~repro.net.kernels.LegTable`, snapshot
+builds and advances evaluate every requested position in one batched
+replay, the grid is a :class:`~repro.net.kernels.VectorGridIndex` whose
+whole-population disc sweeps come from one vectorized gather, and the
+predictive scheduler solves all of a route's boundary-crossing quadratics
+in a single :func:`~repro.net.kernels.crossing_times` call.  The kernels
+run the exact float operation sequences of the scalar paths (boundary
+pairs re-checked with scalar ``math.hypot``), so every neighbour set,
+epoch, component verdict, and armed crossing instant is identical
+bit-for-bit — pinned by the kernel equivalence property suite.  NumPy is
+optional: without it the flag auto-resolves to ``False`` and the scalar
+paths below run untouched.
+
 Pass ``use_spatial_index=False`` to fall back to the original brute-force
 scans, ``incremental_grid=False`` to keep the grid but rebuild it every
-tick (the PR-2 behaviour), or ``predictive_links=False`` for purely lazy
-epochs; all reference paths are kept for the equivalence property suites
-and benchmark baselines.
+tick (the PR-2 behaviour), ``predictive_links=False`` for purely lazy
+epochs, or ``vectorized=False`` for the scalar loops; all reference paths
+are kept for the equivalence property suites and benchmark baselines.
 """
 
 from __future__ import annotations
@@ -86,6 +102,7 @@ from ..mobility.geometry import Point
 from ..mobility.models import MobilityModel, StaticMobility
 from ..sim.events import EventScheduler
 from ..sim.randomness import rng_from_seed
+from . import kernels
 from .messages import Message
 from .routing import AodvRouter, RouteNotFound
 from .spatial import SpatialGridIndex, link_crossing_time, padded_cell_size
@@ -118,8 +135,8 @@ class _Snapshot:
         time: float,
         version: int,
         radius: float,
-        positions: dict[str, Point],
-        grid: SpatialGridIndex,
+        positions: dict[str, Point] | kernels.LazyPositions,
+        grid: SpatialGridIndex | kernels.VectorGridIndex,
     ) -> None:
         self.time = time
         self.version = version
@@ -176,6 +193,17 @@ class AdHocWirelessNetwork(CommunicationsLayer):
         at the next query.  ``False`` keeps the purely lazy epoch
         maintenance (the reference path for the predictive/lazy
         equivalence suite).
+    vectorized:
+        When true, geometry flows through the batched NumPy kernels
+        (:mod:`repro.net.kernels`): snapshot builds/advances, disc
+        comparisons, component sweeps, and crossing-time quadratics are
+        evaluated over the whole population per call, with bit-identical
+        results to the scalar loops.  ``None`` (the default) resolves to
+        ``True`` exactly when NumPy is importable and the spatial index is
+        on; ``True`` without NumPy (or without the spatial index) raises.
+        ``False`` keeps the scalar per-host paths (the reference for the
+        kernel equivalence suite, and the only paths exercised when NumPy
+        is absent).
     """
 
     def __init__(
@@ -191,6 +219,7 @@ class AdHocWirelessNetwork(CommunicationsLayer):
         use_spatial_index: bool = True,
         incremental_grid: bool = True,
         predictive_links: bool = True,
+        vectorized: bool | None = None,
     ) -> None:
         super().__init__(scheduler)
         if radio_range <= 0:
@@ -206,8 +235,23 @@ class AdHocWirelessNetwork(CommunicationsLayer):
         self.use_spatial_index = use_spatial_index
         self.incremental_grid = incremental_grid
         self.predictive_links = predictive_links
+        if vectorized is None:
+            vectorized = use_spatial_index and kernels.numpy_available()
+        elif vectorized:
+            if not use_spatial_index:
+                raise ValueError(
+                    "vectorized geometry requires the spatial index "
+                    "(use_spatial_index=True)"
+                )
+            kernels.require_numpy()
+        self.vectorized = bool(vectorized)
         self._rng = rng_from_seed(seed)
         self._mobility: dict[str, MobilityModel] = {}
+        # Vectorized mode: the population's trajectory legs in contiguous
+        # arrays, rebuilt whenever membership or placements change.
+        self._leg_table: kernels.LegTable | None = None
+        self._leg_hosts: list[str] = []
+        self._leg_table_version = -1
         self._snapshot: _Snapshot | None = None
         self._version = 0  # bumped on membership / placement changes
         # Link epochs persist across snapshots: a host's epoch advances when
@@ -295,21 +339,53 @@ class AdHocWirelessNetwork(CommunicationsLayer):
                 self._advance_snapshot(snapshot, now)
                 self.snapshots_built += 1
                 return snapshot
-        positions = {
-            host: self._position_at(host, now) for host in sorted(self.host_ids)
-        }
-        # padded_cell_size keeps range queries on the 3x3 cell block
-        # while covering float-rounding slop at exact-radius distances.
-        grid = SpatialGridIndex(
-            positions, cell_size=padded_cell_size(self.radio_range)
-        )
-        snapshot = _Snapshot(now, self._version, self.radio_range, positions, grid)
+        if self.vectorized:
+            snapshot = self._build_snapshot_vectorized(now)
+        else:
+            positions = {
+                host: self._position_at(host, now) for host in sorted(self.host_ids)
+            }
+            # padded_cell_size keeps range queries on the 3x3 cell block
+            # while covering float-rounding slop at exact-radius distances.
+            grid = SpatialGridIndex(
+                positions, cell_size=padded_cell_size(self.radio_range)
+            )
+            snapshot = _Snapshot(
+                now, self._version, self.radio_range, positions, grid
+            )
         self._snapshot = snapshot
         self.snapshots_built += 1
         self.grid_rebuilds += 1
         if self.incremental_grid and self.use_spatial_index:
             self._rebuild_move_heap(now)
         return snapshot
+
+    # -- vectorized geometry ------------------------------------------------
+    def _current_leg_table(self) -> tuple[list[str], kernels.LegTable]:
+        """The population's leg arrays, rebuilt on membership/placement
+        changes (re-fetching rows is the only cost of a rebuild)."""
+
+        if self._leg_table is None or self._leg_table_version != self._version:
+            self._leg_hosts = sorted(self.host_ids)
+            self._leg_table = kernels.LegTable(
+                [self._mobility.get(host) for host in self._leg_hosts]
+            )
+            self._leg_table_version = self._version
+        return self._leg_hosts, self._leg_table
+
+    def _build_snapshot_vectorized(self, now: float) -> _Snapshot:
+        """One batched leg replay instead of n ``position_at`` calls."""
+
+        hosts, table = self._current_leg_table()
+        xs, ys = table.positions_at(now)
+        grid = kernels.VectorGridIndex(
+            hosts, xs, ys, padded_cell_size(self.radio_range)
+        )
+        # Positions stay in the grid's arrays; the lazy view builds Points
+        # only when somebody actually asks for one.
+        return _Snapshot(
+            now, self._version, self.radio_range, kernels.LazyPositions(grid), grid
+        )
 
     # -- event-driven maintenance -------------------------------------------
     def _next_move_time(self, host_id: str, time: float) -> float:
@@ -329,11 +405,22 @@ class AdHocWirelessNetwork(CommunicationsLayer):
         return reporter(time)
 
     def _rebuild_move_heap(self, now: float) -> None:
-        heap = [
-            (move_time, host)
-            for host in self.host_ids
-            if (move_time := self._next_move_time(host, now)) < math.inf
-        ]
+        if self.vectorized:
+            hosts, table = self._current_leg_table()
+            np = kernels.np
+            move_times = table.next_move_times(now, np.arange(len(hosts)))
+            heap = []
+            for host, move_time in zip(hosts, move_times.tolist()):
+                if math.isnan(move_time):  # opaque model: ask it directly
+                    move_time = self._next_move_time(host, now)
+                if move_time < math.inf:
+                    heap.append((move_time, host))
+        else:
+            heap = [
+                (move_time, host)
+                for host in self.host_ids
+                if (move_time := self._next_move_time(host, now)) < math.inf
+            ]
         heapq.heapify(heap)
         self._move_heap = heap
 
@@ -349,6 +436,9 @@ class AdHocWirelessNetwork(CommunicationsLayer):
         labelling only when at least one such link exists.
         """
 
+        if self.vectorized:
+            self._advance_snapshot_vectorized(snapshot, now)
+            return
         snapshot.time = now
         heap = self._move_heap
         if not heap or heap[0][0] >= now:
@@ -401,6 +491,108 @@ class AdHocWirelessNetwork(CommunicationsLayer):
             return  # every mover kept its exact link set: all memos survive
         snapshot.components = None
         for host in changed:
+            snapshot.neighbours.pop(host, None)
+            snapshot.epochs.pop(host, None)
+
+    def _advance_snapshot_vectorized(self, snapshot: _Snapshot, now: float) -> None:
+        """The same advance, with every per-host loop batched: one leg
+        replay for all popped hosts, one grid relocation, and the changed
+        link set from a single symmetric difference over encoded disc
+        pairs — exactly the scalar path's before/after-disc comparison.
+        """
+
+        snapshot.time = now
+        heap = self._move_heap
+        if not heap or heap[0][0] >= now:
+            return
+        grid: kernels.VectorGridIndex = snapshot.grid
+        # Drain the due entries.  Sparse ticks (a few movers out of the
+        # fleet) pop normally; once the tick proves dense the remaining due
+        # entries are split off in one partition pass and the survivors
+        # re-heapified — O(n) list work instead of O(n log n) sifts.
+        popped: list[str] = []
+        while heap and heap[0][0] < now:
+            _, host = heapq.heappop(heap)
+            if host in grid:  # else: stale pre-membership entry
+                popped.append(host)
+            if len(popped) >= 32 and heap and heap[0][0] < now:
+                due = [entry[1] for entry in heap if entry[0] < now]
+                heap[:] = [entry for entry in heap if entry[0] >= now]
+                heapq.heapify(heap)
+                popped.extend(host for host in due if host in grid)
+                break
+        if not popped:
+            return
+        self.hosts_reevaluated += len(popped)
+        np = kernels.np
+        _, table = self._current_leg_table()
+        if len(popped) == len(grid):
+            # The whole fleet is due (every heap entry is per-host unique):
+            # take the rows in grid order and skip the id -> index lookups.
+            popped = list(grid.ids)
+            indices = np.arange(len(popped), dtype=np.intp)
+        else:
+            indices = np.fromiter(
+                (grid.index_of(host) for host in popped),
+                dtype=np.intp,
+                count=len(popped),
+            )
+        new_xs, new_ys = table.positions_at(now, indices)
+        move_times = table.next_move_times(now, indices)
+        nan_mask = np.isnan(move_times)
+        if nan_mask.any():  # opaque models: ask them directly
+            move_times = move_times.copy()
+            for row in np.nonzero(nan_mask)[0].tolist():
+                move_times[row] = self._next_move_time(popped[row], now)
+        finite = move_times < math.inf
+        if finite.all():
+            refills = list(zip(move_times.tolist(), popped))
+        else:
+            times = move_times.tolist()
+            refills = [(times[row], popped[row]) for row in np.nonzero(finite)[0].tolist()]
+        if len(refills) * 4 >= len(heap):
+            heap.extend(refills)
+            heapq.heapify(heap)
+        else:
+            for entry in refills:
+                heapq.heappush(heap, entry)
+        moved_mask = (new_xs != grid.xs[indices]) | (new_ys != grid.ys[indices])
+        if not moved_mask.any():
+            return
+        moved_indices = indices[moved_mask]
+        moved_xs = new_xs[moved_mask]
+        moved_ys = new_ys[moved_mask]
+        self.hosts_moved += len(moved_indices)
+        ids = grid.ids
+        radius = self.radio_range
+        if len(moved_indices) * 4 >= len(snapshot.positions):
+            # Same threshold as the scalar path: most of the population
+            # moved, so drop the memos wholesale instead of diffing discs.
+            # The lazy position view tracks the grid arrays by itself.
+            grid.move_many(moved_indices, moved_xs, moved_ys)
+            snapshot.neighbours.clear()
+            snapshot.epochs.clear()
+            snapshot.components = None
+            return
+        # Discs around the movers' old positions, then the new ones; encode
+        # each (mover, member) pair as one integer so the links that changed
+        # across the tick fall out of a single set symmetric difference.
+        old_queries, old_members = grid.disc_pairs(moved_indices, radius)
+        grid.move_many(moved_indices, moved_xs, moved_ys)
+        new_queries, new_members = grid.disc_pairs(moved_indices, radius)
+        size = len(grid)
+        changed_codes = np.setxor1d(
+            moved_indices[old_queries] * size + old_members,
+            moved_indices[new_queries] * size + new_members,
+        )
+        if not changed_codes.size:
+            return  # every mover kept its exact link set: all memos survive
+        snapshot.components = None
+        changed = np.unique(
+            np.concatenate([changed_codes // size, changed_codes % size])
+        )
+        for index in changed.tolist():
+            host = ids[index]
             snapshot.neighbours.pop(host, None)
             snapshot.epochs.pop(host, None)
 
@@ -515,6 +707,7 @@ class AdHocWirelessNetwork(CommunicationsLayer):
         """
 
         now = self.scheduler.clock.now()
+        pending: list[tuple[str, str]] = []
         for first, second in zip(hops, hops[1:]):
             pair = (first, second) if first < second else (second, first)
             armed = self._armed_links.get(pair)
@@ -523,9 +716,17 @@ class AdHocWirelessNetwork(CommunicationsLayer):
             horizon = self._no_break_until.get(pair)
             if horizon is not None and now < horizon:
                 continue  # provably cannot break before `horizon`
-            instant, no_break_until = self._predict_link_break(
-                pair[0], pair[1], now
-            )
+            pending.append(pair)
+        if not pending:
+            return
+        if self.vectorized and len(pending) > 1:
+            predictions = self._predict_link_breaks_batched(pending, now)
+        else:
+            predictions = [
+                self._predict_link_break(pair[0], pair[1], now)
+                for pair in pending
+            ]
+        for pair, (instant, no_break_until) in zip(pending, predictions):
             if instant is None:
                 if no_break_until > now:
                     self._no_break_until[pair] = no_break_until
@@ -538,6 +739,60 @@ class AdHocWirelessNetwork(CommunicationsLayer):
                 lambda p=pair: self._on_predicted_break(p),
                 description=f"link-break {pair[0]}~{pair[1]}",
             )
+
+    def _predict_link_breaks_batched(
+        self, pairs: list[tuple[str, str]], now: float
+    ) -> list[tuple[float | None, float]]:
+        """:meth:`_predict_link_break` over a route's links in one call.
+
+        Legs are fetched once per distinct endpoint; all boundary-crossing
+        quadratics are then solved in a single
+        :func:`~repro.net.kernels.crossing_times` evaluation, whose roots
+        are bit-identical to the scalar closed form.
+        """
+
+        legs: dict[str, tuple[float, Point, tuple[float, float]] | None] = {}
+        for pair in pairs:
+            for host in pair:
+                if host not in legs:
+                    legs[host] = self._current_leg(host)
+        predictions: list[tuple[float | None, float] | None] = []
+        solvable: list[int] = []
+        columns: list[tuple[float, ...]] = []
+        horizons: list[float] = []
+        for index, pair in enumerate(pairs):
+            leg_a, leg_b = legs[pair[0]], legs[pair[1]]
+            if leg_a is None or leg_b is None:
+                # Unpredictable mobility model: never a certified crossing.
+                predictions.append((None, math.inf))
+                continue
+            end_a, position_a, velocity_a = leg_a
+            end_b, position_b, velocity_b = leg_b
+            predictions.append(None)  # placeholder: filled from the batch
+            solvable.append(index)
+            horizons.append(min(end_a, end_b))
+            columns.append(
+                (
+                    position_a.x, position_a.y, velocity_a[0], velocity_a[1],
+                    position_b.x, position_b.y, velocity_b[0], velocity_b[1],
+                )
+            )
+        if solvable:
+            crossings = kernels.crossing_times(
+                *zip(*columns), self.radio_range
+            )
+            for index, valid_until, crossing in zip(
+                solvable, horizons, crossings.tolist()
+            ):
+                if not math.isfinite(crossing) or now + crossing > valid_until:
+                    predictions[index] = (None, valid_until)
+                    continue
+                # Same boundary nudge as the scalar path.
+                instant = now + crossing
+                predictions[index] = (
+                    instant + max(1e-9, instant * 1e-12), valid_until
+                )
+        return predictions
 
     def _on_predicted_break(self, pair: tuple[str, str]) -> None:
         """Bump both endpoints' epochs at the predicted crossing instant.
@@ -594,7 +849,21 @@ class AdHocWirelessNetwork(CommunicationsLayer):
     def _component_labels(self) -> dict[str, int]:
         snapshot = self._current_snapshot()
         if snapshot.components is None:
-            snapshot.components = snapshot.grid.component_labels(self.radio_range)
+            if self.vectorized:
+                # One whole-population disc sweep yields every neighbour
+                # set *and* the component partition: warm the per-host
+                # memos as a side effect (the sets are exactly what the
+                # per-host queries would compute).
+                neighbour_sets, labels = snapshot.grid.neighbour_sets_and_labels(
+                    self.radio_range
+                )
+                for host, neighbours in neighbour_sets.items():
+                    snapshot.neighbours.setdefault(host, neighbours)
+                snapshot.components = labels
+            else:
+                snapshot.components = snapshot.grid.component_labels(
+                    self.radio_range
+                )
         return snapshot.components
 
     def is_reachable(self, sender: str, recipient: str) -> bool:

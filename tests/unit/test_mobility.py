@@ -189,3 +189,72 @@ class TestLegReporting:
                 actual = model.position_at(probe)
                 assert abs(actual.x - expected.x) < 1e-6
                 assert abs(actual.y - expected.y) < 1e-6
+
+
+class TestMotionReporting:
+    """``motion_at``: raw leg rows, bit-exactly replayable via moved_towards."""
+
+    def replay(self, row, t):
+        valid_until, start, origin, destination, speed = row
+        return origin.moved_towards(destination, (t - start) * speed)
+
+    def test_static_motion_is_one_eternal_rest(self):
+        import math
+
+        model = StaticMobility(Point(3, 4))
+        row = model.motion_at(12.0)
+        assert row == (math.inf, 0.0, Point(3, 4), Point(3, 4), 0.0)
+        assert self.replay(row, 1e9) == Point(3, 4)
+
+    def test_waypoint_motion_replays_bit_identically(self):
+        model = WaypointMobility(
+            [Point(0, 0), Point(10, 7), Point(-3, 2)], speed=1.7, pause=4.0
+        )
+        reference = WaypointMobility(
+            [Point(0, 0), Point(10, 7), Point(-3, 2)], speed=1.7, pause=4.0
+        )
+        t = 0.0
+        for delta in (0.0, 0.9, 3.0, 1.4, 6.2, 2.8, 9.9, 30.0, 100.0):
+            t += delta
+            valid_until, *_ = row = model.motion_at(t)
+            # The row replays exactly at the fetch instant...
+            assert self.replay(row, t) == reference.position_at(t)
+            # ...and at every probe strictly before its validity boundary.
+            for probe in (t, t + 0.25, t + 1.5):
+                if probe < valid_until:
+                    assert self.replay(row, probe) == reference.position_at(probe)
+
+    def test_waypoint_motion_final_rest_and_pauses(self):
+        import math
+
+        model = WaypointMobility([Point(0, 0), Point(10, 0)], speed=2.0, pause=5.0)
+        # Pausing at the first waypoint until the leg starts at t=5.
+        assert model.motion_at(2.0) == (5.0, 0.0, Point(0, 0), Point(0, 0), 0.0)
+        # Mid-leg: the raw leg parameters.
+        assert model.motion_at(6.0) == (10.0, 5.0, Point(0, 0), Point(10, 0), 2.0)
+        # Done: an eternal rest at the final waypoint.
+        assert model.motion_at(50.0) == (
+            math.inf, 0.0, Point(10, 0), Point(10, 0), 0.0
+        )
+
+    def test_single_waypoint_motion_is_forever(self):
+        import math
+
+        model = WaypointMobility([Point(5, 5)])
+        valid_until, _, origin, destination, speed = model.motion_at(3.0)
+        assert (valid_until, origin, destination, speed) == (
+            math.inf, Point(5, 5), Point(5, 5), 0.0
+        )
+
+    def test_random_waypoint_motion_replays_bit_identically(self):
+        model = RandomWaypointMobility(square_site(120), seed=29, pause=2.5)
+        reference = RandomWaypointMobility(square_site(120), seed=29, pause=2.5)
+        t = 0.0
+        for delta in (0.0, 1.3, 0.0, 4.4, 11.0, 2.2, 37.5, 8.8):
+            t += delta
+            valid_until, *_ = row = model.motion_at(t)
+            assert valid_until > t or t == 0.0
+            assert self.replay(row, t) == reference.position_at(t)
+            for probe in (t + 0.4, t + 2.9):
+                if probe < valid_until:
+                    assert self.replay(row, probe) == reference.position_at(probe)

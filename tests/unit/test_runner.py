@@ -173,3 +173,88 @@ class TestSharedPool:
         assert batched is not None and unbatched is not None
         assert batched.succeeded and unbatched.succeeded
         assert batched.messages_sent < unbatched.messages_sent
+
+
+class TestShutdownLifecycle:
+    def test_run_after_shutdown_raises_clear_error(self):
+        runner = TrialRunner(parallel=False)
+        runner.run(make_tasks(runs=1))
+        runner.shutdown()
+        runner.shutdown()  # idempotent
+        with pytest.raises(RuntimeError, match="shut down"):
+            runner.run(make_tasks(runs=1))
+
+    def test_context_manager_exit_retires_the_runner(self):
+        with TrialRunner(parallel=False) as runner:
+            runner.run(make_tasks(runs=1))
+        with pytest.raises(RuntimeError):
+            runner.run(make_tasks(runs=1))
+
+
+class TestSharedInputs:
+    def test_shared_matches_unshared_and_sequential_byte_for_byte(self):
+        tasks = make_tasks(runs=2)
+        sequential = TrialRunner(parallel=False, timing="sim").run(tasks)
+        shared_runner = TrialRunner(max_workers=2, parallel=True, timing="sim")
+        unshared_runner = TrialRunner(
+            max_workers=2, parallel=True, timing="sim", shared_inputs=False
+        )
+        try:
+            shared = shared_runner.run(tasks)
+            unshared = unshared_runner.run(tasks)
+        finally:
+            shared_runner.shutdown()
+            unshared_runner.shutdown()
+        if shared_runner.sequential_fallbacks or unshared_runner.sequential_fallbacks:
+            pytest.skip("no usable process pool in this environment")
+        assert shared == unshared == sequential
+        # The sweep's workloads went over shared memory, not down the pipe.
+        assert shared_runner.bytes_shared > 0
+        assert shared_runner.workers_attached >= 1
+        assert unshared_runner.bytes_shared == 0
+        assert unshared_runner.workers_attached == 0
+
+    def test_publish_failure_degrades_to_unshared_run(self, monkeypatch):
+        from repro.experiments import runner as runner_module
+
+        def broken_publish(workloads):
+            raise OSError("no shared memory on this platform")
+
+        monkeypatch.setattr(runner_module, "publish_workloads", broken_publish)
+        runner = TrialRunner(max_workers=2, parallel=True, timing="sim")
+        try:
+            outcomes = runner.run(make_tasks(runs=1))
+        finally:
+            runner.shutdown()
+        assert all(outcome.succeeded for outcome in outcomes)
+        assert runner.bytes_shared == 0
+        assert runner.workers_attached == 0
+
+    def test_attach_missing_segment_returns_false(self):
+        from repro.experiments.shared_inputs import attach_workloads
+
+        cache = {}
+        assert not attach_workloads("psm_repro_does_not_exist", cache)
+        assert cache == {}
+
+    def test_segment_roundtrip_and_idempotent_unlink(self):
+        from repro.experiments.runner import workload_for
+        from repro.experiments.shared_inputs import (
+            attach_workloads,
+            publish_workloads,
+        )
+
+        key = (11, 25)
+        try:
+            segment = publish_workloads({key: workload_for(*key)})
+        except OSError:
+            pytest.skip("no shared memory on this platform")
+        try:
+            cache = {}
+            assert attach_workloads(segment.name, cache)
+            assert cache[key] == workload_for(*key)
+            assert segment.payload_bytes > 0
+        finally:
+            segment.unlink()
+            segment.unlink()  # idempotent
+        assert not attach_workloads(segment.name, {})  # gone after unlink
