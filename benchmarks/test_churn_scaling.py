@@ -1,0 +1,157 @@
+"""Churn benchmarks: what surviving a hostile network costs.
+
+Two questions, measured end to end through :func:`run_churn_trial`:
+
+* **Survival** — at 10/20 (and 40, unless ``REPRO_BENCH_FAST``) hosts
+  with the acceptance-criterion fault load (10% drop, 2% duplication,
+  two crash/restart cycles), what fraction of seeded workflows complete,
+  how much retry/reauction/repair work does it take, and how long is the
+  simulated recovery?  The 20-host row asserts the PR's ≥90% completion
+  bar.
+* **Overhead** — the robustness machinery on a *kind* network: wall-clock
+  per trial with ``fault_injection`` off vs. on with zero fault
+  probabilities, pinning that the hardening is paid for only when faults
+  actually happen.
+
+Everything here is ``slow``-marked; run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_churn_scaling.py -m slow
+
+Each run (re)writes ``benchmarks/BENCH_churn.json`` (existing sections
+from earlier runs are preserved) so the robustness cost is tracked from
+this PR on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import workload_for
+from repro.experiments.trials import (
+    run_allocation_trial,
+    run_churn_trial,
+    simulated_network_factory,
+)
+from repro.sim.randomness import derive_rng
+
+pytestmark = pytest.mark.slow
+
+BENCH_SEED = 20090514
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+NUM_SEEDS = 5 if FAST else 20
+HOST_COUNTS = (10, 20) if FAST else (10, 20, 40)
+
+WORKLOAD = workload_for(BENCH_SEED, 30)
+SPEC = WORKLOAD.path_specification(4, derive_rng(BENCH_SEED, "churn-bench"))
+
+RESULTS_PATH = Path(__file__).with_name("BENCH_churn.json")
+_RESULTS: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_report():
+    """Merge this run's measurements into ``BENCH_churn.json``."""
+
+    yield
+    if not _RESULTS:
+        return
+    existing: dict = {}
+    if RESULTS_PATH.exists():
+        try:
+            existing = json.loads(RESULTS_PATH.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            existing = {}
+    for section, payload in _RESULTS.items():
+        existing.setdefault(section, {}).update(payload)
+    existing["meta"] = {
+        "seed": BENCH_SEED,
+        "num_seeds": NUM_SEEDS,
+        "host_counts": list(HOST_COUNTS),
+        "fast": FAST,
+    }
+    RESULTS_PATH.write_text(
+        json.dumps(existing, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+@pytest.mark.parametrize("num_hosts", HOST_COUNTS)
+def test_survival_under_the_acceptance_fault_load(num_hosts):
+    started = time.perf_counter()
+    results = [
+        run_churn_trial(
+            WORKLOAD,
+            num_hosts,
+            SPEC,
+            seed=seed,
+            network_factory=simulated_network_factory(seed),
+        )
+        for seed in range(NUM_SEEDS)
+    ]
+    wall = time.perf_counter() - started
+    completed = [r for r in results if r.succeeded]
+    recovered = [r for r in results if r.workflows_recovered]
+    rate = len(completed) / len(results)
+    _RESULTS.setdefault("survival", {})[str(num_hosts)] = {
+        "seeds": len(results),
+        "completion_rate": rate,
+        "recovered_via_repair": len(recovered),
+        "mean_retries": sum(r.retries for r in results) / len(results),
+        "mean_reauctions": sum(r.reauctions for r in results) / len(results),
+        "mean_faults_injected": sum(r.messages_faulted for r in results)
+        / len(results),
+        "mean_recovery_seconds": (
+            sum(r.recovery_seconds for r in recovered) / len(recovered)
+            if recovered
+            else 0.0
+        ),
+        "wall_seconds_per_trial": wall / len(results),
+    }
+    # Failed trials must fail cleanly, never hang.
+    assert all(r.succeeded or r.failure_reason for r in results)
+    if num_hosts == 20:
+        assert rate >= 0.9
+
+
+def test_robustness_overhead_on_a_kind_network():
+    def clean_wall() -> float:
+        started = time.perf_counter()
+        for seed in range(NUM_SEEDS):
+            result = run_allocation_trial(
+                WORKLOAD,
+                20,
+                SPEC,
+                seed=seed,
+                network_factory=simulated_network_factory(seed),
+            )
+            assert result.succeeded
+        return (time.perf_counter() - started) / NUM_SEEDS
+
+    def robust_wall() -> float:
+        started = time.perf_counter()
+        for seed in range(NUM_SEEDS):
+            result = run_churn_trial(
+                WORKLOAD,
+                20,
+                SPEC,
+                seed=seed,
+                network_factory=simulated_network_factory(seed),
+                drop_probability=0.0,
+                duplicate_probability=0.0,
+                num_crashes=0,
+            )
+            assert result.succeeded
+            assert result.retries == 0
+        return (time.perf_counter() - started) / NUM_SEEDS
+
+    clean = clean_wall()
+    robust = robust_wall()
+    _RESULTS["overhead"] = {
+        "clean_wall_seconds_per_trial": clean,
+        "robust_wall_seconds_per_trial": robust,
+        "relative": robust / clean if clean else float("inf"),
+    }

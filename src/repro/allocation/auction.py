@@ -25,6 +25,7 @@ from ..core.specification import Specification
 from ..core.tasks import Task
 from ..core.workflow import Workflow
 from ..net.messages import (
+    AwardAck,
     AwardBatch,
     AwardMessage,
     AwardRejected,
@@ -139,17 +140,42 @@ class AuctionManager:
         send: SendFunction,
         policy: BidSelectionPolicy = DEFAULT_POLICY,
         batch_auctions: bool = True,
+        robust: bool = False,
+        solicit_timeout: float = 20.0,
+        award_timeout: float = 10.0,
+        max_solicitations: int = 3,
+        max_award_attempts: int = 3,
+        retry_backoff: float = 2.0,
     ) -> None:
         self.host_id = host_id
         self.scheduler = scheduler
         self._send = send
         self.policy = policy
         self.batch_auctions = batch_auctions
+        #: Fault hardening (``fault_injection``): bounded retry+backoff for
+        #: unanswered solicitations (silent participants become implicit
+        #: declines after ``max_solicitations`` rounds), award acks with
+        #: resends, and re-auction when a winner never acknowledges.  Off by
+        #: default: the clean protocol sends not a single extra message.
+        self.robust = robust
+        self.solicit_timeout = solicit_timeout
+        self.award_timeout = award_timeout
+        self.max_solicitations = max_solicitations
+        self.max_award_attempts = max_award_attempts
+        self.retry_backoff = retry_backoff
+        #: Messages re-sent because the first copy went unanswered.
+        self.retries = 0
+        #: Tasks re-auctioned because their winner never acknowledged.
+        self.reauctions = 0
         self._auctions: dict[str, dict[str, TaskAuction]] = {}
         self._outcomes: dict[str, AllocationOutcome] = {}
         self._callbacks: dict[str, Callable[[AllocationOutcome], None]] = {}
         self._workflows: dict[str, Workflow] = {}
         self._specifications: dict[str, Specification] = {}
+        self._solicit_timers: dict[str, EventHandle] = {}
+        #: workflow -> task -> winner still owing an :class:`AwardAck`.
+        self._unacked: dict[str, dict[str, str]] = {}
+        self._award_timers: dict[str, EventHandle] = {}
 
     # -- starting an auction -------------------------------------------------
     def start_auction(
@@ -200,19 +226,20 @@ class AuctionManager:
                         calls=calls,
                     )
                 )
-            return
-
-        for task_name, auction in auctions.items():
-            for participant in sorted(participant_set):
-                self._send(
-                    CallForBids(
-                        sender=self.host_id,
-                        recipient=participant,
-                        workflow_id=workflow_id,
-                        task=auction.task,
-                        earliest_start=auction.earliest_start,
+        else:
+            for task_name, auction in auctions.items():
+                for participant in sorted(participant_set):
+                    self._send(
+                        CallForBids(
+                            sender=self.host_id,
+                            recipient=participant,
+                            workflow_id=workflow_id,
+                            task=auction.task,
+                            earliest_start=auction.earliest_start,
+                        )
                     )
-                )
+        if self.robust:
+            self._arm_solicit_timer(workflow_id, attempt=1)
 
     def compute_task_metadata(
         self, workflow: Workflow, specification: Specification
@@ -279,6 +306,11 @@ class AuctionManager:
         auction = self._find_auction(workflow_id, bid.task_name)
         if auction is None or auction.finalized:
             return
+        if any(existing.bidder == bid.bidder for existing in auction.bids):
+            # Duplicate answer — a re-solicited participant whose first bid
+            # was merely delayed, or a fault-plane duplication.  The first
+            # firm bid stands; a bid is a promise, not an update.
+            return
         outcome = self._outcomes[workflow_id]
         outcome.bids_received += 1
         auction.bids.append(bid)
@@ -304,20 +336,52 @@ class AuctionManager:
         if auction is None:
             return
         outcome = self._outcomes[workflow_id]
-        remaining = [b for b in auction.bids if b.bidder != message.sender]
+        if (
+            message.task_name in outcome.allocation
+            and outcome.allocation[message.task_name] != message.sender
+        ):
+            # Stale or duplicated rejection: the task already moved on to a
+            # different winner (fault-plane re-delivery, or a rejection that
+            # crossed a re-award in flight).  Applying it would strike the
+            # *new* winner's allocation for the old winner's sins.
+            return
+        self._clear_unacked(workflow_id, message.task_name, message.sender)
+        self._reassign_after_loss(
+            workflow_id,
+            message.task_name,
+            message.sender,
+            f"winner {message.sender!r} rejected the award and no other bids remain",
+        )
+
+    def _reassign_after_loss(
+        self, workflow_id: str, task_name: str, lost_host: str, reason: str
+    ) -> None:
+        """Strike ``lost_host``'s bids for a task and award the next-best bid.
+
+        Shared by the award-rejected path and the robust ack-timeout path
+        (a winner presumed dead): both remove the lost winner from the
+        running and either re-award or record the task as unallocated.
+        """
+
+        auction = self._find_auction(workflow_id, task_name)
+        if auction is None:
+            return
+        outcome = self._outcomes[workflow_id]
+        remaining = [b for b in auction.bids if b.bidder != lost_host]
         auction.bids = remaining
         outcome.reallocations += 1
         if remaining:
             auction.winner = rank_bids(remaining, self.policy)[0]
-            outcome.allocation[message.task_name] = auction.winner.bidder
-            outcome.winning_bids[message.task_name] = auction.winner
+            outcome.allocation[task_name] = auction.winner.bidder
+            outcome.winning_bids[task_name] = auction.winner
             self._send_award(workflow_id, auction)
+            if self.robust:
+                self._expect_ack(workflow_id, task_name, auction.winner.bidder)
         else:
-            outcome.allocation.pop(message.task_name, None)
-            outcome.winning_bids.pop(message.task_name, None)
-            outcome.unallocated[message.task_name] = (
-                f"winner {message.sender!r} rejected the award and no other bids remain"
-            )
+            auction.winner = None
+            outcome.allocation.pop(task_name, None)
+            outcome.winning_bids.pop(task_name, None)
+            outcome.unallocated[task_name] = reason
 
     # -- tentative allocation and deadlines --------------------------------------------
     def _reevaluate_tentative(self, workflow_id: str, auction: TaskAuction) -> None:
@@ -358,6 +422,7 @@ class AuctionManager:
     def _complete(self, workflow_id: str) -> None:
         outcome = self._outcomes[workflow_id]
         outcome.completed_at = self.scheduler.clock.now()
+        self._cancel_timer(self._solicit_timers, workflow_id)
         auctions = self._auctions[workflow_id]
         if outcome.succeeded or outcome.allocation:
             if self.batch_auctions:
@@ -366,9 +431,163 @@ class AuctionManager:
                 for auction in auctions.values():
                     if auction.winner is not None:
                         self._send_award(workflow_id, auction)
+            if self.robust:
+                for auction in auctions.values():
+                    if auction.winner is not None:
+                        self._expect_ack(
+                            workflow_id, auction.task.name, auction.winner.bidder
+                        )
         callback = self._callbacks.get(workflow_id)
         if callback is not None:
             callback(outcome)
+
+    # -- fault hardening: retries, acks, re-auctions ---------------------------------
+    @staticmethod
+    def _cancel_timer(timers: dict[str, EventHandle], workflow_id: str) -> None:
+        handle = timers.pop(workflow_id, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _backoff_delay(self, base: float, attempt: int) -> float:
+        return base * (self.retry_backoff ** (attempt - 1))
+
+    def _arm_solicit_timer(self, workflow_id: str, attempt: int) -> None:
+        self._cancel_timer(self._solicit_timers, workflow_id)
+        self._solicit_timers[workflow_id] = self.scheduler.schedule_in(
+            self._backoff_delay(self.solicit_timeout, attempt),
+            lambda: self._solicit_deadline(workflow_id, attempt),
+            description=f"solicit-timeout {workflow_id}",
+        )
+
+    def _solicit_deadline(self, workflow_id: str, attempt: int) -> None:
+        """A solicitation round expired: re-solicit the silent, or give up.
+
+        Up to ``max_solicitations`` rounds, participants that have not
+        answered every open task are re-solicited (with exponential
+        backoff, in case the silence was congestion rather than death).
+        After the final round the silent are treated as implicit declines —
+        the guarantee the paper's explicit-decline protocol gave the
+        auctioneer is thereby restored on a lossy medium.
+        """
+
+        self._solicit_timers.pop(workflow_id, None)
+        auctions = self._auctions.get(workflow_id)
+        if auctions is None:
+            return
+        open_auctions = [a for a in auctions.values() if not a.finalized]
+        if not open_auctions:
+            return
+        missing = sorted(
+            {
+                participant
+                for auction in open_auctions
+                for participant in auction.expected_responders - auction.responders
+            }
+        )
+        if not missing:
+            return
+        if attempt >= self.max_solicitations:
+            for auction in list(open_auctions):
+                for participant in auction.expected_responders - auction.responders:
+                    auction.declines.add(participant)
+                if not auction.finalized and auction.all_responded():
+                    self._finalize(workflow_id, auction)
+            return
+        self.retries += len(missing)
+        if self.batch_auctions:
+            calls = tuple(
+                TaskCall(task=a.task, earliest_start=a.earliest_start)
+                for a in auctions.values()
+            )
+            for participant in missing:
+                self._send(
+                    CallForBidsBatch(
+                        sender=self.host_id,
+                        recipient=participant,
+                        workflow_id=workflow_id,
+                        calls=calls,
+                    )
+                )
+        else:
+            for auction in open_auctions:
+                for participant in sorted(
+                    auction.expected_responders - auction.responders
+                ):
+                    self._send(
+                        CallForBids(
+                            sender=self.host_id,
+                            recipient=participant,
+                            workflow_id=workflow_id,
+                            task=auction.task,
+                            earliest_start=auction.earliest_start,
+                        )
+                    )
+        self._arm_solicit_timer(workflow_id, attempt + 1)
+
+    def _expect_ack(self, workflow_id: str, task_name: str, winner: str) -> None:
+        self._unacked.setdefault(workflow_id, {})[task_name] = winner
+        if workflow_id not in self._award_timers:
+            self._arm_award_timer(workflow_id, attempt=1)
+
+    def _arm_award_timer(self, workflow_id: str, attempt: int) -> None:
+        self._cancel_timer(self._award_timers, workflow_id)
+        self._award_timers[workflow_id] = self.scheduler.schedule_in(
+            self._backoff_delay(self.award_timeout, attempt),
+            lambda: self._award_deadline(workflow_id, attempt),
+            description=f"award-ack-timeout {workflow_id}",
+        )
+
+    def handle_award_ack(self, message: AwardAck) -> None:
+        """A winner confirmed its awards; stop chasing those tasks."""
+
+        for task_name in message.task_names:
+            self._clear_unacked(message.workflow_id, task_name, message.sender)
+
+    def _clear_unacked(self, workflow_id: str, task_name: str, host: str) -> None:
+        unacked = self._unacked.get(workflow_id)
+        if unacked is None or unacked.get(task_name) != host:
+            # Unknown, already-cleared, or superseded (the task has been
+            # re-awarded to a different host since): ignore.
+            return
+        del unacked[task_name]
+        if not unacked:
+            del self._unacked[workflow_id]
+            self._cancel_timer(self._award_timers, workflow_id)
+
+    def _award_deadline(self, workflow_id: str, attempt: int) -> None:
+        """Unacknowledged awards: resend, then presume the winner dead.
+
+        Resends are per-task :class:`AwardMessage`\\ s (the same envelope the
+        rejection re-award path uses, whatever the batch setting).  After
+        ``max_award_attempts`` silent rounds the winner's bids are struck
+        and the task re-auctioned among the remaining bidders; the ack
+        cycle restarts for the replacement winner.
+        """
+
+        self._award_timers.pop(workflow_id, None)
+        unacked = self._unacked.get(workflow_id)
+        if not unacked:
+            return
+        if attempt >= self.max_award_attempts:
+            for task_name, winner in sorted(unacked.items()):
+                self._clear_unacked(workflow_id, task_name, winner)
+                self.reauctions += 1
+                self._reassign_after_loss(
+                    workflow_id,
+                    task_name,
+                    winner,
+                    f"winner {winner!r} never acknowledged the award "
+                    "and no other bids remain",
+                )
+            # _reassign_after_loss re-arms the timer for replacement winners.
+            return
+        for task_name in sorted(unacked):
+            auction = self._find_auction(workflow_id, task_name)
+            if auction is None or auction.winner is None:
+                continue
+            self.retries += 1
+            self._send_award(workflow_id, auction)
+        self._arm_award_timer(workflow_id, attempt + 1)
 
     def _send_award_batches(
         self, workflow_id: str, auctions: Mapping[str, TaskAuction]

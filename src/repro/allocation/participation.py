@@ -84,6 +84,12 @@ class AuctionParticipationManager:
         self.schedule = schedule
         self.execution = execution
         self.statistics = ParticipationStatistics()
+        #: Awards already converted to commitments, keyed by
+        #: ``(workflow_id, task_name)``.  A re-delivered award (fault-plane
+        #: duplication, or the auction manager re-sending after a lost ack)
+        #: returns the existing commitment instead of double-booking the
+        #: schedule through the conflict-fallback slot search.
+        self._accepted: dict[tuple[str, str], Commitment] = {}
 
     # -- bidding ----------------------------------------------------------------
     def _evaluate_task(
@@ -242,6 +248,10 @@ class AuctionParticipationManager:
                 reason="award carried no task definition",
             )
 
+        existing = self._accepted.get((workflow_id, task.name))
+        if existing is not None and existing.task == task:
+            return existing
+
         start = max(scheduled_start, self.clock.now())
         travel = self.schedule.travel_time_to(task.location, at_time=start)
         commitment = Commitment(
@@ -280,6 +290,7 @@ class AuctionParticipationManager:
             self.schedule.add_commitment(commitment)
 
         self.statistics.awards_accepted += 1
+        self._accepted[(workflow_id, task.name)] = commitment
         self.execution.watch(commitment)
         return commitment
 

@@ -132,29 +132,40 @@ def traffic_table(
     one row per message kind (sorted by bytes, heaviest first) plus a total
     row, so a trial summary shows at a glance where the traffic went — and,
     for repeat workflows on a shared knowledge plane, how much fragment
-    transfer was saved.
+    transfer was saved.  The ``dropped`` column counts sends that never
+    reached a handler (unreachable recipients, fault-plane drops), broken
+    down per kind so a churn run shows *which* protocol paid for the
+    hostile network.
     """
 
     by_kind = statistics.get("by_kind", {})
     bytes_by_kind = statistics.get("bytes_by_kind", {})
+    dropped_by_kind = statistics.get("dropped_by_kind", {})
     assert isinstance(by_kind, Mapping) and isinstance(bytes_by_kind, Mapping)
-    rows: list[list[str]] = [["kind", "messages", "bytes"]]
+    assert isinstance(dropped_by_kind, Mapping)
+    rows: list[list[str]] = [["kind", "messages", "bytes", "dropped"]]
     kinds = sorted(
-        set(by_kind) | set(bytes_by_kind),
+        set(by_kind) | set(bytes_by_kind) | set(dropped_by_kind),
         key=lambda kind: (-int(bytes_by_kind.get(kind, 0)), kind),
     )
     for kind in kinds:
         rows.append(
-            [kind, str(by_kind.get(kind, 0)), str(bytes_by_kind.get(kind, 0))]
+            [
+                kind,
+                str(by_kind.get(kind, 0)),
+                str(bytes_by_kind.get(kind, 0)),
+                str(dropped_by_kind.get(kind, 0)),
+            ]
         )
     rows.append(
         [
             "total",
             str(statistics.get("messages_sent", 0)),
             str(statistics.get("bytes_sent", 0)),
+            str(statistics.get("messages_dropped", 0)),
         ]
     )
-    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    widths = [max(len(row[i]) for row in rows) for i in range(4)]
     lines = [title]
     for row in rows:
         lines.append(

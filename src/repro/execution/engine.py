@@ -59,7 +59,7 @@ from ..net.messages import (
     WorkflowProgressReport,
 )
 from ..scheduling.commitments import Commitment, CommitmentOutcome
-from ..sim.events import EventScheduler
+from ..sim.events import EventHandle, EventScheduler
 from .services import ServiceManager
 
 SendFunction = Callable[[Message], None]
@@ -75,6 +75,9 @@ class PendingInvocation:
     received_inputs: dict[str, object] = field(default_factory=dict)
     started: bool = False
     completed: bool = False
+    #: Robust mode only: the timer that abandons the invocation when its
+    #: inputs never arrive (cancelled the moment execution starts).
+    expiry_event: EventHandle | None = None
 
     @property
     def task_name(self) -> str:
@@ -130,12 +133,27 @@ class ExecutionManager:
         services: ServiceManager,
         send: SendFunction,
         batch_execution: bool = True,
+        robust: bool = False,
+        input_timeout: float = 60.0,
+        schedule=None,
     ) -> None:
         self.host_id = host_id
         self.scheduler = scheduler
         self.services = services
         self._send = send
         self.batch_execution = batch_execution
+        #: Fault hardening (``fault_injection``): an invocation whose inputs
+        #: have not all arrived ``input_timeout`` seconds after its
+        #: scheduled start is *abandoned* — its commitment is released from
+        #: ``schedule`` (the host's :class:`~repro.scheduling.schedule.ScheduleManager`,
+        #: when given) and the initiator is told via a transient failure, so
+        #: a producer's death upstream turns into workflow repair instead of
+        #: an invocation pending forever.  Off by default: no timer survives
+        #: long enough to change a clean run.
+        self.robust = robust
+        self.input_timeout = input_timeout
+        self.schedule = schedule
+        self.invocations_abandoned = 0
         self._pending: dict[_PendingKey, PendingInvocation] = {}
         #: Inverted trigger index: (workflow_id, label) -> the pending
         #: invocations awaiting that label, in watch order.  Buckets are
@@ -175,6 +193,12 @@ class ExecutionManager:
             lambda: self._maybe_execute(key),
             description=f"start-window {commitment.task.name}",
         )
+        if self.robust:
+            pending.expiry_event = self.scheduler.schedule_in(
+                delay + self.input_timeout,
+                lambda: self._expire(key),
+                description=f"input-timeout {commitment.task.name}",
+            )
         return pending
 
     def _unwatch(self, key: _PendingKey, commitment: Commitment) -> None:
@@ -247,6 +271,10 @@ class ExecutionManager:
         if not pending.inputs_satisfied():
             return
         pending.started = True
+        if pending.expiry_event is not None:
+            # The conditions were met in time; the abandonment timer is moot.
+            pending.expiry_event.cancel()
+            pending.expiry_event = None
         self._running[commitment.workflow_id] = (
             self._running.get(commitment.workflow_id, 0) + 1
         )
@@ -258,6 +286,42 @@ class ExecutionManager:
             lambda: self._complete(key),
             description=f"execute {commitment.task.name}",
         )
+
+    def _expire(self, key: _PendingKey) -> None:
+        """Abandon an invocation whose inputs never arrived (robust mode).
+
+        The producer upstream is dead or partitioned away: release the
+        commitment's schedule slot, forget the invocation, and report a
+        *transient* failure so the initiator repairs by re-auctioning the
+        task rather than excluding it — the task is fine, its data never
+        came.
+        """
+
+        pending = self._pending.get(key)
+        if pending is None or pending.started or pending.completed:
+            return
+        commitment = pending.commitment
+        pending.completed = True
+        pending.expiry_event = None
+        self.invocations_abandoned += 1
+        missing = ", ".join(sorted(pending.missing_inputs()))
+        reason = (
+            f"abandoned: inputs [{missing}] never arrived within "
+            f"{self.input_timeout:g}s of the scheduled start"
+        )
+        self.outcomes.append(
+            CommitmentOutcome(
+                commitment,
+                completed_at=self.scheduler.clock.now(),
+                succeeded=False,
+                failure_reason=reason,
+            )
+        )
+        if self.schedule is not None:
+            self.schedule.remove_commitment(commitment.commitment_id)
+        self._pending.pop(key, None)
+        self._unwatch(key, commitment)
+        self._notify_failure(commitment, reason, transient=True)
 
     def _complete(self, key: _PendingKey) -> None:
         pending = self._pending.get(key)
@@ -364,7 +428,9 @@ class ExecutionManager:
         return frozenset(sent)
 
     # -- progress reporting --------------------------------------------------------
-    def _notify_failure(self, commitment: Commitment, reason: str) -> None:
+    def _notify_failure(
+        self, commitment: Commitment, reason: str, transient: bool = False
+    ) -> None:
         """Report an execution failure back to the initiator (repair trigger)."""
 
         if not commitment.initiator:
@@ -376,7 +442,10 @@ class ExecutionManager:
             self._flush_report(
                 commitment,
                 failure=TaskFailureRecord(
-                    task_name=commitment.task.name, failed_at=now, reason=reason
+                    task_name=commitment.task.name,
+                    failed_at=now,
+                    reason=reason,
+                    transient=transient,
                 ),
             )
             return
@@ -388,6 +457,7 @@ class ExecutionManager:
                 task_name=commitment.task.name,
                 failed_at=now,
                 reason=reason,
+                transient=transient,
             )
         )
 

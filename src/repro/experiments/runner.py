@@ -105,6 +105,12 @@ class TrialTask:
     delivery and per-burst progress reports (the default) or the original
     per-label / per-task messaging.  Both produce the same commitment
     outcomes; only message counts differ."""
+    fault_injection: bool = False
+    """When true every host of the trial speaks the fault-hardened
+    protocols (award acks, retry/backoff, liveness watchdogs) and has
+    recovery enabled.  No fault plane is installed by the sweep runner —
+    this flag alone changes behaviour only under faults; churn scenarios
+    install a plane via :func:`~repro.experiments.trials.run_churn_trial`."""
     cohort: str = ""
     """Seed-derivation label; defaults to ``series``.  Tasks that share a
     cohort draw the same specifications and community deals even when their
@@ -250,6 +256,8 @@ def execute_trial(task: TrialTask, timing: str = "wall") -> TrialOutcome:
         mobility_factory=_mobility_factory_for(task, trial_seed),
         batch_auctions=task.batch_auctions,
         batch_execution=task.batch_execution,
+        fault_injection=task.fault_injection,
+        enable_recovery=task.fault_injection,
     )
     if task.policy:
         policy = _policy_for(task.policy, trial_seed)

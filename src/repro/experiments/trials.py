@@ -27,12 +27,13 @@ from ..core.specification import Specification
 from ..host.community import Community
 from ..host.workspace import Workspace, WorkflowPhase
 from ..net.adhoc import AdHocWirelessNetwork
+from ..net.faults import FaultPlane, HostCrash, LinkFaultPolicy
 from ..net.simnet import SimulatedNetwork
 from ..net.transport import CommunicationsLayer
 from ..mobility.geometry import Point
 from ..mobility.models import MobilityModel
 from ..sim.events import EventScheduler
-from ..sim.randomness import derive_rng
+from ..sim.randomness import derive_rng, derive_seed, sample_without_replacement
 from ..workloads.supergraph_gen import GeneratedWorkload
 
 
@@ -50,6 +51,16 @@ class TrialResult:
     responses) the trial actually put on the wire.  ``unexpected_labels``
     sums, over every host of the community, the label deliveries that
     matched no pending invocation (late or duplicate execution data).
+
+    The churn counters are populated by :func:`run_churn_trial`:
+    ``hosts_crashed`` hosts fail-stopped on schedule, ``messages_faulted``
+    fault events the plane injected (drops + duplicates + delays),
+    ``retries`` re-sent solicitations/awards/discovery queries,
+    ``reauctions`` tasks re-awarded because their winner died before
+    acknowledging, ``workflows_recovered`` whether the workflow finished
+    in a repair revision rather than the original, and
+    ``recovery_seconds`` the simulated time from the first failure to
+    final completion (0 when no repair was needed).
     """
 
     succeeded: bool
@@ -70,6 +81,12 @@ class TrialResult:
     fragment_messages: int = 0
     fragment_bytes: int = 0
     unexpected_labels: int = 0
+    hosts_crashed: int = 0
+    messages_faulted: int = 0
+    retries: int = 0
+    reauctions: int = 0
+    workflows_recovered: int = 0
+    recovery_seconds: float = 0.0
 
     def deterministic_copy(self) -> "TrialResult":
         """This result with the wall-clock timing components zeroed.
@@ -141,6 +158,9 @@ def build_trial_community(
     share_supergraph: bool = True,
     batch_auctions: bool = True,
     batch_execution: bool = True,
+    fault_injection: bool = False,
+    enable_recovery: bool = False,
+    max_repair_attempts: int = 3,
 ) -> Community:
     """Set up a community for one trial (fragments/services dealt out randomly).
 
@@ -179,6 +199,9 @@ def build_trial_community(
             share_supergraph=share_supergraph,
             batch_auctions=batch_auctions,
             batch_execution=batch_execution,
+            fault_injection=fault_injection,
+            enable_recovery=enable_recovery,
+            max_repair_attempts=max_repair_attempts,
         )
         del host
     return community
@@ -208,6 +231,109 @@ def run_allocation_trial(
     workspace = community.submit_specification(initiator, specification)
     community.run_until_allocated(workspace, max_sim_seconds=3_600.0)
     return trial_result_from_workspace(community, workspace)
+
+
+def run_churn_trial(
+    workload: GeneratedWorkload,
+    num_hosts: int,
+    specification: Specification,
+    seed: int,
+    network_factory: Callable[[EventScheduler], CommunicationsLayer] | None = None,
+    initiator_index: int = 0,
+    solver: Solver | str | None = None,
+    mobility_factory: Callable[[int], "MobilityModel | Point"] | None = None,
+    drop_probability: float = 0.1,
+    duplicate_probability: float = 0.02,
+    extra_delay_mean: float = 0.0,
+    num_crashes: int = 2,
+    crash_window: tuple[float, float] = (10.0, 120.0),
+    outage: float = 60.0,
+    max_repair_attempts: int = 6,
+    max_sim_seconds: float = 3_600.0,
+) -> TrialResult:
+    """Run one end-to-end trial on a hostile network and measure survival.
+
+    The community runs with ``fault_injection`` and recovery on, behind a
+    seeded :class:`~repro.net.faults.FaultPlane`: every link drops,
+    duplicates, and delays messages per the given probabilities, and
+    ``num_crashes`` non-initiator hosts fail-stop at times drawn from
+    ``crash_window``, restarting ``outage`` simulated seconds later.  The
+    trial pumps the scheduler to quiescence (bounded by
+    ``max_sim_seconds``), follows the workflow's repair chain to its final
+    revision, and reports the churn counters alongside the usual
+    measurements.  Churn trials default to a deeper repair ladder
+    (``max_repair_attempts=6``) than clean runs: a dropped label delivery
+    costs one repair round, so survival probability compounds per round.  Everything is a pure function of ``seed``: re-running
+    with the same arguments reproduces the same faults and the same result.
+    """
+
+    community = build_trial_community(
+        workload,
+        num_hosts,
+        seed,
+        network_factory=network_factory,
+        solver=solver,
+        mobility_factory=mobility_factory,
+        fault_injection=True,
+        enable_recovery=True,
+        max_repair_attempts=max_repair_attempts,
+    )
+    initiator = f"host-{initiator_index % num_hosts}"
+    churn_rng = derive_rng(seed, "churn", num_hosts, num_crashes)
+    candidates = [host_id for host_id in community.host_ids if host_id != initiator]
+    victims = sample_without_replacement(
+        churn_rng, candidates, min(num_crashes, len(candidates))
+    )
+    crashes = []
+    for victim in victims:
+        crash_at = churn_rng.uniform(*crash_window)
+        crashes.append(
+            HostCrash(
+                host_id=victim,
+                crash_at=crash_at,
+                restart_at=crash_at + outage,
+            )
+        )
+    plane = FaultPlane(
+        seed=derive_seed(seed, "faults", num_hosts),
+        default_policy=LinkFaultPolicy(
+            drop_probability=drop_probability,
+            duplicate_probability=duplicate_probability,
+            extra_delay_mean=extra_delay_mean,
+        ),
+        crashes=tuple(crashes),
+    )
+    community.install_fault_plane(plane)
+
+    workspace = community.submit_specification(initiator, specification)
+    community.run_idle(max_sim_seconds=max_sim_seconds)
+
+    manager = community.host(initiator).workflow_manager
+    final = manager.final_workspace(workspace.workflow_id) or workspace
+    result = trial_result_from_workspace(community, final)
+
+    recovered = final is not workspace and final.phase is WorkflowPhase.COMPLETED
+    recovery_seconds = 0.0
+    if recovered:
+        first_failure = workspace.timestamps.get("failed")
+        completed = final.timestamps.get("completed")
+        if first_failure is not None and completed is not None:
+            recovery_seconds = completed.sim_time - first_failure.sim_time
+    retries = sum(
+        host.auction_manager.retries + host.workflow_manager.discovery_retries
+        for host in community
+    )
+    reauctions = sum(host.auction_manager.reauctions for host in community)
+    return replace(
+        result,
+        succeeded=final.phase is WorkflowPhase.COMPLETED,
+        hosts_crashed=community.hosts_crashed,
+        messages_faulted=plane.statistics.faulted,
+        retries=retries,
+        reauctions=reauctions,
+        workflows_recovered=1 if recovered else 0,
+        recovery_seconds=recovery_seconds,
+    )
 
 
 def trial_result_from_workspace(

@@ -23,6 +23,7 @@ from ..mobility.geometry import Point
 from ..mobility.locations import LocationDirectory, TravelModel
 from ..mobility.models import MobilityModel
 from ..net.adhoc import AdHocWirelessNetwork
+from ..net.faults import FaultPlane
 from ..net.simnet import SimulatedNetwork
 from ..net.transport import CommunicationsLayer
 from ..scheduling.preferences import ALWAYS_WILLING, ParticipantPreferences
@@ -62,6 +63,13 @@ class Community:
         self.locations = locations if locations is not None else LocationDirectory()
         self.travel_model = travel_model if travel_model is not None else TravelModel()
         self._hosts: dict[str, Host] = {}
+        #: How each host was built, so ``restart_host`` can rebuild it after
+        #: a crash with its durable state (the fragment database contents)
+        #: but fresh volatile state and a new database epoch.
+        self._recipes: dict[str, dict[str, object]] = {}
+        self.fault_plane: FaultPlane | None = None
+        self.hosts_crashed = 0
+        self.hosts_restarted = 0
 
     # -- membership -------------------------------------------------------------
     def add_host(
@@ -74,22 +82,40 @@ class Community:
         construction_mode: str = "batch",
         capability_aware: bool = False,
         enable_recovery: bool = False,
+        max_repair_attempts: int = 3,
         solver: "Solver | str | None" = None,
         share_supergraph: bool = True,
         knowledge_refresh_interval: float = float("inf"),
         batch_auctions: bool = True,
         batch_execution: bool = True,
+        fault_injection: bool = False,
     ) -> Host:
         """Create a host, attach it to the network, and join it to the community."""
 
         if host_id in self._hosts:
             raise OpenWorkflowError(f"host {host_id!r} already exists in the community")
+        recipe: dict[str, object] = dict(
+            fragments=tuple(fragments),
+            services=tuple(services),
+            mobility=mobility,
+            preferences=preferences,
+            construction_mode=construction_mode,
+            capability_aware=capability_aware,
+            enable_recovery=enable_recovery,
+            max_repair_attempts=max_repair_attempts,
+            solver=solver,
+            share_supergraph=share_supergraph,
+            knowledge_refresh_interval=knowledge_refresh_interval,
+            batch_auctions=batch_auctions,
+            batch_execution=batch_execution,
+            fault_injection=fault_injection,
+        )
         host = Host(
             host_id,
             network=self.network,
             scheduler=self.scheduler,
-            fragments=fragments,
-            services=services,
+            fragments=recipe["fragments"],
+            services=recipe["services"],
             locations=self.locations,
             travel_model=self.travel_model,
             mobility=mobility,
@@ -99,21 +125,90 @@ class Community:
             batch_execution=batch_execution,
             capability_aware=capability_aware,
             enable_recovery=enable_recovery,
+            max_repair_attempts=max_repair_attempts,
             solver=solver,
             share_supergraph=share_supergraph,
             knowledge_refresh_interval=knowledge_refresh_interval,
+            fault_injection=fault_injection,
         )
         self._hosts[host_id] = host
+        self._recipes[host_id] = recipe
         if isinstance(self.network, AdHocWirelessNetwork) and mobility is not None:
             self.network.place_host(host_id, mobility)
         return host
 
     def remove_host(self, host_id: str) -> None:
-        """A participant leaves the community (powers off or walks away)."""
+        """A participant leaves the community (powers off or walks away).
+
+        The departed host's scheduled activity (retry timers, pending
+        executions, watchdogs) is cancelled along with its network
+        registration, so nothing it armed keeps firing after it left.
+        """
 
         host = self._hosts.pop(host_id, None)
+        self._recipes.pop(host_id, None)
         if host is not None:
-            self.network.unregister(host_id)
+            host.crash()
+
+    # -- crash/restart churn (fault injection) --------------------------------------
+    def crash_host(self, host_id: str) -> Host | None:
+        """Fail-stop a host, keeping only its durable state for a restart.
+
+        The host's current fragment database contents are snapshotted into
+        its build recipe (they model flash storage, which survives a crash);
+        everything else — commitments, pending invocations, open auctions,
+        timers — is volatile and dies with the process.
+        """
+
+        host = self._hosts.pop(host_id, None)
+        if host is None:
+            return None
+        recipe = self._recipes.get(host_id)
+        if recipe is not None:
+            recipe["fragments"] = tuple(host.fragment_manager.all_fragments())
+        host.crash()
+        self.hosts_crashed += 1
+        return host
+
+    def restart_host(self, host_id: str) -> Host | None:
+        """Bring a crashed host back with fresh volatile state.
+
+        The replacement is rebuilt from the recorded recipe; its fragment
+        manager starts a new database *epoch*, so initiators that held
+        delta-sync floors against the dead instance fall back to full
+        queries instead of trusting stale versions.
+        """
+
+        recipe = self._recipes.get(host_id)
+        if recipe is None or host_id in self._hosts:
+            return None
+        self.hosts_restarted += 1
+        return self.add_host(host_id, **recipe)  # type: ignore[arg-type]
+
+    def install_fault_plane(self, plane: FaultPlane) -> None:
+        """Attach a fault plane: message faults at the transport, plus churn.
+
+        Message-level faults (drops, duplicates, delays, partitions) are
+        applied by the communications layer on every send.  The plane's
+        crash schedule is turned into scheduler events here: each
+        :class:`~repro.net.faults.HostCrash` fail-stops its host at
+        ``crash_at`` and, when ``restart_at`` is set, rebuilds it then.
+        """
+
+        self.fault_plane = plane
+        self.network.install_fault_plane(plane)
+        for crash in plane.crashes:
+            self.scheduler.schedule_at(
+                crash.crash_at,
+                lambda host_id=crash.host_id: self.crash_host(host_id),
+                description=f"crash {crash.host_id}",
+            )
+            if crash.restart_at is not None:
+                self.scheduler.schedule_at(
+                    crash.restart_at,
+                    lambda host_id=crash.host_id: self.restart_host(host_id),
+                    description=f"restart {crash.host_id}",
+                )
 
     def host(self, host_id: str) -> Host:
         return self._hosts[host_id]

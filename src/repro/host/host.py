@@ -31,6 +31,7 @@ from ..mobility.geometry import Point
 from ..mobility.locations import LocationDirectory, TravelModel
 from ..mobility.models import MobilityModel
 from ..net.messages import (
+    AwardAck,
     AwardBatch,
     AwardMessage,
     AwardRejected,
@@ -53,7 +54,7 @@ from ..net.messages import (
 from ..net.transport import CommunicationsLayer
 from ..scheduling.preferences import ALWAYS_WILLING, ParticipantPreferences
 from ..scheduling.schedule import ScheduleManager
-from ..sim.events import EventScheduler
+from ..sim.events import EventScheduler, ScopedScheduler
 from .initiator import WorkflowInitiator
 from .workflow_manager import WorkflowManager
 from .workspace import Workspace
@@ -101,6 +102,13 @@ class Host:
         :class:`~repro.host.workflow_manager.WorkflowManager`: one
         supergraph (and solver cache) for all of this host's workspaces,
         and how long a remote's full sync stays trusted.
+    fault_injection:
+        When true the host speaks the fault-hardened protocols: awards are
+        acknowledged, unanswered solicitations and awards are retried with
+        backoff, silent discovery remotes are written off, and an executing
+        workflow that stalls is transiently failed so repair re-auctions
+        it.  Off by default; a clean (fault-free) run with the flag off is
+        byte-identical to one without this feature.
     """
 
     def __init__(
@@ -120,13 +128,22 @@ class Host:
         batch_execution: bool = True,
         capability_aware: bool = False,
         enable_recovery: bool = False,
+        max_repair_attempts: int = 3,
         solver: "Solver | str | None" = None,
         share_supergraph: bool = True,
         knowledge_refresh_interval: float = float("inf"),
+        fault_injection: bool = False,
     ) -> None:
         self.host_id = host_id
         self.network = network
         self.scheduler = scheduler
+        self.fault_injection = fault_injection
+        self.crashed = False
+        #: Every timer this host's components arm goes through a scoped view
+        #: of the shared scheduler, so ``crash()`` (and ``remove_host``) can
+        #: cancel all of them at once instead of leaving dead hosts' events
+        #: to fire into the void.
+        self.scope = ScopedScheduler(scheduler)
 
         # Execution subsystem.
         self.fragment_manager = FragmentManager(host_id, fragments)
@@ -141,10 +158,12 @@ class Host:
         )
         self.execution_manager = ExecutionManager(
             host_id,
-            scheduler,
+            self.scope,
             self.service_manager,
             self._send,
             batch_execution=batch_execution,
+            robust=fault_injection,
+            schedule=self.schedule_manager,
         )
         self.participation_manager = AuctionParticipationManager(
             host_id,
@@ -157,14 +176,15 @@ class Host:
         # Construction subsystem.
         self.auction_manager = AuctionManager(
             host_id,
-            scheduler,
+            self.scope,
             self._send,
             policy=bid_policy,
             batch_auctions=batch_auctions,
+            robust=fault_injection,
         )
         self.workflow_manager = WorkflowManager(
             host_id,
-            scheduler,
+            self.scope,
             self._send,
             fragments=self.fragment_manager,
             auction=self.auction_manager,
@@ -172,9 +192,11 @@ class Host:
             capability_aware=capability_aware,
             local_services=self.service_manager,
             enable_recovery=enable_recovery,
+            max_repair_attempts=max_repair_attempts,
             solver=solver,
             share_supergraph=share_supergraph,
             knowledge_refresh_interval=knowledge_refresh_interval,
+            robust=fault_injection,
         )
         self.initiator = WorkflowInitiator(host_id)
 
@@ -223,15 +245,37 @@ class Host:
 
         self.service_manager.register(service)
 
+    # -- lifecycle -----------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop this host: drop volatile state, go silent, stay silent.
+
+        All of the host's scheduled activity is cancelled through its
+        scheduler scope, and its network registration is removed so in-flight
+        messages addressed to it are dropped by the transport on delivery.
+        Durable state (the fragment database) survives on the caller's side:
+        :meth:`~repro.host.community.Community.restart_host` rebuilds a
+        fresh ``Host`` around it with a new database epoch.  Idempotent.
+        """
+
+        if self.crashed:
+            return
+        self.crashed = True
+        self.scope.deactivate()
+        self.network.unregister(self.host_id)
+
     # -- message plumbing -------------------------------------------------------------
     def _send(self, message: Message) -> None:
         """Hand a message to the communications layer (best effort)."""
 
+        if self.crashed:
+            return
         self.network.try_send(message)
 
     def on_message(self, message: Message) -> None:
         """Dispatch an incoming message to the component that owns it."""
 
+        if self.crashed:
+            return
         self.messages_received += 1
         if isinstance(message, FragmentQuery):
             self._send(self.fragment_manager.handle_query(message))
@@ -262,12 +306,36 @@ class Host:
             outcome = self.participation_manager.handle_award(message)
             if isinstance(outcome, AwardRejected):
                 self._send(outcome)
+            elif self.fault_injection and message.task is not None:
+                self._send(
+                    AwardAck(
+                        sender=self.host_id,
+                        recipient=message.sender,
+                        workflow_id=message.workflow_id,
+                        task_names=(message.task.name,),
+                    )
+                )
         elif isinstance(message, AwardBatch):
-            for outcome in self.participation_manager.handle_award_batch(message):
+            outcomes = self.participation_manager.handle_award_batch(message)
+            accepted: list[str] = []
+            for entry, outcome in zip(message.awards, outcomes):
                 if isinstance(outcome, AwardRejected):
                     self._send(outcome)
+                elif entry.task is not None:
+                    accepted.append(entry.task.name)
+            if self.fault_injection and accepted:
+                self._send(
+                    AwardAck(
+                        sender=self.host_id,
+                        recipient=message.sender,
+                        workflow_id=message.workflow_id,
+                        task_names=tuple(accepted),
+                    )
+                )
         elif isinstance(message, AwardRejected):
             self.auction_manager.handle_award_rejected(message)
+        elif isinstance(message, AwardAck):
+            self.auction_manager.handle_award_ack(message)
         elif isinstance(message, LabelDataMessage):
             self.execution_manager.deliver_label(message)
         elif isinstance(message, LabelBatch):

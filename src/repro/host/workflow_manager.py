@@ -65,7 +65,7 @@ from ..net.messages import (
     TaskFailed,
     WorkflowProgressReport,
 )
-from ..sim.events import EventScheduler
+from ..sim.events import EventHandle, EventScheduler
 from .workspace import Workspace, WorkflowPhase, next_workflow_id
 
 SendFunction = Callable[[Message], None]
@@ -126,6 +126,11 @@ class WorkflowManager:
         solver: Solver | str | None = None,
         share_supergraph: bool = True,
         knowledge_refresh_interval: float = math.inf,
+        robust: bool = False,
+        discovery_timeout: float = 15.0,
+        max_discovery_attempts: int = 3,
+        liveness_timeout: float = 120.0,
+        retry_backoff: float = 2.0,
     ) -> None:
         if construction_mode not in ("batch", "incremental"):
             raise ValueError("construction_mode must be 'batch' or 'incremental'")
@@ -153,6 +158,25 @@ class WorkflowManager:
         #: a new device reusing the host id answers with a different epoch,
         #: which resets the floor (see FragmentManager.epoch).
         self._synced_remotes: dict[str, tuple[int, float, int]] = {}
+        #: Fault hardening (``fault_injection``): discovery queries are
+        #: retried with backoff and silent remotes eventually written off,
+        #: and an executing workflow that makes no progress for
+        #: ``liveness_timeout`` simulated seconds is failed transiently so
+        #: repair re-auctions its outstanding tasks (a silent executor death
+        #: otherwise hangs the initiator forever).  Off by default; when on,
+        #: a fault-free run's timers are all cancelled before they fire, so
+        #: outcomes are unchanged.
+        self.robust = robust
+        self.discovery_timeout = discovery_timeout
+        self.max_discovery_attempts = max_discovery_attempts
+        self.liveness_timeout = liveness_timeout
+        self.retry_backoff = retry_backoff
+        #: Discovery queries re-sent because the first copy went unanswered.
+        self.discovery_retries = 0
+        #: Liveness expiries converted into transient failures.
+        self.liveness_timeouts = 0
+        self._discovery_timers: dict[str, EventHandle] = {}
+        self._liveness_timers: dict[str, EventHandle] = {}
         self._workspaces: dict[str, Workspace] = {}
         self._on_allocated: dict[str, WorkspaceCallback] = {}
         self._on_completed: dict[str, WorkspaceCallback] = {}
@@ -305,20 +329,22 @@ class WorkflowManager:
         workspace.awaiting_fragment_responses = set(stale)
         workspace.awaiting_full_sync = set(stale)
         for remote in stale:
-            floor_version, floor_epoch = self._sync_floor(workspace, remote)
-            self._send(
-                FragmentQuery(
-                    sender=self.host_id,
-                    recipient=remote,
-                    want_all=True,
-                    exclude_fragment_ids=self._exclusions_for(
-                        workspace, floor_version
-                    ),
-                    workflow_id=workspace.workflow_id,
-                    since_version=floor_version,
-                    since_epoch=floor_epoch,
-                )
+            self._send_full_query(workspace, remote)
+        self._arm_discovery_timer(workspace, attempt=1)
+
+    def _send_full_query(self, workspace: Workspace, remote: str) -> None:
+        floor_version, floor_epoch = self._sync_floor(workspace, remote)
+        self._send(
+            FragmentQuery(
+                sender=self.host_id,
+                recipient=remote,
+                want_all=True,
+                exclude_fragment_ids=self._exclusions_for(workspace, floor_version),
+                workflow_id=workspace.workflow_id,
+                since_version=floor_version,
+                since_epoch=floor_epoch,
             )
+        )
 
     def _query_frontier(self, workspace: Workspace, remotes: list[str]) -> None:
         result = self.solver.solve(workspace.supergraph, workspace.specification)
@@ -368,6 +394,75 @@ class WorkflowManager:
                     since_epoch=floor_epoch,
                 )
             )
+        self._arm_discovery_timer(workspace, attempt=1)
+
+    # -- discovery fault hardening ---------------------------------------------------
+    def _arm_discovery_timer(self, workspace: Workspace, attempt: int) -> None:
+        """Robust mode: bound how long one discovery round may stay silent."""
+
+        if not self.robust:
+            return
+        workflow_id = workspace.workflow_id
+        self._cancel_discovery_timer(workflow_id)
+        delay = self.discovery_timeout * (self.retry_backoff ** (attempt - 1))
+        self._discovery_timers[workflow_id] = self.scheduler.schedule_in(
+            delay,
+            lambda: self._discovery_deadline(workflow_id, attempt),
+            description=f"discovery-timeout {workflow_id}",
+        )
+
+    def _cancel_discovery_timer(self, workflow_id: str) -> None:
+        handle = self._discovery_timers.pop(workflow_id, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _discovery_deadline(self, workflow_id: str, attempt: int) -> None:
+        """A discovery round expired: re-query the silent, or write them off.
+
+        Up to ``max_discovery_attempts`` rounds the missing remotes are
+        re-queried (full queries — a superset of whatever the round asked,
+        deduplicated on merge).  After that the silent remotes are treated
+        as departed: discovery proceeds on the knowledge that did arrive,
+        so a crashed participant costs its know-how, never the workflow.
+        """
+
+        self._discovery_timers.pop(workflow_id, None)
+        workspace = self._workspaces.get(workflow_id)
+        if workspace is None or workspace.phase is not WorkflowPhase.DISCOVERY:
+            return
+        missing_fragments = sorted(workspace.awaiting_fragment_responses)
+        missing_capabilities = sorted(workspace.awaiting_capability_responses)
+        if not missing_fragments and not missing_capabilities:
+            return
+        if attempt < self.max_discovery_attempts:
+            self.discovery_retries += len(missing_fragments) + len(
+                missing_capabilities
+            )
+            for remote in missing_fragments:
+                self._send_full_query(workspace, remote)
+            if missing_capabilities:
+                service_types = self._queried_service_types(workspace)
+                for remote in missing_capabilities:
+                    self._send(
+                        CapabilityQuery(
+                            sender=self.host_id,
+                            recipient=remote,
+                            service_types=service_types,
+                            workflow_id=workspace.workflow_id,
+                        )
+                    )
+            self._arm_discovery_timer(workspace, attempt + 1)
+            return
+        workspace.awaiting_fragment_responses -= set(missing_fragments)
+        workspace.awaiting_full_sync -= set(missing_fragments)
+        workspace.awaiting_capability_responses -= set(missing_capabilities)
+        if missing_fragments and not workspace.awaiting_fragment_responses:
+            if self.construction_mode == "batch":
+                self._after_discovery(workspace)
+            else:
+                self._query_frontier(workspace, self._remote_participants(workspace))
+        elif missing_capabilities and not workspace.awaiting_capability_responses:
+            self._run_construction(workspace)
 
     def handle_fragment_response(self, response: FragmentResponse) -> None:
         """Integrate a participant's know-how into the right workspace.
@@ -380,6 +475,11 @@ class WorkflowManager:
         workspace = self._workspaces.get(response.workflow_id)
         if workspace is None or workspace.phase is not WorkflowPhase.DISCOVERY:
             return
+        # A response from a sender the round is not waiting on — a fault-plane
+        # duplicate, or a late answer after a retry already covered it — still
+        # contributes its fragments (merging deduplicates) but must not drive
+        # the phase machine a second time.
+        was_awaited = response.sender in workspace.awaiting_fragment_responses
         workspace.fragment_responses_received += 1
         workspace.fragments_collected += workspace.supergraph.add_fragments_batch(
             response.fragments
@@ -396,7 +496,7 @@ class WorkflowManager:
                     response.knowledge_epoch,
                 )
         workspace.awaiting_fragment_responses.discard(response.sender)
-        if workspace.awaiting_fragment_responses:
+        if not was_awaited or workspace.awaiting_fragment_responses:
             return
         if self.construction_mode == "batch":
             self._after_discovery(workspace)
@@ -416,11 +516,7 @@ class WorkflowManager:
         if not self.capability_aware or not remotes:
             self._run_construction(workspace)
             return
-        service_types = frozenset(
-            task.service_type
-            for task in workspace.supergraph.tasks.values()
-            if task.service_type is not None
-        )
+        service_types = self._queried_service_types(workspace)
         workspace.awaiting_capability_responses = set(remotes)
         for remote in remotes:
             self._send(
@@ -431,6 +527,16 @@ class WorkflowManager:
                     workflow_id=workspace.workflow_id,
                 )
             )
+        self._arm_discovery_timer(workspace, attempt=1)
+
+    def _queried_service_types(self, workspace: Workspace) -> frozenset[str]:
+        """The service types capability discovery asks the community about."""
+
+        return frozenset(
+            task.service_type
+            for task in workspace.supergraph.tasks.values()
+            if task.service_type is not None
+        )
 
     def handle_capability_response(self, response: CapabilityResponse) -> None:
         """Record which services a participant offers and resume construction."""
@@ -439,9 +545,10 @@ class WorkflowManager:
         workspace = self._workspaces.get(response.workflow_id)
         if workspace is None or workspace.phase is not WorkflowPhase.DISCOVERY:
             return
+        was_awaited = response.sender in workspace.awaiting_capability_responses
         workspace.capability_responses_received += 1
         workspace.awaiting_capability_responses.discard(response.sender)
-        if not workspace.awaiting_capability_responses:
+        if was_awaited and not workspace.awaiting_capability_responses:
             self._run_construction(workspace)
 
     # -- construction -----------------------------------------------------------------
@@ -493,6 +600,7 @@ class WorkflowManager:
         return (frozenset(workspace.excluded_tasks), available)
 
     def _run_construction(self, workspace: Workspace) -> None:
+        self._cancel_discovery_timer(workspace.workflow_id)
         workspace.enter_phase(WorkflowPhase.CONSTRUCTION, self.scheduler.clock.now())
         result = self.solver.solve(
             workspace.supergraph,
@@ -544,11 +652,56 @@ class WorkflowManager:
         self._notify_allocated(workspace)
         if not workspace.expected_tasks:
             self._mark_completed(workspace)
+            return
+        self._arm_liveness(workspace)
 
     def _notify_allocated(self, workspace: Workspace) -> None:
         callback = self._on_allocated.get(workspace.workflow_id)
         if callback is not None:
             callback(workspace)
+
+    # -- execution liveness (fault hardening) --------------------------------------
+    def _arm_liveness(self, workspace: Workspace) -> None:
+        """(Re-)start the initiator-side no-progress watchdog for a workflow.
+
+        Armed when execution starts and re-armed on every completion; an
+        executing workflow whose watchdog fires made no progress for
+        ``liveness_timeout`` simulated seconds — some executor died holding
+        an outstanding task.  The expiry converts that silence into a
+        transient task failure so the normal repair path re-auctions it.
+        """
+
+        if not self.robust:
+            return
+        workflow_id = workspace.workflow_id
+        self._cancel_liveness(workflow_id)
+        self._liveness_timers[workflow_id] = self.scheduler.schedule_in(
+            self.liveness_timeout,
+            lambda: self._liveness_deadline(workflow_id),
+            description=f"liveness-timeout {workflow_id}",
+        )
+
+    def _cancel_liveness(self, workflow_id: str) -> None:
+        handle = self._liveness_timers.pop(workflow_id, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _liveness_deadline(self, workflow_id: str) -> None:
+        self._liveness_timers.pop(workflow_id, None)
+        workspace = self._workspaces.get(workflow_id)
+        if workspace is None or workspace.phase is not WorkflowPhase.EXECUTING:
+            return
+        outstanding = sorted(workspace.expected_tasks - workspace.completed_tasks)
+        if not outstanding:
+            return
+        self.liveness_timeouts += 1
+        self._record_failed(
+            workspace,
+            outstanding[0],
+            f"no progress for {self.liveness_timeout:g}s with "
+            f"{len(outstanding)} task(s) outstanding (executor presumed dead)",
+            transient=True,
+        )
 
     # -- execution progress ------------------------------------------------------------------
     def handle_task_completed(self, message: TaskCompleted) -> None:
@@ -575,17 +728,22 @@ class WorkflowManager:
         for completion in report.completions:
             self._record_completed(workspace, completion.task_name)
         for failure in report.failures:
-            self._record_failed(workspace, failure.task_name, failure.reason)
+            self._record_failed(
+                workspace, failure.task_name, failure.reason, failure.transient
+            )
 
     def _record_completed(self, workspace: Workspace, task_name: str) -> None:
         workspace.completed_tasks.add(task_name)
-        if (
-            workspace.phase is WorkflowPhase.EXECUTING
-            and workspace.all_tasks_completed
-        ):
+        if workspace.phase is not WorkflowPhase.EXECUTING:
+            return
+        if workspace.all_tasks_completed:
             self._mark_completed(workspace)
+        else:
+            # Progress was made: give the remaining tasks a fresh window.
+            self._arm_liveness(workspace)
 
     def _mark_completed(self, workspace: Workspace) -> None:
+        self._cancel_liveness(workspace.workflow_id)
         workspace.enter_phase(WorkflowPhase.COMPLETED, self.scheduler.clock.now())
         workspace.mark("completed", self.scheduler.clock.now())
         callback = self._on_completed.get(workspace.workflow_id)
@@ -607,12 +765,21 @@ class WorkflowManager:
         workspace = self._workspaces.get(message.workflow_id)
         if workspace is None:
             return
-        self._record_failed(workspace, message.task_name, message.reason)
+        self._record_failed(
+            workspace, message.task_name, message.reason, message.transient
+        )
 
     def _record_failed(
-        self, workspace: Workspace, task_name: str, reason: str
+        self,
+        workspace: Workspace,
+        task_name: str,
+        reason: str,
+        transient: bool = False,
     ) -> None:
+        self._cancel_liveness(workspace.workflow_id)
         workspace.failed_tasks.add(task_name)
+        if transient:
+            workspace.transient_failures.add(task_name)
         if workspace.phase is not WorkflowPhase.FAILED:
             workspace.fail(
                 f"task {task_name!r} failed during execution: {reason}",
@@ -622,10 +789,12 @@ class WorkflowManager:
             return
         if workspace.repair_attempt >= self.max_repair_attempts:
             return
-        excluded = (
-            set(workspace.excluded_tasks)
-            | set(workspace.failed_tasks)
-            | {task_name}
+        # Transient failures blame the situation (executor crash, starved
+        # inputs), not the task: the repair may re-auction them to another
+        # capable host.  Only tasks that failed on their own merits are
+        # excluded from the repaired workflow.
+        excluded = set(workspace.excluded_tasks) | (
+            set(workspace.failed_tasks) - workspace.transient_failures
         )
         repaired = self.submit(
             workspace.specification,
@@ -636,6 +805,14 @@ class WorkflowManager:
             supergraph=workspace.supergraph,
         )
         workspace.repaired_by = repaired.workflow_id
+
+    def final_workspace(self, workflow_id: str) -> Workspace | None:
+        """Follow the repair chain from ``workflow_id`` to its last revision."""
+
+        workspace = self._workspaces.get(workflow_id)
+        while workspace is not None and workspace.repaired_by is not None:
+            workspace = self._workspaces.get(workspace.repaired_by)
+        return workspace
 
     def __repr__(self) -> str:
         return (

@@ -97,7 +97,11 @@ class Workspace:
     unexpected_labels: int = 0
 
     # Repair bookkeeping (workflow revision after an execution failure).
+    # ``transient_failures`` names failed tasks whose failure blamed the
+    # situation (executor crash, starved inputs) rather than the task: a
+    # repair re-auctions them instead of excluding them.
     excluded_tasks: set[str] = field(default_factory=set)
+    transient_failures: set[str] = field(default_factory=set)
     repair_of: str | None = None
     repaired_by: str | None = None
     repair_attempt: int = 0

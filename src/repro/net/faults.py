@@ -1,0 +1,270 @@
+"""The fault-injection plane: a hostile network behind the abstract layer.
+
+The paper targets volatile ad-hoc communities, but the simulated transports
+are perfectly reliable: a message is only ever lost when its recipient left
+the community mid-flight.  :class:`FaultPlane` makes the medium hostile *at
+the communications-layer boundary* — the same place RAFDA intercepts with
+policies — so every protocol above it (discovery, auction, execution,
+repair) is exercised unmodified.
+
+The plane is consulted by :meth:`~repro.net.transport.CommunicationsLayer.send`
+once per unicast message and decides, deterministically from seeded
+per-link streams, whether the message is
+
+* **dropped** silently (per-link probability, or because a scheduled
+  :class:`NetworkPartition` currently separates the endpoints),
+* **duplicated** (a second copy is delivered, possibly after a different
+  extra delay), or
+* **delayed** (an exponential extra in-flight delay on top of the
+  transport's own latency model).
+
+Host *crash/restart* schedules ride on the same plane:
+:meth:`~repro.host.community.Community.install_fault_plane` turns each
+:class:`HostCrash` into scheduler events calling
+:meth:`~repro.host.community.Community.crash_host` /
+:meth:`~repro.host.community.Community.restart_host`.
+
+Determinism contract: every random draw comes from a per-(sender,
+recipient) stream derived via :func:`~repro.sim.randomness.derive_rng`
+from the plane's seed, so a fault schedule is a pure function of
+``(seed, message sequence)`` — two runs of the same seeded trial observe
+byte-identical faults, which is what the ``chaos-smoke`` CI job pins.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..sim.randomness import derive_rng, exponential_jitter
+from .messages import Message
+
+
+@dataclass(frozen=True)
+class LinkFaultPolicy:
+    """Per-link fault probabilities and delay distribution.
+
+    ``drop_probability`` loses the message outright, ``duplicate_probability``
+    delivers a second copy, and ``extra_delay_mean`` adds an exponential
+    in-flight delay (mean seconds; 0 disables) to every delivered copy.
+    """
+
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    extra_delay_mean: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        if not 0.0 <= self.duplicate_probability <= 1.0:
+            raise ValueError("duplicate_probability must be in [0, 1]")
+        if self.extra_delay_mean < 0.0:
+            raise ValueError("extra_delay_mean must be non-negative")
+
+    @property
+    def is_null(self) -> bool:
+        return (
+            self.drop_probability == 0.0
+            and self.duplicate_probability == 0.0
+            and self.extra_delay_mean == 0.0
+        )
+
+
+#: Policy that faults nothing (used when no policy matches a link).
+NULL_POLICY = LinkFaultPolicy()
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """A scheduled split of the community into isolated groups.
+
+    While ``start <= now < end``, a message whose endpoints fall in
+    *different* groups is dropped.  A host named in no group is considered
+    a group of its own (isolated from every named group).  Hosts within the
+    same group communicate normally.
+    """
+
+    start: float
+    end: float
+    groups: tuple[frozenset[str], ...]
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("a partition's end must be after its start")
+
+    def active_at(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def separates(self, a: str, b: str, now: float) -> bool:
+        if not self.active_at(now):
+            return False
+        group_of: dict[str, int] = {}
+        for index, group in enumerate(self.groups):
+            for host in group:
+                group_of[host] = index
+        # Distinct sentinel defaults: a host named in no group shares a
+        # group with nobody, not even another unnamed host.
+        return group_of.get(a, -1) != group_of.get(b, -2)
+
+
+@dataclass(frozen=True)
+class HostCrash:
+    """One host's scheduled crash (and optional restart).
+
+    ``crash_at`` is the absolute simulated time the host loses power —
+    volatile state (timers, pending invocations, uncommitted auction
+    state) is gone.  ``restart_at`` (``None``: the host never returns)
+    re-registers the host with a fresh
+    :class:`~repro.discovery.knowhow.FragmentManager` — and therefore a
+    fresh database epoch, which is what triggers the knowledge plane's
+    rejoin logic on its peers.
+    """
+
+    host_id: str
+    crash_at: float
+    restart_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.restart_at is not None and self.restart_at <= self.crash_at:
+            raise ValueError("restart_at must be after crash_at")
+
+
+@dataclass
+class FaultStatistics:
+    """Counters describing the faults the plane actually injected."""
+
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_delayed: int = 0
+    partition_drops: int = 0
+
+    @property
+    def faulted(self) -> int:
+        """Total fault events injected (a message may contribute several)."""
+
+        return self.messages_dropped + self.messages_duplicated + self.messages_delayed
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "messages_dropped": self.messages_dropped,
+            "messages_duplicated": self.messages_duplicated,
+            "messages_delayed": self.messages_delayed,
+            "partition_drops": self.partition_drops,
+            "faulted": self.faulted,
+        }
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the plane decided for one message.
+
+    ``extra_delays`` holds one extra in-flight delay per delivered copy
+    (so its length is the copy count); an undelivered message has
+    ``deliver=False`` and no copies.
+    """
+
+    deliver: bool
+    extra_delays: tuple[float, ...] = ()
+
+
+#: The fast-path decision: deliver one copy with no extra delay.
+NO_FAULT = FaultDecision(deliver=True, extra_delays=(0.0,))
+
+
+class FaultPlane:
+    """Deterministic fault injector consulted by the communications layer.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for every per-link random stream.
+    default_policy:
+        Fault policy applied to links with no specific entry.
+    link_policies:
+        ``(sender, recipient) -> LinkFaultPolicy`` overrides (directional).
+    partitions:
+        Scheduled :class:`NetworkPartition`\\ s.
+    crashes:
+        :class:`HostCrash` schedule; interpreted by
+        :meth:`~repro.host.community.Community.install_fault_plane`, not by
+        the transport.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        default_policy: LinkFaultPolicy | None = None,
+        link_policies: dict[tuple[str, str], LinkFaultPolicy] | None = None,
+        partitions: tuple[NetworkPartition, ...] = (),
+        crashes: tuple[HostCrash, ...] = (),
+    ) -> None:
+        self.seed = seed
+        self.default_policy = (
+            default_policy if default_policy is not None else NULL_POLICY
+        )
+        self.link_policies = dict(link_policies or {})
+        self.partitions = tuple(partitions)
+        self.crashes = tuple(crashes)
+        self.statistics = FaultStatistics()
+        self._link_rngs: dict[tuple[str, str], random.Random] = {}
+
+    # -- policy / stream lookup ------------------------------------------------
+    def policy_for(self, sender: str, recipient: str) -> LinkFaultPolicy:
+        return self.link_policies.get((sender, recipient), self.default_policy)
+
+    def _rng_for(self, sender: str, recipient: str) -> random.Random:
+        key = (sender, recipient)
+        rng = self._link_rngs.get(key)
+        if rng is None:
+            rng = derive_rng(self.seed, "fault-link", sender, recipient)
+            self._link_rngs[key] = rng
+        return rng
+
+    def is_partitioned(self, sender: str, recipient: str, now: float) -> bool:
+        return any(p.separates(sender, recipient, now) for p in self.partitions)
+
+    # -- the interception point ------------------------------------------------
+    def intercept(self, message: Message, now: float) -> FaultDecision:
+        """Decide the fate of one in-flight message.
+
+        Draw order per message is fixed (drop, duplicate, then one delay
+        per copy) so the per-link stream stays aligned across runs.
+        """
+
+        sender, recipient = message.sender, message.recipient
+        if sender == recipient:
+            # Loopback traffic never crosses the radio; never faulted.
+            return NO_FAULT
+        if self.is_partitioned(sender, recipient, now):
+            self.statistics.partition_drops += 1
+            self.statistics.messages_dropped += 1
+            return FaultDecision(deliver=False)
+        policy = self.policy_for(sender, recipient)
+        if policy.is_null:
+            return NO_FAULT
+        rng = self._rng_for(sender, recipient)
+        if policy.drop_probability and rng.random() < policy.drop_probability:
+            self.statistics.messages_dropped += 1
+            return FaultDecision(deliver=False)
+        copies = 1
+        if (
+            policy.duplicate_probability
+            and rng.random() < policy.duplicate_probability
+        ):
+            copies = 2
+            self.statistics.messages_duplicated += 1
+        if policy.extra_delay_mean <= 0.0:
+            return FaultDecision(deliver=True, extra_delays=(0.0,) * copies)
+        delays = tuple(
+            exponential_jitter(rng, policy.extra_delay_mean) for _ in range(copies)
+        )
+        if any(delay > 0.0 for delay in delays):
+            self.statistics.messages_delayed += 1
+        return FaultDecision(deliver=True, extra_delays=delays)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlane(seed={self.seed}, links={len(self.link_policies)}, "
+            f"partitions={len(self.partitions)}, crashes={len(self.crashes)}, "
+            f"faulted={self.statistics.faulted})"
+        )

@@ -276,6 +276,28 @@ class AwardRejected(Message):
         return 16
 
 
+@dataclass(frozen=True, repr=False)
+class AwardAck(Message):
+    """Positive acknowledgement of accepted awards (robust protocol only).
+
+    On a hostile network an award can be lost in flight, or its winner can
+    crash before converting it into a commitment; either way the auction
+    manager would wait forever.  When fault hardening is enabled
+    (``fault_injection=True``) a participant answers every award it
+    *accepts* with one ack listing the committed task names (rejections
+    still travel as :class:`AwardRejected`), and the manager re-sends — and
+    ultimately re-auctions — awards that stay unacknowledged.  The clean
+    protocol sends no acks, keeping the default byte-identical to the
+    pre-fault-plane exchange.
+    """
+
+    workflow_id: str = ""
+    task_names: tuple[str, ...] = ()
+
+    def _payload_bytes(self) -> int:
+        return 8 * len(self.task_names)
+
+
 # ---------------------------------------------------------------------------
 # Batched auction messages (one combined message per participant)
 # ---------------------------------------------------------------------------
@@ -425,6 +447,10 @@ class TaskFailed(Message):
     task_name: str = ""
     failed_at: float = 0.0
     reason: str = ""
+    #: A transient failure blames the *situation* (executor crashed, inputs
+    #: never arrived), not the task: repair re-auctions the task instead of
+    #: excluding it from the reconstructed workflow.
+    transient: bool = False
 
     def _payload_bytes(self) -> int:
         return 32
@@ -472,6 +498,9 @@ class TaskFailureRecord:
     task_name: str
     failed_at: float = 0.0
     reason: str = ""
+    #: See :attr:`TaskFailed.transient`: a transient failure is repaired by
+    #: re-auctioning the task, not by excluding it.
+    transient: bool = False
 
 
 @dataclass(frozen=True, repr=False)

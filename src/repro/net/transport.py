@@ -52,6 +52,7 @@ class TransportStatistics:
     bytes_sent: int = 0
     by_kind: dict[str, int] = field(default_factory=dict)
     bytes_by_kind: dict[str, int] = field(default_factory=dict)
+    dropped_by_kind: dict[str, int] = field(default_factory=dict)
 
     def record_sent(self, message: Message) -> None:
         size = message.size_bytes()
@@ -64,8 +65,11 @@ class TransportStatistics:
     def record_delivered(self) -> None:
         self.messages_delivered += 1
 
-    def record_dropped(self) -> None:
+    def record_dropped(self, message: Message | None = None) -> None:
         self.messages_dropped += 1
+        if message is not None:
+            kind = message.kind
+            self.dropped_by_kind[kind] = self.dropped_by_kind.get(kind, 0) + 1
 
     def kind_count(self, *kinds: str) -> int:
         """Total messages sent across the named kinds."""
@@ -85,6 +89,7 @@ class TransportStatistics:
             "bytes_sent": self.bytes_sent,
             "by_kind": dict(self.by_kind),
             "bytes_by_kind": dict(self.bytes_by_kind),
+            "dropped_by_kind": dict(self.dropped_by_kind),
         }
 
 
@@ -100,6 +105,15 @@ class CommunicationsLayer(ABC):
         self.scheduler = scheduler
         self._handlers: dict[str, MessageHandler] = {}
         self.statistics = TransportStatistics()
+        #: Optional :class:`~repro.net.faults.FaultPlane` consulted once per
+        #: unicast send; ``None`` (the default) is the perfectly reliable
+        #: medium and is byte-identical to the pre-fault-plane transport.
+        self.fault_plane = None
+
+    def install_fault_plane(self, plane) -> None:
+        """Attach a fault-injection plane to every subsequent :meth:`send`."""
+
+        self.fault_plane = plane
 
     # -- membership ---------------------------------------------------------
     def register(self, host_id: str, handler: MessageHandler) -> None:
@@ -152,29 +166,45 @@ class CommunicationsLayer(ABC):
 
         self.statistics.record_sent(message)
         if message.recipient not in self._handlers:
-            self.statistics.record_dropped()
+            self.statistics.record_dropped(message)
             raise HostUnreachableError(
                 f"host {message.recipient!r} is not attached to the network"
             )
         if not self.is_reachable(message.sender, message.recipient):
-            self.statistics.record_dropped()
+            self.statistics.record_dropped(message)
             raise HostUnreachableError(
                 f"host {message.recipient!r} is not reachable from {message.sender!r}"
             )
+        extra_delays: tuple[float, ...] = (0.0,)
+        if self.fault_plane is not None:
+            decision = self.fault_plane.intercept(message, self.scheduler.clock.now())
+            if not decision.deliver:
+                # Injected loss is silent — like the radio, not like an
+                # unreachable host — so protocols must survive it on their
+                # own (retries, timeouts, repair).
+                self.statistics.record_dropped(message)
+                return
+            extra_delays = decision.extra_delays
         latency = self.latency_for(message)
-        handler = self._handlers[message.recipient]
 
         def deliver() -> None:
-            # The recipient may have left the network while the message was in
-            # flight; in that case the message is silently dropped, matching
-            # the behaviour of a real wireless medium.
-            if message.recipient in self._handlers:
+            # The recipient may have left the network (or crashed) while the
+            # message was in flight; in that case the message is silently
+            # dropped, matching the behaviour of a real wireless medium.  The
+            # handler is looked up at delivery time so a host that crashed
+            # and restarted mid-flight receives through its *current*
+            # incarnation, never the dead one's captured handler.
+            handler = self._handlers.get(message.recipient)
+            if handler is not None:
                 self.statistics.record_delivered()
                 handler(message)
             else:
-                self.statistics.record_dropped()
+                self.statistics.record_dropped(message)
 
-        self.scheduler.schedule_in(latency, deliver, description=repr(message))
+        for extra in extra_delays:
+            self.scheduler.schedule_in(
+                latency + extra, deliver, description=repr(message)
+            )
 
     def try_send(self, message: Message) -> bool:
         """Best-effort :meth:`send`; returns ``False`` instead of raising."""

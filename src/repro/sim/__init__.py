@@ -7,7 +7,7 @@ that the network, mobility, and middleware layers build upon.
 """
 
 from .clock import Clock, SimulatedClock, WallClock
-from .events import EventHandle, EventScheduler
+from .events import EventHandle, EventScheduler, ScopedScheduler
 from .randomness import (
     DEFAULT_SEED,
     choice,
@@ -25,6 +25,7 @@ __all__ = [
     "DEFAULT_SEED",
     "EventHandle",
     "EventScheduler",
+    "ScopedScheduler",
     "SimulatedClock",
     "WallClock",
     "choice",

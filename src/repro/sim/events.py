@@ -170,3 +170,79 @@ class EventScheduler:
             f"EventScheduler(now={self.clock.now():.3f}, pending={self.pending}, "
             f"processed={self.processed_events})"
         )
+
+
+class ScopedScheduler:
+    """A component-scoped view of an :class:`EventScheduler`.
+
+    Hosts hand one scope to each of their timer-owning components so that a
+    crash (or removal from the community) can cancel *every* outstanding
+    timer of that host in one call — auction deadlines, execution
+    start-windows, retry timers — instead of leaving them to fire against a
+    detached object.  The wrapper is duck-type compatible with the scheduler
+    API the components use (``schedule_at`` / ``schedule_in`` /
+    ``schedule_now`` / ``clock``), adds nothing to the event stream, and
+    keeps only live handles: an event unregisters itself when it fires, so
+    the tracking dict never outgrows the set of armed timers.
+    """
+
+    def __init__(self, scheduler: EventScheduler) -> None:
+        self._scheduler = scheduler
+        self._live: dict[int, EventHandle] = {}
+        self._tokens = itertools.count()
+        self.active = True
+
+    @property
+    def clock(self) -> SimulatedClock:
+        return self._scheduler.clock
+
+    def schedule_at(
+        self, timestamp: float, action: Callable[[], None], description: str = ""
+    ) -> EventHandle:
+        if not self.active:
+            # A deactivated scope schedules nothing: return an already-
+            # cancelled handle so callers need no special case.
+            event = _ScheduledEvent(timestamp, -1, action, description, cancelled=True)
+            return EventHandle(event)
+        token = next(self._tokens)
+
+        def guarded() -> None:
+            self._live.pop(token, None)
+            if self.active:
+                action()
+
+        handle = self._scheduler.schedule_at(timestamp, guarded, description)
+        self._live[token] = handle
+        return handle
+
+    def schedule_in(
+        self, delay: float, action: Callable[[], None], description: str = ""
+    ) -> EventHandle:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self.clock.now() + delay, action, description)
+
+    def schedule_now(
+        self, action: Callable[[], None], description: str = ""
+    ) -> EventHandle:
+        return self.schedule_at(self.clock.now(), action, description)
+
+    def cancel_all(self) -> None:
+        """Cancel every timer still pending in this scope."""
+
+        for handle in self._live.values():
+            handle.cancel()
+        self._live.clear()
+
+    def deactivate(self) -> None:
+        """Cancel everything and refuse all future scheduling (host died)."""
+
+        self.active = False
+        self.cancel_all()
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for handle in self._live.values() if not handle.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"ScopedScheduler(active={self.active}, pending={self.pending})"

@@ -1,0 +1,150 @@
+"""Integration tests for abrupt host departure at every protocol stage.
+
+``Community.remove_host`` models a participant powering off or walking out
+of radio range with no goodbye.  With ``fault_injection`` (and recovery)
+on, the surviving hosts must route around the hole at whatever stage the
+protocol was in — discovery, auction, award delivery, or mid-execution —
+and the workflow must still terminate, with the scheduler draining to
+quiescence (the departed host's timers must not keep firing).
+"""
+
+from repro.core import Task, WorkflowFragment
+from repro.execution import ServiceDescription
+from repro.host import Community, WorkflowPhase
+from repro.net.simnet import SimulatedNetwork
+
+CHAIN = ("t1", "t2", "t3")
+EXTRA_SERVICES = ("spare-1", "spare-2")
+
+
+def chain_fragments(duration: float) -> list[WorkflowFragment]:
+    return [
+        WorkflowFragment(
+            [Task(f"t{i}", [f"l{i}"], [f"l{i + 1}"], duration=duration)],
+            fragment_id=f"dep/t{i}",
+        )
+        for i in (1, 2, 3)
+    ]
+
+
+def build_community(duration: float = 1.0) -> Community:
+    """An initiator plus two workers that can each run the whole chain.
+
+    ``worker-a`` offers only the three chain services, so it is the more
+    specialized bidder and deterministically wins every auction;
+    ``worker-b`` carries two spare services and stays the runner-up.
+    Latency is non-zero so protocol stages occupy distinct instants and a
+    departure can be injected between them.
+    """
+
+    community = Community(
+        network_factory=lambda scheduler: SimulatedNetwork(
+            scheduler, base_latency=0.01, jitter=0.0
+        )
+    )
+    kwargs = dict(fault_injection=True, enable_recovery=True)
+    community.add_host("init", **kwargs)
+    community.add_host(
+        "worker-a",
+        fragments=chain_fragments(duration),
+        services=[ServiceDescription(name, duration=duration) for name in CHAIN],
+        **kwargs,
+    )
+    community.add_host(
+        "worker-b",
+        fragments=chain_fragments(duration),
+        services=[
+            ServiceDescription(name, duration=duration)
+            for name in CHAIN + EXTRA_SERVICES
+        ],
+        **kwargs,
+    )
+    return community
+
+
+def run_until_phase(community: Community, workspace, phase: WorkflowPhase):
+    while workspace.phase is not phase:
+        assert community.scheduler.peek_time() is not None, (
+            f"scheduler drained in phase {workspace.phase} awaiting {phase}"
+        )
+        community.scheduler.step()
+
+
+def final_phase(community: Community, workspace) -> WorkflowPhase:
+    manager = community.host("init").workflow_manager
+    final = manager.final_workspace(workspace.workflow_id) or workspace
+    return final.phase
+
+
+class TestDepartureByStage:
+    def test_departed_discovery_remote_is_written_off(self):
+        community = build_community()
+        community.remove_host("worker-b")
+        workspace = community.host("init").submit_problem(
+            ["l1"],
+            ["l4"],
+            participants=["init", "worker-a", "worker-b"],
+        )
+        community.run_idle()
+        assert workspace.phase is WorkflowPhase.COMPLETED
+        assert community.host("init").workflow_manager.discovery_retries > 0
+        assert community.scheduler.peek_time() is None
+
+    def test_bidder_removed_during_auction(self):
+        community = build_community()
+        workspace = community.submit_problem("init", ["l1"], ["l4"])
+        run_until_phase(community, workspace, WorkflowPhase.ALLOCATION)
+        community.remove_host("worker-a")
+        community.run_idle()
+        assert final_phase(community, workspace) is WorkflowPhase.COMPLETED
+        auction = community.host("init").auction_manager
+        assert auction.retries + auction.reauctions > 0
+        assert community.scheduler.peek_time() is None
+
+    def test_winner_removed_before_acknowledging_award(self):
+        community = build_community()
+        workspace = community.submit_problem("init", ["l1"], ["l4"])
+        run_until_phase(community, workspace, WorkflowPhase.EXECUTING)
+        # Awards are in flight but no acknowledgement has arrived yet; the
+        # winner vanishes, so every award must be chased, struck, and
+        # re-auctioned to the runner-up (and the lost initial labels
+        # recovered through repair).
+        assert workspace.allocation_outcome.allocation["t1"] == "worker-a"
+        community.remove_host("worker-a")
+        community.run_idle()
+        assert final_phase(community, workspace) is WorkflowPhase.COMPLETED
+        assert community.host("init").auction_manager.reauctions > 0
+        assert community.scheduler.peek_time() is None
+
+    def test_executor_removed_mid_execution(self):
+        community = build_community(duration=30.0)
+        workspace = community.submit_problem("init", ["l1"], ["l4"])
+        run_until_phase(community, workspace, WorkflowPhase.EXECUTING)
+        executor = workspace.allocation_outcome.allocation["t1"]
+        assert executor == "worker-a"
+        # Let the first service actually start, then kill its host.
+        community.scheduler.run(until=community.scheduler.clock.now() + 5.0)
+        community.remove_host(executor)
+        community.run_idle(max_sim_seconds=3_600.0)
+        manager = community.host("init").workflow_manager
+        assert workspace.phase is WorkflowPhase.FAILED
+        assert workspace.repaired_by is not None
+        assert final_phase(community, workspace) is WorkflowPhase.COMPLETED
+        # Silent executor death is detected by the liveness watchdog, not
+        # by any explicit failure message.
+        assert manager.liveness_timeouts >= 1
+        assert "t1" in workspace.transient_failures
+        assert community.scheduler.peek_time() is None
+
+
+class TestDepartureTimerHygiene:
+    def test_removed_initiator_leaves_no_live_timers(self):
+        # The robust initiator arms solicitation/award/discovery timers;
+        # removing the host mid-auction must cancel them all, or the
+        # scheduler never drains (the remove_host leak this PR fixes).
+        community = build_community()
+        workspace = community.submit_problem("init", ["l1"], ["l4"])
+        run_until_phase(community, workspace, WorkflowPhase.ALLOCATION)
+        community.remove_host("init")
+        community.run_idle(max_sim_seconds=600.0)
+        assert community.scheduler.peek_time() is None

@@ -1,0 +1,118 @@
+"""Property: the fault-injection machinery is free when it is not used.
+
+Three equivalence claims pin the flag matrix:
+
+* ``fault_injection=False`` (the default) is the unchanged clean path — a
+  trial run with the flag explicitly off is byte-identical to one that
+  never mentions it;
+* ``fault_injection=True`` on a *fault-free* network changes the protocol
+  only by the acknowledgement traffic it adds (``AwardAck``) — the
+  workflow outcome, the allocation, and the simulated timings are the
+  same, and none of the retry/reauction machinery fires;
+* installing a *null* :class:`~repro.net.faults.FaultPlane` (no policies,
+  no partitions, no crashes) injects nothing, draws nothing, and leaves a
+  robust run byte-identical to the same run without the plane.
+"""
+
+import pytest
+
+from repro.experiments.runner import workload_for
+from repro.experiments.trials import (
+    build_trial_community,
+    run_churn_trial,
+    simulated_network_factory,
+    trial_result_from_workspace,
+)
+from repro.net.faults import FaultPlane
+from repro.sim.randomness import derive_rng
+
+SEED = 20090514
+NUM_HOSTS = 10
+WORKLOAD = workload_for(SEED, 30)
+
+
+def run_trial(path_length: int, plane: FaultPlane | None = None, **community_kwargs):
+    """One fig5-style simulated trial run to completion; returns
+    (deterministic TrialResult, allocation dict, per-kind message counts)."""
+
+    specification = WORKLOAD.path_specification(
+        path_length, derive_rng(SEED, "spec", path_length)
+    )
+    assert specification is not None
+    community = build_trial_community(
+        WORKLOAD,
+        NUM_HOSTS,
+        seed=SEED,
+        network_factory=simulated_network_factory(SEED),
+        **community_kwargs,
+    )
+    if plane is not None:
+        community.install_fault_plane(plane)
+    workspace = community.submit_specification("host-0", specification)
+    community.run_idle(max_sim_seconds=3_600.0)
+    assert community.scheduler.peek_time() is None
+    result = trial_result_from_workspace(community, workspace).deterministic_copy()
+    allocation = dict(workspace.allocation_outcome.allocation)
+    return result, allocation, dict(community.network.statistics.by_kind)
+
+
+@pytest.mark.parametrize("path_length", [2, 4, 6])
+def test_flag_off_is_the_default_clean_path(path_length):
+    explicit = run_trial(path_length, fault_injection=False)
+    implicit = run_trial(path_length)
+    assert explicit == implicit
+
+
+@pytest.mark.parametrize("path_length", [2, 4, 6])
+def test_robust_on_a_kind_network_only_adds_acks(path_length):
+    plain_result, plain_allocation, plain_kinds = run_trial(path_length)
+    robust_result, robust_allocation, robust_kinds = run_trial(
+        path_length, fault_injection=True, enable_recovery=True
+    )
+    assert robust_result.succeeded == plain_result.succeeded
+    assert robust_allocation == plain_allocation
+    assert robust_result.sim_seconds == plain_result.sim_seconds
+    assert robust_result.allocation_seconds == plain_result.allocation_seconds
+    assert robust_result.distinct_winners == plain_result.distinct_winners
+    # No hardening machinery fired ...
+    assert robust_result.retries == 0
+    assert robust_result.reauctions == 0
+    # ... and the only new traffic is the acknowledgements.
+    extra_kinds = {
+        kind: robust_kinds.get(kind, 0) - plain_kinds.get(kind, 0)
+        for kind in set(robust_kinds) | set(plain_kinds)
+        if robust_kinds.get(kind, 0) != plain_kinds.get(kind, 0)
+    }
+    assert set(extra_kinds) <= {"AwardAck"}
+    assert all(count > 0 for count in extra_kinds.values())
+
+
+@pytest.mark.parametrize("path_length", [2, 4])
+def test_null_plane_is_invisible(path_length):
+    robust = dict(fault_injection=True, enable_recovery=True)
+    without_plane = run_trial(path_length, **robust)
+    plane = FaultPlane(seed=SEED)
+    with_plane = run_trial(path_length, plane=plane, **robust)
+    assert with_plane == without_plane
+    assert plane.statistics.faulted == 0
+
+
+def test_faultless_churn_trial_needs_no_recovery():
+    specification = WORKLOAD.path_specification(4, derive_rng(SEED, "spec", 4))
+    result = run_churn_trial(
+        WORKLOAD,
+        NUM_HOSTS,
+        specification,
+        seed=SEED,
+        network_factory=simulated_network_factory(SEED),
+        drop_probability=0.0,
+        duplicate_probability=0.0,
+        num_crashes=0,
+    )
+    assert result.succeeded
+    assert result.hosts_crashed == 0
+    assert result.messages_faulted == 0
+    assert result.retries == 0
+    assert result.reauctions == 0
+    assert result.workflows_recovered == 0
+    assert result.recovery_seconds == 0.0

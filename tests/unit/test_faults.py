@@ -1,0 +1,167 @@
+"""Unit tests for the fault-injection plane (net/faults.py).
+
+The plane is the reproduction's hostile-network model: seeded per-link
+message faults (drop / duplicate / delay), scheduled partitions, and a
+crash/restart schedule.  Everything it does must be a pure function of its
+seed so churn trials stay reproducible.
+"""
+
+import pytest
+
+from repro.net.faults import (
+    NULL_POLICY,
+    FaultPlane,
+    HostCrash,
+    LinkFaultPolicy,
+    NetworkPartition,
+)
+from repro.net.messages import Message
+
+
+def probe(sender="a", recipient="b"):
+    return Message(sender=sender, recipient=recipient)
+
+
+class TestLinkFaultPolicy:
+    def test_null_policy_is_null(self):
+        assert NULL_POLICY.is_null
+        assert LinkFaultPolicy().is_null
+        assert not LinkFaultPolicy(drop_probability=0.1).is_null
+
+    def test_probabilities_are_validated(self):
+        with pytest.raises(ValueError):
+            LinkFaultPolicy(drop_probability=1.5)
+        with pytest.raises(ValueError):
+            LinkFaultPolicy(duplicate_probability=-0.1)
+        with pytest.raises(ValueError):
+            LinkFaultPolicy(extra_delay_mean=-1.0)
+
+
+class TestNetworkPartition:
+    def test_active_window(self):
+        part = NetworkPartition(start=10.0, end=20.0, groups=(("a",), ("b",)))
+        assert not part.active_at(9.9)
+        assert part.active_at(10.0)
+        assert part.active_at(19.9)
+        assert not part.active_at(20.0)
+
+    def test_separates_across_groups_only(self):
+        part = NetworkPartition(start=0.0, end=100.0, groups=(("a", "b"), ("c",)))
+        assert part.separates("a", "c", 50.0)
+        assert not part.separates("a", "b", 50.0)
+        assert not part.separates("a", "c", 100.0)  # window over
+
+    def test_unlisted_hosts_are_isolated(self):
+        part = NetworkPartition(start=0.0, end=100.0, groups=(("a",),))
+        assert part.separates("a", "ghost", 1.0)
+        assert part.separates("ghost", "phantom", 1.0)
+
+    def test_window_is_validated(self):
+        with pytest.raises(ValueError):
+            NetworkPartition(start=5.0, end=5.0, groups=(("a",),))
+
+
+class TestHostCrash:
+    def test_restart_must_follow_crash(self):
+        with pytest.raises(ValueError):
+            HostCrash(host_id="h", crash_at=10.0, restart_at=5.0)
+        HostCrash(host_id="h", crash_at=10.0, restart_at=10.5)
+        HostCrash(host_id="h", crash_at=10.0)  # never restarts
+
+
+class TestFaultPlane:
+    def test_null_plane_always_delivers_once(self):
+        plane = FaultPlane(seed=1)
+        for _ in range(50):
+            decision = plane.intercept(probe(), now=0.0)
+            assert decision.deliver
+            assert decision.extra_delays == (0.0,)
+        assert plane.statistics.faulted == 0
+
+    def test_loopback_is_exempt(self):
+        plane = FaultPlane(seed=1, default_policy=LinkFaultPolicy(drop_probability=1.0))
+        decision = plane.intercept(probe("a", "a"), now=0.0)
+        assert decision.deliver
+        assert plane.statistics.messages_dropped == 0
+
+    def test_certain_drop(self):
+        plane = FaultPlane(seed=1, default_policy=LinkFaultPolicy(drop_probability=1.0))
+        decision = plane.intercept(probe(), now=0.0)
+        assert not decision.deliver
+        assert plane.statistics.messages_dropped == 1
+
+    def test_certain_duplicate_and_delay(self):
+        plane = FaultPlane(
+            seed=1,
+            default_policy=LinkFaultPolicy(
+                duplicate_probability=1.0, extra_delay_mean=0.5
+            ),
+        )
+        decision = plane.intercept(probe(), now=0.0)
+        assert decision.deliver
+        assert len(decision.extra_delays) == 2
+        assert all(delay > 0.0 for delay in decision.extra_delays)
+        assert plane.statistics.messages_duplicated == 1
+        assert plane.statistics.messages_delayed == 1  # counted per message
+
+    def test_partition_drops_and_counts(self):
+        plane = FaultPlane(
+            seed=1,
+            partitions=(
+                NetworkPartition(start=0.0, end=10.0, groups=(("a",), ("b",))),
+            ),
+        )
+        assert not plane.intercept(probe("a", "b"), now=5.0).deliver
+        assert plane.intercept(probe("a", "b"), now=15.0).deliver
+        assert plane.statistics.partition_drops == 1
+
+    def test_link_policy_overrides_default(self):
+        plane = FaultPlane(
+            seed=1,
+            default_policy=LinkFaultPolicy(drop_probability=1.0),
+            link_policies={("a", "b"): NULL_POLICY},
+        )
+        assert plane.intercept(probe("a", "b"), now=0.0).deliver
+        assert not plane.intercept(probe("a", "c"), now=0.0).deliver
+
+    def test_same_seed_same_fault_sequence(self):
+        def sequence(seed):
+            plane = FaultPlane(
+                seed=seed,
+                default_policy=LinkFaultPolicy(
+                    drop_probability=0.3,
+                    duplicate_probability=0.2,
+                    extra_delay_mean=0.1,
+                ),
+            )
+            out = []
+            for i in range(200):
+                decision = plane.intercept(probe("a", f"h{i % 5}"), now=float(i))
+                out.append((decision.deliver, decision.extra_delays))
+            return out
+
+        assert sequence(7) == sequence(7)
+        assert sequence(7) != sequence(8)
+
+    def test_links_draw_from_independent_streams(self):
+        plane = FaultPlane(
+            seed=3, default_policy=LinkFaultPolicy(drop_probability=0.5)
+        )
+        # Exhausting one link's stream must not perturb another link's.
+        reference = FaultPlane(
+            seed=3, default_policy=LinkFaultPolicy(drop_probability=0.5)
+        )
+        for _ in range(100):
+            plane.intercept(probe("a", "b"), now=0.0)
+        lone = [plane.intercept(probe("c", "d"), now=0.0).deliver for _ in range(20)]
+        fresh = [
+            reference.intercept(probe("c", "d"), now=0.0).deliver for _ in range(20)
+        ]
+        assert lone == fresh
+
+    def test_statistics_as_dict(self):
+        plane = FaultPlane(seed=1, default_policy=LinkFaultPolicy(drop_probability=1.0))
+        plane.intercept(probe(), now=0.0)
+        payload = plane.statistics.as_dict()
+        assert payload["messages_dropped"] == 1
+        assert payload["faulted"] == 1

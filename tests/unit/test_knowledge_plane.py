@@ -304,4 +304,4 @@ class TestByteCounters:
         assert "FragmentResponse" in table
         assert "total" in table
         lines = table.strip().splitlines()
-        assert lines[1].split() == ["kind", "messages", "bytes"]
+        assert lines[1].split() == ["kind", "messages", "bytes", "dropped"]
