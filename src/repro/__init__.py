@@ -40,6 +40,7 @@ from .core import (
     make_solver,
     specification,
 )
+from .durability import DurabilityBackend, FileJournal, InMemoryJournal
 from .execution import CallableService, ManualService, ServiceDescription
 from .host import Community, Host, Workspace, WorkflowPhase
 from .owms import OpenWorkflowSystem, SolveReport
@@ -54,7 +55,10 @@ __all__ = [
     "Commitment",
     "Community",
     "ConstructionResult",
+    "DurabilityBackend",
+    "FileJournal",
     "Host",
+    "InMemoryJournal",
     "MemoizedColoringSolver",
     "Solver",
     "KnowledgeSet",

@@ -54,10 +54,14 @@ class FragmentManager:
         host_id: str,
         fragments: Iterable[WorkflowFragment] = (),
         use_index: bool = True,
+        durability=None,
     ) -> None:
         self.host_id = host_id
         self.use_index = use_index
+        self.durability = durability
         self.epoch = next(_epoch_counter)
+        if durability is not None:
+            durability.epoch_started(self.epoch)
         self._knowledge = FragmentIndex()
         self.queries_answered = 0
         self.fragments_served = 0
@@ -71,6 +75,8 @@ class FragmentManager:
         if fragment.contributor is None:
             fragment = fragment.with_contributor(self.host_id)
         self._knowledge.add(fragment)
+        if self.durability is not None:
+            self.durability.fragment_added(fragment)
         return fragment
 
     def add_fragments(self, fragments: Iterable[WorkflowFragment]) -> None:
@@ -80,7 +86,10 @@ class FragmentManager:
     def remove_fragment(self, fragment_id: str) -> bool:
         """Forget a fragment (e.g. the know-how became obsolete)."""
 
-        return self._knowledge.discard(fragment_id)
+        removed = self._knowledge.discard(fragment_id)
+        if removed and self.durability is not None:
+            self.durability.fragment_discarded(fragment_id)
+        return removed
 
     @property
     def knowledge(self) -> FragmentIndex:

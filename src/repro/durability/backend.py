@@ -1,0 +1,257 @@
+"""Pluggable persistence backends for the durable state plane.
+
+A backend stores two things for one host:
+
+* an **append-only journal** of opaque record payloads, and
+* at most one **snapshot** blob that supersedes every record appended
+  before it was written (:meth:`DurabilityBackend.write_snapshot`
+  atomically installs the snapshot *and* truncates the journal).
+
+Payloads are ``bytes``; serialisation policy (what a record means) belongs
+to :mod:`repro.durability.plane`, storage policy (where the bytes survive)
+belongs here — the RAFDA-style split between application logic and
+persistence policy.
+
+Two implementations ship:
+
+:class:`InMemoryJournal`
+    Keeps the bytes in process memory on the *community* side (the host
+    object itself dies on a crash), modelling the flash storage of the
+    paper's mobile devices without touching the filesystem.  This is the
+    backend churn trials use.
+
+:class:`FileJournal`
+    A real append-only file plus a snapshot file.  Every journal record is
+    framed as ``<u32 length><u32 crc32><payload>``; replay stops at the
+    first incomplete or corrupt frame, so a process killed mid-append
+    recovers to the last *complete* record, never to a corrupt state.
+    Snapshots are written to a temporary file and installed with an atomic
+    rename before the journal is truncated, so a crash during compaction
+    loses no state either (the old snapshot + full journal still replay).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+import zlib
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Callable, Iterator
+
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+
+
+class DurabilityBackend(ABC):
+    """Append-only journal + snapshot storage for one host."""
+
+    # -- journal ----------------------------------------------------------
+    @abstractmethod
+    def append(self, payload: bytes) -> None:
+        """Durably append one opaque record payload to the journal."""
+
+    @abstractmethod
+    def payloads(self) -> list[bytes]:
+        """Every complete journal record since the last snapshot, in order."""
+
+    @property
+    @abstractmethod
+    def journal_length(self) -> int:
+        """Number of complete records currently in the journal."""
+
+    # -- snapshot ---------------------------------------------------------
+    @abstractmethod
+    def write_snapshot(self, blob: bytes) -> None:
+        """Install ``blob`` as the snapshot and truncate the journal.
+
+        The snapshot supersedes every record appended so far; records
+        appended afterwards apply on top of it.
+        """
+
+    @abstractmethod
+    def load_snapshot(self) -> bytes | None:
+        """The current snapshot blob, or ``None`` when none was written."""
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release any resources (files) held by the backend."""
+
+
+class InMemoryJournal(DurabilityBackend):
+    """Journal + snapshot kept in process memory (simulated flash storage).
+
+    The backend object is owned by the :class:`~repro.host.community.Community`,
+    not by the host, so it survives the host's crash exactly like the flash
+    chip survives the device's operating system.
+    """
+
+    def __init__(self) -> None:
+        self._journal: list[bytes] = []
+        self._snapshot: bytes | None = None
+        self.appends = 0
+        self.snapshots_written = 0
+
+    def append(self, payload: bytes) -> None:
+        self._journal.append(bytes(payload))
+        self.appends += 1
+
+    def payloads(self) -> list[bytes]:
+        return list(self._journal)
+
+    @property
+    def journal_length(self) -> int:
+        return len(self._journal)
+
+    def write_snapshot(self, blob: bytes) -> None:
+        self._snapshot = bytes(blob)
+        self._journal.clear()
+        self.snapshots_written += 1
+
+    def load_snapshot(self) -> bytes | None:
+        return self._snapshot
+
+    def __repr__(self) -> str:
+        return (
+            f"InMemoryJournal(records={len(self._journal)}, "
+            f"snapshot={self._snapshot is not None})"
+        )
+
+
+def _frame(payload: bytes) -> bytes:
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _iter_frames(data: bytes) -> Iterator[bytes]:
+    """Yield complete, checksummed payloads; stop at a truncated/corrupt tail."""
+
+    offset = 0
+    total = len(data)
+    while offset + _FRAME.size <= total:
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        end = start + length
+        if end > total:
+            return  # torn tail: the final append never finished
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            return  # corrupt frame: everything after it is untrustworthy
+        yield payload
+        offset = end
+
+
+class FileJournal(DurabilityBackend):
+    """Append-only journal file + snapshot file for one host.
+
+    Parameters
+    ----------
+    directory:
+        Where the two files live (created if missing).
+    name:
+        Base name of the files (``<name>.journal`` / ``<name>.snapshot``);
+        path separators are squashed so any host id is usable.
+    """
+
+    def __init__(self, directory: str | Path, name: str) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        safe = name.replace(os.sep, "_").replace("/", "_")
+        self.journal_path = self.directory / f"{safe}.journal"
+        self.snapshot_path = self.directory / f"{safe}.snapshot"
+        self.appends = 0
+        self.snapshots_written = 0
+        self._record_count: int | None = None
+
+    # -- journal ----------------------------------------------------------
+    def append(self, payload: bytes) -> None:
+        if self._record_count is None:
+            self._record_count = len(self.payloads())
+        with open(self.journal_path, "ab") as journal:
+            journal.write(_frame(payload))
+            journal.flush()
+            os.fsync(journal.fileno())
+        self._record_count += 1
+        self.appends += 1
+
+    def payloads(self) -> list[bytes]:
+        try:
+            data = self.journal_path.read_bytes()
+        except FileNotFoundError:
+            return []
+        return list(_iter_frames(data))
+
+    @property
+    def journal_length(self) -> int:
+        if self._record_count is None:
+            self._record_count = len(self.payloads())
+        return self._record_count
+
+    # -- snapshot ---------------------------------------------------------
+    def write_snapshot(self, blob: bytes) -> None:
+        # Install the snapshot first (atomic rename), truncate the journal
+        # second: a crash between the two steps leaves snapshot + stale
+        # journal, whose records are idempotent re-applications of state the
+        # snapshot already holds — replay stays correct either way.
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=self.snapshot_path.name, dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as tmp:
+                tmp.write(_frame(blob))
+                tmp.flush()
+                os.fsync(tmp.fileno())
+            os.replace(tmp_name, self.snapshot_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        with open(self.journal_path, "wb") as journal:
+            journal.flush()
+            os.fsync(journal.fileno())
+        self._record_count = 0
+        self.snapshots_written += 1
+
+    def load_snapshot(self) -> bytes | None:
+        try:
+            data = self.snapshot_path.read_bytes()
+        except FileNotFoundError:
+            return None
+        for payload in _iter_frames(data):
+            return payload  # exactly one frame per snapshot file
+        return None  # torn or corrupt snapshot: treat as absent
+
+    def __repr__(self) -> str:
+        return f"FileJournal({str(self.journal_path)!r})"
+
+
+BackendFactory = Callable[[str], DurabilityBackend]
+
+
+def make_backend(
+    spec: "str | bool | BackendFactory | None",
+    host_id: str,
+    directory: str | Path | None = None,
+) -> DurabilityBackend | None:
+    """Resolve a ``durability=`` flag value into a backend (or ``None``).
+
+    ``None``/``False`` — durability off.  ``True`` or ``"memory"`` — an
+    :class:`InMemoryJournal` (simulated flash).  ``"file"`` — a
+    :class:`FileJournal` under ``directory``.  A callable is treated as a
+    factory ``host_id -> backend`` for custom backends.
+    """
+
+    if spec is None or spec is False:
+        return None
+    if callable(spec):
+        return spec(host_id)
+    if spec is True or spec == "memory":
+        return InMemoryJournal()
+    if spec == "file":
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="repro-durability-")
+        return FileJournal(directory, host_id)
+    raise ValueError(
+        f"unknown durability spec {spec!r}: expected None, 'memory', 'file', "
+        "or a factory callable"
+    )

@@ -51,6 +51,7 @@ from ..net.messages import (
     LabelBatch,
     LabelDataMessage,
     LabelEntry,
+    LabelReplayRequest,
     Message,
     TaskCompleted,
     TaskCompletionRecord,
@@ -136,6 +137,7 @@ class ExecutionManager:
         robust: bool = False,
         input_timeout: float = 60.0,
         schedule=None,
+        durability=None,
     ) -> None:
         self.host_id = host_id
         self.scheduler = scheduler
@@ -153,7 +155,11 @@ class ExecutionManager:
         self.robust = robust
         self.input_timeout = input_timeout
         self.schedule = schedule
+        self.durability = durability
         self.invocations_abandoned = 0
+        #: Invocations re-armed from the durable journal after a restart
+        #: (instead of being lost and re-auctioned via repair).
+        self.invocations_resumed = 0
         self._pending: dict[_PendingKey, PendingInvocation] = {}
         #: Inverted trigger index: (workflow_id, label) -> the pending
         #: invocations awaiting that label, in watch order.  Buckets are
@@ -163,6 +169,12 @@ class ExecutionManager:
         #: Per-workflow count of invocations currently executing (started,
         #: not yet completed); used to decide when a completion burst ends.
         self._running: dict[str, int] = {}
+        #: Publication cache: every (workflow_id, label) this host produced,
+        #: with its value.  Serves :class:`~repro.net.messages.LabelReplayRequest`
+        #: from restarted consumers whose copy died with the crashed
+        #: process.  Volatile by design — a producer that crashed itself
+        #: cannot replay, and the requester falls back to repair.
+        self._published: dict[tuple[str, str], object] = {}
         #: Completions not yet reported to the initiator, per workflow.
         self._unsent_completions: dict[str, list[TaskCompletionRecord]] = {}
         self.outcomes: list[CommitmentOutcome] = []
@@ -182,6 +194,8 @@ class ExecutionManager:
             return self._pending[key]
         pending = PendingInvocation(commitment)
         self._pending[key] = pending
+        if self.durability is not None:
+            self.durability.invocation_scheduled(commitment)
         for label in commitment.task.inputs:
             self._watchers.setdefault((commitment.workflow_id, label), {})[key] = None
         # Time condition: wake up when the scheduled start arrives.  Input
@@ -212,6 +226,93 @@ class ExecutionManager:
             bucket.pop(key, None)
             if not bucket:
                 del self._watchers[index_key]
+
+    def restore_invocations(self, records) -> None:
+        """Re-arm recovered in-flight invocations after a restart.
+
+        ``records`` are :class:`~repro.durability.plane.InvocationState`
+        values replayed from the journal.  Settled invocations are skipped
+        (their completion/failure already reached the initiator or will be
+        repaired there); the rest are re-watched with their already-received
+        inputs restored, so only the labels lost during the outage still
+        have to arrive — or time out into the repair ladder.  The journal
+        already holds these records, so appends are suspended for the
+        mechanical part.
+        """
+
+        resumed: list[PendingInvocation] = []
+        for record in records:
+            if record.finished:
+                continue
+            if self.durability is not None:
+                with self.durability.suspended():
+                    pending = self.watch(record.commitment)
+                    pending.received_inputs.update(record.inputs)
+            else:
+                pending = self.watch(record.commitment)
+                pending.received_inputs.update(record.inputs)
+            self.invocations_resumed += 1
+            resumed.append(pending)
+            # The start window may already have passed during the outage;
+            # the watch() timer fires immediately in that case and the
+            # restored inputs count toward the trigger conditions.
+        for pending in resumed:
+            self._request_missing_inputs(pending)
+
+    def _request_missing_inputs(self, pending: PendingInvocation) -> None:
+        """Ask producers to re-send inputs lost while this host was down.
+
+        A label delivered during the outage died with the crashed process
+        and will never arrive again on its own; the commitment records who
+        was supposed to deliver it, so the resumed invocation asks each
+        producer to replay from its publication cache rather than sitting
+        out the input window and falling into the repair ladder.
+        """
+
+        if pending.started or pending.completed or pending.inputs_satisfied():
+            return
+        commitment = pending.commitment
+        by_source: dict[str, list[str]] = {}
+        for label in sorted(pending.missing_inputs()):
+            source = commitment.input_sources.get(label)
+            if source and source != self.host_id:
+                by_source.setdefault(source, []).append(label)
+        for source, labels in by_source.items():
+            self._send(
+                LabelReplayRequest(
+                    sender=self.host_id,
+                    recipient=source,
+                    workflow_id=commitment.workflow_id,
+                    labels=tuple(labels),
+                )
+            )
+
+    def handle_replay_request(self, message: LabelReplayRequest) -> None:
+        """Re-send previously published labels to a restarted consumer.
+
+        Answers come from the volatile publication cache through the
+        ordinary delivery path, so the requester's execution manager treats
+        a replayed label exactly like a first delivery.  Labels this host
+        never produced (or lost to its own crash) are silently skipped —
+        the requester's input timeout still backstops those.
+        """
+
+        now = self.scheduler.clock.now()
+        for label in message.labels:
+            key = (message.workflow_id, label)
+            if key not in self._published:
+                continue
+            self._send(
+                LabelDataMessage(
+                    sender=self.host_id,
+                    recipient=message.sender,
+                    workflow_id=message.workflow_id,
+                    label=label,
+                    value=self._published[key],
+                    produced_by=self.host_id,
+                    produced_at=now,
+                )
+            )
 
     def pending_invocations(self) -> list[PendingInvocation]:
         return list(self._pending.values())
@@ -257,6 +358,8 @@ class ExecutionManager:
             if pending is None:
                 continue
             pending.received_inputs[label] = value
+            if self.durability is not None:
+                self.durability.input_received(workflow_id, key[1], label, value)
             self._maybe_execute(key)
 
     # -- condition check and execution ----------------------------------------------
@@ -271,6 +374,8 @@ class ExecutionManager:
         if not pending.inputs_satisfied():
             return
         pending.started = True
+        if self.durability is not None:
+            self.durability.invocation_fired(commitment.workflow_id, key[1])
         if pending.expiry_event is not None:
             # The conditions were met in time; the abandonment timer is moot.
             pending.expiry_event.cancel()
@@ -317,6 +422,8 @@ class ExecutionManager:
                 failure_reason=reason,
             )
         )
+        if self.durability is not None:
+            self.durability.invocation_failed(commitment.workflow_id, key[1], reason)
         if self.schedule is not None:
             self.schedule.remove_commitment(commitment.commitment_id)
         self._pending.pop(key, None)
@@ -349,12 +456,16 @@ class ExecutionManager:
                     failure_reason=str(exc),
                 )
             )
+            if self.durability is not None:
+                self.durability.invocation_failed(workflow_id, key[1], str(exc))
             self._notify_failure(commitment, str(exc))
             self._pending.pop(key, None)
             self._unwatch(key, commitment)
             return
 
         pending.completed = True
+        if self.durability is not None:
+            self.durability.invocation_completed(workflow_id, key[1])
         sent_labels = self._publish_outputs(commitment, outputs)
         self.outcomes.append(
             CommitmentOutcome(
@@ -378,6 +489,7 @@ class ExecutionManager:
         now = self.scheduler.clock.now()
         for label, destinations in commitment.output_destinations.items():
             value = outputs.get(label)
+            self._published[(commitment.workflow_id, label)] = value
             for destination in destinations:
                 message = LabelDataMessage(
                     sender=self.host_id,
@@ -407,6 +519,7 @@ class ExecutionManager:
         batches: dict[str, list[LabelEntry]] = {}
         for label, destinations in commitment.output_destinations.items():
             value = outputs.get(label)
+            self._published[(commitment.workflow_id, label)] = value
             for destination in destinations:
                 batches.setdefault(destination, []).append(LabelEntry(label, value))
                 sent.add(label)

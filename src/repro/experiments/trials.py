@@ -61,6 +61,12 @@ class TrialResult:
     in a repair revision rather than the original, and
     ``recovery_seconds`` the simulated time from the first failure to
     final completion (0 when no repair was needed).
+
+    With the durable state plane on (``durability=``),
+    ``invocations_resumed`` counts in-flight service invocations restarted
+    hosts re-armed from their journals instead of losing, and
+    ``workflows_resumed`` the executing workflows a restarted initiator
+    picked back up — both 0 when durability is off.
     """
 
     succeeded: bool
@@ -87,6 +93,8 @@ class TrialResult:
     reauctions: int = 0
     workflows_recovered: int = 0
     recovery_seconds: float = 0.0
+    invocations_resumed: int = 0
+    workflows_resumed: int = 0
 
     def deterministic_copy(self) -> "TrialResult":
         """This result with the wall-clock timing components zeroed.
@@ -161,6 +169,7 @@ def build_trial_community(
     fault_injection: bool = False,
     enable_recovery: bool = False,
     max_repair_attempts: int = 3,
+    durability=None,
 ) -> Community:
     """Set up a community for one trial (fragments/services dealt out randomly).
 
@@ -202,6 +211,7 @@ def build_trial_community(
             fault_injection=fault_injection,
             enable_recovery=enable_recovery,
             max_repair_attempts=max_repair_attempts,
+            durability=durability,
         )
         del host
     return community
@@ -250,6 +260,7 @@ def run_churn_trial(
     outage: float = 60.0,
     max_repair_attempts: int = 6,
     max_sim_seconds: float = 3_600.0,
+    durability=None,
 ) -> TrialResult:
     """Run one end-to-end trial on a hostile network and measure survival.
 
@@ -263,7 +274,11 @@ def run_churn_trial(
     revision, and reports the churn counters alongside the usual
     measurements.  Churn trials default to a deeper repair ladder
     (``max_repair_attempts=6``) than clean runs: a dropped label delivery
-    costs one repair round, so survival probability compounds per round.  Everything is a pure function of ``seed``: re-running
+    costs one repair round, so survival probability compounds per round.
+    ``durability`` (e.g. ``"memory"``) additionally gives every host a
+    durable state plane, so restarted victims resume their commitments and
+    in-flight invocations instead of riding the full repair ladder.
+    Everything is a pure function of ``seed``: re-running
     with the same arguments reproduces the same faults and the same result.
     """
 
@@ -277,6 +292,7 @@ def run_churn_trial(
         fault_injection=True,
         enable_recovery=True,
         max_repair_attempts=max_repair_attempts,
+        durability=durability,
     )
     initiator = f"host-{initiator_index % num_hosts}"
     churn_rng = derive_rng(seed, "churn", num_hosts, num_crashes)
@@ -324,6 +340,9 @@ def run_churn_trial(
         for host in community
     )
     reauctions = sum(host.auction_manager.reauctions for host in community)
+    invocations_resumed = sum(
+        host.execution_manager.invocations_resumed for host in community
+    )
     return replace(
         result,
         succeeded=final.phase is WorkflowPhase.COMPLETED,
@@ -333,6 +352,8 @@ def run_churn_trial(
         reauctions=reauctions,
         workflows_recovered=1 if recovered else 0,
         recovery_seconds=recovery_seconds,
+        invocations_resumed=invocations_resumed,
+        workflows_resumed=community.workflows_resumed,
     )
 
 

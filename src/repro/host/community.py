@@ -18,6 +18,7 @@ from ..core.errors import OpenWorkflowError
 from ..core.fragments import WorkflowFragment
 from ..core.solver import Solver
 from ..core.specification import Specification
+from ..durability import HostDurability, make_backend, rebuild_state
 from ..execution.services import ServiceDescription
 from ..mobility.geometry import Point
 from ..mobility.locations import LocationDirectory, TravelModel
@@ -67,9 +68,17 @@ class Community:
         #: a crash with its durable state (the fragment database contents)
         #: but fresh volatile state and a new database epoch.
         self._recipes: dict[str, dict[str, object]] = {}
+        #: Per-host durability backends (journal + snapshot storage).  Owned
+        #: by the community, not the host, the way a flash chip is owned by
+        #: the device rather than the operating system: a crash destroys the
+        #: ``Host`` object but the backend — and everything journaled
+        #: through it — survives for the next incarnation to replay.
+        self._durability_backends: dict[str, object] = {}
         self.fault_plane: FaultPlane | None = None
         self.hosts_crashed = 0
         self.hosts_restarted = 0
+        #: Workflows resumed from the durable journal instead of repaired.
+        self.workflows_resumed = 0
 
     # -- membership -------------------------------------------------------------
     def add_host(
@@ -89,8 +98,17 @@ class Community:
         batch_auctions: bool = True,
         batch_execution: bool = True,
         fault_injection: bool = False,
+        durability=None,
     ) -> Host:
-        """Create a host, attach it to the network, and join it to the community."""
+        """Create a host, attach it to the network, and join it to the community.
+
+        ``durability`` selects the host's durable state plane: ``None``
+        (off), ``"memory"``/``True`` (simulated flash), ``"file"`` (real
+        append-only files), or a ``host_id -> backend`` factory.  The
+        resolved backend is owned by the community and survives crashes;
+        :meth:`restart_host` replays it so the new incarnation resumes
+        mid-workflow instead of forcing repair.
+        """
 
         if host_id in self._hosts:
             raise OpenWorkflowError(f"host {host_id!r} already exists in the community")
@@ -109,7 +127,9 @@ class Community:
             batch_auctions=batch_auctions,
             batch_execution=batch_execution,
             fault_injection=fault_injection,
+            durability=durability,
         )
+        plane = self._durability_plane(host_id, durability)
         host = Host(
             host_id,
             network=self.network,
@@ -130,6 +150,7 @@ class Community:
             share_supergraph=share_supergraph,
             knowledge_refresh_interval=knowledge_refresh_interval,
             fault_injection=fault_injection,
+            durability=plane,
         )
         self._hosts[host_id] = host
         self._recipes[host_id] = recipe
@@ -137,16 +158,39 @@ class Community:
             self.network.place_host(host_id, mobility)
         return host
 
+    def _durability_plane(self, host_id: str, durability) -> HostDurability | None:
+        """Resolve the durability flag into a per-incarnation write facade.
+
+        The *backend* (journal + snapshot storage) is created once per host
+        id and kept across crashes; every incarnation gets a fresh
+        :class:`~repro.durability.plane.HostDurability` wrapping it.
+        """
+
+        if durability is None or durability is False:
+            return None
+        backend = self._durability_backends.get(host_id)
+        if backend is None:
+            backend = make_backend(durability, host_id)
+            if backend is None:
+                return None
+            self._durability_backends[host_id] = backend
+        return HostDurability(backend)
+
     def remove_host(self, host_id: str) -> None:
         """A participant leaves the community (powers off or walks away).
 
         The departed host's scheduled activity (retry timers, pending
         executions, watchdogs) is cancelled along with its network
-        registration, so nothing it armed keeps firing after it left.
+        registration, so nothing it armed keeps firing after it left.  A
+        departure is permanent: unlike a crash, the host's durability
+        backend is released with it.
         """
 
         host = self._hosts.pop(host_id, None)
         self._recipes.pop(host_id, None)
+        backend = self._durability_backends.pop(host_id, None)
+        if backend is not None:
+            backend.close()
         if host is not None:
             host.crash()
 
@@ -165,25 +209,64 @@ class Community:
             return None
         recipe = self._recipes.get(host_id)
         if recipe is not None:
-            recipe["fragments"] = tuple(host.fragment_manager.all_fragments())
+            # Defensive copy: mutating the stored recipe in place would alias
+            # state across incarnations — a second crash of the restarted
+            # host would overwrite the snapshot the first restart was built
+            # from while older references still point at the same dict.
+            self._recipes[host_id] = dict(
+                recipe, fragments=tuple(host.fragment_manager.all_fragments())
+            )
         host.crash()
         self.hosts_crashed += 1
         return host
 
     def restart_host(self, host_id: str) -> Host | None:
-        """Bring a crashed host back with fresh volatile state.
+        """Bring a crashed host back, resuming from its durable state.
 
         The replacement is rebuilt from the recorded recipe; its fragment
         manager starts a new database *epoch*, so initiators that held
         delta-sync floors against the dead instance fall back to full
         queries instead of trusting stale versions.
+
+        With durability on, the host's journal + snapshot are replayed and
+        the new incarnation resumes mid-workflow: commitments are restored,
+        in-flight invocations re-armed with their already-received inputs,
+        and executing workspaces picked back up — only genuinely volatile
+        state (messages in flight during the outage, unfinished auctions)
+        still falls to the repair ladder.
+
+        Returns ``None`` when the host is already alive (a benign no-op for
+        racing restart schedules); raises :class:`OpenWorkflowError` for a
+        host id this community has never seen — a silent ``None`` there
+        previously masked typos and misrouted fault schedules.
         """
 
-        recipe = self._recipes.get(host_id)
-        if recipe is None or host_id in self._hosts:
+        if host_id in self._hosts:
             return None
+        recipe = self._recipes.get(host_id)
+        if recipe is None:
+            raise OpenWorkflowError(
+                f"cannot restart unknown host {host_id!r}: no build recipe "
+                "recorded (never added, or removed from the community)"
+            )
         self.hosts_restarted += 1
-        return self.add_host(host_id, **recipe)  # type: ignore[arg-type]
+        backend = self._durability_backends.get(host_id)
+        if backend is None:
+            return self.add_host(host_id, **recipe)  # type: ignore[arg-type]
+        state = rebuild_state(backend)
+        # The journal is the authoritative flash image of the fragment
+        # database; the recipe snapshot is only the fallback for the
+        # durability-off path.
+        recipe = dict(recipe, fragments=tuple(state.fragments.values()))
+        host = self.add_host(host_id, **recipe)  # type: ignore[arg-type]
+        host.restore_durable_state(state)
+        resumed = sum(
+            1
+            for workspace in state.workspaces.values()
+            if workspace.phase == "executing"
+        )
+        self.workflows_resumed += resumed
+        return host
 
     def install_fault_plane(self, plane: FaultPlane) -> None:
         """Attach a fault plane: message faults at the transport, plus churn.

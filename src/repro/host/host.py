@@ -46,6 +46,7 @@ from ..net.messages import (
     FragmentResponse,
     LabelBatch,
     LabelDataMessage,
+    LabelReplayRequest,
     Message,
     TaskCompleted,
     TaskFailed,
@@ -133,11 +134,17 @@ class Host:
         share_supergraph: bool = True,
         knowledge_refresh_interval: float = float("inf"),
         fault_injection: bool = False,
+        durability=None,
     ) -> None:
         self.host_id = host_id
         self.network = network
         self.scheduler = scheduler
         self.fault_injection = fault_injection
+        #: The host's durable state plane (a
+        #: :class:`~repro.durability.plane.HostDurability` wrapping a backend
+        #: that outlives this incarnation), or ``None`` when durability is
+        #: off.  Every state-owning manager write-ahead-journals through it.
+        self.durability = durability
         self.crashed = False
         #: Every timer this host's components arm goes through a scoped view
         #: of the shared scheduler, so ``crash()`` (and ``remove_host``) can
@@ -146,7 +153,9 @@ class Host:
         self.scope = ScopedScheduler(scheduler)
 
         # Execution subsystem.
-        self.fragment_manager = FragmentManager(host_id, fragments)
+        self.fragment_manager = FragmentManager(
+            host_id, fragments, durability=durability
+        )
         self.service_manager = ServiceManager(host_id, services)
         self.schedule_manager = ScheduleManager(
             host_id,
@@ -155,6 +164,7 @@ class Host:
             travel_model=travel_model,
             mobility=mobility,
             preferences=preferences,
+            durability=durability,
         )
         self.execution_manager = ExecutionManager(
             host_id,
@@ -164,6 +174,7 @@ class Host:
             batch_execution=batch_execution,
             robust=fault_injection,
             schedule=self.schedule_manager,
+            durability=durability,
         )
         self.participation_manager = AuctionParticipationManager(
             host_id,
@@ -197,6 +208,7 @@ class Host:
             share_supergraph=share_supergraph,
             knowledge_refresh_interval=knowledge_refresh_interval,
             robust=fault_injection,
+            durability=durability,
         )
         self.initiator = WorkflowInitiator(host_id)
 
@@ -262,6 +274,21 @@ class Host:
         self.crashed = True
         self.scope.deactivate()
         self.network.unregister(self.host_id)
+
+    def restore_durable_state(self, state) -> None:
+        """Resume from a replayed :class:`~repro.durability.plane.DurableHostState`.
+
+        Called by :meth:`~repro.host.community.Community.restart_host` on a
+        freshly built incarnation (fragments were already re-seeded through
+        the constructor).  Order matters: commitments first (invocations
+        release them on abandonment), then in-flight invocations, then the
+        initiator-side workspaces (whose volatile-phase fallback may submit
+        repair workflows that auction against the restored schedule).
+        """
+
+        self.schedule_manager.restore_commitments(state.commitments.values())
+        self.execution_manager.restore_invocations(state.invocations.values())
+        self.workflow_manager.restore_workspaces(state.workspaces.values())
 
     # -- message plumbing -------------------------------------------------------------
     def _send(self, message: Message) -> None:
@@ -340,6 +367,8 @@ class Host:
             self.execution_manager.deliver_label(message)
         elif isinstance(message, LabelBatch):
             self.execution_manager.handle_label_batch(message)
+        elif isinstance(message, LabelReplayRequest):
+            self.execution_manager.handle_replay_request(message)
         elif isinstance(message, TaskCompleted):
             self.workflow_manager.handle_task_completed(message)
         elif isinstance(message, TaskFailed):

@@ -45,6 +45,7 @@ contributing host has since left the community.
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from typing import Callable, Iterable
 
 from ..allocation.auction import AllocationOutcome, AuctionManager
@@ -131,6 +132,7 @@ class WorkflowManager:
         max_discovery_attempts: int = 3,
         liveness_timeout: float = 120.0,
         retry_backoff: float = 2.0,
+        durability=None,
     ) -> None:
         if construction_mode not in ("batch", "incremental"):
             raise ValueError("construction_mode must be 'batch' or 'incremental'")
@@ -144,6 +146,7 @@ class WorkflowManager:
         self.local_services = local_services
         self.enable_recovery = enable_recovery
         self.max_repair_attempts = max_repair_attempts
+        self.durability = durability
         self.capabilities = CapabilityDirectory()
         self.solver = make_solver(
             solver, stop_exploration_early=stop_exploration_early
@@ -213,6 +216,16 @@ class WorkflowManager:
             specification=specification,
             participants=participant_set,
         )
+        workspace.durability = self.durability
+        if self.durability is not None:
+            self.durability.workspace_opened(
+                workflow_id,
+                specification,
+                participant_set,
+                frozenset(excluded_tasks),
+                repair_of,
+                repair_attempt,
+            )
         if supergraph is not None:
             workspace.supergraph = supergraph
         elif self.supergraph is not None:
@@ -648,6 +661,15 @@ class WorkflowManager:
             workspace.fail(f"allocation failed: {reasons}", self.scheduler.clock.now())
             self._notify_allocated(workspace)
             return
+        if self.durability is not None:
+            # The award record makes the allocation replayable: a restarted
+            # initiator knows exactly which tasks it is waiting on and who
+            # won them, without re-auctioning anything.
+            self.durability.workspace_awarded(
+                workspace.workflow_id,
+                dict(outcome.allocation),
+                tuple(sorted(workspace.expected_tasks)),
+            )
         workspace.enter_phase(WorkflowPhase.EXECUTING, self.scheduler.clock.now())
         self._notify_allocated(workspace)
         if not workspace.expected_tasks:
@@ -734,6 +756,8 @@ class WorkflowManager:
 
     def _record_completed(self, workspace: Workspace, task_name: str) -> None:
         workspace.completed_tasks.add(task_name)
+        if self.durability is not None:
+            self.durability.workspace_task_completed(workspace.workflow_id, task_name)
         if workspace.phase is not WorkflowPhase.EXECUTING:
             return
         if workspace.all_tasks_completed:
@@ -796,6 +820,11 @@ class WorkflowManager:
         excluded = set(workspace.excluded_tasks) | (
             set(workspace.failed_tasks) - workspace.transient_failures
         )
+        self._submit_repair(workspace, excluded)
+
+    def _submit_repair(self, workspace: Workspace, excluded: set[str]) -> None:
+        """Submit the repair revision of ``workspace`` and link the chain."""
+
         repaired = self.submit(
             workspace.specification,
             workspace.participants,
@@ -805,6 +834,94 @@ class WorkflowManager:
             supergraph=workspace.supergraph,
         )
         workspace.repaired_by = repaired.workflow_id
+        if self.durability is not None:
+            self.durability.workspace_repaired(
+                workspace.workflow_id, repaired.workflow_id
+            )
+
+    # -- durable recovery --------------------------------------------------------
+    def restore_workspaces(self, records) -> None:
+        """Rebuild workspaces from replayed journal state after a restart.
+
+        ``records`` are :class:`~repro.durability.plane.WorkspaceState`
+        values.  Terminal workspaces (completed/failed) are restored as
+        records so repair chains stay followable.  An EXECUTING workspace
+        resumes: its allocation and progress are replayed, and the liveness
+        watchdog re-armed so executors lost during the outage still convert
+        into repair.  A workspace caught in a volatile phase (discovery,
+        construction, allocation — all driven by in-flight messages that
+        died with the process) cannot resume; it is failed and, when
+        recovery is on, resubmitted through the ordinary repair ladder.
+
+        The mechanical reconstruction is journal-suspended (the journal
+        already holds those records); the fail/repair consequences are not.
+        """
+
+        now = self.scheduler.clock.now()
+        volatile: list[Workspace] = []
+        executing: list[Workspace] = []
+        for record in records:
+            if record.workflow_id in self._workspaces:
+                continue
+            workspace = Workspace(
+                workflow_id=record.workflow_id,
+                specification=record.specification,
+                participants=frozenset(record.participants),
+            )
+            workspace.durability = self.durability
+            if self.supergraph is not None:
+                workspace.supergraph = self.supergraph
+            workspace.excluded_tasks = set(record.excluded_tasks)
+            workspace.repair_of = record.repair_of
+            workspace.repair_attempt = record.repair_attempt
+            workspace.repaired_by = record.repaired_by
+            workspace.expected_tasks = set(record.expected_tasks)
+            workspace.completed_tasks = set(record.completed_tasks)
+            workspace.failure_reason = record.failure_reason
+            workspace.mark("submitted", now)
+            if record.allocation:
+                workspace.allocation_outcome = AllocationOutcome(
+                    workflow_id=record.workflow_id,
+                    allocation=dict(record.allocation),
+                )
+            phase = WorkflowPhase(record.phase)
+            suspender = (
+                self.durability.suspended()
+                if self.durability is not None
+                else nullcontext()
+            )
+            with suspender:
+                # Re-entering a replayed phase must not re-journal it.
+                if phase in (
+                    WorkflowPhase.COMPLETED,
+                    WorkflowPhase.FAILED,
+                    WorkflowPhase.EXECUTING,
+                ):
+                    workspace.enter_phase(phase, now)
+            self._workspaces[record.workflow_id] = workspace
+            if phase is WorkflowPhase.EXECUTING:
+                executing.append(workspace)
+            elif phase not in (WorkflowPhase.COMPLETED, WorkflowPhase.FAILED):
+                volatile.append(workspace)
+        for workspace in executing:
+            if workspace.all_tasks_completed:
+                # The last completion was journaled but the phase transition
+                # never was (the crash hit in between): finish the bookkeeping.
+                self._mark_completed(workspace)
+            else:
+                self._arm_liveness(workspace)
+        for workspace in volatile:
+            workspace.fail(
+                "initiator restarted before allocation completed; "
+                "in-flight discovery/auction state was volatile",
+                now,
+            )
+            if (
+                self.enable_recovery
+                and workspace.repaired_by is None
+                and workspace.repair_attempt < self.max_repair_attempts
+            ):
+                self._submit_repair(workspace, set(workspace.excluded_tasks))
 
     def final_workspace(self, workflow_id: str) -> Workspace | None:
         """Follow the repair chain from ``workflow_id`` to its last revision."""

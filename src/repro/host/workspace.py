@@ -109,6 +109,11 @@ class Workspace:
     # Phase timing marks.
     timestamps: dict[str, PhaseTimestamps] = field(default_factory=dict)
 
+    #: The initiator's durable state plane (a
+    #: :class:`~repro.durability.plane.HostDurability`), set by the Workflow
+    #: Manager when durability is on; phase transitions journal through it.
+    durability: object | None = field(default=None, compare=False, repr=False)
+
     # -- phase helpers -----------------------------------------------------
     def mark(self, name: str, sim_time: float) -> None:
         """Record a named timing mark (first write wins)."""
@@ -118,6 +123,12 @@ class Workspace:
     def enter_phase(self, phase: WorkflowPhase, sim_time: float) -> None:
         self.phase = phase
         self.mark(phase.value, sim_time)
+        if self.durability is not None:
+            # fail() sets failure_reason before entering FAILED, so this one
+            # hook journals both clean and failing transitions.
+            self.durability.workspace_phase(
+                self.workflow_id, phase.value, self.failure_reason
+            )
 
     def fail(self, reason: str, sim_time: float) -> None:
         self.failure_reason = reason

@@ -421,6 +421,27 @@ class LabelDataMessage(Message):
 
 
 @dataclass(frozen=True, repr=False)
+class LabelReplayRequest(Message):
+    """A restarted participant asks a producer to re-send lost inputs.
+
+    Labels delivered while a host was down die with the crashed process;
+    with the durable state plane on, the restarted incarnation knows from
+    its journal *which* inputs its resumed invocations still miss and who
+    was committed to deliver them (``Commitment.input_sources``).  The
+    producer answers from its publication cache with ordinary label
+    deliveries; a producer that crashed itself (cache lost) or never
+    executed simply stays silent and the requester falls back to the
+    input-timeout → repair ladder as before.
+    """
+
+    workflow_id: str = ""
+    labels: tuple[str, ...] = ()
+
+    def _payload_bytes(self) -> int:
+        return _LABEL_BYTES * len(self.labels)
+
+
+@dataclass(frozen=True, repr=False)
 class TaskCompleted(Message):
     """Notification (to the initiator) that a committed task finished."""
 

@@ -85,6 +85,12 @@ class OpenWorkflowSystem:
         Execution protocol installed on every deployed device: batched
         label delivery and per-burst progress reports (the default) or the
         original per-label / per-task messaging (``False``).
+    durability:
+        Durable state plane installed on every deployed device: ``None``
+        (off, the default), ``"memory"``/``True`` (simulated flash),
+        ``"file"`` (append-only files), or a ``host_id -> backend``
+        factory.  A restarted device replays its journal and resumes
+        mid-workflow instead of forcing repair.
     """
 
     def __init__(
@@ -94,12 +100,14 @@ class OpenWorkflowSystem:
         solver: "Solver | str | None" = None,
         batch_auctions: bool = True,
         batch_execution: bool = True,
+        durability=None,
     ) -> None:
         self.community = Community(network_factory=network_factory)
         self.capability_aware = capability_aware
         self.solver = solver
         self.batch_auctions = batch_auctions
         self.batch_execution = batch_execution
+        self.durability = durability
 
     # -- deployment ------------------------------------------------------------
     def add_device(
@@ -115,6 +123,7 @@ class OpenWorkflowSystem:
         knowledge_refresh_interval: float = float("inf"),
         batch_auctions: bool | None = None,
         batch_execution: bool | None = None,
+        durability=None,
     ) -> Host:
         """Install the middleware on a new device and join it to the community."""
 
@@ -135,6 +144,7 @@ class OpenWorkflowSystem:
             batch_execution=(
                 self.batch_execution if batch_execution is None else batch_execution
             ),
+            durability=durability if durability is not None else self.durability,
         )
 
     def deploy_device_config(self, config: DeviceConfig) -> Host:

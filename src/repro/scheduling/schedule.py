@@ -80,8 +80,10 @@ class ScheduleManager:
         travel_model: TravelModel | None = None,
         mobility: MobilityModel | Point | None = None,
         preferences: ParticipantPreferences = ALWAYS_WILLING,
+        durability=None,
     ) -> None:
         self.host_id = host_id
+        self.durability = durability
         self.clock = clock if clock is not None else SimulatedClock()
         self.locations = locations if locations is not None else LocationDirectory()
         self.travel_model = travel_model if travel_model is not None else TravelModel()
@@ -183,6 +185,8 @@ class ScheduleManager:
         self._commitments.insert(index, commitment)
         insort(self._blocked_starts, commitment.blocked_from)
         self._max_span = max(self._max_span, commitment.end - commitment.blocked_from)
+        if self.durability is not None:
+            self.durability.commitment_added(commitment)
 
     def remove_commitment(self, commitment_id: str) -> bool:
         """Drop a commitment (e.g. the workflow was cancelled); returns success."""
@@ -191,7 +195,23 @@ class ScheduleManager:
         self._reindex(
             c for c in self._commitments if c.commitment_id != commitment_id
         )
-        return len(self._commitments) != before
+        removed = len(self._commitments) != before
+        if removed and self.durability is not None:
+            self.durability.commitment_released(commitment_id)
+        return removed
+
+    def restore_commitments(self, commitments: Iterable[Commitment]) -> None:
+        """Re-insert recovered commitments without re-journaling them.
+
+        Used by the durable-recovery path: the journal already holds these
+        records, so appends are suspended for the mechanical re-insertion.
+        """
+
+        if self.durability is not None:
+            with self.durability.suspended():
+                self.add_commitments(commitments)
+        else:
+            self.add_commitments(commitments)
 
     def _reindex(self, commitments: Iterable[Commitment]) -> None:
         self._commitments = sorted(commitments, key=lambda c: c.blocked_from)
@@ -287,7 +307,10 @@ class ScheduleManager:
     def clear(self) -> None:
         """Drop every commitment (used between benchmark repetitions)."""
 
+        had_commitments = bool(self._commitments)
         self._reindex(())
+        if had_commitments and self.durability is not None:
+            self.durability.schedule_cleared()
 
     def utilisation(self, horizon: float) -> float:
         """Fraction of ``[now, now + horizon)`` blocked by commitments."""

@@ -31,6 +31,7 @@ size, which reproduces the cut-off visible in Figures 5 and 6 for the small
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from collections import deque
 from dataclasses import dataclass, field
@@ -84,6 +85,41 @@ class GeneratedWorkload:
         """Distribute the services randomly and evenly (independently of fragments)."""
 
         return _partition_evenly(self.services, num_hosts, rng)
+
+    # -- timing variants ----------------------------------------------------
+    def with_task_durations(self, duration: float) -> "GeneratedWorkload":
+        """This workload with every task taking ``duration`` simulated seconds.
+
+        The generator's tasks are instantaneous, which makes whole trials
+        collapse to simulated time zero on a zero-latency network — fine for
+        allocation measurements, useless for studying crashes that land
+        *mid-execution*.  The churn/durability suites use this variant so a
+        workflow's execution actually spans the fault schedule's crash
+        window.  Fragment ids are preserved (suffixed), so partitioning and
+        discovery behave exactly like the instantaneous original.
+        """
+
+        if duration < 0:
+            raise ValueError("task duration must be non-negative")
+        timed = GeneratedWorkload(num_tasks=self.num_tasks, seed=self.seed)
+        by_name: dict[str, Task] = {}
+        for task in self.tasks:
+            slow = dataclasses.replace(task, duration=duration)
+            timed.tasks.append(slow)
+            by_name[slow.name] = slow
+        for fragment in self.fragments:
+            timed.fragments.append(
+                WorkflowFragment(
+                    [by_name[task.name] for task in fragment.tasks],
+                    fragment_id=f"{fragment.fragment_id}-d{duration:g}",
+                )
+            )
+        timed.services = list(self.services)
+        timed.task_successors = {
+            node: set(successors) for node, successors in self.task_successors.items()
+        }
+        timed.edge_count = self.edge_count
+        return timed
 
     # -- specification sampling -----------------------------------------------
     def max_path_length(self) -> int:

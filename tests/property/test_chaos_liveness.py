@@ -129,6 +129,115 @@ def test_every_workflow_terminates_and_nothing_leaks(schedule):
         assert not host.auction_manager._unacked, host.host_id
 
 
+overlap_schedules = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=2**31),
+        "drop": st.floats(min_value=0.0, max_value=0.2),
+        "victim": st.integers(min_value=1, max_value=NUM_HOSTS - 1),
+        "partition_start": st.floats(min_value=5.0, max_value=80.0),
+        "partition_length": st.floats(min_value=10.0, max_value=90.0),
+        "split": st.integers(min_value=1, max_value=NUM_HOSTS - 1),
+        # Where inside the partition window the victim crashes (fraction),
+        # and whether it restarts before or after the window ends.
+        "crash_fraction": st.floats(min_value=0.05, max_value=0.95),
+        "restart_inside": st.booleans(),
+        "durability": st.sampled_from([None, "memory"]),
+    }
+)
+
+
+def run_overlap_trial(schedule):
+    """A host crashes while a partition covering it is active.
+
+    The crash lands strictly inside the partition window; the restart is
+    scheduled either before the window ends (the restarted host comes back
+    into a still-partitioned network) or after it (the host misses the
+    whole partition).  Either way the liveness invariant must hold, with
+    or without the durable state plane.
+    """
+
+    seed = schedule["seed"]
+    community = build_trial_community(
+        WORKLOAD,
+        NUM_HOSTS,
+        seed=seed,
+        network_factory=simulated_network_factory(seed),
+        fault_injection=True,
+        enable_recovery=True,
+        max_repair_attempts=MAX_REPAIR_ATTEMPTS,
+        durability=schedule["durability"],
+    )
+    start = schedule["partition_start"]
+    end = start + schedule["partition_length"]
+    crash_at = start + schedule["crash_fraction"] * (end - start)
+    restart_at = (
+        min(end - 0.5, crash_at + 1.0) if schedule["restart_inside"] else end + 10.0
+    )
+    restart_at = max(restart_at, crash_at + 0.5)
+    hosts = [f"host-{index}" for index in range(NUM_HOSTS)]
+    split = schedule["split"]
+    plane = FaultPlane(
+        seed=derive_seed(seed, "chaos-overlap"),
+        default_policy=LinkFaultPolicy(drop_probability=schedule["drop"]),
+        partitions=(
+            NetworkPartition(
+                start=start,
+                end=end,
+                groups=(tuple(hosts[:split]), tuple(hosts[split:])),
+            ),
+        ),
+        crashes=(
+            HostCrash(
+                host_id=f"host-{schedule['victim']}",
+                crash_at=crash_at,
+                restart_at=restart_at,
+            ),
+        ),
+    )
+    community.install_fault_plane(plane)
+    workspace = community.submit_specification("host-0", SPEC)
+    community.run_idle(max_sim_seconds=10_000.0)
+    return community, workspace
+
+
+@given(schedule=overlap_schedules)
+@SETTINGS
+def test_crash_inside_partition_preserves_liveness(schedule):
+    community, workspace = run_overlap_trial(schedule)
+    manager = community.host("host-0").workflow_manager
+
+    chain = [workspace]
+    while chain[-1].repaired_by is not None:
+        chain.append(manager.workspace(chain[-1].repaired_by))
+    final = chain[-1]
+    assert final.phase in (WorkflowPhase.COMPLETED, WorkflowPhase.FAILED)
+    assert len(chain) <= MAX_REPAIR_ATTEMPTS + 1
+    assert community.scheduler.peek_time() is None
+    assert community.hosts_crashed == 1
+    assert community.hosts_restarted == 1
+    for host in community:
+        assert not host.execution_manager.pending_invocations(), host.host_id
+        assert not host.auction_manager._unacked, host.host_id
+
+
+@given(schedule=overlap_schedules)
+@SETTINGS
+def test_crash_inside_partition_replays_identically(schedule):
+    def fingerprint():
+        community, workspace = run_overlap_trial(schedule)
+        manager = community.host("host-0").workflow_manager
+        final = manager.final_workspace(workspace.workflow_id) or workspace
+        return (
+            final.phase,
+            final.failure_reason,
+            community.fault_plane.statistics.as_dict(),
+            sum(host.execution_manager.invocations_resumed for host in community),
+            dict(community.network.statistics.by_kind),
+        )
+
+    assert fingerprint() == fingerprint()
+
+
 @given(schedule=schedules)
 @SETTINGS
 def test_chaos_trials_replay_identically(schedule):

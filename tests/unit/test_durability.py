@@ -1,0 +1,261 @@
+"""Unit tests for the durable state plane (journal, snapshots, replay).
+
+Covers the two shipped backends (:class:`InMemoryJournal`,
+:class:`FileJournal`), the kill-at-every-offset torture for the file
+framing (a truncated tail must recover to the last *complete* record,
+never to a corrupt state), compaction, the ``make_backend`` flag
+resolution, and the typed :class:`HostDurability` hooks feeding
+:func:`rebuild_state`.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.tasks import Task
+from repro.core.fragments import WorkflowFragment
+from repro.core.specification import Specification
+from repro.durability import (
+    DurabilityBackend,
+    DurableHostState,
+    FileJournal,
+    HostDurability,
+    InMemoryJournal,
+    make_backend,
+    rebuild_state,
+)
+from repro.scheduling.commitments import Commitment
+
+
+def make_commitment(task_name="task-a", workflow_id="wf-1", start=5.0):
+    task = Task(task_name, inputs=["in"], outputs=["out"])
+    return Commitment(task=task, workflow_id=workflow_id, start=start)
+
+
+PAYLOADS = [b"alpha", b"", b"b" * 300, pickle.dumps(("record", 3)), b"\x00\xff" * 17]
+
+
+class TestBackendContract:
+    @pytest.fixture(params=["memory", "file"])
+    def backend(self, request, tmp_path):
+        if request.param == "memory":
+            return InMemoryJournal()
+        return FileJournal(tmp_path, "host-0")
+
+    def test_append_and_replay_in_order(self, backend):
+        for payload in PAYLOADS:
+            backend.append(payload)
+        assert backend.payloads() == PAYLOADS
+        assert backend.journal_length == len(PAYLOADS)
+
+    def test_snapshot_truncates_journal(self, backend):
+        for payload in PAYLOADS:
+            backend.append(payload)
+        backend.write_snapshot(b"snapshot-blob")
+        assert backend.load_snapshot() == b"snapshot-blob"
+        assert backend.payloads() == []
+        assert backend.journal_length == 0
+        backend.append(b"after")
+        assert backend.payloads() == [b"after"]
+        assert backend.load_snapshot() == b"snapshot-blob"
+
+    def test_empty_backend(self, backend):
+        assert backend.payloads() == []
+        assert backend.load_snapshot() is None
+        assert backend.journal_length == 0
+
+
+class TestFileJournal:
+    def test_files_survive_backend_object_loss(self, tmp_path):
+        first = FileJournal(tmp_path, "host-3")
+        first.append(b"one")
+        first.append(b"two")
+        first.write_snapshot(b"snap")
+        first.append(b"three")
+        # A brand-new backend over the same directory sees everything: the
+        # object is just a handle, the files are the durable state.
+        second = FileJournal(tmp_path, "host-3")
+        assert second.load_snapshot() == b"snap"
+        assert second.payloads() == [b"three"]
+
+    def test_host_id_with_path_separators_is_sanitised(self, tmp_path):
+        backend = FileJournal(tmp_path, "host/with/slashes")
+        backend.append(b"x")
+        assert backend.payloads() == [b"x"]
+        assert backend.journal_path.parent == tmp_path
+
+    def test_kill_at_every_offset_recovers_last_complete_record(self, tmp_path):
+        """Torture: truncate the journal at every byte offset and replay.
+
+        Whatever prefix of the file survives a crash, replay must return
+        exactly the records whose frames are complete — never a partial
+        payload, never an exception.
+        """
+
+        reference = FileJournal(tmp_path / "ref", "host-0")
+        for payload in PAYLOADS:
+            reference.append(payload)
+        data = reference.journal_path.read_bytes()
+
+        # Frame boundaries: offsets at which k complete records end.
+        boundaries = [0]
+        offset = 0
+        for payload in PAYLOADS:
+            offset += 8 + len(payload)  # <u32 len><u32 crc> + payload
+            boundaries.append(offset)
+        assert boundaries[-1] == len(data)
+
+        for cut in range(len(data) + 1):
+            victim_dir = tmp_path / "cut"
+            victim = FileJournal(victim_dir, "host-0")
+            victim.journal_path.write_bytes(data[:cut])
+            complete = sum(1 for b in boundaries[1:] if b <= cut)
+            assert victim.payloads() == PAYLOADS[:complete], f"cut at {cut}"
+            # And the journal stays appendable after the torn tail is
+            # (implicitly) ignored by replay.
+            del victim
+
+    def test_corrupt_frame_stops_replay(self, tmp_path):
+        backend = FileJournal(tmp_path, "host-0")
+        for payload in PAYLOADS:
+            backend.append(payload)
+        data = bytearray(backend.journal_path.read_bytes())
+        # Flip a bit inside the *third* record's payload: records 1-2 still
+        # replay, everything from the corrupt frame on is untrustworthy.
+        offset = (8 + len(PAYLOADS[0])) + (8 + len(PAYLOADS[1])) + 8 + 1
+        data[offset] ^= 0x40
+        backend.journal_path.write_bytes(bytes(data))
+        assert FileJournal(tmp_path, "host-0").payloads() == PAYLOADS[:2]
+
+    def test_torn_snapshot_treated_as_absent(self, tmp_path):
+        backend = FileJournal(tmp_path, "host-0")
+        backend.write_snapshot(b"full-snapshot")
+        blob = backend.snapshot_path.read_bytes()
+        backend.snapshot_path.write_bytes(blob[: len(blob) - 3])
+        assert FileJournal(tmp_path, "host-0").load_snapshot() is None
+
+
+class TestMakeBackend:
+    def test_off_values(self):
+        assert make_backend(None, "h") is None
+        assert make_backend(False, "h") is None
+
+    def test_memory_values(self):
+        assert isinstance(make_backend(True, "h"), InMemoryJournal)
+        assert isinstance(make_backend("memory", "h"), InMemoryJournal)
+
+    def test_file_value(self, tmp_path):
+        backend = make_backend("file", "h", directory=tmp_path)
+        assert isinstance(backend, FileJournal)
+        assert backend.journal_path.parent == tmp_path
+
+    def test_factory_callable(self):
+        made = []
+
+        def factory(host_id):
+            backend = InMemoryJournal()
+            made.append((host_id, backend))
+            return backend
+
+        backend = make_backend(factory, "host-9")
+        assert made == [("host-9", backend)]
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError, match="unknown durability spec"):
+            make_backend("cloud", "h")
+
+
+class TestHostDurability:
+    def test_hooks_build_replayable_state(self):
+        plane = HostDurability(InMemoryJournal())
+        fragment = WorkflowFragment(
+            [Task("task-a", inputs=["in"], outputs=["out"])], fragment_id="frag-1"
+        )
+        commitment = make_commitment()
+        spec = Specification(triggers=["in"], goals=["out"], name="s")
+
+        plane.epoch_started(7)
+        plane.fragment_added(fragment)
+        plane.commitment_added(commitment)
+        plane.invocation_scheduled(commitment)
+        plane.input_received("wf-1", "task-a", "in", 42)
+        plane.invocation_fired("wf-1", "task-a")
+        plane.workspace_opened("wf-1", spec, frozenset({"h0", "h1"}), frozenset(), None, 0)
+        plane.workspace_awarded("wf-1", {"task-a": "h1"}, ("task-a",))
+        plane.workspace_phase("wf-1", "executing")
+
+        state = plane.state()
+        assert state.epochs == [7]
+        assert state.fragments == {"frag-1": fragment}
+        assert list(state.commitments) == [commitment.commitment_id]
+        invocation = state.invocations[("wf-1", "task-a")]
+        assert invocation.inputs == {"in": 42}
+        assert invocation.fired and not invocation.finished
+        workspace = state.workspaces["wf-1"]
+        assert workspace.phase == "executing"
+        assert workspace.allocation == {"task-a": "h1"}
+        assert workspace.participants == frozenset({"h0", "h1"})
+
+    def test_settled_invocations_and_released_commitments(self):
+        plane = HostDurability(InMemoryJournal())
+        commitment = make_commitment()
+        plane.commitment_added(commitment)
+        plane.invocation_scheduled(commitment)
+        plane.invocation_completed("wf-1", "task-a")
+        plane.commitment_released(commitment.commitment_id)
+
+        state = plane.state()
+        assert state.commitments == {}
+        assert state.invocations[("wf-1", "task-a")].finished
+
+    def test_suspended_blocks_appends(self):
+        backend = InMemoryJournal()
+        plane = HostDurability(backend)
+        with plane.suspended():
+            plane.epoch_started(1)
+            with plane.suspended():  # re-entrant
+                plane.epoch_started(2)
+            plane.epoch_started(3)
+        assert backend.journal_length == 0
+        plane.epoch_started(4)
+        assert plane.state().epochs == [4]
+
+    def test_compaction_folds_and_truncates(self):
+        backend = InMemoryJournal()
+        plane = HostDurability(backend, snapshot_every=10)
+        for epoch in range(1, 26):
+            plane.epoch_started(epoch)
+        assert backend.snapshots_written == 2
+        assert backend.journal_length < 10
+        assert plane.state().epochs == list(range(1, 26))
+
+    def test_compaction_drops_superseded_records(self):
+        backend = InMemoryJournal()
+        plane = HostDurability(backend, snapshot_every=4)
+        commitment = make_commitment()
+        plane.commitment_added(commitment)
+        plane.invocation_scheduled(commitment)
+        plane.invocation_completed("wf-1", "task-a")
+        plane.commitment_released(commitment.commitment_id)  # triggers compaction
+        assert backend.journal_length == 0
+        snapshot = pickle.loads(backend.load_snapshot())
+        assert isinstance(snapshot, DurableHostState)
+        assert snapshot.commitments == {}
+
+    def test_rebuild_skips_garbage_payloads(self):
+        backend = InMemoryJournal()
+        plane = HostDurability(backend)
+        plane.epoch_started(1)
+        backend.append(b"not a pickle")
+        backend.append(pickle.dumps("not a tuple"))
+        backend.append(pickle.dumps(("unknown-kind", 1, 2)))
+        plane.epoch_started(2)
+        assert rebuild_state(backend).epochs == [1, 2]
+
+    def test_snapshot_every_validated(self):
+        with pytest.raises(ValueError):
+            HostDurability(InMemoryJournal(), snapshot_every=0)
+
+    def test_abstract_backend_not_instantiable(self):
+        with pytest.raises(TypeError):
+            DurabilityBackend()  # type: ignore[abstract]

@@ -111,3 +111,89 @@ class TestCommunityProblemRunning:
             len(host.commitments()) for host in breakfast_community
         )
         assert total_commitments == len(workspace.expected_tasks)
+
+
+class TestCrashRestart:
+    def test_restart_of_alive_host_is_a_benign_noop(self):
+        community = Community()
+        community.add_host("a")
+        assert community.restart_host("a") is None
+        assert community.host_ids == ["a"]
+        assert community.hosts_restarted == 0
+
+    def test_restart_of_unknown_host_raises(self):
+        community = Community()
+        community.add_host("a")
+        with pytest.raises(OpenWorkflowError, match="unknown host 'ghost'"):
+            community.restart_host("ghost")
+
+    def test_restart_of_removed_host_raises(self):
+        # remove_host is a permanent departure: the recipe is dropped, so a
+        # later restart attempt is a misrouted fault schedule, not a no-op.
+        community = Community()
+        community.add_host("a")
+        community.remove_host("a")
+        with pytest.raises(OpenWorkflowError, match="unknown host 'a'"):
+            community.restart_host("a")
+
+    def test_crash_then_restart_round_trip(self):
+        community = Community()
+        fragment = WorkflowFragment([Task("t1", ["x"], ["y"])], fragment_id="f1")
+        community.add_host("a", fragments=[fragment])
+        crashed = community.crash_host("a")
+        assert crashed is not None and "a" not in community
+        restarted = community.restart_host("a")
+        assert restarted is not None and "a" in community
+        assert [f.fragment_id for f in restarted.fragment_manager.all_fragments()] == ["f1"]
+        assert community.hosts_crashed == 1 and community.hosts_restarted == 1
+
+    def test_double_crash_keeps_fragment_epochs_monotonic(self):
+        """Regression: crash_host used to mutate the stored recipe in place.
+
+        The second crash of a restarted host would then overwrite the
+        fragment snapshot the first restart was built from.  Two full
+        crash/restart cycles must hand each incarnation a strictly larger
+        database epoch and the same fragment set every time.
+        """
+
+        community = Community()
+        fragment = WorkflowFragment([Task("t1", ["x"], ["y"])], fragment_id="f1")
+        original_recipe_fragments = (fragment,)
+        community.add_host("a", fragments=original_recipe_fragments)
+        epochs = [community.host("a").fragment_manager.epoch]
+
+        for _ in range(2):
+            host = community.crash_host("a")
+            assert host is not None
+            # The snapshot taken at crash time must be a *new* tuple, not the
+            # one the previous incarnation was built from.
+            assert community._recipes["a"]["fragments"] is not original_recipe_fragments
+            restarted = community.restart_host("a")
+            epochs.append(restarted.fragment_manager.epoch)
+            assert [f.fragment_id for f in restarted.fragment_manager.all_fragments()] == ["f1"]
+
+        assert epochs == sorted(epochs) and len(set(epochs)) == len(epochs)
+        assert community.hosts_crashed == 2 and community.hosts_restarted == 2
+
+    def test_restart_with_durability_replays_the_journal(self):
+        community = Community()
+        fragment = WorkflowFragment([Task("t1", ["x"], ["y"])], fragment_id="f1")
+        community.add_host("a", fragments=[fragment], durability="memory")
+        extra = WorkflowFragment([Task("t2", ["y"], ["z"])], fragment_id="f2")
+        community.host("a").add_fragment(extra)
+        community.crash_host("a")
+        restarted = community.restart_host("a")
+        # The journal, not the recipe snapshot, is the flash image: the
+        # fragment added after deployment survives the crash.
+        ids = {f.fragment_id for f in restarted.fragment_manager.all_fragments()}
+        assert ids == {"f1", "f2"}
+        # Epochs of both incarnations are on the durable record, in order.
+        epochs = restarted.durability.state().epochs
+        assert len(epochs) == 2 and epochs == sorted(set(epochs))
+
+    def test_remove_host_releases_the_durability_backend(self):
+        community = Community()
+        community.add_host("a", durability="memory")
+        assert "a" in community._durability_backends
+        community.remove_host("a")
+        assert "a" not in community._durability_backends

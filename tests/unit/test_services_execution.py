@@ -14,6 +14,7 @@ from repro.execution.services import (
 from repro.net.messages import (
     LabelBatch,
     LabelDataMessage,
+    LabelReplayRequest,
     TaskCompleted,
     WorkflowProgressReport,
 )
@@ -344,3 +345,67 @@ class TestBatchedExecutionProtocol:
         assert manager.completed_count == 2
         # The local delivery crossed no network: no LabelBatch was sent.
         assert not any(isinstance(m, LabelBatch) for m in sent)
+
+
+class TestLabelReplayProtocol:
+    """The input-replay path restarted durable hosts use (see
+    :meth:`ExecutionManager.restore_invocations`): producers cache what
+    they published and re-serve it on request; consumers ask the recorded
+    sources for inputs their journal says are still missing."""
+
+    def test_producer_replays_published_labels(self):
+        manager, scheduler, sent = make_execution_manager()
+        manager.watch(make_commitment(trigger_labels=frozenset({"input"})))
+        scheduler.run()
+        assert manager.completed_count == 1
+        sent.clear()
+        manager.handle_replay_request(
+            LabelReplayRequest(
+                sender="bob", recipient="worker", workflow_id="w1",
+                labels=("output", "never-produced"),
+            )
+        )
+        assert len(sent) == 1
+        replay = sent[0]
+        assert isinstance(replay, LabelDataMessage)
+        assert (replay.recipient, replay.label) == ("bob", "output")
+        assert replay.produced_by == "worker"
+
+    def test_replay_request_for_unknown_workflow_is_silent(self):
+        manager, scheduler, sent = make_execution_manager()
+        manager.handle_replay_request(
+            LabelReplayRequest(
+                sender="bob", recipient="worker", workflow_id="w9", labels=("x",)
+            )
+        )
+        assert sent == []
+
+    def test_restore_requests_missing_inputs_from_their_sources(self):
+        from repro.durability import HostDurability, InMemoryJournal
+        from repro.durability.plane import InvocationState
+
+        manager, scheduler, sent = make_execution_manager()
+        manager.durability = HostDurability(InMemoryJournal())
+        commitment = make_commitment(
+            task=Task("do", ["a", "b"], ["output"], duration=5.0),
+            input_sources={"a": "alice", "b": "carol"},
+        )
+        record = InvocationState(commitment, inputs={"a": 1})
+        manager.restore_invocations([record])
+        assert manager.invocations_resumed == 1
+        requests = [m for m in sent if isinstance(m, LabelReplayRequest)]
+        # Only the still-missing input is requested, from its source.
+        assert [(r.recipient, r.labels) for r in requests] == [("carol", ("b",))]
+        # The mechanical restore was suspended: nothing re-journaled beyond
+        # what the record already held.
+        assert manager.durability.records_written == 0
+
+    def test_restore_does_not_request_for_satisfied_invocations(self):
+        from repro.durability.plane import InvocationState
+
+        manager, scheduler, sent = make_execution_manager()
+        record = InvocationState(make_commitment(), inputs={"input": 1})
+        manager.restore_invocations([record])
+        assert not any(isinstance(m, LabelReplayRequest) for m in sent)
+        scheduler.run()
+        assert manager.completed_count == 1
