@@ -39,6 +39,7 @@ from ..net.messages import (
     TaskCall,
 )
 from ..sim.events import EventHandle, EventScheduler
+from ..sim.randomness import derive_rng
 from .bids import DEFAULT_POLICY, Bid, BidSelectionPolicy, rank_bids
 
 SendFunction = Callable[[Message], None]
@@ -146,6 +147,8 @@ class AuctionManager:
         max_solicitations: int = 3,
         max_award_attempts: int = 3,
         retry_backoff: float = 2.0,
+        retry_jitter: float = 0.1,
+        durability=None,
     ) -> None:
         self.host_id = host_id
         self.scheduler = scheduler
@@ -163,6 +166,22 @@ class AuctionManager:
         self.max_solicitations = max_solicitations
         self.max_award_attempts = max_award_attempts
         self.retry_backoff = retry_backoff
+        #: Seeded jitter factor on retry backoffs: each armed retry timer is
+        #: stretched by up to ``retry_jitter`` of its base delay, drawn from
+        #: a per-host derived RNG stream.  De-synchronizes the retry storm
+        #: after a partition heals (every auctioneer would otherwise fire at
+        #: identical backoff multiples) while keeping replays a pure
+        #: function of the host id.  Robust-mode only — a clean run arms no
+        #: retry timers and stays byte-identical.
+        self.retry_jitter = retry_jitter
+        self._jitter_rng = (
+            derive_rng(0, "retry-jitter", host_id, "auction") if robust else None
+        )
+        #: Optional durable write-ahead facade (the initiator's journal):
+        #: auction outcomes are journaled before awards go on the wire, so a
+        #: restarted initiator resumes from its recorded allocation instead
+        #: of redoing (or worse, half-redoing) the auction.
+        self.durability = durability
         #: Messages re-sent because the first copy went unanswered.
         self.retries = 0
         #: Tasks re-auctioned because their winner never acknowledged.
@@ -374,6 +393,10 @@ class AuctionManager:
             auction.winner = rank_bids(remaining, self.policy)[0]
             outcome.allocation[task_name] = auction.winner.bidder
             outcome.winning_bids[task_name] = auction.winner
+            if self.durability is not None:
+                # Write-ahead again: the re-award supersedes the journaled
+                # outcome before the replacement winner hears about it.
+                self.durability.allocation_updated(workflow_id, outcome.allocation)
             self._send_award(workflow_id, auction)
             if self.robust:
                 self._expect_ack(workflow_id, task_name, auction.winner.bidder)
@@ -382,6 +405,8 @@ class AuctionManager:
             outcome.allocation.pop(task_name, None)
             outcome.winning_bids.pop(task_name, None)
             outcome.unallocated[task_name] = reason
+            if self.durability is not None:
+                self.durability.allocation_updated(workflow_id, outcome.allocation)
 
     # -- tentative allocation and deadlines --------------------------------------------
     def _reevaluate_tentative(self, workflow_id: str, auction: TaskAuction) -> None:
@@ -424,6 +449,13 @@ class AuctionManager:
         outcome.completed_at = self.scheduler.clock.now()
         self._cancel_timer(self._solicit_timers, workflow_id)
         auctions = self._auctions[workflow_id]
+        if self.durability is not None:
+            # Write-ahead: the outcome is durable before any award is sent,
+            # so an initiator crashing mid-award-fanout restarts with the
+            # allocation it was in the middle of announcing.
+            self.durability.auction_completed(
+                workflow_id, outcome.allocation, tuple(sorted(outcome.unallocated))
+            )
         if outcome.succeeded or outcome.allocation:
             if self.batch_auctions:
                 self._send_award_batches(workflow_id, auctions)
@@ -449,7 +481,10 @@ class AuctionManager:
             handle.cancel()
 
     def _backoff_delay(self, base: float, attempt: int) -> float:
-        return base * (self.retry_backoff ** (attempt - 1))
+        delay = base * (self.retry_backoff ** (attempt - 1))
+        if self._jitter_rng is not None and self.retry_jitter > 0.0:
+            delay *= 1.0 + self.retry_jitter * self._jitter_rng.random()
+        return delay
 
     def _arm_solicit_timer(self, workflow_id: str, attempt: int) -> None:
         self._cancel_timer(self._solicit_timers, workflow_id)

@@ -17,7 +17,14 @@ never know whether those records land in memory (simulated flash) or in an
 append-only file.
 """
 
-from .backend import DurabilityBackend, FileJournal, InMemoryJournal, make_backend
+from .backend import (
+    SQLITE_SCHEMA_VERSION,
+    DurabilityBackend,
+    FileJournal,
+    InMemoryJournal,
+    SQLiteJournal,
+    make_backend,
+)
 from .plane import (
     DurableHostState,
     HostDurability,
@@ -33,6 +40,8 @@ __all__ = [
     "HostDurability",
     "InMemoryJournal",
     "InvocationState",
+    "SQLITE_SCHEMA_VERSION",
+    "SQLiteJournal",
     "WorkspaceState",
     "make_backend",
     "rebuild_state",

@@ -12,7 +12,7 @@ to :mod:`repro.durability.plane`, storage policy (where the bytes survive)
 belongs here — the RAFDA-style split between application logic and
 persistence policy.
 
-Two implementations ship:
+Three implementations ship:
 
 :class:`InMemoryJournal`
     Keeps the bytes in process memory on the *community* side (the host
@@ -28,11 +28,24 @@ Two implementations ship:
     Snapshots are written to a temporary file and installed with an atomic
     rename before the journal is truncated, so a crash during compaction
     loses no state either (the old snapshot + full journal still replay).
+    The parent directory is fsynced after the rename and after the
+    truncation, so the compaction sequence survives a whole-machine crash
+    (power loss), not just a process kill.
+
+:class:`SQLiteJournal`
+    A WAL-mode single-file SQLite database holding journal, snapshot, and
+    schema metadata in one place.  Appends are single-row transactions;
+    snapshot installation and journal truncation are *one* transaction, so
+    a crash mid-compaction observes either the old state or the new,
+    never a snapshot without its truncation.  The schema is versioned and
+    migrated forward on open, so a journal written by an older release
+    keeps replaying under a newer one.
 """
 
 from __future__ import annotations
 
 import os
+import sqlite3
 import struct
 import tempfile
 import zlib
@@ -115,6 +128,28 @@ class InMemoryJournal(DurabilityBackend):
             f"InMemoryJournal(records={len(self._journal)}, "
             f"snapshot={self._snapshot is not None})"
         )
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory's entry table to stable storage.
+
+    An ``os.replace`` or truncation is durable only once the *directory*
+    holding the entry is synced; until then a power loss may roll the
+    rename back even though the file's own bytes were fsynced.  Platforms
+    whose directory handles reject fsync (some network filesystems) are
+    tolerated — the data fsyncs still give process-kill durability.
+    """
+
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def _frame(payload: bytes) -> bytes:
@@ -200,6 +235,7 @@ class FileJournal(DurabilityBackend):
                 tmp.flush()
                 os.fsync(tmp.fileno())
             os.replace(tmp_name, self.snapshot_path)
+            _fsync_dir(self.directory)
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -209,6 +245,7 @@ class FileJournal(DurabilityBackend):
         with open(self.journal_path, "wb") as journal:
             journal.flush()
             os.fsync(journal.fileno())
+        _fsync_dir(self.directory)
         self._record_count = 0
         self.snapshots_written += 1
 
@@ -225,6 +262,206 @@ class FileJournal(DurabilityBackend):
         return f"FileJournal({str(self.journal_path)!r})"
 
 
+SQLITE_SCHEMA_VERSION = 2
+"""Current on-disk schema of :class:`SQLiteJournal` databases.
+
+Version history:
+
+* **v1** — ``journal(seq, payload)``, ``snapshot(id, blob)``, ``meta``.
+* **v2** — adds a ``crc`` column (crc32 of the payload/blob) to both
+  tables, giving the SQLite backend the same row-level corruption fence
+  the :class:`FileJournal` frames have: replay stops at the first record
+  whose checksum disagrees, and a corrupt snapshot is treated as absent.
+"""
+
+
+def _migrate_sqlite_v1_to_v2(conn: sqlite3.Connection) -> None:
+    """Add the crc columns and backfill them from the stored bytes."""
+
+    conn.execute("ALTER TABLE journal ADD COLUMN crc INTEGER")
+    rows = conn.execute("SELECT seq, payload FROM journal").fetchall()
+    for seq, payload in rows:
+        conn.execute(
+            "UPDATE journal SET crc = ? WHERE seq = ?", (zlib.crc32(payload), seq)
+        )
+    conn.execute("ALTER TABLE snapshot ADD COLUMN crc INTEGER")
+    snap = conn.execute("SELECT blob FROM snapshot WHERE id = 1").fetchone()
+    if snap is not None:
+        conn.execute(
+            "UPDATE snapshot SET crc = ? WHERE id = 1", (zlib.crc32(snap[0]),)
+        )
+
+
+#: version n -> in-place migration to version n + 1, applied in sequence on
+#: open.  Every released schema change must add exactly one entry here.
+_SQLITE_MIGRATIONS: dict[int, Callable[[sqlite3.Connection], None]] = {
+    1: _migrate_sqlite_v1_to_v2,
+}
+
+
+class SQLiteJournal(DurabilityBackend):
+    """Journal + snapshot in one WAL-mode SQLite database file.
+
+    Parameters
+    ----------
+    directory:
+        Where the database lives (created if missing).
+    name:
+        Base name of the database file (``<name>.sqlite``); path
+        separators are squashed so any host id is usable.
+
+    Appends commit one journal row per record; ``write_snapshot`` replaces
+    the snapshot row *and* deletes the journal rows in a single
+    transaction, so compaction is atomic even against power loss
+    (``synchronous=FULL`` fsyncs the WAL on every commit).  Opening a
+    database written by an older release migrates its schema forward
+    through :data:`_SQLITE_MIGRATIONS` before the first read.
+    """
+
+    def __init__(self, directory: str | Path, name: str) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        safe = name.replace(os.sep, "_").replace("/", "_")
+        self.db_path = self.directory / f"{safe}.sqlite"
+        # isolation_level=None: autocommit, with explicit BEGIN/COMMIT where
+        # multi-statement atomicity matters (snapshot + truncate).
+        self._conn = sqlite3.connect(str(self.db_path), isolation_level=None)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=FULL")
+        #: Forward migrations applied while opening this database.
+        self.schema_migrations = 0
+        self._ensure_schema()
+        self.appends = 0
+        self.snapshots_written = 0
+        self._record_count: int | None = None
+
+    # -- schema -----------------------------------------------------------
+    def _ensure_schema(self) -> None:
+        exists = self._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' AND name='meta'"
+        ).fetchone()
+        if exists is not None:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            version = int(row[0]) if row is not None else 1
+            if version > SQLITE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"{self.db_path} has schema version {version}, newer than "
+                    f"this release's {SQLITE_SCHEMA_VERSION}; refusing to "
+                    "write records an older reader would misinterpret"
+                )
+            if version == SQLITE_SCHEMA_VERSION:
+                # Current schema: opening stays read-only (no write
+                # transaction, no WAL growth just for looking).
+                return
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            if exists is None:
+                self._conn.execute(
+                    "CREATE TABLE meta (key TEXT PRIMARY KEY, value INTEGER NOT NULL)"
+                )
+                self._conn.execute(
+                    "CREATE TABLE journal ("
+                    "seq INTEGER PRIMARY KEY AUTOINCREMENT, "
+                    "payload BLOB NOT NULL, crc INTEGER NOT NULL)"
+                )
+                self._conn.execute(
+                    "CREATE TABLE snapshot ("
+                    "id INTEGER PRIMARY KEY CHECK (id = 1), "
+                    "blob BLOB NOT NULL, crc INTEGER NOT NULL)"
+                )
+                self._conn.execute(
+                    "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                    (SQLITE_SCHEMA_VERSION,),
+                )
+            else:
+                while version < SQLITE_SCHEMA_VERSION:
+                    _SQLITE_MIGRATIONS[version](self._conn)
+                    version += 1
+                    self.schema_migrations += 1
+                self._conn.execute(
+                    "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                    (SQLITE_SCHEMA_VERSION,),
+                )
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        self._conn.execute("COMMIT")
+
+    @property
+    def schema_version(self) -> int:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        return int(row[0])
+
+    # -- journal ----------------------------------------------------------
+    def append(self, payload: bytes) -> None:
+        payload = bytes(payload)
+        if self._record_count is None:
+            self._record_count = len(self.payloads())
+        self._conn.execute(
+            "INSERT INTO journal (payload, crc) VALUES (?, ?)",
+            (payload, zlib.crc32(payload)),
+        )
+        self._record_count += 1
+        self.appends += 1
+
+    def payloads(self) -> list[bytes]:
+        rows = self._conn.execute(
+            "SELECT payload, crc FROM journal ORDER BY seq"
+        ).fetchall()
+        result: list[bytes] = []
+        for payload, crc in rows:
+            payload = bytes(payload)
+            if crc is None or zlib.crc32(payload) != crc:
+                break  # corrupt row: everything after it is untrustworthy
+            result.append(payload)
+        return result
+
+    @property
+    def journal_length(self) -> int:
+        if self._record_count is None:
+            self._record_count = len(self.payloads())
+        return self._record_count
+
+    # -- snapshot ---------------------------------------------------------
+    def write_snapshot(self, blob: bytes) -> None:
+        blob = bytes(blob)
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            self._conn.execute("DELETE FROM snapshot")
+            self._conn.execute(
+                "INSERT INTO snapshot (id, blob, crc) VALUES (1, ?, ?)",
+                (blob, zlib.crc32(blob)),
+            )
+            self._conn.execute("DELETE FROM journal")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        self._conn.execute("COMMIT")
+        self._record_count = 0
+        self.snapshots_written += 1
+
+    def load_snapshot(self) -> bytes | None:
+        row = self._conn.execute(
+            "SELECT blob, crc FROM snapshot WHERE id = 1"
+        ).fetchone()
+        if row is None:
+            return None
+        blob, crc = bytes(row[0]), row[1]
+        if crc is None or zlib.crc32(blob) != crc:
+            return None  # corrupt snapshot: treat as absent
+        return blob
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __repr__(self) -> str:
+        return f"SQLiteJournal({str(self.db_path)!r})"
+
+
 BackendFactory = Callable[[str], DurabilityBackend]
 
 
@@ -237,8 +474,9 @@ def make_backend(
 
     ``None``/``False`` — durability off.  ``True`` or ``"memory"`` — an
     :class:`InMemoryJournal` (simulated flash).  ``"file"`` — a
-    :class:`FileJournal` under ``directory``.  A callable is treated as a
-    factory ``host_id -> backend`` for custom backends.
+    :class:`FileJournal` under ``directory``.  ``"sqlite"`` — a
+    :class:`SQLiteJournal` database under ``directory``.  A callable is
+    treated as a factory ``host_id -> backend`` for custom backends.
     """
 
     if spec is None or spec is False:
@@ -251,7 +489,11 @@ def make_backend(
         if directory is None:
             directory = tempfile.mkdtemp(prefix="repro-durability-")
         return FileJournal(directory, host_id)
+    if spec == "sqlite":
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="repro-durability-")
+        return SQLiteJournal(directory, host_id)
     raise ValueError(
         f"unknown durability spec {spec!r}: expected None, 'memory', 'file', "
-        "or a factory callable"
+        "'sqlite', or a factory callable"
     )

@@ -65,6 +65,12 @@ class WorkspaceState:
     completed_tasks: set[str] = field(default_factory=set)
     allocation: dict[str, str] = field(default_factory=dict)
     repaired_by: str | None = None
+    #: Remotes whose discovery response arrived before the crash, and the
+    #: fragments those responses carried.  Both are cleared once the
+    #: workspace leaves its construction phases (executing/terminal) so
+    #: snapshots stay lean — they only matter for mid-construction resume.
+    responded: set[str] = field(default_factory=set)
+    discovered: list = field(default_factory=list)
 
 
 @dataclass
@@ -82,6 +88,10 @@ class DurableHostState:
     commitments: dict[str, "Commitment"] = field(default_factory=dict)
     invocations: dict[tuple[str, str], InvocationState] = field(default_factory=dict)
     workspaces: dict[str, WorkspaceState] = field(default_factory=dict)
+    #: Produced output values keyed ``(workflow_id, label)`` — the durable
+    #: shadow of the execution engine's publication cache, restored so a
+    #: resumed producer can answer ``LabelReplayRequest``s.
+    published: dict[tuple[str, str], object] = field(default_factory=dict)
 
     def apply(self, record: tuple) -> None:
         """Fold one journal record into the state (idempotent)."""
@@ -141,6 +151,24 @@ class DurableHostState:
             if workspace is not None:
                 workspace.phase = record[2]
                 workspace.failure_reason = record[3]
+                if record[2] in ("executing", "completed", "failed"):
+                    # Construction is over: discovery bookkeeping can only
+                    # bloat future snapshots, never inform a resume.
+                    workspace.responded.clear()
+                    workspace.discovered.clear()
+        elif kind == "ws-frag":
+            workspace = self.workspaces.get(record[1])
+            if workspace is not None and record[2] not in workspace.responded:
+                workspace.responded.add(record[2])
+                workspace.discovered.extend(record[3])
+        elif kind == "auction-done":
+            workspace = self.workspaces.get(record[1])
+            if workspace is not None and not workspace.allocation:
+                workspace.allocation = dict(record[2])
+        elif kind == "award-update":
+            workspace = self.workspaces.get(record[1])
+            if workspace is not None:
+                workspace.allocation = dict(record[2])
         elif kind == "ws-award":
             workspace = self.workspaces.get(record[1])
             if workspace is not None:
@@ -154,6 +182,10 @@ class DurableHostState:
             workspace = self.workspaces.get(record[1])
             if workspace is not None:
                 workspace.repaired_by = record[2]
+        elif kind == "pub":
+            # Last write wins: a repaired re-execution may republish a
+            # label, and consumers replaying later must see that value.
+            self.published[(record[1], record[2])] = record[3]
         # Unknown kinds are ignored: forward compatibility with journals
         # written by newer code.
 
@@ -205,13 +237,25 @@ class HostDurability:
         Where the records go.
     snapshot_every:
         Journal-tail length that triggers compaction (snapshot + truncate).
+    journal_outputs:
+        When ``False``, :meth:`label_published` is a no-op: produced values
+        never reach the journal, restoring the tier-1 (PR-8) behaviour
+        where a crashed producer cannot answer replay requests.  Kept as a
+        toggle so benchmarks can measure exactly what output journaling
+        buys.
     """
 
-    def __init__(self, backend: DurabilityBackend, snapshot_every: int = 512) -> None:
+    def __init__(
+        self,
+        backend: DurabilityBackend,
+        snapshot_every: int = 512,
+        journal_outputs: bool = True,
+    ) -> None:
         if snapshot_every < 1:
             raise ValueError("snapshot_every must be at least 1")
         self.backend = backend
         self.snapshot_every = snapshot_every
+        self.journal_outputs = journal_outputs
         self._suspended = 0
         self.records_written = 0
         self.snapshots_written = 0
@@ -304,6 +348,13 @@ class HostDurability:
     ) -> None:
         self._append(("inv-fail", workflow_id, task_name, reason))
 
+    def label_published(self, workflow_id: str, label: str, value: object) -> None:
+        """Write-ahead one produced output value (gated by journal_outputs)."""
+
+        if not self.journal_outputs:
+            return
+        self._append(("pub", workflow_id, label, value))
+
     # -- workspace hooks ---------------------------------------------------
     def workspace_opened(
         self,
@@ -344,6 +395,25 @@ class HostDurability:
 
     def workspace_repaired(self, workflow_id: str, repaired_by: str) -> None:
         self._append(("ws-repair", workflow_id, repaired_by))
+
+    def discovery_response(
+        self, workflow_id: str, sender: str, fragments: list
+    ) -> None:
+        """One remote's discovery response (fragments it contributed)."""
+
+        self._append(("ws-frag", workflow_id, sender, list(fragments)))
+
+    def auction_completed(
+        self, workflow_id: str, allocation: dict[str, str], unallocated: tuple
+    ) -> None:
+        """The auction's outcome, journaled before awards go on the wire."""
+
+        self._append(("auction-done", workflow_id, dict(allocation), tuple(unallocated)))
+
+    def allocation_updated(self, workflow_id: str, allocation: dict[str, str]) -> None:
+        """A post-award reassignment changed who runs what."""
+
+        self._append(("award-update", workflow_id, dict(allocation)))
 
     def __repr__(self) -> str:
         return (

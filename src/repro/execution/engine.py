@@ -160,6 +160,11 @@ class ExecutionManager:
         #: Invocations re-armed from the durable journal after a restart
         #: (instead of being lost and re-auctioned via repair).
         self.invocations_resumed = 0
+        #: Published values restored into the cache from the journal.
+        self.publications_restored = 0
+        #: Labels this host answered replay requests for (from the cache,
+        #: restored or live).
+        self.labels_replayed = 0
         self._pending: dict[_PendingKey, PendingInvocation] = {}
         #: Inverted trigger index: (workflow_id, label) -> the pending
         #: invocations awaiting that label, in watch order.  Buckets are
@@ -172,8 +177,10 @@ class ExecutionManager:
         #: Publication cache: every (workflow_id, label) this host produced,
         #: with its value.  Serves :class:`~repro.net.messages.LabelReplayRequest`
         #: from restarted consumers whose copy died with the crashed
-        #: process.  Volatile by design — a producer that crashed itself
-        #: cannot replay, and the requester falls back to repair.
+        #: process.  With output journaling on, the cache itself is restored
+        #: after this host's own crash (:meth:`restore_publications`); with
+        #: it off, a crashed producer cannot replay and the requester falls
+        #: back to repair.
         self._published: dict[tuple[str, str], object] = {}
         #: Completions not yet reported to the initiator, per workflow.
         self._unsent_completions: dict[str, list[TaskCompletionRecord]] = {}
@@ -259,6 +266,21 @@ class ExecutionManager:
         for pending in resumed:
             self._request_missing_inputs(pending)
 
+    def restore_publications(self, published: Mapping[tuple[str, str], object]) -> None:
+        """Refill the publication cache from the journal after a restart.
+
+        With output journaling on, every value this host ever published is
+        in the durable state; restoring it lets the resumed incarnation
+        answer :class:`~repro.net.messages.LabelReplayRequest`s for labels
+        produced *before* the crash — the producer-side half of input
+        replay.  Without this, a consumer whose producer crashed waits out
+        its input timeout and falls into the repair ladder.
+        """
+
+        for key, value in published.items():
+            self._published[key] = value
+            self.publications_restored += 1
+
     def _request_missing_inputs(self, pending: PendingInvocation) -> None:
         """Ask producers to re-send inputs lost while this host was down.
 
@@ -290,11 +312,13 @@ class ExecutionManager:
     def handle_replay_request(self, message: LabelReplayRequest) -> None:
         """Re-send previously published labels to a restarted consumer.
 
-        Answers come from the volatile publication cache through the
-        ordinary delivery path, so the requester's execution manager treats
-        a replayed label exactly like a first delivery.  Labels this host
-        never produced (or lost to its own crash) are silently skipped —
-        the requester's input timeout still backstops those.
+        Answers come from the publication cache (live, or restored from the
+        journal after this host's own restart) through the ordinary
+        delivery path, so the requester's execution manager treats a
+        replayed label exactly like a first delivery.  Labels this host
+        never produced (or lost, with output journaling off, to its own
+        crash) are silently skipped — the requester's input timeout still
+        backstops those.
         """
 
         now = self.scheduler.clock.now()
@@ -302,6 +326,7 @@ class ExecutionManager:
             key = (message.workflow_id, label)
             if key not in self._published:
                 continue
+            self.labels_replayed += 1
             self._send(
                 LabelDataMessage(
                     sender=self.host_id,
@@ -490,6 +515,11 @@ class ExecutionManager:
         for label, destinations in commitment.output_destinations.items():
             value = outputs.get(label)
             self._published[(commitment.workflow_id, label)] = value
+            if self.durability is not None:
+                # Write-ahead: the value is durable before any consumer sees
+                # it, so a crash between journal and send loses nothing a
+                # replay request can't recover.
+                self.durability.label_published(commitment.workflow_id, label, value)
             for destination in destinations:
                 message = LabelDataMessage(
                     sender=self.host_id,
@@ -520,6 +550,9 @@ class ExecutionManager:
         for label, destinations in commitment.output_destinations.items():
             value = outputs.get(label)
             self._published[(commitment.workflow_id, label)] = value
+            if self.durability is not None:
+                # Write-ahead, same as the per-label path: durable before sent.
+                self.durability.label_published(commitment.workflow_id, label, value)
             for destination in destinations:
                 batches.setdefault(destination, []).append(LabelEntry(label, value))
                 sent.add(label)

@@ -69,6 +69,7 @@ from .trials import (
     TrialResult,
     adhoc_network_factory,
     build_trial_community,
+    plan_producer_crash,
     run_allocation_trial,
     simulated_network_factory,
 )
@@ -91,6 +92,7 @@ __all__ = [
     "build_trial_community",
     "default_runs",
     "execute_trial",
+    "plan_producer_crash",
     "run_adhoc_scaling",
     "run_allocation_trial",
     "run_baseline_comparison",

@@ -64,9 +64,11 @@ class TrialResult:
 
     With the durable state plane on (``durability=``),
     ``invocations_resumed`` counts in-flight service invocations restarted
-    hosts re-armed from their journals instead of losing, and
-    ``workflows_resumed`` the executing workflows a restarted initiator
-    picked back up — both 0 when durability is off.
+    hosts re-armed from their journals instead of losing,
+    ``workflows_resumed`` the in-progress workflows a restarted initiator
+    picked back up, and ``labels_replayed`` the published labels restarted
+    producers re-sent from their journaled publication caches — all 0 when
+    durability is off.
     """
 
     succeeded: bool
@@ -95,6 +97,7 @@ class TrialResult:
     recovery_seconds: float = 0.0
     invocations_resumed: int = 0
     workflows_resumed: int = 0
+    labels_replayed: int = 0
 
     def deterministic_copy(self) -> "TrialResult":
         """This result with the wall-clock timing components zeroed.
@@ -170,6 +173,7 @@ def build_trial_community(
     enable_recovery: bool = False,
     max_repair_attempts: int = 3,
     durability=None,
+    durable_outputs: bool = True,
 ) -> Community:
     """Set up a community for one trial (fragments/services dealt out randomly).
 
@@ -212,6 +216,7 @@ def build_trial_community(
             enable_recovery=enable_recovery,
             max_repair_attempts=max_repair_attempts,
             durability=durability,
+            durable_outputs=durable_outputs,
         )
         del host
     return community
@@ -261,6 +266,8 @@ def run_churn_trial(
     max_repair_attempts: int = 6,
     max_sim_seconds: float = 3_600.0,
     durability=None,
+    durable_outputs: bool = True,
+    crashes: "tuple[HostCrash, ...] | None" = None,
 ) -> TrialResult:
     """Run one end-to-end trial on a hostile network and measure survival.
 
@@ -277,7 +284,13 @@ def run_churn_trial(
     costs one repair round, so survival probability compounds per round.
     ``durability`` (e.g. ``"memory"``) additionally gives every host a
     durable state plane, so restarted victims resume their commitments and
-    in-flight invocations instead of riding the full repair ladder.
+    in-flight invocations instead of riding the full repair ladder;
+    ``durable_outputs=False`` drops the tier-2 output journaling from that
+    plane (restarted producers go silent again), isolating what journaled
+    publications buy.  ``crashes`` replaces the randomly sampled fail-stop
+    schedule with an explicit one (see :func:`plan_producer_crash`);
+    ``num_crashes``/``crash_window``/``outage`` are ignored when it is
+    given.
     Everything is a pure function of ``seed``: re-running
     with the same arguments reproduces the same faults and the same result.
     """
@@ -293,23 +306,28 @@ def run_churn_trial(
         enable_recovery=True,
         max_repair_attempts=max_repair_attempts,
         durability=durability,
+        durable_outputs=durable_outputs,
     )
     initiator = f"host-{initiator_index % num_hosts}"
-    churn_rng = derive_rng(seed, "churn", num_hosts, num_crashes)
-    candidates = [host_id for host_id in community.host_ids if host_id != initiator]
-    victims = sample_without_replacement(
-        churn_rng, candidates, min(num_crashes, len(candidates))
-    )
-    crashes = []
-    for victim in victims:
-        crash_at = churn_rng.uniform(*crash_window)
-        crashes.append(
-            HostCrash(
-                host_id=victim,
-                crash_at=crash_at,
-                restart_at=crash_at + outage,
-            )
+    if crashes is None:
+        churn_rng = derive_rng(seed, "churn", num_hosts, num_crashes)
+        candidates = [
+            host_id for host_id in community.host_ids if host_id != initiator
+        ]
+        victims = sample_without_replacement(
+            churn_rng, candidates, min(num_crashes, len(candidates))
         )
+        sampled = []
+        for victim in victims:
+            crash_at = churn_rng.uniform(*crash_window)
+            sampled.append(
+                HostCrash(
+                    host_id=victim,
+                    crash_at=crash_at,
+                    restart_at=crash_at + outage,
+                )
+            )
+        crashes = tuple(sampled)
     plane = FaultPlane(
         seed=derive_seed(seed, "faults", num_hosts),
         default_policy=LinkFaultPolicy(
@@ -343,6 +361,9 @@ def run_churn_trial(
     invocations_resumed = sum(
         host.execution_manager.invocations_resumed for host in community
     )
+    labels_replayed = sum(
+        host.execution_manager.labels_replayed for host in community
+    )
     return replace(
         result,
         succeeded=final.phase is WorkflowPhase.COMPLETED,
@@ -354,6 +375,93 @@ def run_churn_trial(
         recovery_seconds=recovery_seconds,
         invocations_resumed=invocations_resumed,
         workflows_resumed=community.workflows_resumed,
+        labels_replayed=labels_replayed,
+    )
+
+
+def plan_producer_crash(
+    workload: GeneratedWorkload,
+    num_hosts: int,
+    specification: Specification,
+    seed: int,
+    network_factory: Callable[[EventScheduler], CommunicationsLayer] | None = None,
+    initiator_index: int = 0,
+    solver: Solver | str | None = None,
+    mobility_factory: Callable[[int], "MobilityModel | Point"] | None = None,
+    lead: float = 1.0,
+    outage: float = 25.0,
+    max_sim_seconds: float = 3_600.0,
+) -> tuple[HostCrash, ...]:
+    """Derive a crash schedule that kills a mid-execution producer.
+
+    Runs a crash-free probe of the same seeded trial to learn when the
+    earliest cross-host label is published and by whom, then returns two
+    fail-stops for :func:`run_churn_trial`'s ``crashes`` parameter: the
+    label's *consumer* dies ``lead`` seconds before publication (the
+    delivery is sent into the void), the *producer* ``lead`` seconds after
+    (its in-memory publication cache dies with it).  The producer restarts
+    before the consumer, so by the time the resumed consumer asks for the
+    missing label the producer is back — with output journaling on it
+    answers from its restored cache and the original revision completes;
+    with it off the request goes unanswered and the initiator rides the
+    repair ladder.  The probe changes nothing the real run observes before
+    the first crash, so the planned times line up exactly.
+    """
+
+    if outage <= 2.0 * lead:
+        raise ValueError("outage must exceed 2*lead so restarts stay ordered")
+    community = build_trial_community(
+        workload,
+        num_hosts,
+        seed,
+        network_factory=network_factory,
+        solver=solver,
+        mobility_factory=mobility_factory,
+        fault_injection=True,
+        enable_recovery=True,
+    )
+    plane = FaultPlane(
+        seed=derive_seed(seed, "faults", num_hosts),
+        default_policy=LinkFaultPolicy(
+            drop_probability=0.0, duplicate_probability=0.0, extra_delay_mean=0.0
+        ),
+    )
+    community.install_fault_plane(plane)
+    initiator = f"host-{initiator_index % num_hosts}"
+    community.submit_specification(initiator, specification)
+    community.run_idle(max_sim_seconds=max_sim_seconds)
+
+    best: tuple[float, str, str] | None = None
+    for host in community:
+        if host.host_id == initiator:
+            continue
+        for outcome in host.execution_manager.outcomes:
+            if not outcome.succeeded:
+                continue
+            destinations = outcome.commitment.output_destinations
+            for label, receivers in destinations.items():
+                for consumer in receivers:
+                    if consumer in (host.host_id, initiator):
+                        continue
+                    if best is None or outcome.completed_at < best[0]:
+                        best = (outcome.completed_at, host.host_id, consumer)
+    if best is None:
+        raise ValueError(
+            "probe trial produced no cross-host label between non-initiator "
+            "hosts; nothing to target"
+        )
+    published_at, producer, consumer = best
+    return (
+        HostCrash(
+            host_id=consumer,
+            crash_at=published_at - lead,
+            restart_at=published_at + outage + lead,
+        ),
+        HostCrash(
+            host_id=producer,
+            crash_at=published_at + lead,
+            restart_at=published_at + outage,
+        ),
     )
 
 

@@ -99,15 +99,20 @@ class Community:
         batch_execution: bool = True,
         fault_injection: bool = False,
         durability=None,
+        durable_outputs: bool = True,
     ) -> Host:
         """Create a host, attach it to the network, and join it to the community.
 
         ``durability`` selects the host's durable state plane: ``None``
         (off), ``"memory"``/``True`` (simulated flash), ``"file"`` (real
-        append-only files), or a ``host_id -> backend`` factory.  The
-        resolved backend is owned by the community and survives crashes;
-        :meth:`restart_host` replays it so the new incarnation resumes
-        mid-workflow instead of forcing repair.
+        append-only files), ``"sqlite"`` (a WAL-mode database), or a
+        ``host_id -> backend`` factory.  The resolved backend is owned by
+        the community and survives crashes; :meth:`restart_host` replays it
+        so the new incarnation resumes mid-workflow instead of forcing
+        repair.  ``durable_outputs`` (only meaningful with durability on)
+        additionally journals every published label value so a restarted
+        producer can answer replay requests; turning it off reproduces the
+        tier-1 plane for comparison.
         """
 
         if host_id in self._hosts:
@@ -128,8 +133,9 @@ class Community:
             batch_execution=batch_execution,
             fault_injection=fault_injection,
             durability=durability,
+            durable_outputs=durable_outputs,
         )
-        plane = self._durability_plane(host_id, durability)
+        plane = self._durability_plane(host_id, durability, durable_outputs)
         host = Host(
             host_id,
             network=self.network,
@@ -158,7 +164,9 @@ class Community:
             self.network.place_host(host_id, mobility)
         return host
 
-    def _durability_plane(self, host_id: str, durability) -> HostDurability | None:
+    def _durability_plane(
+        self, host_id: str, durability, durable_outputs: bool = True
+    ) -> HostDurability | None:
         """Resolve the durability flag into a per-incarnation write facade.
 
         The *backend* (journal + snapshot storage) is created once per host
@@ -174,7 +182,7 @@ class Community:
             if backend is None:
                 return None
             self._durability_backends[host_id] = backend
-        return HostDurability(backend)
+        return HostDurability(backend, journal_outputs=durable_outputs)
 
     def remove_host(self, host_id: str) -> None:
         """A participant leaves the community (powers off or walks away).
@@ -231,9 +239,12 @@ class Community:
         With durability on, the host's journal + snapshot are replayed and
         the new incarnation resumes mid-workflow: commitments are restored,
         in-flight invocations re-armed with their already-received inputs,
-        and executing workspaces picked back up — only genuinely volatile
-        state (messages in flight during the outage, unfinished auctions)
-        still falls to the repair ladder.
+        published outputs refilled into the replay cache, and workspaces
+        picked back up from their last durable phase — executing ones
+        rejoin progress tracking, mid-construction ones re-query only the
+        remotes that never answered, and mid-allocation ones restart their
+        auction.  Only messages in flight during the outage are genuinely
+        lost, and input replay recovers most of those.
 
         Returns ``None`` when the host is already alive (a benign no-op for
         racing restart schedules); raises :class:`OpenWorkflowError` for a
@@ -263,7 +274,7 @@ class Community:
         resumed = sum(
             1
             for workspace in state.workspaces.values()
-            if workspace.phase == "executing"
+            if workspace.phase not in ("completed", "failed")
         )
         self.workflows_resumed += resumed
         return host

@@ -192,6 +192,7 @@ class Host:
             policy=bid_policy,
             batch_auctions=batch_auctions,
             robust=fault_injection,
+            durability=durability,
         )
         self.workflow_manager = WorkflowManager(
             host_id,
@@ -280,12 +281,15 @@ class Host:
 
         Called by :meth:`~repro.host.community.Community.restart_host` on a
         freshly built incarnation (fragments were already re-seeded through
-        the constructor).  Order matters: commitments first (invocations
-        release them on abandonment), then in-flight invocations, then the
-        initiator-side workspaces (whose volatile-phase fallback may submit
-        repair workflows that auction against the restored schedule).
+        the constructor).  Order matters: the publication cache first (so
+        anything resumed later can already answer replay requests), then
+        commitments (invocations release them on abandonment), then
+        in-flight invocations, then the initiator-side workspaces (which
+        resume construction from their last durable phase and may auction
+        against the restored schedule).
         """
 
+        self.execution_manager.restore_publications(state.published)
         self.schedule_manager.restore_commitments(state.commitments.values())
         self.execution_manager.restore_invocations(state.invocations.values())
         self.workflow_manager.restore_workspaces(state.workspaces.values())

@@ -67,6 +67,7 @@ from ..net.messages import (
     WorkflowProgressReport,
 )
 from ..sim.events import EventHandle, EventScheduler
+from ..sim.randomness import derive_rng
 from .workspace import Workspace, WorkflowPhase, next_workflow_id
 
 SendFunction = Callable[[Message], None]
@@ -132,6 +133,7 @@ class WorkflowManager:
         max_discovery_attempts: int = 3,
         liveness_timeout: float = 120.0,
         retry_backoff: float = 2.0,
+        retry_jitter: float = 0.1,
         durability=None,
     ) -> None:
         if construction_mode not in ("batch", "incremental"):
@@ -174,6 +176,16 @@ class WorkflowManager:
         self.max_discovery_attempts = max_discovery_attempts
         self.liveness_timeout = liveness_timeout
         self.retry_backoff = retry_backoff
+        #: Seeded jitter factor on discovery-retry backoffs, mirroring the
+        #: auction manager's: stretches each armed timer by up to
+        #: ``retry_jitter`` of its base delay so re-query storms after a
+        #: healed partition de-synchronize across initiators.  Drawn from a
+        #: per-host derived stream, so replays stay deterministic; robust
+        #: mode only, so a clean run stays byte-identical.
+        self.retry_jitter = retry_jitter
+        self._jitter_rng = (
+            derive_rng(0, "retry-jitter", host_id, "discovery") if robust else None
+        )
         #: Discovery queries re-sent because the first copy went unanswered.
         self.discovery_retries = 0
         #: Liveness expiries converted into transient failures.
@@ -418,6 +430,8 @@ class WorkflowManager:
         workflow_id = workspace.workflow_id
         self._cancel_discovery_timer(workflow_id)
         delay = self.discovery_timeout * (self.retry_backoff ** (attempt - 1))
+        if self._jitter_rng is not None and self.retry_jitter > 0.0:
+            delay *= 1.0 + self.retry_jitter * self._jitter_rng.random()
         self._discovery_timers[workflow_id] = self.scheduler.schedule_in(
             delay,
             lambda: self._discovery_deadline(workflow_id, attempt),
@@ -497,6 +511,13 @@ class WorkflowManager:
         workspace.fragments_collected += workspace.supergraph.add_fragments_batch(
             response.fragments
         )
+        if self.durability is not None:
+            # Journal the response so a restarted initiator re-queries only
+            # the remotes that never answered, with the answered remotes'
+            # know-how replayed from the journal instead of the network.
+            self.durability.discovery_response(
+                workspace.workflow_id, response.sender, response.fragments
+            )
         if response.sender in workspace.awaiting_full_sync:
             workspace.awaiting_full_sync.discard(response.sender)
             # A full (want_all) answer means the plane now holds everything
@@ -848,17 +869,22 @@ class WorkflowManager:
         records so repair chains stay followable.  An EXECUTING workspace
         resumes: its allocation and progress are replayed, and the liveness
         watchdog re-armed so executors lost during the outage still convert
-        into repair.  A workspace caught in a volatile phase (discovery,
-        construction, allocation — all driven by in-flight messages that
-        died with the process) cannot resume; it is failed and, when
-        recovery is on, resubmitted through the ordinary repair ladder.
+        into repair.  A workspace caught mid-construction resumes from its
+        last durable phase: journaled discovery responses are merged back
+        into the supergraph and only the remotes that never answered are
+        re-queried; construction re-runs locally (it is deterministic over
+        the restored graph); and a mid-allocation crash restarts the
+        auction — no award was sent before the auction completed, so no
+        participant holds a commitment the restarted auction would
+        contradict.
 
         The mechanical reconstruction is journal-suspended (the journal
-        already holds those records); the fail/repair consequences are not.
+        already holds those records); the messages and phase transitions a
+        resume *newly* performs are not.
         """
 
         now = self.scheduler.clock.now()
-        volatile: list[Workspace] = []
+        resumable: list[tuple[Workspace, object]] = []
         executing: list[Workspace] = []
         for record in records:
             if record.workflow_id in self._workspaces:
@@ -902,7 +928,15 @@ class WorkflowManager:
             if phase is WorkflowPhase.EXECUTING:
                 executing.append(workspace)
             elif phase not in (WorkflowPhase.COMPLETED, WorkflowPhase.FAILED):
-                volatile.append(workspace)
+                resumable.append((workspace, record))
+        if resumable and self.supergraph is not None:
+            # Seed the restored shared plane with local know-how, exactly as
+            # submit() would have (the fragment manager was rebuilt from the
+            # journal before this runs).
+            self.supergraph.add_fragments_batch(
+                self.fragments.fragments_since(self._seeded_local_version)
+            )
+            self._seeded_local_version = self.fragments.version
         for workspace in executing:
             if workspace.all_tasks_completed:
                 # The last completion was journaled but the phase transition
@@ -910,18 +944,76 @@ class WorkflowManager:
                 self._mark_completed(workspace)
             else:
                 self._arm_liveness(workspace)
-        for workspace in volatile:
-            workspace.fail(
-                "initiator restarted before allocation completed; "
-                "in-flight discovery/auction state was volatile",
-                now,
+        for workspace, record in resumable:
+            if self.supergraph is None:
+                for fragment in self.fragments.all_fragments():
+                    workspace.supergraph.add_fragment(fragment)
+            if record.discovered:
+                # Know-how already paid for over the network: replayed from
+                # the journal instead of re-queried.
+                workspace.supergraph.add_fragments_batch(record.discovered)
+            self._resume_construction(workspace, record, now)
+
+    def _resume_construction(self, workspace: Workspace, record, now: float) -> None:
+        """Pick a restored workspace back up from its last durable phase."""
+
+        phase = WorkflowPhase(record.phase)
+        if phase is WorkflowPhase.CREATED:
+            # Discovery never started: begin it from scratch.
+            self._start_discovery(workspace)
+            return
+        if phase is WorkflowPhase.DISCOVERY:
+            suspender = (
+                self.durability.suspended()
+                if self.durability is not None
+                else nullcontext()
             )
-            if (
-                self.enable_recovery
-                and workspace.repaired_by is None
-                and workspace.repair_attempt < self.max_repair_attempts
-            ):
-                self._submit_repair(workspace, set(workspace.excluded_tasks))
+            with suspender:
+                # The discovery transition is already journaled.
+                workspace.enter_phase(WorkflowPhase.DISCOVERY, now)
+            remotes = self._remote_participants(workspace)
+            silent = [r for r in remotes if r not in record.responded]
+            if not silent:
+                self._after_discovery(workspace)
+                return
+            # Full queries to the remotes the crashed round never heard
+            # from; the exclusion list carries the restored graph's ids, so
+            # replayed knowledge is not re-transferred.
+            workspace.did_full_discovery = True
+            workspace.discovery_rounds += 1
+            workspace.awaiting_fragment_responses = set(silent)
+            workspace.awaiting_full_sync = set(silent)
+            for remote in silent:
+                self._send_full_query(workspace, remote)
+            self._arm_discovery_timer(workspace, attempt=1)
+            return
+        if record.allocation:
+            # Real-world torn crash between the journaled auction outcome
+            # and the executing transition (one atomic event under the
+            # simulator, so only reachable with a physical backend dying
+            # mid-sequence): trust the journaled allocation and resume as
+            # executing rather than contradict awards that may be in flight.
+            workspace.expected_tasks = set(record.expected_tasks) or set(
+                record.allocation
+            )
+            if self.durability is not None:
+                self.durability.workspace_awarded(
+                    workspace.workflow_id,
+                    dict(record.allocation),
+                    tuple(sorted(workspace.expected_tasks)),
+                )
+            workspace.enter_phase(WorkflowPhase.EXECUTING, now)
+            if workspace.all_tasks_completed:
+                self._mark_completed(workspace)
+            else:
+                self._arm_liveness(workspace)
+            return
+        # CONSTRUCTION or ALLOCATION: everything construction needs is local
+        # again (the supergraph was restored above) and solving is
+        # deterministic.  A mid-allocation crash restarts the whole auction:
+        # awards are only sent once every task auction has finalized, so no
+        # participant committed to the aborted round.
+        self._run_construction(workspace)
 
     def final_workspace(self, workflow_id: str) -> Workspace | None:
         """Follow the repair chain from ``workflow_id`` to its last revision."""

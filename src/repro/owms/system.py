@@ -88,9 +88,14 @@ class OpenWorkflowSystem:
     durability:
         Durable state plane installed on every deployed device: ``None``
         (off, the default), ``"memory"``/``True`` (simulated flash),
-        ``"file"`` (append-only files), or a ``host_id -> backend``
-        factory.  A restarted device replays its journal and resumes
-        mid-workflow instead of forcing repair.
+        ``"file"`` (append-only files), ``"sqlite"`` (a WAL-mode database
+        file), or a ``host_id -> backend`` factory.  A restarted device
+        replays its journal and resumes mid-workflow instead of forcing
+        repair.
+    durable_outputs:
+        Whether the durable plane also journals every published label value
+        (the default), letting a restarted producer answer replay requests;
+        ``False`` restores the lifecycle-only tier-1 plane.
     """
 
     def __init__(
@@ -101,6 +106,7 @@ class OpenWorkflowSystem:
         batch_auctions: bool = True,
         batch_execution: bool = True,
         durability=None,
+        durable_outputs: bool = True,
     ) -> None:
         self.community = Community(network_factory=network_factory)
         self.capability_aware = capability_aware
@@ -108,6 +114,7 @@ class OpenWorkflowSystem:
         self.batch_auctions = batch_auctions
         self.batch_execution = batch_execution
         self.durability = durability
+        self.durable_outputs = durable_outputs
 
     # -- deployment ------------------------------------------------------------
     def add_device(
@@ -145,6 +152,7 @@ class OpenWorkflowSystem:
                 self.batch_execution if batch_execution is None else batch_execution
             ),
             durability=durability if durability is not None else self.durability,
+            durable_outputs=self.durable_outputs,
         )
 
     def deploy_device_config(self, config: DeviceConfig) -> Host:

@@ -1,0 +1,137 @@
+"""Integration tests for producer-side label replay after a crash.
+
+The tier-2 durable plane journals every published label value, so a
+producer that crashes *after* publishing can answer
+``LabelReplayRequest``s from its restored publication cache when it comes
+back.  The scenario under test: a two-task chain where the consumer
+crashes while the producer is mid-execution (losing the label delivery),
+then the producer crashes right after publishing.  Both restart.
+
+With output journaling on, the restarted consumer asks for the missing
+label, the restarted producer replays it from the journal, and the
+original workflow revision completes — zero repair re-auctions.  With
+output journaling off (the tier-1 plane), the replay request goes
+unanswered, the consumer's input timeout abandons the invocation, and the
+initiator rides the repair ladder instead.
+"""
+
+from repro.core import Task, WorkflowFragment
+from repro.durability import SQLiteJournal
+from repro.execution import ServiceDescription
+from repro.host import Community, WorkflowPhase
+from repro.net.simnet import SimulatedNetwork
+
+#: Non-zero latency separates the publish event from the (doomed) label
+#: delivery event, and keeps replay round-trips off the crash instant.
+LATENCY = 0.5
+
+PRODUCE = WorkflowFragment(
+    [Task("produce", ["start"], ["mid"], duration=60)],
+    fragment_id="chain/produce",
+)
+CONSUME = WorkflowFragment(
+    [Task("consume", ["mid"], ["done"], duration=60)],
+    fragment_id="chain/consume",
+)
+
+
+def build_chain_community(durable_outputs: bool = True, durability="memory"):
+    community = Community(
+        network_factory=lambda scheduler: SimulatedNetwork(
+            scheduler, base_latency=LATENCY
+        )
+    )
+    common = dict(
+        fault_injection=True,
+        enable_recovery=True,
+        durability=durability,
+        durable_outputs=durable_outputs,
+    )
+    community.add_host("initiator", **common)
+    community.add_host(
+        "producer",
+        fragments=[PRODUCE],
+        services=[ServiceDescription("produce", duration=60)],
+        **common,
+    )
+    community.add_host(
+        "consumer",
+        fragments=[CONSUME],
+        services=[ServiceDescription("consume", duration=60)],
+        **common,
+    )
+    return community
+
+
+def run_producer_crash_scenario(durable_outputs: bool, durability="memory"):
+    """Crash the consumer mid-chain, then the producer right after publish."""
+
+    community = build_chain_community(
+        durable_outputs=durable_outputs, durability=durability
+    )
+    workspace = community.submit_problem("initiator", ["start"], ["done"])
+    community.run_until_allocated(workspace)
+    assert workspace.phase is WorkflowPhase.EXECUTING
+
+    # Run on until the consumer has accepted its award (journaling the
+    # commitment), then kill it while the producer is still executing: the
+    # label published at t+60 is sent into the void and lost.
+    consumer = community.host("consumer")
+    while not consumer.execution_manager._pending:
+        assert community.scheduler.peek_time() is not None, "award never accepted"
+        community.scheduler.step()
+    community.crash_host("consumer")
+    producer = community.host("producer")
+    while not producer.execution_manager._published:
+        assert community.scheduler.peek_time() is not None, "publish never happened"
+        community.scheduler.step()
+    # The label value is journaled (or not) and sent; now the producer
+    # crashes too, taking its in-memory publication cache with it.
+    community.crash_host("producer")
+    community.restart_host("producer")
+    community.restart_host("consumer")
+    community.run_idle(max_sim_seconds=1_200.0)
+    return community, workspace
+
+
+class TestProducerReplay:
+    def test_restarted_producer_answers_replay_with_zero_repairs(self):
+        community, workspace = run_producer_crash_scenario(durable_outputs=True)
+        producer = community.host("producer")
+        initiator = community.host("initiator")
+
+        # Silent resume: the original revision completed, no repair.
+        assert workspace.phase is WorkflowPhase.COMPLETED
+        assert workspace.repaired_by is None
+        assert len(initiator.workflow_manager.workspaces()) == 1
+        # The answer came from the journal-restored cache of the *new*
+        # producer incarnation, not a surviving process.
+        assert producer.execution_manager.publications_restored >= 1
+        assert producer.execution_manager.labels_replayed >= 1
+        assert producer.execution_manager.invocations_abandoned == 0
+
+    def test_journaling_off_rides_the_repair_ladder(self):
+        community, workspace = run_producer_crash_scenario(durable_outputs=False)
+        producer = community.host("producer")
+        consumer = community.host("consumer")
+        initiator = community.host("initiator")
+
+        # The replay request went unanswered, the input timeout fired, and
+        # the initiator repaired by re-auctioning a fresh revision.
+        assert producer.execution_manager.labels_replayed == 0
+        assert consumer.execution_manager.invocations_abandoned >= 1
+        assert workspace.phase is WorkflowPhase.FAILED
+        assert workspace.repaired_by is not None
+        repaired = initiator.workflow_manager.workspace(workspace.repaired_by)
+        assert repaired is not None
+        assert repaired.phase is WorkflowPhase.COMPLETED
+
+    def test_sqlite_backend_supports_producer_replay(self, tmp_path):
+        community, workspace = run_producer_crash_scenario(
+            durable_outputs=True,
+            durability=lambda host_id: SQLiteJournal(tmp_path, host_id),
+        )
+        producer = community.host("producer")
+        assert workspace.phase is WorkflowPhase.COMPLETED
+        assert workspace.repaired_by is None
+        assert producer.execution_manager.labels_replayed >= 1

@@ -1,14 +1,18 @@
 """Unit tests for the durable state plane (journal, snapshots, replay).
 
-Covers the two shipped backends (:class:`InMemoryJournal`,
-:class:`FileJournal`), the kill-at-every-offset torture for the file
-framing (a truncated tail must recover to the last *complete* record,
-never to a corrupt state), compaction, the ``make_backend`` flag
-resolution, and the typed :class:`HostDurability` hooks feeding
-:func:`rebuild_state`.
+Covers the three shipped backends (:class:`InMemoryJournal`,
+:class:`FileJournal`, :class:`SQLiteJournal`), the kill-at-every-offset
+torture for the file framing and the WAL-truncation torture for the
+database (a torn tail must recover to a prefix of complete records, never
+to a corrupt state), the v1 -> v2 schema migration, compaction, the
+``make_backend`` flag resolution, and the typed :class:`HostDurability`
+hooks feeding :func:`rebuild_state`.
 """
 
 import pickle
+import shutil
+import sqlite3
+import zlib
 
 import pytest
 
@@ -16,11 +20,13 @@ from repro.core.tasks import Task
 from repro.core.fragments import WorkflowFragment
 from repro.core.specification import Specification
 from repro.durability import (
+    SQLITE_SCHEMA_VERSION,
     DurabilityBackend,
     DurableHostState,
     FileJournal,
     HostDurability,
     InMemoryJournal,
+    SQLiteJournal,
     make_backend,
     rebuild_state,
 )
@@ -36,11 +42,13 @@ PAYLOADS = [b"alpha", b"", b"b" * 300, pickle.dumps(("record", 3)), b"\x00\xff" 
 
 
 class TestBackendContract:
-    @pytest.fixture(params=["memory", "file"])
+    @pytest.fixture(params=["memory", "file", "sqlite"])
     def backend(self, request, tmp_path):
         if request.param == "memory":
             return InMemoryJournal()
-        return FileJournal(tmp_path, "host-0")
+        if request.param == "file":
+            return FileJournal(tmp_path, "host-0")
+        return SQLiteJournal(tmp_path, "host-0")
 
     def test_append_and_replay_in_order(self, backend):
         for payload in PAYLOADS:
@@ -135,6 +143,188 @@ class TestFileJournal:
         assert FileJournal(tmp_path, "host-0").load_snapshot() is None
 
 
+def _copy_database(src: SQLiteJournal, dst_dir, name="host-0"):
+    """Copy a live database's files (main + WAL) as a crash image."""
+
+    dst_dir.mkdir(parents=True, exist_ok=True)
+    for suffix in ("", "-wal", "-shm"):
+        source = src.db_path.parent / (src.db_path.name + suffix)
+        if source.exists():
+            shutil.copy(source, dst_dir / (f"{name}.sqlite" + suffix))
+
+
+class TestSQLiteJournal:
+    def test_database_survives_backend_object_loss(self, tmp_path):
+        first = SQLiteJournal(tmp_path, "host-3")
+        first.append(b"one")
+        first.append(b"two")
+        first.write_snapshot(b"snap")
+        first.append(b"three")
+        first.close()
+        second = SQLiteJournal(tmp_path, "host-3")
+        assert second.load_snapshot() == b"snap"
+        assert second.payloads() == [b"three"]
+        assert second.schema_version == SQLITE_SCHEMA_VERSION
+
+    def test_host_id_with_path_separators_is_sanitised(self, tmp_path):
+        backend = SQLiteJournal(tmp_path, "host/with/slashes")
+        backend.append(b"x")
+        assert backend.payloads() == [b"x"]
+        assert backend.db_path.parent == tmp_path
+
+    def test_kill_at_every_commit_boundary(self, tmp_path):
+        """Crash-copy the database after every append and replay the copy.
+
+        Each copy models a process killed right after the commit returned:
+        the reopened image must hold exactly the records appended so far —
+        the WAL carries the tail, ``synchronous=FULL`` guarantees it.
+        """
+
+        writer = SQLiteJournal(tmp_path / "live", "host-0")
+        # Keep committed frames in the WAL so the copies exercise WAL
+        # recovery, not just the checkpointed main file.
+        writer._conn.execute("PRAGMA wal_autocheckpoint=0")
+        for index, payload in enumerate(PAYLOADS):
+            writer.append(payload)
+            image = tmp_path / f"crash-{index}"
+            _copy_database(writer, image)
+            recovered = SQLiteJournal(image, "host-0")
+            assert recovered.payloads() == PAYLOADS[: index + 1]
+            recovered.close()
+
+    def test_kill_at_every_wal_byte_offset_recovers_a_prefix(self, tmp_path):
+        """Torture: truncate the WAL at byte offsets and replay.
+
+        Whatever prefix of the write-ahead log survives, recovery must
+        yield an exact prefix of the appended records — never a torn
+        payload, never an exception.  A small page size keeps the WAL (and
+        the sweep) short; the sweep is exhaustive over the 32-byte WAL
+        header and the first frame, then samples a window around every
+        later frame boundary plus a stride through frame interiors, which
+        covers the structurally distinct cuts without a 10s wall clock.
+        """
+
+        page, frame = 512, 512 + 24
+        live = tmp_path / "live"
+        live.mkdir()
+        db_file = live / "host-0.sqlite"
+        seed = sqlite3.connect(str(db_file))
+        seed.execute(f"PRAGMA page_size={page}")
+        seed.execute("PRAGMA journal_mode=WAL")
+        seed.close()
+
+        writer = SQLiteJournal(live, "host-0")
+        # Flush the schema-creation frames into the main file so the WAL
+        # holds nothing but the appends, then pin frames in the WAL.
+        writer._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        writer._conn.execute("PRAGMA wal_autocheckpoint=0")
+        payloads = [b"alpha", b"beta" * 20, b"gamma"]
+        for payload in payloads:
+            writer.append(payload)
+        wal = (live / "host-0.sqlite-wal").read_bytes()
+        main = db_file.read_bytes()
+        assert wal, "expected the appends to live in the WAL"
+
+        cuts = set(range(min(32 + frame, len(wal)) + 1))
+        for boundary in range(32 + frame, len(wal) + 1, frame):
+            cuts.update(range(max(0, boundary - 8), min(boundary + 8, len(wal)) + 1))
+        cuts.update(range(0, len(wal) + 1, 13))
+        cuts.add(len(wal))
+
+        for cut in sorted(cuts):
+            image = tmp_path / "cut"
+            if image.exists():
+                shutil.rmtree(image)
+            image.mkdir()
+            (image / "host-0.sqlite").write_bytes(main)
+            (image / "host-0.sqlite-wal").write_bytes(wal[:cut])
+            recovered = SQLiteJournal(image, "host-0")
+            replayed = recovered.payloads()
+            assert replayed == payloads[: len(replayed)], f"cut at {cut}"
+            recovered.close()
+        # The full image must replay everything, not just a prefix.
+        assert replayed == payloads
+
+    def test_corrupt_journal_row_stops_replay(self, tmp_path):
+        backend = SQLiteJournal(tmp_path, "host-0")
+        for payload in PAYLOADS:
+            backend.append(payload)
+        backend._conn.execute("UPDATE journal SET crc = crc + 1 WHERE seq = 3")
+        assert backend.payloads() == PAYLOADS[:2]
+
+    def test_corrupt_snapshot_treated_as_absent(self, tmp_path):
+        backend = SQLiteJournal(tmp_path, "host-0")
+        backend.write_snapshot(b"full-snapshot")
+        backend._conn.execute("UPDATE snapshot SET crc = crc + 1 WHERE id = 1")
+        assert backend.load_snapshot() is None
+
+    def test_v1_database_migrates_forward(self, tmp_path):
+        """Round-trip: a v1 journal file opens under the v2 schema intact."""
+
+        db_file = tmp_path / "host-0.sqlite"
+        conn = sqlite3.connect(str(db_file))
+        conn.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, value INTEGER NOT NULL)")
+        conn.execute(
+            "CREATE TABLE journal "
+            "(seq INTEGER PRIMARY KEY AUTOINCREMENT, payload BLOB NOT NULL)"
+        )
+        conn.execute(
+            "CREATE TABLE snapshot "
+            "(id INTEGER PRIMARY KEY CHECK (id = 1), blob BLOB NOT NULL)"
+        )
+        conn.execute("INSERT INTO meta (key, value) VALUES ('schema_version', 1)")
+        for payload in PAYLOADS:
+            conn.execute("INSERT INTO journal (payload) VALUES (?)", (payload,))
+        conn.execute("INSERT INTO snapshot (id, blob) VALUES (1, ?)", (b"old-snap",))
+        conn.commit()
+        conn.close()
+
+        backend = SQLiteJournal(tmp_path, "host-0")
+        assert backend.schema_migrations == 1
+        assert backend.schema_version == SQLITE_SCHEMA_VERSION
+        assert backend.payloads() == PAYLOADS
+        assert backend.load_snapshot() == b"old-snap"
+        row = backend._conn.execute(
+            "SELECT crc FROM journal WHERE seq = 1"
+        ).fetchone()
+        assert row[0] == zlib.crc32(PAYLOADS[0])
+        backend.append(b"post-migration")
+        backend.close()
+        reopened = SQLiteJournal(tmp_path, "host-0")
+        assert reopened.schema_migrations == 0
+        assert reopened.payloads() == PAYLOADS + [b"post-migration"]
+
+    def test_newer_schema_refused(self, tmp_path):
+        backend = SQLiteJournal(tmp_path, "host-0")
+        backend._conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (SQLITE_SCHEMA_VERSION + 1,),
+        )
+        backend.close()
+        with pytest.raises(ValueError, match="newer than"):
+            SQLiteJournal(tmp_path, "host-0")
+
+    def test_snapshot_and_truncate_are_one_transaction(self, tmp_path):
+        """The journal is only emptied in the same commit as the snapshot."""
+
+        backend = SQLiteJournal(tmp_path, "host-0")
+        for payload in PAYLOADS:
+            backend.append(payload)
+        backend._conn.execute("PRAGMA wal_autocheckpoint=0")
+        before = tmp_path / "before"
+        _copy_database(backend, before)
+        backend.write_snapshot(b"snap")
+        after = tmp_path / "after"
+        _copy_database(backend, after)
+
+        old = SQLiteJournal(before, "host-0")
+        assert old.load_snapshot() is None
+        assert old.payloads() == PAYLOADS
+        new = SQLiteJournal(after, "host-0")
+        assert new.load_snapshot() == b"snap"
+        assert new.payloads() == []
+
+
 class TestMakeBackend:
     def test_off_values(self):
         assert make_backend(None, "h") is None
@@ -148,6 +338,11 @@ class TestMakeBackend:
         backend = make_backend("file", "h", directory=tmp_path)
         assert isinstance(backend, FileJournal)
         assert backend.journal_path.parent == tmp_path
+
+    def test_sqlite_value(self, tmp_path):
+        backend = make_backend("sqlite", "h", directory=tmp_path)
+        assert isinstance(backend, SQLiteJournal)
+        assert backend.db_path.parent == tmp_path
 
     def test_factory_callable(self):
         made = []
@@ -241,6 +436,58 @@ class TestHostDurability:
         snapshot = pickle.loads(backend.load_snapshot())
         assert isinstance(snapshot, DurableHostState)
         assert snapshot.commitments == {}
+
+    def test_published_outputs_build_replayable_cache(self):
+        plane = HostDurability(InMemoryJournal())
+        plane.label_published("wf-1", "out", 42)
+        plane.label_published("wf-1", "other", "x")
+        plane.label_published("wf-1", "out", 43)  # re-publication wins
+        state = plane.state()
+        assert state.published == {("wf-1", "out"): 43, ("wf-1", "other"): "x"}
+
+    def test_journal_outputs_off_drops_publications(self):
+        backend = InMemoryJournal()
+        plane = HostDurability(backend, journal_outputs=False)
+        plane.label_published("wf-1", "out", 42)
+        assert backend.journal_length == 0
+        assert plane.state().published == {}
+
+    def test_workspace_construction_records_build_resume_state(self):
+        plane = HostDurability(InMemoryJournal())
+        spec = Specification(triggers=["in"], goals=["out"], name="s")
+        fragment = WorkflowFragment(
+            [Task("task-a", inputs=["in"], outputs=["out"])], fragment_id="frag-1"
+        )
+        plane.workspace_opened(
+            "wf-1", spec, frozenset({"h0", "h1", "h2"}), frozenset(), None, 0
+        )
+        plane.workspace_phase("wf-1", "discovery")
+        plane.discovery_response("wf-1", "h1", [fragment])
+        plane.discovery_response("wf-1", "h1", [fragment])  # duplicate ignored
+        workspace = plane.state().workspaces["wf-1"]
+        assert workspace.responded == {"h1"}
+        assert workspace.discovered == [fragment]
+
+        plane.auction_completed("wf-1", {"task-a": "h2"}, ())
+        workspace = plane.state().workspaces["wf-1"]
+        assert workspace.allocation == {"task-a": "h2"}
+
+        plane.allocation_updated("wf-1", {"task-a": "h0"})
+        workspace = plane.state().workspaces["wf-1"]
+        assert workspace.allocation == {"task-a": "h0"}
+
+    def test_terminal_phase_clears_discovery_bookkeeping(self):
+        plane = HostDurability(InMemoryJournal())
+        spec = Specification(triggers=["in"], goals=["out"], name="s")
+        fragment = WorkflowFragment(
+            [Task("task-a", inputs=["in"], outputs=["out"])], fragment_id="frag-1"
+        )
+        plane.workspace_opened("wf-1", spec, frozenset({"h0", "h1"}), frozenset(), None, 0)
+        plane.discovery_response("wf-1", "h1", [fragment])
+        plane.workspace_phase("wf-1", "executing")
+        workspace = plane.state().workspaces["wf-1"]
+        assert workspace.responded == set()
+        assert workspace.discovered == []
 
     def test_rebuild_skips_garbage_payloads(self):
         backend = InMemoryJournal()
