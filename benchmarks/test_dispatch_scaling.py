@@ -1,0 +1,219 @@
+"""Scaling benchmark for the distributed trial dispatch plane.
+
+Runs one fig6-style ad-hoc wireless sweep four ways — the in-process
+pool and a coordinator fanning the same tasks to 1 / 2 / 4
+``repro-trial-worker`` subprocesses over loopback TCP — and records, per
+configuration:
+
+* wall-clock seconds for the sweep;
+* bytes on the wire, split into frames sent (workload segments + trial
+  assignments) and received (results + heartbeats);
+* the workload dedup ratio: the pickled workload bytes every worker
+  *would* have needed against the compressed framed payload that actually
+  crossed the socket, shipped **once per worker**;
+* per-trial byte-identity of every configuration against the local pool —
+  the dispatch plane must never show in the results.
+
+The total worker pool size is held at ``min(4, cores)`` processes across
+every configuration, so the worker counts measure fan-out overhead (the
+wire, the coordinator loop, result reassembly), not a changing core
+budget.  ``REPRO_BENCH_FAST=1`` (the CI smoke job) shrinks the sweep and
+drops the 4-worker row.
+
+Everything here is ``slow``-marked; run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_dispatch_scaling.py -m slow
+
+Each run (re)writes ``benchmarks/BENCH_dispatch.json`` (sections from
+earlier runs are preserved).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import TrialRunner, sweep_tasks
+
+pytestmark = pytest.mark.slow
+
+BENCH_SEED = 20090514
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+
+RESULTS_PATH = Path(__file__).with_name("BENCH_dispatch.json")
+_RESULTS: dict[str, dict] = {}
+
+WORKER_COUNTS = (1, 2) if FAST else (1, 2, 4)
+POOL_BUDGET = max(1, min(4, os.cpu_count() or 1))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_report():
+    """Merge this run's measurements into ``BENCH_dispatch.json``."""
+
+    yield
+    if not _RESULTS:
+        return
+    existing: dict = {}
+    if RESULTS_PATH.exists():
+        try:
+            existing = json.loads(RESULTS_PATH.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            existing = {}
+    for section, payload in _RESULTS.items():
+        existing.setdefault(section, {}).update(payload)
+    existing["meta"] = {
+        "seed": BENCH_SEED,
+        "cpu_count": os.cpu_count(),
+        "pool_budget": POOL_BUDGET,
+        "fast": FAST,
+    }
+    RESULTS_PATH.write_text(
+        json.dumps(existing, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def fig6_style_tasks():
+    """A compact fig6-shaped sweep: ad-hoc wireless, mobile, multi-point."""
+
+    return sweep_tasks(
+        series="fig6-dispatch",
+        num_tasks=40 if FAST else 100,
+        num_hosts=6,
+        path_lengths=(2, 4) if FAST else (2, 4, 6),
+        runs=2 if FAST else 3,
+        seed=BENCH_SEED,
+        network="adhoc",
+        mobility="waypoint",
+    )
+
+
+def result_digests(outcomes):
+    # Per-trial pickles (not one list pickle): whole-list pickling memoises
+    # objects shared *within one process*, which would make equal results
+    # from different processes compare unequal at the byte level.
+    return [pickle.dumps(outcome.result) for outcome in outcomes]
+
+
+def shm_segments() -> set[str]:
+    try:
+        return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+    except OSError:  # platform without /dev/shm: leak check degrades
+        return set()
+
+
+def spawn_worker(address: str, index: int, pool: int) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.experiments.worker",
+            address,
+            "--workers",
+            str(pool),
+            "--id",
+            f"bench-worker-{index}",
+            "--heartbeat",
+            "0.5",
+        ],
+        env={**os.environ, "PYTHONPATH": str(Path(__file__).resolve().parents[1] / "src")},
+    )
+
+
+def run_dispatched(tasks, num_workers: int):
+    """One dispatched sweep on ``num_workers`` fresh subprocess workers."""
+
+    runner = TrialRunner(
+        timing="sim",
+        dispatch="tcp://127.0.0.1:0",
+        dispatch_fallback=False,  # a benchmark must measure the wire, not the rescue
+        dispatch_start_timeout=60.0,
+    )
+    procs: list[subprocess.Popen] = []
+    try:
+        address = runner.start_dispatch()
+        pool = max(1, POOL_BUDGET // num_workers)
+        procs = [spawn_worker(address, index, pool) for index in range(num_workers)]
+        started = time.perf_counter()
+        outcomes = runner.run(tasks)
+        seconds = time.perf_counter() - started
+    finally:
+        runner.shutdown()  # Goodbye -> workers exit on their own
+        codes = []
+        for proc in procs:
+            try:
+                codes.append(proc.wait(timeout=30))
+            except subprocess.TimeoutExpired:  # pragma: no cover - hung worker
+                proc.kill()
+                codes.append("killed")
+    stats = {
+        "workers": num_workers,
+        "pool_per_worker": pool,
+        "seconds": seconds,
+        "bytes_wire_sent": runner.bytes_wire_sent,
+        "bytes_wire_received": runner.bytes_wire_received,
+        "segments_dispatched": runner.segments_dispatched,
+        "bytes_shared_raw": runner.bytes_shared_raw,
+        "bytes_shared_wire": runner.bytes_shared_wire,
+        "workers_lost": runner.workers_lost,
+        "trials_reassigned": runner.trials_reassigned,
+        "worker_exit_codes": codes,
+    }
+    return outcomes, stats
+
+
+def test_dispatch_scaling_against_local_pool():
+    tasks = fig6_style_tasks()
+    before = shm_segments()
+
+    # At least two pool processes even on a single-core box: the numbers
+    # there measure overhead only, but the correctness pins still bite.
+    local_runner = TrialRunner(
+        parallel=True, max_workers=max(2, POOL_BUDGET), timing="sim"
+    )
+    started = time.perf_counter()
+    local = local_runner.run(tasks)
+    local_seconds = time.perf_counter() - started
+    local_runner.shutdown()
+    if local_runner.sequential_fallbacks:
+        pytest.skip("no usable process pool in this environment")
+    baseline = result_digests(local)
+
+    section = {
+        "trials": len(tasks),
+        "local_pool": {
+            "workers": local_runner.max_workers,
+            "seconds": local_seconds,
+            "bytes_shared_raw": local_runner.bytes_shared_raw,
+            "bytes_shared_wire": local_runner.bytes_shared_wire,
+        },
+    }
+    for num_workers in WORKER_COUNTS:
+        outcomes, stats = run_dispatched(tasks, num_workers)
+        # The dispatch plane must be invisible in the results...
+        assert result_digests(outcomes) == baseline, (
+            f"dispatched sweep on {num_workers} workers diverged from the "
+            "local pool"
+        )
+        # ...ship the deduplicated payload exactly once per worker...
+        assert stats["segments_dispatched"] == num_workers
+        assert stats["workers_lost"] == 0 and stats["trials_reassigned"] == 0
+        assert stats["worker_exit_codes"] == [0] * num_workers
+        # ...and actually dedup: what crossed the wire per worker is the
+        # compressed frame, not the raw pickled workloads.
+        assert 0 < stats["bytes_shared_wire"] < stats["bytes_shared_raw"]
+        stats["dedup_ratio"] = stats["bytes_shared_raw"] / stats["bytes_shared_wire"]
+        stats["speedup_vs_local"] = local_seconds / stats["seconds"]
+        section[f"tcp_{num_workers}_workers"] = stats
+
+    _RESULTS["dispatch_scaling"] = section
+    # Shared-memory hygiene: every segment republished by a worker (and the
+    # coordinator side's own) is gone once the fleet exits.
+    assert shm_segments() <= before, "dispatch run leaked shared-memory segments"

@@ -329,7 +329,13 @@ class WorkflowConstructor:
                 continue
             state.set(node, Color.GREEN, 0.0)
             stats.nodes_recolored += 1
-            seeds.extend(graph.children(node))
+            # Sorted: children() is a frozenset, and its iteration order
+            # follows the interpreter's string hash seed.  The final
+            # colouring is visit-order independent, but the effort counters
+            # (a node coloured at a provisional distance and improved later
+            # counts twice) are not — and the distributed dispatch plane
+            # promises byte-identical results across interpreters.
+            seeds.extend(sorted(graph.children(node)))
         return seeds
 
     def _propagate(
@@ -372,7 +378,8 @@ class WorkflowConstructor:
                 green_goals.add(node)
                 if self.stop_exploration_early and green_goals >= goal_nodes:
                     return True
-            for child in graph.children(node):
+            # Sorted for cross-interpreter determinism (see _seed_triggers).
+            for child in sorted(graph.children(node)):
                 enqueue(child)
 
         return green_goals >= goal_nodes

@@ -1,0 +1,558 @@
+"""Distributed trial dispatch: a socket fan-out plane for ``TrialRunner``.
+
+One machine's cores bound every figure sweep until now; this module lifts
+the runner's fan-out onto TCP so a sweep spans a fleet.  The shape is the
+classic coordinator/worker split:
+
+* :class:`DispatchCoordinator` — an asyncio TCP server owned by the
+  runner.  It speaks the length-framed, CRC-checked, versioned protocol of
+  :mod:`repro.experiments.wire` (``Hello`` / ``WorkloadSegment`` /
+  ``TrialAssign`` / ``TrialResultMsg`` / ``Heartbeat`` / ``Goodbye``), runs
+  on a background thread, and exposes one synchronous call —
+  :meth:`DispatchCoordinator.run_sweep` — that blocks until every task of
+  the sweep is accounted for.
+
+* Workers (:mod:`repro.experiments.worker`, the ``repro-trial-worker``
+  CLI) connect, receive each sweep's deduplicated workload payload **once**
+  (the framed segment encoding of
+  :mod:`repro.experiments.shared_inputs`, zlib inside — re-published into
+  the worker's own local shared memory for its process pool), and stream
+  back results as trials finish.
+
+Scheduling is work-stealing in effect: tasks are assigned in task order,
+one at a time, to whichever connected worker currently has the most free
+in-flight capacity, and every completion immediately pulls the next
+pending task — a fast worker drains the queue while a slow one chews.
+Results are keyed by task index and returned in task order, so aggregation
+is byte-identical to the local runner under ``timing="sim"`` (trials are
+order- and placement-independent by the runner's determinism contract).
+
+Failure model: a worker is *dead* when its connection drops or its
+heartbeats go silent past ``heartbeat_timeout``.  Its in-flight tasks go
+back to the *front* of the pending queue for the survivors
+(``trials_reassigned``); when no workers remain the sweep returns early
+with the unfinished tasks marked ``None`` and the runner finishes them on
+the local pool — the last-resort fallback — or, with fallback disabled,
+raises :class:`DispatchError` instead of hanging.  A sweep on a
+coordinator that never hears from any worker within ``start_timeout``
+raises :class:`DispatchError` with the address it was listening on.
+
+A duplicate ``TrialResultMsg`` (a worker declared dead by a late heartbeat
+while its result was in flight, then the task re-run elsewhere) is
+harmless: results are keyed by task index and identical by determinism, so
+the first write wins and the duplicate is dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from . import wire
+
+DEFAULT_PORT = 7209
+
+
+class DispatchError(RuntimeError):
+    """The dispatch plane cannot make progress (never a silent hang)."""
+
+
+def parse_dispatch_address(address: str) -> tuple[str, int]:
+    """Parse ``tcp://host:port`` (port 0 = ephemeral, for tests/demos)."""
+
+    if not address.startswith("tcp://"):
+        raise ValueError(
+            f"dispatch address must look like tcp://host:port, got {address!r}"
+        )
+    rest = address[len("tcp://") :]
+    host, sep, port_text = rest.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"dispatch address must name host and port, got {address!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid dispatch port in {address!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"dispatch port out of range in {address!r}")
+    return host, port
+
+
+@dataclass
+class SweepReport:
+    """What one dispatched sweep actually did on the wire.
+
+    ``outcomes`` is in task order; ``None`` marks a task no worker
+    finished (the runner's local fallback picks those up).
+    """
+
+    outcomes: list["object | None"]
+    workers_used: int = 0
+    workers_lost: int = 0
+    trials_reassigned: int = 0
+    segments_sent: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+
+class _Worker:
+    """Coordinator-side view of one connected worker."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        writer: asyncio.StreamWriter,
+        max_inflight: int,
+        connect_order: int,
+    ) -> None:
+        self.worker_id = worker_id
+        self.writer = writer
+        self.max_inflight = max(1, max_inflight)
+        self.connect_order = connect_order
+        self.inflight: set[int] = set()  # task indexes assigned, unanswered
+        self.last_heard = 0.0
+        self.segments_sent: set[int] = set()  # sweep ids already shipped
+        self.alive = True
+
+    @property
+    def free_capacity(self) -> int:
+        return self.max_inflight - len(self.inflight)
+
+
+class _Sweep:
+    """One ``run_sweep`` call's mutable scheduling state (loop thread only)."""
+
+    def __init__(
+        self, sweep_id: int, tasks: list, timing: str, payload: bytes, raw_bytes: int
+    ) -> None:
+        self.sweep_id = sweep_id
+        self.tasks = tasks
+        self.timing = timing
+        self.payload = payload
+        self.raw_bytes = raw_bytes
+        self.pending: deque[int] = deque(range(len(tasks)))
+        self.results: dict[int, object] = {}
+        self.report = SweepReport(outcomes=[None] * len(tasks))
+        self.done = asyncio.Event()
+        self.workers_seen: set[str] = set()
+
+    @property
+    def finished(self) -> bool:
+        return len(self.results) == len(self.tasks)
+
+
+class DispatchCoordinator:
+    """Serve trial sweeps to socket workers (see module docstring).
+
+    The coordinator owns a private asyncio loop on a daemon thread, so the
+    synchronous ``TrialRunner`` drives it like any other executor.  One
+    coordinator serves many sweeps back to back; workers may outlive
+    sweeps and are greeted with the next sweep's workload when it starts.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        heartbeat_timeout: float = 10.0,
+        start_timeout: float = 30.0,
+    ) -> None:
+        if heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive")
+        self.requested_host = host
+        self.requested_port = port
+        self.heartbeat_timeout = heartbeat_timeout
+        self.start_timeout = start_timeout
+        self.host: str | None = None
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._server: asyncio.Server | None = None
+        self._started = threading.Event()
+        self._start_error: BaseException | None = None
+        self._closed = False
+        # Loop-thread state:
+        self._handlers: set[asyncio.Task] = set()
+        self._client_writers: set[asyncio.StreamWriter] = set()
+        self._workers: dict[str, _Worker] = {}
+        self._connect_counter = itertools.count()
+        self._sweep_counter = itertools.count(1)
+        self._sweep: _Sweep | None = None
+        self._worker_arrived: asyncio.Event | None = None
+        self._reaper: asyncio.Task | None = None
+
+    # -- lifecycle (caller thread) ------------------------------------------
+    @property
+    def address(self) -> str:
+        """The bound ``tcp://host:port`` (available after :meth:`start`)."""
+
+        if self.port is None:
+            raise DispatchError("coordinator is not started")
+        return f"tcp://{self.host}:{self.port}"
+
+    def start(self) -> "DispatchCoordinator":
+        """Bind the server and start the loop thread (idempotent)."""
+
+        if self._closed:
+            raise DispatchError("coordinator has been closed")
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run_loop, name="dispatch-coordinator", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._start_error is not None:
+            error, self._thread = self._start_error, None
+            self._start_error = None
+            self._started.clear()
+            raise DispatchError(
+                f"cannot listen on tcp://{self.requested_host}:"
+                f"{self.requested_port}: {error}"
+            ) from error
+        return self
+
+    def close(self) -> None:
+        """Say goodbye to every worker and stop the server (idempotent)."""
+
+        self._closed = True
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None or not thread.is_alive():
+            return
+        asyncio.run_coroutine_threadsafe(self._shutdown(), loop).result(timeout=10)
+        thread.join(timeout=10)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "DispatchCoordinator":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        self._worker_arrived = asyncio.Event()
+        try:
+            self._server = loop.run_until_complete(
+                asyncio.start_server(
+                    self._handle_client, self.requested_host, self.requested_port
+                )
+            )
+        except BaseException as exc:  # bind failure: surface to start()
+            self._start_error = exc
+            self._started.set()
+            loop.close()
+            return
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._reaper = loop.create_task(self._reap_silent_workers())
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    async def _shutdown(self) -> None:
+        if self._reaper is not None:
+            self._reaper.cancel()
+        for worker in list(self._workers.values()):
+            await self._send(worker, wire.Goodbye(reason="coordinator shutdown"))
+            worker.writer.close()
+        self._workers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._sweep is not None and not self._sweep.done.is_set():
+            self._sweep.done.set()
+        if self._reaper is not None:
+            await asyncio.gather(self._reaper, return_exceptions=True)
+        # Client handlers see EOF from the closed transports and finish on
+        # their own; cancelling them instead would trip asyncio.streams'
+        # connection_made callback, which retrieves each handler's result.
+        for client in list(self._client_writers):
+            client.close()
+        if self._handlers:
+            await asyncio.wait(self._handlers, timeout=5)
+        loop = asyncio.get_running_loop()
+        loop.call_soon(loop.stop)
+
+    # -- sweep API (caller thread) ------------------------------------------
+    def run_sweep(
+        self,
+        tasks: list,
+        timing: str,
+        payload: bytes,
+        raw_bytes: int,
+        start_timeout: float | None = None,
+    ) -> SweepReport:
+        """Dispatch the tasks and block until the sweep settles.
+
+        Returns a :class:`SweepReport` whose ``outcomes`` list is in task
+        order; entries left ``None`` (all workers died) are the caller's
+        to finish locally.  Raises :class:`DispatchError` when no worker
+        ever connects within ``start_timeout`` seconds.
+        """
+
+        self.start()
+        assert self._loop is not None
+        timeout = self.start_timeout if start_timeout is None else start_timeout
+        future = asyncio.run_coroutine_threadsafe(
+            self._run_sweep(list(tasks), timing, payload, raw_bytes, timeout),
+            self._loop,
+        )
+        return future.result()
+
+    # -- sweep engine (loop thread) -----------------------------------------
+    async def _run_sweep(
+        self,
+        tasks: list,
+        timing: str,
+        payload: bytes,
+        raw_bytes: int,
+        start_timeout: float,
+    ) -> SweepReport:
+        if self._sweep is not None:
+            raise DispatchError("a sweep is already running on this coordinator")
+        sweep = _Sweep(next(self._sweep_counter), tasks, timing, payload, raw_bytes)
+        if not tasks:
+            return sweep.report
+        self._sweep = sweep
+        try:
+            if not self._workers:
+                assert self._worker_arrived is not None
+                self._worker_arrived.clear()
+                try:
+                    await asyncio.wait_for(
+                        self._worker_arrived.wait(), timeout=start_timeout
+                    )
+                except asyncio.TimeoutError:
+                    raise DispatchError(
+                        f"no worker connected to {self.address} within "
+                        f"{start_timeout:.1f}s; start repro-trial-worker "
+                        f"{self.address} (or drop dispatch= for the local pool)"
+                    ) from None
+            for worker in list(self._workers.values()):
+                await self._greet_worker_for_sweep(worker, sweep)
+            await self._pump()
+            await sweep.done.wait()
+        finally:
+            self._sweep = None
+        for index, result in sweep.results.items():
+            sweep.report.outcomes[index] = result
+        sweep.report.workers_used = len(sweep.workers_seen)
+        return sweep.report
+
+    async def _greet_worker_for_sweep(self, worker: _Worker, sweep: _Sweep) -> None:
+        """Ship the sweep's workload payload — once per worker per sweep."""
+
+        if not worker.alive or sweep.sweep_id in worker.segments_sent:
+            return
+        worker.segments_sent.add(sweep.sweep_id)
+        sweep.workers_seen.add(worker.worker_id)
+        sweep.report.segments_sent += 1
+        await self._send(
+            worker,
+            wire.WorkloadSegment(
+                sweep_id=sweep.sweep_id,
+                payload=sweep.payload,
+                raw_bytes=sweep.raw_bytes,
+            ),
+        )
+
+    async def _pump(self) -> None:
+        """Assign pending tasks: next task to the freest connected worker."""
+
+        sweep = self._sweep
+        if sweep is None:
+            return
+        while sweep.pending:
+            candidates = [
+                worker
+                for worker in self._workers.values()
+                if worker.alive and worker.free_capacity > 0
+            ]
+            if not candidates:
+                return
+            worker = max(
+                candidates,
+                key=lambda w: (w.free_capacity, -w.connect_order),
+            )
+            index = sweep.pending.popleft()
+            worker.inflight.add(index)
+            await self._greet_worker_for_sweep(worker, sweep)
+            await self._send(
+                worker,
+                wire.TrialAssign(
+                    sweep_id=sweep.sweep_id,
+                    task_index=index,
+                    timing=sweep.timing,
+                    task=wire.task_to_wire(sweep.tasks[index]),
+                ),
+            )
+
+    def _settle_if_starved(self) -> None:
+        """End the sweep early when nothing can make progress any more."""
+
+        sweep = self._sweep
+        if sweep is None or sweep.done.is_set():
+            return
+        if sweep.finished:
+            sweep.done.set()
+            return
+        if not any(worker.alive for worker in self._workers.values()):
+            # Unfinished tasks stay None in the report; the runner's local
+            # fallback finishes them (or raises, with fallback disabled).
+            sweep.done.set()
+
+    # -- connection handling (loop thread) ----------------------------------
+    async def _send(self, worker: _Worker, frame: wire.Frame) -> None:
+        if not worker.alive:
+            return
+        try:
+            data = wire.encode_frame(frame)
+            worker.writer.write(data)
+            await worker.writer.drain()
+            if self._sweep is not None:
+                self._sweep.report.bytes_sent += len(data)
+        except (ConnectionError, OSError):
+            await self._bury_worker(worker, "send failed")
+
+    async def _bury_worker(self, worker: _Worker, reason: str) -> None:
+        """Declare a worker dead and requeue its in-flight tasks first."""
+
+        if not worker.alive:
+            return
+        worker.alive = False
+        self._workers.pop(worker.worker_id, None)
+        try:
+            worker.writer.close()
+        except Exception:  # pragma: no cover - already torn down
+            pass
+        sweep = self._sweep
+        if sweep is not None and not sweep.done.is_set():
+            if worker.worker_id in sweep.workers_seen:
+                sweep.report.workers_lost += 1
+            orphans = sorted(
+                index for index in worker.inflight if index not in sweep.results
+            )
+            for index in reversed(orphans):
+                sweep.pending.appendleft(index)
+            sweep.report.trials_reassigned += len(orphans)
+            worker.inflight.clear()
+            await self._pump()
+            self._settle_if_starved()
+
+    async def _reap_silent_workers(self) -> None:
+        """Heartbeat watchdog: bury workers silent past the timeout."""
+
+        interval = max(self.heartbeat_timeout / 4.0, 0.05)
+        while True:
+            await asyncio.sleep(interval)
+            now = asyncio.get_running_loop().time()
+            for worker in list(self._workers.values()):
+                if now - worker.last_heard > self.heartbeat_timeout:
+                    await self._bury_worker(worker, "heartbeat timeout")
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+            task.add_done_callback(lambda _t: self._client_writers.discard(writer))
+        self._client_writers.add(writer)
+        if self._closed:
+            writer.close()
+            return
+        decoder = wire.FrameDecoder()
+        worker: _Worker | None = None
+        try:
+            while True:
+                chunk = await reader.read(64 * 1024)
+                if not chunk:
+                    break
+                if self._sweep is not None:
+                    self._sweep.report.bytes_received += len(chunk)
+                try:
+                    frames = decoder.feed(chunk)
+                except wire.WireError:
+                    # Framing is unrecoverable on this connection; a fresh
+                    # worker process reconnects with clean state.
+                    break
+                for frame in frames:
+                    worker = await self._handle_frame(frame, writer, worker)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            if worker is not None:
+                await self._bury_worker(worker, "connection closed")
+            else:
+                try:
+                    writer.close()
+                except Exception:  # pragma: no cover
+                    pass
+
+    async def _handle_frame(
+        self,
+        frame: wire.Frame,
+        writer: asyncio.StreamWriter,
+        worker: _Worker | None,
+    ) -> _Worker | None:
+        now = asyncio.get_running_loop().time()
+        if isinstance(frame, wire.Hello):
+            previous = self._workers.get(frame.worker_id)
+            if previous is not None:
+                await self._bury_worker(previous, "replaced by reconnect")
+            worker = _Worker(
+                frame.worker_id,
+                writer,
+                frame.max_inflight,
+                next(self._connect_counter),
+            )
+            worker.last_heard = now
+            self._workers[frame.worker_id] = worker
+            assert self._worker_arrived is not None
+            self._worker_arrived.set()
+            if self._sweep is not None and not self._sweep.done.is_set():
+                await self._greet_worker_for_sweep(worker, self._sweep)
+                await self._pump()
+            return worker
+        if worker is None or not worker.alive:
+            return worker  # frames before Hello (or after death): ignored
+        worker.last_heard = now
+        if isinstance(frame, wire.Heartbeat):
+            return worker
+        if isinstance(frame, wire.TrialResultMsg):
+            await self._handle_result(frame, worker)
+            return worker
+        if isinstance(frame, wire.Goodbye):
+            await self._bury_worker(worker, frame.reason or "worker goodbye")
+            return None
+        return worker
+
+    async def _handle_result(self, frame: wire.TrialResultMsg, worker: _Worker) -> None:
+        sweep = self._sweep
+        if sweep is None or frame.sweep_id != sweep.sweep_id:
+            return  # result for a finished sweep: stale, drop
+        worker.inflight.discard(frame.task_index)
+        if not 0 <= frame.task_index < len(sweep.tasks):
+            return
+        if frame.task_index not in sweep.results:
+            from .runner import TrialOutcome  # deferred: runner ↔ dispatch
+
+            sweep.results[frame.task_index] = TrialOutcome(
+                task=sweep.tasks[frame.task_index],
+                result=wire.result_from_wire(frame.result),
+            )
+        if sweep.finished:
+            sweep.done.set()
+            return
+        await self._pump()

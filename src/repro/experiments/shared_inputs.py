@@ -1,4 +1,4 @@
-"""Shared-memory publication of read-mostly trial inputs.
+"""Shared publication of read-mostly trial inputs (memory segment or wire).
 
 A sweep's tasks are tiny declarative records, but the workload behind them
 — the generated supergraph with its fragment partitioning inputs — is the
@@ -10,15 +10,27 @@ distinct workload from its seed on first use (see
 generation cost is paid once per worker per workload, and it grows with
 the workload size.
 
-This module publishes the pickled workloads of a sweep into **one**
-:mod:`multiprocessing.shared_memory` segment before the fan-out; workers
-attach, deserialize straight out of the shared buffer into their
+This module frames the pickled workloads of a sweep into **one**
+self-describing segment payload (:func:`encode_workloads`: magic, version,
+flags, explicit lengths, CRC — zlib level 1 inside with ``compress=True``,
+the default) and publishes it either into a
+:mod:`multiprocessing.shared_memory` segment before a local fan-out or —
+via the dispatch plane's ``WorkloadSegment`` frame — across a TCP socket
+to remote workers, which re-publish it into *their* local shared memory.
+Workers attach, deserialize straight out of the shared buffer into their
 per-process cache, and detach — one generation in the parent instead of
-one per worker, and the bytes cross no pipe.  Attachment is a pure cache
-warm-up: a worker that misses the segment (or a run with
-``shared_inputs=False``) regenerates from seeds and produces *the same
-workload objects*, so trial outcomes are byte-identical either way under
-``timing="sim"`` — the shared/pickled equivalence test pins exactly that.
+one per worker, and the bytes cross each transport exactly once per
+consumer.  Attachment is a pure cache warm-up: a worker that misses the
+segment (or a run with ``shared_inputs=False``) regenerates from seeds and
+produces *the same workload objects*, so trial outcomes are byte-identical
+either way under ``timing="sim"`` — the shared/pickled equivalence test
+pins exactly that.
+
+The explicit payload length in the frame matters for shared memory:
+segments round up to a page, so the buffer carries trailing padding that a
+bare ``zlib.decompress`` would trip over.  The CRC turns a torn or
+clobbered segment into a clean regenerate-from-seeds fallback rather than
+a corrupt workload.
 
 Lifecycle: the parent unlinks the segment as soon as the fan-out
 completes, so nothing outlives the run even on a crash-free path.  Pool
@@ -30,6 +42,8 @@ retires the name exactly once.
 from __future__ import annotations
 
 import pickle
+import struct
+import zlib
 from multiprocessing import shared_memory
 from typing import Mapping
 
@@ -37,23 +51,104 @@ from ..workloads.supergraph_gen import GeneratedWorkload
 
 WorkloadKey = tuple[int, int]  # (workload_seed, num_tasks)
 
+SEGMENT_MAGIC = b"RWKS"
+SEGMENT_VERSION = 1
+_FLAG_ZLIB = 0x01
+# magic, version, flags, wire length, raw (pickled) length, payload crc32
+_SEGMENT_HEADER = struct.Struct(">4sBBIII")
+
+
+def encode_workloads(
+    workloads: Mapping[WorkloadKey, GeneratedWorkload], compress: bool = True
+) -> bytes:
+    """Frame the keyed workloads as one self-describing segment payload.
+
+    ``compress=True`` (the default) runs the pickle through zlib level 1 —
+    fast enough to be free next to workload generation, and the framed
+    bytes are what crosses shared memory *and* the dispatch socket, so the
+    saving lands on both transports.  Raises whatever pickling raises;
+    callers fall back to per-worker regeneration.
+    """
+
+    raw = pickle.dumps(dict(workloads), protocol=pickle.HIGHEST_PROTOCOL)
+    flags = 0
+    payload = raw
+    if compress:
+        payload = zlib.compress(raw, level=1)
+        flags |= _FLAG_ZLIB
+    header = _SEGMENT_HEADER.pack(
+        SEGMENT_MAGIC,
+        SEGMENT_VERSION,
+        flags,
+        len(payload),
+        len(raw),
+        zlib.crc32(payload),
+    )
+    return header + payload
+
+
+def framed_lengths(payload: bytes) -> tuple[int, int]:
+    """``(wire_bytes, raw_bytes)`` of a framed segment payload (header only)."""
+
+    if len(payload) < _SEGMENT_HEADER.size:
+        raise ValueError("workload segment shorter than its header")
+    _, _, _, wire_len, raw_len, _ = _SEGMENT_HEADER.unpack_from(payload)
+    return wire_len, raw_len
+
+
+def decode_workloads(data: bytes | memoryview) -> dict[WorkloadKey, GeneratedWorkload]:
+    """Decode a framed segment payload (trailing padding tolerated).
+
+    Raises :class:`ValueError` on bad magic, an unknown segment version, a
+    truncated payload, or a CRC mismatch — attach treats any of those as
+    "no segment" and regenerates from seeds.
+    """
+
+    view = memoryview(data)
+    if len(view) < _SEGMENT_HEADER.size:
+        raise ValueError("workload segment shorter than its header")
+    magic, version, flags, wire_len, raw_len, crc = _SEGMENT_HEADER.unpack_from(view)
+    if magic != SEGMENT_MAGIC:
+        raise ValueError(f"bad workload segment magic {bytes(magic)!r}")
+    if version != SEGMENT_VERSION:
+        raise ValueError(f"unknown workload segment version {version}")
+    end = _SEGMENT_HEADER.size + wire_len
+    if len(view) < end:
+        raise ValueError("truncated workload segment payload")
+    payload = bytes(view[_SEGMENT_HEADER.size : end])
+    if zlib.crc32(payload) != crc:
+        raise ValueError("workload segment CRC mismatch")
+    if flags & _FLAG_ZLIB:
+        payload = zlib.decompress(payload)
+    if len(payload) != raw_len:
+        raise ValueError("workload segment raw length mismatch")
+    workloads = pickle.loads(payload)
+    if not isinstance(workloads, dict):
+        raise ValueError("workload segment did not hold a workload mapping")
+    return workloads
+
 
 class SharedWorkloadSegment:
     """One published shared-memory segment holding a sweep's workloads.
 
-    Create with :func:`publish_workloads`; pass :attr:`name` to the
-    workers; call :meth:`unlink` (idempotent) once the fan-out is done.
-    ``payload_bytes`` is the pickled size — the bytes every worker would
-    otherwise have regenerated or received down a pipe.
+    Create with :func:`publish_workloads` (or hand it an already-framed
+    payload, as the dispatch worker does with the bytes it received over
+    the socket); pass :attr:`name` to the workers; call :meth:`unlink`
+    (idempotent) once the fan-out is done.  ``wire_bytes`` is the framed
+    (possibly compressed) size actually occupying the segment,
+    ``raw_bytes`` the pickled size it stands for; ``payload_bytes`` keeps
+    the historical name for the wire size.
     """
 
-    def __init__(self, payload: bytes) -> None:
+    def __init__(self, payload: bytes, raw_bytes: int | None = None) -> None:
         self._segment = shared_memory.SharedMemory(
             create=True, size=max(len(payload), 1)
         )
         self._segment.buf[: len(payload)] = payload
         self.name = self._segment.name
-        self.payload_bytes = len(payload)
+        self.wire_bytes = len(payload)
+        self.raw_bytes = len(payload) if raw_bytes is None else raw_bytes
+        self.payload_bytes = self.wire_bytes
 
     def unlink(self) -> None:
         """Release and destroy the segment (idempotent, best-effort)."""
@@ -70,17 +165,18 @@ class SharedWorkloadSegment:
 
 
 def publish_workloads(
-    workloads: Mapping[WorkloadKey, GeneratedWorkload],
+    workloads: Mapping[WorkloadKey, GeneratedWorkload], compress: bool = True
 ) -> SharedWorkloadSegment:
-    """Pickle the keyed workloads into a fresh shared-memory segment.
+    """Frame the keyed workloads into a fresh shared-memory segment.
 
     Raises whatever the platform raises when shared memory is unavailable
     (``OSError`` on a locked-down ``/dev/shm``); callers fall back to
     per-worker regeneration.
     """
 
-    payload = pickle.dumps(dict(workloads), protocol=pickle.HIGHEST_PROTOCOL)
-    return SharedWorkloadSegment(payload)
+    payload = encode_workloads(workloads, compress=compress)
+    raw_len = _SEGMENT_HEADER.unpack_from(payload)[4]
+    return SharedWorkloadSegment(payload, raw_bytes=raw_len)
 
 
 def attach_workloads(
@@ -88,11 +184,12 @@ def attach_workloads(
 ) -> bool:
     """Load a published segment into ``cache`` (worker side).
 
-    Reads the pickled mapping straight out of the shared buffer, fills
+    Reads the framed mapping straight out of the shared buffer, fills
     only the cache keys not already present (an attached workload and a
     regenerated one are interchangeable — both are pure functions of the
-    key), and detaches.  Returns ``True`` on success; any failure leaves
-    the cache untouched and the caller regenerating from seeds.
+    key), and detaches.  Returns ``True`` on success; any failure —
+    including a corrupt or version-mismatched frame — leaves the cache
+    untouched and the caller regenerating from seeds.
     """
 
     try:
@@ -104,7 +201,10 @@ def attach_workloads(
         # tracker, so this open re-registers a name the tracker already
         # holds (a set: no-op) and the parent's unlink retires it exactly
         # once.  No per-worker unregister dance is needed — or safe.
-        workloads = pickle.loads(bytes(segment.buf))
+        try:
+            workloads = decode_workloads(segment.buf)
+        except (ValueError, zlib.error, pickle.UnpicklingError):
+            return False
     finally:
         segment.close()
     for key, workload in workloads.items():

@@ -1,0 +1,469 @@
+"""Versioned, pickle-free wire codec for the distributed dispatch plane.
+
+The dispatch protocol (:mod:`repro.experiments.dispatch`) moves trial
+assignments and results between machines, so its frames cannot be pickled:
+unpickling executes arbitrary code from the peer, and a pickle stream is
+tied to the Python version and class layout of whoever produced it.  This
+module supplies the alternative — a small, explicit, *self-describing*
+serialisation with a schema version byte, in two layers:
+
+* A **value codec** (:func:`encode_value` / :func:`decode_value`): a tagged
+  binary encoding of ``None``, booleans, integers (any magnitude), IEEE-754
+  doubles (bit-exact — byte-identity of ``TrialResult`` floats survives the
+  round trip), UTF-8 strings, byte strings, lists, and string-keyed dicts.
+  Nothing else: an unsupported type is a :class:`WireError` at encode time,
+  never a silent coercion.
+
+* A **frame codec**: each protocol message is a dataclass with a one-byte
+  frame type; :func:`encode_frame` wraps its field dict as
+  ``magic(2) | version(1) | type(1) | length(u32) | crc32(u32) | payload``
+  and :class:`FrameDecoder` reassembles frames from an arbitrary stream of
+  chunks, rejecting bad magic, unknown schema versions, unknown frame
+  types, oversized declarations, and CRC mismatches with a clear
+  :class:`WireError`.  Truncation is not an error for the stream decoder —
+  it simply waits for more bytes — but :func:`decode_frame` (the one-shot
+  form) rejects incomplete buffers.
+
+Version discipline: ``WIRE_VERSION`` is bumped on any incompatible frame
+or value change; a decoder refuses frames from a different version instead
+of guessing (the coordinator and workers then report the mismatch and the
+operator upgrades one side).  The tagged-struct encoding here is also the
+groundwork the durable plane's cross-process tier needs to drop its
+pickled record tuples (see ROADMAP).
+
+``TrialTask`` and ``TrialResult`` are flat dataclasses of plain scalars,
+so they cross as field dicts (:func:`task_to_wire` / :func:`task_from_wire`,
+:func:`result_to_wire` / :func:`result_from_wire`); unknown fields from a
+same-version peer are rejected rather than dropped, so a drifted build
+fails loudly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+import zlib
+from dataclasses import dataclass, fields
+from typing import Iterator
+
+from .trials import TrialResult
+
+WIRE_MAGIC = b"RW"
+WIRE_VERSION = 1
+HEADER = struct.Struct(">2sBBII")  # magic, version, frame type, length, crc32
+MAX_FRAME_BYTES = 256 * 1024 * 1024  # refuse absurd length declarations
+
+
+class WireError(ValueError):
+    """A malformed, corrupt, or incompatible wire payload."""
+
+
+# --------------------------------------------------------------------------
+# value codec
+# --------------------------------------------------------------------------
+
+_T_NONE = b"N"
+_T_TRUE = b"T"
+_T_FALSE = b"F"
+_T_INT = b"I"  # signed 64-bit
+_T_BIGINT = b"J"  # length-prefixed signed big-endian (beyond 64 bits)
+_T_FLOAT = b"D"  # IEEE-754 double, big-endian: bit-exact round trip
+_T_STR = b"S"
+_T_BYTES = b"B"
+_T_LIST = b"L"
+_T_DICT = b"M"
+
+_I64 = struct.Struct(">q")
+_U32 = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+
+_I64_MIN, _I64_MAX = -(2**63), 2**63 - 1
+
+
+def encode_value(value: object) -> bytes:
+    """Encode one supported value as tagged bytes (see module docstring)."""
+
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def _encode_into(value: object, out: bytearray) -> None:
+    if value is None:
+        out += _T_NONE
+    elif value is True:
+        out += _T_TRUE
+    elif value is False:
+        out += _T_FALSE
+    elif type(value) is int:
+        if _I64_MIN <= value <= _I64_MAX:
+            out += _T_INT
+            out += _I64.pack(value)
+        else:
+            raw = value.to_bytes(
+                (value.bit_length() + 8) // 8, "big", signed=True
+            )
+            out += _T_BIGINT
+            out += _U32.pack(len(raw))
+            out += raw
+    elif type(value) is float:
+        out += _T_FLOAT
+        out += _F64.pack(value)
+    elif type(value) is str:
+        raw = value.encode("utf-8")
+        out += _T_STR
+        out += _U32.pack(len(raw))
+        out += raw
+    elif type(value) in (bytes, bytearray, memoryview):
+        raw = bytes(value)
+        out += _T_BYTES
+        out += _U32.pack(len(raw))
+        out += raw
+    elif type(value) in (list, tuple):
+        out += _T_LIST
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_into(item, out)
+    elif type(value) is dict:
+        out += _T_DICT
+        out += _U32.pack(len(value))
+        for key in value:
+            if type(key) is not str:
+                raise WireError(
+                    f"wire dicts take str keys, not {type(key).__name__}"
+                )
+        for key, item in value.items():
+            raw = key.encode("utf-8")
+            out += _U32.pack(len(raw))
+            out += raw
+            _encode_into(item, out)
+    else:
+        raise WireError(f"cannot encode {type(value).__name__} on the wire")
+
+
+def decode_value(data: bytes | memoryview) -> object:
+    """Decode one value, rejecting trailing bytes (frames are exact)."""
+
+    view = memoryview(data)
+    value, consumed = _decode_from(view, 0)
+    if consumed != len(view):
+        raise WireError(
+            f"{len(view) - consumed} trailing bytes after wire value"
+        )
+    return value
+
+
+def _need(view: memoryview, offset: int, count: int) -> None:
+    if offset + count > len(view):
+        raise WireError("truncated wire value")
+
+
+def _decode_from(view: memoryview, offset: int) -> tuple[object, int]:
+    _need(view, offset, 1)
+    tag = bytes(view[offset : offset + 1])
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_INT:
+        _need(view, offset, 8)
+        return _I64.unpack_from(view, offset)[0], offset + 8
+    if tag == _T_FLOAT:
+        _need(view, offset, 8)
+        return _F64.unpack_from(view, offset)[0], offset + 8
+    if tag in (_T_BIGINT, _T_STR, _T_BYTES):
+        _need(view, offset, 4)
+        length = _U32.unpack_from(view, offset)[0]
+        offset += 4
+        _need(view, offset, length)
+        raw = bytes(view[offset : offset + length])
+        offset += length
+        if tag == _T_BIGINT:
+            return int.from_bytes(raw, "big", signed=True), offset
+        if tag == _T_STR:
+            try:
+                return raw.decode("utf-8"), offset
+            except UnicodeDecodeError as exc:
+                raise WireError(f"invalid UTF-8 in wire string: {exc}") from exc
+        return raw, offset
+    if tag == _T_LIST:
+        _need(view, offset, 4)
+        count = _U32.unpack_from(view, offset)[0]
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _decode_from(view, offset)
+            items.append(item)
+        return items, offset
+    if tag == _T_DICT:
+        _need(view, offset, 4)
+        count = _U32.unpack_from(view, offset)[0]
+        offset += 4
+        mapping: dict[str, object] = {}
+        for _ in range(count):
+            _need(view, offset, 4)
+            key_len = _U32.unpack_from(view, offset)[0]
+            offset += 4
+            _need(view, offset, key_len)
+            try:
+                key = bytes(view[offset : offset + key_len]).decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise WireError(f"invalid UTF-8 in wire key: {exc}") from exc
+            offset += key_len
+            item, offset = _decode_from(view, offset)
+            mapping[key] = item
+        return mapping, offset
+    raise WireError(f"unknown wire value tag {tag!r}")
+
+
+# --------------------------------------------------------------------------
+# frames
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Worker → coordinator: identify and declare capacity."""
+
+    TYPE = 1
+
+    worker_id: str
+    max_inflight: int
+    pool_workers: int = 0
+
+
+@dataclass(frozen=True)
+class WorkloadSegment:
+    """Coordinator → worker: one sweep's deduplicated workload payload.
+
+    ``payload`` is the exact framed segment encoding of
+    :func:`repro.experiments.shared_inputs.encode_workloads` (zlib inside),
+    sent **once per worker per sweep** and re-published by the worker into
+    its own local shared memory; ``raw_bytes`` is the unframed pickled size
+    for the dedup/compression accounting.
+    """
+
+    TYPE = 2
+
+    sweep_id: int
+    payload: bytes
+    raw_bytes: int
+
+
+@dataclass(frozen=True)
+class TrialAssign:
+    """Coordinator → worker: run this task and report back."""
+
+    TYPE = 3
+
+    sweep_id: int
+    task_index: int
+    timing: str
+    task: dict
+
+
+@dataclass(frozen=True)
+class TrialResultMsg:
+    """Worker → coordinator: one finished trial (``result=None``: no spec)."""
+
+    TYPE = 4
+
+    sweep_id: int
+    task_index: int
+    worker_id: str
+    result: dict | None
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Worker → coordinator: liveness beacon with current load."""
+
+    TYPE = 5
+
+    worker_id: str
+    inflight: int
+
+
+@dataclass(frozen=True)
+class Goodbye:
+    """Either direction: orderly teardown (never required — crashes happen)."""
+
+    TYPE = 6
+
+    reason: str = ""
+
+
+Frame = Hello | WorkloadSegment | TrialAssign | TrialResultMsg | Heartbeat | Goodbye
+
+FRAME_TYPES: dict[int, type] = {
+    cls.TYPE: cls
+    for cls in (Hello, WorkloadSegment, TrialAssign, TrialResultMsg, Heartbeat, Goodbye)
+}
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialise one frame: header, CRC, tagged field-dict payload."""
+
+    frame_type = getattr(type(frame), "TYPE", None)
+    if frame_type not in FRAME_TYPES or type(frame) is not FRAME_TYPES[frame_type]:
+        raise WireError(f"not a wire frame: {type(frame).__name__}")
+    payload = encode_value(dataclasses.asdict(frame))
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireError(f"frame payload of {len(payload)} bytes exceeds cap")
+    header = HEADER.pack(
+        WIRE_MAGIC, WIRE_VERSION, frame_type, len(payload), zlib.crc32(payload)
+    )
+    return header + payload
+
+
+def _build_frame(frame_type: int, payload: bytes) -> Frame:
+    cls = FRAME_TYPES.get(frame_type)
+    if cls is None:
+        raise WireError(f"unknown frame type {frame_type}")
+    mapping = decode_value(payload)
+    if type(mapping) is not dict:
+        raise WireError(f"frame {cls.__name__} payload is not a field dict")
+    names = {field.name for field in fields(cls)}
+    unknown = set(mapping) - names
+    if unknown:
+        raise WireError(
+            f"frame {cls.__name__} carries unknown fields {sorted(unknown)}"
+        )
+    missing = {
+        field.name
+        for field in fields(cls)
+        if field.default is dataclasses.MISSING
+    } - set(mapping)
+    if missing:
+        raise WireError(
+            f"frame {cls.__name__} is missing fields {sorted(missing)}"
+        )
+    try:
+        return cls(**mapping)
+    except TypeError as exc:  # pragma: no cover - guarded above
+        raise WireError(f"malformed {cls.__name__} frame: {exc}") from exc
+
+
+def decode_frame(data: bytes) -> Frame:
+    """One-shot decode of exactly one frame (truncation/trailing rejected)."""
+
+    decoder = FrameDecoder()
+    frames = decoder.feed(data)
+    if not frames and decoder.pending_bytes:
+        raise WireError("truncated frame")
+    if len(frames) != 1 or decoder.pending_bytes:
+        raise WireError("expected exactly one frame")
+    return frames[0]
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over an arbitrary chunk stream.
+
+    ``feed(chunk)`` returns every frame completed by that chunk (possibly
+    none, possibly several).  A partial frame is buffered until its bytes
+    arrive; a *malformed* frame — bad magic, wrong schema version, unknown
+    type, oversize declaration, CRC mismatch — raises :class:`WireError`
+    and poisons the decoder (framing is lost; the connection must drop).
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> list[Frame]:
+        if self._poisoned:
+            raise WireError("decoder poisoned by an earlier framing error")
+        self._buffer += chunk
+        frames: list[Frame] = []
+        try:
+            while True:
+                frame = self._next_frame()
+                if frame is None:
+                    return frames
+                frames.append(frame)
+        except WireError:
+            self._poisoned = True
+            raise
+
+    def _next_frame(self) -> Frame | None:
+        if len(self._buffer) < HEADER.size:
+            return None
+        magic, version, frame_type, length, crc = HEADER.unpack_from(self._buffer)
+        if magic != WIRE_MAGIC:
+            raise WireError(f"bad frame magic {bytes(magic)!r}")
+        if version != WIRE_VERSION:
+            raise WireError(
+                f"unsupported wire version {version} (this side speaks "
+                f"{WIRE_VERSION})"
+            )
+        if frame_type not in FRAME_TYPES:
+            raise WireError(f"unknown frame type {frame_type}")
+        if length > MAX_FRAME_BYTES:
+            raise WireError(f"declared frame length {length} exceeds cap")
+        if len(self._buffer) < HEADER.size + length:
+            return None
+        payload = bytes(self._buffer[HEADER.size : HEADER.size + length])
+        del self._buffer[: HEADER.size + length]
+        if zlib.crc32(payload) != crc:
+            raise WireError("frame CRC mismatch (corrupt payload)")
+        return _build_frame(frame_type, payload)
+
+
+def iter_frames(data: bytes) -> Iterator[Frame]:
+    """Decode a byte string holding zero or more complete frames."""
+
+    decoder = FrameDecoder()
+    yield from decoder.feed(data)
+    if decoder.pending_bytes:
+        raise WireError("truncated trailing frame")
+
+
+# --------------------------------------------------------------------------
+# task / result field dicts
+# --------------------------------------------------------------------------
+
+
+def task_to_wire(task: "TrialTask") -> dict:  # noqa: F821 - runner import cycle
+    """A ``TrialTask`` as a plain field dict (all fields are wire scalars)."""
+
+    return dataclasses.asdict(task)
+
+
+def task_from_wire(mapping: dict) -> "TrialTask":  # noqa: F821
+    from .runner import TrialTask  # deferred: runner imports dispatch lazily
+
+    return _from_field_dict(TrialTask, mapping)
+
+
+def result_to_wire(result: TrialResult | None) -> dict | None:
+    """A ``TrialResult`` as a plain field dict (``None`` passes through)."""
+
+    return None if result is None else dataclasses.asdict(result)
+
+
+def result_from_wire(mapping: dict | None) -> TrialResult | None:
+    return None if mapping is None else _from_field_dict(TrialResult, mapping)
+
+
+def _from_field_dict(cls: type, mapping: dict) -> object:
+    if type(mapping) is not dict:
+        raise WireError(f"{cls.__name__} payload is not a field dict")
+    names = {field.name for field in fields(cls)}
+    unknown = set(mapping) - names
+    if unknown:
+        raise WireError(
+            f"{cls.__name__} carries unknown fields {sorted(unknown)}"
+        )
+    try:
+        return cls(**mapping)
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"malformed {cls.__name__}: {exc}") from exc

@@ -1,0 +1,343 @@
+"""``repro-trial-worker``: the worker side of the dispatch plane.
+
+Run one of these per machine (or per NUMA node) and point it at a
+coordinator::
+
+    repro-trial-worker tcp://10.0.0.5:7209 --workers 8
+    python -m repro.experiments.worker tcp://10.0.0.5:7209
+
+The worker connects, announces itself with ``Hello``, and then serves
+``TrialAssign`` frames until the coordinator says ``Goodbye`` (or the
+connection drops).  Each sweep's deduplicated workload payload arrives
+**once** as a ``WorkloadSegment`` — the same framed, zlib-compressed
+encoding :mod:`repro.experiments.shared_inputs` publishes into shared
+memory locally — and the worker re-publishes those exact bytes into *its
+own* local shared-memory segment, so the process pool it fans trials
+across warms its workload caches the same way a local parallel run would.
+Results stream back as ``TrialResultMsg`` frames the moment each trial
+finishes; heartbeats tick every ``heartbeat_interval`` seconds so the
+coordinator can tell a slow trial from a dead machine.
+
+Determinism: the worker runs :func:`repro.experiments.runner.execute_trial`
+— the same entry point as the local pool — and a trial's outcome is a pure
+function of its task, so where it runs never shows in the results.
+
+``pool_workers=0`` runs trials inline on a single thread (no subprocesses)
+— the mode the in-process integration tests and tiny demos use; the CLI
+default is one pool process per CPU.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+import threading
+import uuid
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from functools import partial
+
+from . import wire
+from .dispatch import parse_dispatch_address
+from .runner import _WORKLOADS, _execute_trial_attached, execute_trial
+from .shared_inputs import SharedWorkloadSegment, decode_workloads
+
+
+class TrialWorker:
+    """One dispatch-plane worker (see module docstring).
+
+    ``run()`` blocks until the coordinator disconnects or :meth:`stop` is
+    called (thread-safe — the integration tests run workers on threads).
+    ``fail_after_results`` is a test hook: after streaming that many
+    results the worker aborts its connection mid-sweep *without* a
+    ``Goodbye``, exactly like a kill -9, to exercise the coordinator's
+    dead-worker reassignment.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        worker_id: str | None = None,
+        pool_workers: int | None = None,
+        max_inflight: int | None = None,
+        heartbeat_interval: float = 2.0,
+        fail_after_results: int | None = None,
+    ) -> None:
+        self.host, self.port = parse_dispatch_address(address)
+        self.worker_id = worker_id or f"worker-{uuid.uuid4().hex[:8]}"
+        self.pool_workers = (
+            (os.cpu_count() or 1) if pool_workers is None else pool_workers
+        )
+        if self.pool_workers < 0:
+            raise ValueError("pool_workers must be >= 0")
+        self.max_inflight = (
+            max(1, self.pool_workers) if max_inflight is None else max_inflight
+        )
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.heartbeat_interval = heartbeat_interval
+        self.fail_after_results = fail_after_results
+        self.trials_executed = 0
+        self.segments_received = 0
+        self.connected = threading.Event()
+        self._stop_requested = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._segments: dict[int, SharedWorkloadSegment] = {}
+        self._segment_names: dict[int, str] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+    def run(self) -> int:
+        """Serve until disconnect/stop; returns a process exit code."""
+
+        try:
+            asyncio.run(self._serve())
+            return 0
+        except ConnectionError as exc:
+            print(f"{self.worker_id}: connection lost: {exc}", file=sys.stderr)
+            return 1
+        except OSError as exc:
+            print(
+                f"{self.worker_id}: cannot reach tcp://{self.host}:{self.port}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        finally:
+            self._release_segments()
+
+    def stop(self) -> None:
+        """Ask a running worker to send ``Goodbye`` and exit (thread-safe)."""
+
+        self._stop_requested.set()
+        loop = self._loop
+        if loop is not None:
+            try:
+                loop.call_soon_threadsafe(lambda: None)  # wake the read loop
+            except RuntimeError:
+                pass  # already exited — nothing left to wake
+
+    def _release_segments(self) -> None:
+        for segment in self._segments.values():
+            segment.unlink()
+        self._segments.clear()
+        self._segment_names.clear()
+
+    # -- protocol loop ------------------------------------------------------
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        pool = self._make_pool()
+        inflight = 0
+        results_sent = 0
+        aborted = False
+        heartbeat_task: asyncio.Task | None = None
+        pending: set[asyncio.Task] = set()
+        send_lock = asyncio.Lock()
+
+        async def send(frame: wire.Frame) -> None:
+            async with send_lock:
+                writer.write(wire.encode_frame(frame))
+                await writer.drain()
+
+        async def heartbeats() -> None:
+            while True:
+                await asyncio.sleep(self.heartbeat_interval)
+                await send(
+                    wire.Heartbeat(worker_id=self.worker_id, inflight=inflight)
+                )
+
+        async def run_one(assign: wire.TrialAssign) -> None:
+            nonlocal inflight, results_sent, aborted
+            task = wire.task_from_wire(assign.task)
+            segment_name = self._segment_names.get(assign.sweep_id, "")
+            loop = asyncio.get_running_loop()
+            try:
+                if pool is None:
+                    outcome = await loop.run_in_executor(
+                        None, partial(execute_trial, task, timing=assign.timing)
+                    )
+                else:
+                    outcome, _ = await loop.run_in_executor(
+                        pool,
+                        partial(
+                            _execute_trial_attached,
+                            task,
+                            timing=assign.timing,
+                            segment=segment_name,
+                        ),
+                    )
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                # A trial this worker cannot execute (broken pool, broken
+                # environment, or a genuinely failing task).  Dying loudly
+                # hands the trial back to the coordinator's reassignment
+                # path; if every worker chokes on it, the runner's local
+                # fallback reproduces the error where the user can see it.
+                print(
+                    f"{self.worker_id}: trial {assign.task_index} failed: {exc}",
+                    file=sys.stderr,
+                )
+                aborted = True
+                writer.transport.abort()
+                return
+            finally:
+                inflight -= 1
+            self.trials_executed += 1
+            if aborted:
+                return
+            await send(
+                wire.TrialResultMsg(
+                    sweep_id=assign.sweep_id,
+                    task_index=assign.task_index,
+                    worker_id=self.worker_id,
+                    result=wire.result_to_wire(
+                        outcome.result if outcome is not None else None
+                    ),
+                )
+            )
+            results_sent += 1
+            if (
+                self.fail_after_results is not None
+                and results_sent >= self.fail_after_results
+            ):
+                # Test hook: die like a crashed machine — no Goodbye, no
+                # half-sent frame, just a dead socket.
+                aborted = True
+                writer.transport.abort()
+
+        try:
+            await send(
+                wire.Hello(
+                    worker_id=self.worker_id,
+                    max_inflight=self.max_inflight,
+                    pool_workers=self.pool_workers if pool is not None else 0,
+                )
+            )
+            self.connected.set()
+            heartbeat_task = asyncio.create_task(heartbeats())
+            decoder = wire.FrameDecoder()
+            while not aborted:
+                if self._stop_requested.is_set():
+                    await send(wire.Goodbye(reason="worker stopped"))
+                    break
+                try:
+                    chunk = await asyncio.wait_for(
+                        reader.read(64 * 1024), timeout=0.1
+                    )
+                except asyncio.TimeoutError:
+                    continue
+                if not chunk:
+                    break
+                for frame in decoder.feed(chunk):
+                    if isinstance(frame, wire.WorkloadSegment):
+                        self._install_segment(frame)
+                    elif isinstance(frame, wire.TrialAssign):
+                        inflight += 1
+                        runner_task = asyncio.create_task(run_one(frame))
+                        pending.add(runner_task)
+                        runner_task.add_done_callback(pending.discard)
+                    elif isinstance(frame, wire.Goodbye):
+                        raise _CoordinatorGoodbye()
+        except (_CoordinatorGoodbye, ConnectionError):
+            pass
+        finally:
+            if heartbeat_task is not None:
+                heartbeat_task.cancel()
+            for runner_task in pending:
+                runner_task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - already aborted
+                pass
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def _make_pool(self) -> ProcessPoolExecutor | None:
+        if self.pool_workers == 0:
+            return None
+        try:
+            return ProcessPoolExecutor(max_workers=self.pool_workers)
+        except (OSError, ImportError, BrokenExecutor):
+            # No usable subprocess support: inline execution still serves.
+            return None
+
+    def _install_segment(self, frame: wire.WorkloadSegment) -> None:
+        """Cache a sweep's workloads and re-publish them into local shm."""
+
+        self.segments_received += 1
+        try:
+            workloads = decode_workloads(frame.payload)
+        except Exception:  # corrupt payload: trials regenerate from seeds
+            return
+        for key, workload in workloads.items():
+            _WORKLOADS.setdefault(key, workload)
+        if self.pool_workers == 0:
+            return
+        # Previous sweeps' segments are dead weight now; this worker's pool
+        # holds warm caches already.
+        for sweep_id in list(self._segments):
+            if sweep_id != frame.sweep_id:
+                self._segments.pop(sweep_id).unlink()
+                self._segment_names.pop(sweep_id, None)
+        if frame.sweep_id in self._segments:
+            return
+        try:
+            segment = SharedWorkloadSegment(frame.payload, raw_bytes=frame.raw_bytes)
+        except (OSError, ValueError):
+            return  # no shared memory here: pool workers regenerate
+        self._segments[frame.sweep_id] = segment
+        self._segment_names[frame.sweep_id] = segment.name
+
+
+class _CoordinatorGoodbye(Exception):
+    """Internal: the coordinator ended the session cleanly."""
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``repro-trial-worker``)."""
+
+    parser = argparse.ArgumentParser(
+        prog="repro-trial-worker",
+        description=(
+            "Serve dispatched trials to a DispatchCoordinator "
+            "(TrialRunner(dispatch='tcp://host:port'))."
+        ),
+    )
+    parser.add_argument(
+        "address", help="coordinator address, e.g. tcp://127.0.0.1:7209"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="local process-pool size (default: all cores; 0 = inline, no pool)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="trials held in flight at once (default: pool size)",
+    )
+    parser.add_argument("--id", default=None, help="worker id (default: random)")
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=2.0,
+        help="seconds between heartbeats (default: 2)",
+    )
+    args = parser.parse_args(argv)
+    worker = TrialWorker(
+        args.address,
+        worker_id=args.id,
+        pool_workers=args.workers,
+        max_inflight=args.max_inflight,
+        heartbeat_interval=args.heartbeat,
+    )
+    return worker.run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

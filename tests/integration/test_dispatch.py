@@ -1,0 +1,286 @@
+"""The dispatch plane end to end: coordinator + in-process socket workers.
+
+These tests run real ``TrialWorker``s on threads against a real
+``DispatchCoordinator`` over loopback TCP — the full wire protocol, just
+without subprocess spawn cost (``pool_workers=0`` executes trials inline;
+the CLI/pool path is exercised by the ``dispatch-smoke`` CI job and the
+dispatch benchmark).  What they pin:
+
+* a two-worker sweep returns outcomes **byte-identical** to the local
+  runner, in task order, with the workload payload shipped once per worker;
+* a worker that dies mid-sweep (the ``fail_after_results`` kill hook) gets
+  its in-flight trials reassigned to the survivor — same bytes out;
+* when *every* worker dies the runner finishes the remainder on the local
+  path (or raises, with ``dispatch_fallback=False``) — never a hang;
+* a coordinator nobody connects to raises a ``DispatchError`` naming the
+  address, and a connected-but-silent client is reaped by heartbeat.
+"""
+
+import pickle
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.experiments import wire
+from repro.experiments.dispatch import DispatchCoordinator, DispatchError
+from repro.experiments.runner import TrialRunner, sweep_tasks
+from repro.experiments.shared_inputs import encode_workloads, framed_lengths
+from repro.experiments.worker import TrialWorker
+
+
+def make_tasks(runs=2, path_lengths=(2, 3), num_tasks=25, num_hosts=3, seed=11):
+    return sweep_tasks(
+        series="dispatch-it",
+        num_tasks=num_tasks,
+        num_hosts=num_hosts,
+        path_lengths=path_lengths,
+        runs=runs,
+        seed=seed,
+    )
+
+
+def outcome_bytes(outcomes):
+    # Per-trial pickles: byte identity of every result, without the
+    # cross-result object-sharing artifacts a whole-list pickle memoises
+    # (results born in one process share string objects; wire-decoded
+    # results hold equal but distinct ones).
+    return [pickle.dumps(outcome.result) for outcome in outcomes]
+
+
+class WorkerFleet:
+    """N in-process workers on threads, joined (and checked) on exit."""
+
+    def __init__(self, address, count=2, **worker_kwargs):
+        self.workers = [
+            TrialWorker(
+                address,
+                worker_id=f"it-worker-{index}",
+                pool_workers=0,
+                heartbeat_interval=0.2,
+                **worker_kwargs,
+            )
+            for index in range(count)
+        ]
+        self.threads = [
+            threading.Thread(target=worker.run, daemon=True)
+            for worker in self.workers
+        ]
+
+    def __enter__(self):
+        for thread in self.threads:
+            thread.start()
+        for worker in self.workers:
+            assert worker.connected.wait(timeout=10), "worker never connected"
+        return self.workers
+
+    def __exit__(self, *exc_info):
+        for worker in self.workers:
+            worker.stop()
+        for thread in self.threads:
+            thread.join(timeout=10)
+        assert not any(thread.is_alive() for thread in self.threads), (
+            "worker thread leaked past coordinator shutdown"
+        )
+
+
+@pytest.fixture()
+def local_baseline():
+    tasks = make_tasks()
+    runner = TrialRunner(parallel=False, timing="sim")
+    return tasks, runner.run(tasks)
+
+
+class TestDispatchedSweep:
+    def test_two_workers_match_local_byte_for_byte(self, local_baseline):
+        tasks, baseline = local_baseline
+        runner = TrialRunner(timing="sim", dispatch="tcp://127.0.0.1:0")
+        try:
+            address = runner.start_dispatch()
+            with WorkerFleet(address, count=2) as workers:
+                outcomes = runner.run(tasks)
+        finally:
+            runner.shutdown()
+        assert outcome_bytes(outcomes) == outcome_bytes(baseline)
+        # Ordered aggregation: outcome i belongs to task i.
+        assert [outcome.task for outcome in outcomes] == tasks
+        # The deduplicated workload payload crossed the wire once per worker.
+        assert runner.segments_dispatched == 2
+        assert sum(worker.segments_received for worker in workers) == 2
+        # Both workers actually pulled trials (work-stealing, not one hog).
+        assert all(worker.trials_executed > 0 for worker in workers)
+        assert sum(worker.trials_executed for worker in workers) == len(tasks)
+        assert runner.trials_run == len(tasks)
+        assert runner.workers_lost == 0
+        assert runner.trials_reassigned == 0
+        assert runner.bytes_wire_sent > 0
+        assert runner.bytes_wire_received > 0
+        # Dedup accounting mirrors the local shared-memory counters.
+        assert 0 < runner.bytes_shared_wire < runner.bytes_shared_raw
+
+    def test_back_to_back_sweeps_reuse_workers_and_resend_segments(self):
+        tasks = make_tasks(runs=1, path_lengths=(2,))
+        runner = TrialRunner(timing="sim", dispatch="tcp://127.0.0.1:0")
+        sequential = TrialRunner(parallel=False, timing="sim")
+        try:
+            address = runner.start_dispatch()
+            with WorkerFleet(address, count=1):
+                first = runner.run(tasks)
+                second = runner.run(tasks)
+        finally:
+            runner.shutdown()
+        assert outcome_bytes(first) == outcome_bytes(second)
+        assert outcome_bytes(first) == outcome_bytes(sequential.run(tasks))
+        # Each sweep ships its payload afresh (sweep ids differ) — but only
+        # once per worker per sweep.
+        assert runner.segments_dispatched == 2
+        assert runner.dispatch_batches == 2
+
+    def test_dead_worker_reassigns_to_survivor(self):
+        # Enough tasks that the doomed worker provably dies mid-sweep with
+        # work still pending (its next assignment becomes the orphan).
+        tasks = make_tasks(runs=4)
+        baseline = TrialRunner(parallel=False, timing="sim").run(tasks)
+        runner = TrialRunner(
+            timing="sim",
+            dispatch="tcp://127.0.0.1:0",
+            dispatch_heartbeat_timeout=2.0,
+        )
+        try:
+            address = runner.start_dispatch()
+            doomed = TrialWorker(
+                address,
+                worker_id="it-doomed",
+                pool_workers=0,
+                heartbeat_interval=0.2,
+                fail_after_results=2,  # dies like kill -9 after two results
+            )
+            doomed_thread = threading.Thread(target=doomed.run, daemon=True)
+            doomed_thread.start()
+            assert doomed.connected.wait(timeout=10)
+            with WorkerFleet(address, count=1):
+                outcomes = runner.run(tasks)
+            doomed_thread.join(timeout=10)
+        finally:
+            runner.shutdown()
+        assert outcome_bytes(outcomes) == outcome_bytes(baseline)
+        assert runner.workers_lost == 1
+        assert runner.trials_reassigned >= 1
+
+    def test_all_workers_dead_falls_back_to_local(self, local_baseline):
+        tasks, baseline = local_baseline
+        runner = TrialRunner(
+            timing="sim",
+            parallel=False,  # keep the rescue path cheap
+            dispatch="tcp://127.0.0.1:0",
+            dispatch_heartbeat_timeout=2.0,
+        )
+        try:
+            address = runner.start_dispatch()
+            with WorkerFleet(address, count=2, fail_after_results=1):
+                outcomes = runner.run(tasks)
+        finally:
+            runner.shutdown()
+        assert outcome_bytes(outcomes) == outcome_bytes(baseline)
+        assert runner.workers_lost == 2
+        # Everything the dead fleet left behind was rerun somewhere.
+        assert runner.trials_reassigned >= len(tasks) - 2
+
+    def test_all_workers_dead_raises_without_fallback(self):
+        tasks = make_tasks()
+        runner = TrialRunner(
+            timing="sim",
+            dispatch="tcp://127.0.0.1:0",
+            dispatch_fallback=False,
+            dispatch_heartbeat_timeout=2.0,
+        )
+        try:
+            address = runner.start_dispatch()
+            with WorkerFleet(address, count=1, fail_after_results=1):
+                with pytest.raises(DispatchError, match="unfinished"):
+                    runner.run(tasks)
+        finally:
+            runner.shutdown()
+
+    def test_no_worker_raises_clearly_instead_of_hanging(self):
+        runner = TrialRunner(
+            timing="sim",
+            dispatch="tcp://127.0.0.1:0",
+            dispatch_start_timeout=0.3,
+        )
+        try:
+            address = runner.start_dispatch()
+            with pytest.raises(DispatchError, match="repro-trial-worker"):
+                runner.run(make_tasks(runs=1, path_lengths=(2,)))
+            assert address in str(runner.dispatch_address)
+        finally:
+            runner.shutdown()
+
+
+class TestCoordinatorProtocol:
+    def test_silent_client_is_reaped_by_heartbeat(self):
+        tasks = make_tasks(runs=1, path_lengths=(2,))
+        payload = encode_workloads(TrialRunner._sweep_workloads(tasks))
+        _, raw_bytes = framed_lengths(payload)
+        coordinator = DispatchCoordinator(
+            host="127.0.0.1", port=0, heartbeat_timeout=0.5
+        )
+        coordinator.start()
+        try:
+            # A client that says Hello, accepts work, then goes silent —
+            # a wedged machine, not a closed socket.
+            client = socket.create_connection((coordinator.host, coordinator.port))
+            client.sendall(
+                wire.encode_frame(
+                    wire.Hello(worker_id="it-wedged", max_inflight=4)
+                )
+            )
+            report = coordinator.run_sweep(
+                tasks, timing="sim", payload=payload, raw_bytes=raw_bytes
+            )
+            client.close()
+        finally:
+            coordinator.close()
+        # The sweep settled (no hang); nothing finished; the loss shows.
+        assert report.outcomes == [None] * len(tasks)
+        assert report.workers_lost == 1
+        assert report.trials_reassigned >= 1
+
+    def test_garbage_frames_drop_the_connection_not_the_coordinator(self):
+        coordinator = DispatchCoordinator(host="127.0.0.1", port=0)
+        coordinator.start()
+        try:
+            client = socket.create_connection((coordinator.host, coordinator.port))
+            client.sendall(b"this is not a wire frame at all")
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                if not client.recv(1):  # coordinator hung up on us
+                    break
+            client.close()
+            # The coordinator survived and still serves real workers.
+            tasks = make_tasks(runs=1, path_lengths=(2,))
+            payload = encode_workloads(TrialRunner._sweep_workloads(tasks))
+            _, raw_bytes = framed_lengths(payload)
+            worker = TrialWorker(
+                coordinator.address,
+                worker_id="it-after-garbage",
+                pool_workers=0,
+                heartbeat_interval=0.2,
+            )
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            assert worker.connected.wait(timeout=10)
+            report = coordinator.run_sweep(
+                tasks, timing="sim", payload=payload, raw_bytes=raw_bytes
+            )
+            worker.stop()
+            thread.join(timeout=10)
+        finally:
+            coordinator.close()
+        assert all(outcome is not None for outcome in report.outcomes)
+
+    def test_invalid_dispatch_addresses_rejected_eagerly(self):
+        for bad in ("localhost:7209", "tcp://:7209", "tcp://h:notaport", "tcp://h:99999"):
+            with pytest.raises(ValueError):
+                TrialRunner(timing="sim", dispatch=bad)

@@ -217,7 +217,7 @@ class TestSharedInputs:
     def test_publish_failure_degrades_to_unshared_run(self, monkeypatch):
         from repro.experiments import runner as runner_module
 
-        def broken_publish(workloads):
+        def broken_publish(workloads, compress=True):
             raise OSError("no shared memory on this platform")
 
         monkeypatch.setattr(runner_module, "publish_workloads", broken_publish)
@@ -258,3 +258,69 @@ class TestSharedInputs:
             segment.unlink()
             segment.unlink()  # idempotent
         assert not attach_workloads(segment.name, {})  # gone after unlink
+
+
+class TestSharedInputCompression:
+    def _workloads(self):
+        from repro.experiments.runner import workload_for
+
+        key = (11, 25)
+        return {key: workload_for(*key)}
+
+    def test_encode_decode_round_trip_both_ways(self):
+        from repro.experiments.shared_inputs import decode_workloads, encode_workloads
+
+        workloads = self._workloads()
+        for compress in (True, False):
+            assert decode_workloads(encode_workloads(workloads, compress=compress)) == (
+                workloads
+            )
+
+    def test_compression_shrinks_the_wire_payload(self):
+        from repro.experiments.shared_inputs import encode_workloads, framed_lengths
+
+        workloads = self._workloads()
+        packed = encode_workloads(workloads, compress=True)
+        plain = encode_workloads(workloads, compress=False)
+        wire_packed, raw_packed = framed_lengths(packed)
+        wire_plain, raw_plain = framed_lengths(plain)
+        assert raw_packed == raw_plain  # same pickle underneath
+        assert wire_plain == raw_plain  # uncompressed: framed size is raw size
+        assert wire_packed < raw_packed  # the zlib pass actually paid off
+        assert len(packed) < len(plain)
+
+    @pytest.mark.parametrize("mutation", ["magic", "version", "truncate", "crc"])
+    def test_corrupt_segment_rejected(self, mutation):
+        from repro.experiments.shared_inputs import decode_workloads, encode_workloads
+
+        encoded = bytearray(encode_workloads(self._workloads()))
+        if mutation == "magic":
+            encoded[0:4] = b"XXXX"
+        elif mutation == "version":
+            encoded[4] = 99
+        elif mutation == "truncate":
+            encoded = encoded[: len(encoded) // 2]
+        elif mutation == "crc":
+            encoded[-1] ^= 0xFF
+        with pytest.raises(ValueError):
+            decode_workloads(bytes(encoded))
+
+    def test_compressed_and_uncompressed_runs_agree_and_count_bytes(self):
+        tasks = make_tasks(runs=1)
+        packed_runner = TrialRunner(max_workers=2, parallel=True, timing="sim")
+        plain_runner = TrialRunner(
+            max_workers=2, parallel=True, timing="sim", compress_shared=False
+        )
+        try:
+            packed = packed_runner.run(tasks)
+            plain = plain_runner.run(tasks)
+        finally:
+            packed_runner.shutdown()
+            plain_runner.shutdown()
+        if packed_runner.sequential_fallbacks or plain_runner.sequential_fallbacks:
+            pytest.skip("no usable process pool in this environment")
+        assert packed == plain
+        assert 0 < packed_runner.bytes_shared_wire < packed_runner.bytes_shared_raw
+        # Uncompressed, the framed wire size is the pickle plus the fixed
+        # segment header — never smaller than raw.
+        assert plain_runner.bytes_shared_wire >= plain_runner.bytes_shared_raw > 0

@@ -1,0 +1,320 @@
+"""The dispatch wire codec: versioned, pickle-free, corruption-rejecting.
+
+The codec is the trust boundary of the dispatch plane — everything a
+coordinator accepts from the network passes through it — so these tests
+pin both directions: every frame type round-trips exactly, and every
+malformation (truncation, corruption, unknown version, unknown type, bad
+magic, drifted field sets) is a loud :class:`WireError`, never a guess.
+"""
+
+import dataclasses
+import struct
+
+import pytest
+
+from repro.experiments import wire
+from repro.experiments.runner import TrialTask, execute_trial
+from repro.experiments.trials import TrialResult
+from repro.experiments.wire import (
+    FrameDecoder,
+    Goodbye,
+    Heartbeat,
+    Hello,
+    TrialAssign,
+    TrialResultMsg,
+    WireError,
+    WorkloadSegment,
+    decode_frame,
+    decode_value,
+    encode_frame,
+    encode_value,
+    iter_frames,
+    result_from_wire,
+    result_to_wire,
+    task_from_wire,
+    task_to_wire,
+)
+
+
+def sample_frames():
+    """One instance of every protocol frame, fields exercising each type."""
+
+    return [
+        Hello(worker_id="w-1", max_inflight=4, pool_workers=2),
+        WorkloadSegment(sweep_id=3, payload=b"\x00\x01binary\xff", raw_bytes=9001),
+        TrialAssign(
+            sweep_id=3,
+            task_index=17,
+            timing="sim",
+            task=task_to_wire(TrialTask("fig6", 4, 25, 6, 4)),
+        ),
+        TrialResultMsg(sweep_id=3, task_index=17, worker_id="w-1", result=None),
+        Heartbeat(worker_id="w-1", inflight=2),
+        Goodbye(reason="done"),
+        Goodbye(),  # defaulted field
+    ]
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**63 - 1,
+            -(2**63),
+            2**80,  # beyond 64 bits: bigint path
+            -(2**80),
+            0.0,
+            -0.0,
+            1.5,
+            float("inf"),
+            "",
+            "héllo ∞",
+            b"",
+            b"\x00\xff",
+            [],
+            [1, "two", None, [True]],
+            {},
+            {"a": 1, "b": [2.5, "x"], "nested": {"c": None}},
+        ],
+    )
+    def test_round_trip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_negative_zero_and_nan_are_bit_exact(self):
+        decoded = decode_value(encode_value(-0.0))
+        assert struct.pack(">d", decoded) == struct.pack(">d", -0.0)
+        nan = struct.unpack(">d", b"\x7f\xf8\x00\x00\x00\x00\x12\x34")[0]
+        assert struct.pack(">d", decode_value(encode_value(nan))) == struct.pack(
+            ">d", nan
+        )
+
+    def test_tuple_encodes_as_list(self):
+        assert decode_value(encode_value((1, 2))) == [1, 2]
+
+    def test_unsupported_types_are_rejected_at_encode(self):
+        with pytest.raises(WireError):
+            encode_value(object())
+        with pytest.raises(WireError):
+            encode_value({1: "non-str key"})
+        with pytest.raises(WireError):
+            encode_value({"x": {3.0: "nested non-str key"}})
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(WireError, match="trailing"):
+            decode_value(encode_value(1) + b"\x00")
+
+    def test_truncated_value_rejected(self):
+        encoded = encode_value({"key": [1, 2, "three"]})
+        for cut in range(1, len(encoded)):
+            with pytest.raises(WireError):
+                decode_value(encoded[:cut])
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(WireError, match="unknown wire value tag"):
+            decode_value(b"Z")
+
+    def test_invalid_utf8_rejected(self):
+        bad = b"S" + struct.pack(">I", 2) + b"\xff\xfe"
+        with pytest.raises(WireError, match="UTF-8"):
+            decode_value(bad)
+
+
+class TestFrameCodec:
+    @pytest.mark.parametrize("frame", sample_frames(), ids=lambda f: type(f).__name__)
+    def test_every_frame_round_trips(self, frame):
+        decoded = decode_frame(encode_frame(frame))
+        assert type(decoded) is type(frame)
+        assert decoded == frame
+
+    def test_truncated_frame_rejected_one_shot(self):
+        encoded = encode_frame(Heartbeat(worker_id="w", inflight=0))
+        for cut in range(1, len(encoded)):
+            with pytest.raises(WireError):
+                decode_frame(encoded[:cut])
+
+    def test_corrupt_payload_rejected_by_crc(self):
+        encoded = bytearray(encode_frame(Hello(worker_id="w", max_inflight=1)))
+        encoded[-1] ^= 0xFF
+        with pytest.raises(WireError, match="CRC"):
+            decode_frame(bytes(encoded))
+
+    def test_unknown_version_rejected(self):
+        encoded = bytearray(encode_frame(Goodbye()))
+        encoded[2] = wire.WIRE_VERSION + 1  # version byte follows the magic
+        with pytest.raises(WireError, match="version"):
+            decode_frame(bytes(encoded))
+
+    def test_unknown_frame_type_rejected(self):
+        payload = encode_value({})
+        import zlib
+
+        header = wire.HEADER.pack(
+            wire.WIRE_MAGIC, wire.WIRE_VERSION, 99, len(payload), zlib.crc32(payload)
+        )
+        with pytest.raises(WireError, match="unknown frame type"):
+            decode_frame(header + payload)
+
+    def test_bad_magic_rejected(self):
+        encoded = bytearray(encode_frame(Goodbye()))
+        encoded[0:2] = b"XX"
+        with pytest.raises(WireError, match="magic"):
+            decode_frame(bytes(encoded))
+
+    def test_oversized_length_declaration_rejected(self):
+        header = wire.HEADER.pack(
+            wire.WIRE_MAGIC, wire.WIRE_VERSION, 6, wire.MAX_FRAME_BYTES + 1, 0
+        )
+        with pytest.raises(WireError, match="exceeds cap"):
+            decode_frame(header)
+
+    def test_unknown_field_rejected(self):
+        # A same-version peer whose Goodbye grew a field must fail loudly.
+        payload = encode_value({"reason": "hi", "extra": 1})
+        import zlib
+
+        header = wire.HEADER.pack(
+            wire.WIRE_MAGIC,
+            wire.WIRE_VERSION,
+            Goodbye.TYPE,
+            len(payload),
+            zlib.crc32(payload),
+        )
+        with pytest.raises(WireError, match="unknown fields"):
+            decode_frame(header + payload)
+
+    def test_missing_required_field_rejected(self):
+        payload = encode_value({"worker_id": "w"})  # Hello missing max_inflight
+        import zlib
+
+        header = wire.HEADER.pack(
+            wire.WIRE_MAGIC,
+            wire.WIRE_VERSION,
+            Hello.TYPE,
+            len(payload),
+            zlib.crc32(payload),
+        )
+        with pytest.raises(WireError, match="missing fields"):
+            decode_frame(header + payload)
+
+    def test_non_dict_payload_rejected(self):
+        payload = encode_value([1, 2, 3])
+        import zlib
+
+        header = wire.HEADER.pack(
+            wire.WIRE_MAGIC,
+            wire.WIRE_VERSION,
+            Goodbye.TYPE,
+            len(payload),
+            zlib.crc32(payload),
+        )
+        with pytest.raises(WireError, match="field dict"):
+            decode_frame(header + payload)
+
+    def test_non_frame_object_rejected_at_encode(self):
+        with pytest.raises(WireError, match="not a wire frame"):
+            encode_frame("nope")
+
+
+class TestFrameDecoder:
+    def test_reassembles_across_arbitrary_chunking(self):
+        frames = sample_frames()
+        stream = b"".join(encode_frame(frame) for frame in frames)
+        for chunk_size in (1, 2, 7, 64, len(stream)):
+            decoder = FrameDecoder()
+            seen = []
+            for start in range(0, len(stream), chunk_size):
+                seen.extend(decoder.feed(stream[start : start + chunk_size]))
+            assert seen == frames
+            assert decoder.pending_bytes == 0
+
+    def test_partial_frame_is_buffered_not_an_error(self):
+        encoded = encode_frame(Heartbeat(worker_id="w", inflight=1))
+        decoder = FrameDecoder()
+        assert decoder.feed(encoded[:-1]) == []
+        assert decoder.pending_bytes == len(encoded) - 1
+        assert decoder.feed(encoded[-1:]) == [Heartbeat(worker_id="w", inflight=1)]
+
+    def test_poisoned_after_framing_error(self):
+        decoder = FrameDecoder()
+        with pytest.raises(WireError):
+            decoder.feed(b"XXXXXXXXXXXXXX")
+        with pytest.raises(WireError, match="poisoned"):
+            decoder.feed(encode_frame(Goodbye()))
+
+    def test_iter_frames_rejects_truncated_tail(self):
+        stream = encode_frame(Goodbye()) + b"RW"
+        with pytest.raises(WireError, match="truncated"):
+            list(iter_frames(stream))
+
+
+class TestTaskAndResultDicts:
+    def test_task_round_trip_preserves_every_field(self):
+        task = TrialTask(
+            "fig5",
+            50,
+            num_tasks=50,
+            num_hosts=8,
+            path_length=3,
+            repetition=2,
+            seed=99,
+            workload_seed=7,
+            network="adhoc",
+            mobility="waypoint",
+            solver="greedy",
+            policy="random",
+            batch_auctions=False,
+            fault_injection=True,
+            cohort="pinned",
+        )
+        assert task_from_wire(task_to_wire(task)) == task
+
+    def test_task_survives_a_full_frame_round_trip(self):
+        task = TrialTask("t", 3, 25, 4, 3)
+        frame = decode_frame(
+            encode_frame(
+                TrialAssign(
+                    sweep_id=1, task_index=0, timing="sim", task=task_to_wire(task)
+                )
+            )
+        )
+        assert task_from_wire(frame.task) == task
+
+    def test_result_round_trip_is_byte_exact(self):
+        outcome = execute_trial(TrialTask("t", 3, 25, 4, 3), timing="sim")
+        assert outcome.result is not None
+        restored = result_from_wire(result_to_wire(outcome.result))
+        assert dataclasses.asdict(restored) == dataclasses.asdict(outcome.result)
+        assert restored == outcome.result
+
+    def test_none_result_passes_through(self):
+        assert result_to_wire(None) is None
+        assert result_from_wire(None) is None
+
+    def test_unknown_result_field_rejected(self):
+        mapping = result_to_wire(
+            execute_trial(TrialTask("t", 3, 25, 4, 3), timing="sim").result
+        )
+        mapping["made_up_field"] = 1
+        with pytest.raises(WireError, match="unknown fields"):
+            result_from_wire(mapping)
+
+    def test_unknown_task_field_rejected(self):
+        mapping = task_to_wire(TrialTask("t", 3, 25, 4, 3))
+        mapping["made_up_field"] = 1
+        with pytest.raises(WireError, match="unknown fields"):
+            task_from_wire(mapping)
+
+    def test_result_fields_stay_wire_encodable(self):
+        # The codec deliberately supports only scalars/lists/str-dicts; a
+        # TrialResult field of any other type must fail THIS test, not a
+        # dispatch run at 2am.
+        for field in dataclasses.fields(TrialResult):
+            assert field.type in {"bool", "float", "int", "str"}, (
+                f"TrialResult.{field.name}: {field.type} — teach wire.py "
+                "about it (and bump WIRE_VERSION) before shipping it"
+            )
